@@ -1,0 +1,68 @@
+"""Real-machine benchmarks of the container format and native opens."""
+
+import pytest
+
+from repro.core import Container, create_active, open_active
+from repro.core.spec import SentinelSpec
+
+NULL = SentinelSpec("repro.sentinels.null:NullFilterSentinel")
+
+
+@pytest.mark.parametrize("size", [1024, 65536, 1048576])
+def test_container_save(benchmark, tmp_path, size):
+    benchmark.group = "container-save"
+    container = Container(tmp_path / "bench.af", NULL, data=b"x" * size)
+
+    benchmark(container.save)
+    benchmark.extra_info["data_bytes"] = size
+
+
+@pytest.mark.parametrize("size", [1024, 65536, 1048576])
+def test_container_load(benchmark, tmp_path, size):
+    benchmark.group = "container-load"
+    Container.create(tmp_path / "bench.af", NULL, data=b"x" * size)
+
+    result = benchmark(Container.load, tmp_path / "bench.af")
+    assert len(result.data) == size
+
+
+@pytest.mark.parametrize("strategy", ["inproc", "thread"])
+def test_open_close_cycle(benchmark, tmp_path, strategy):
+    """Native open cost: sentinel instantiation + (maybe) thread spawn."""
+    benchmark.group = "native-open"
+    create_active(tmp_path / "o.af",
+                  "repro.sentinels.null:NullFilterSentinel", data=b"d")
+
+    def cycle():
+        with open_active(tmp_path / "o.af", "rb", strategy=strategy) as f:
+            return f.read(1)
+
+    assert benchmark(cycle) == b"d"
+
+
+def test_open_close_cycle_process(benchmark, tmp_path):
+    """Child-interpreter spawn per open: the native lifecycle extreme."""
+    benchmark.group = "native-open"
+    create_active(tmp_path / "p.af",
+                  "repro.sentinels.null:NullFilterSentinel", data=b"d")
+
+    def cycle():
+        with open_active(tmp_path / "p.af", "rb",
+                         strategy="process-control") as f:
+            return f.read(1)
+
+    result = benchmark.pedantic(cycle, rounds=3, iterations=1)
+    assert result == b"d"
+
+
+def test_compression_write_throughput(benchmark, tmp_path):
+    benchmark.group = "sentinel-throughput"
+    create_active(tmp_path / "z.af",
+                  "repro.sentinels.compress:CompressionSentinel")
+    payload = bytes(range(256)) * 256  # 64 KiB, mildly compressible
+
+    def write_cycle():
+        with open_active(tmp_path / "z.af", "wb", strategy="inproc") as f:
+            return f.write(payload)
+
+    assert benchmark(write_cycle) == len(payload)

@@ -1,0 +1,43 @@
+"""Figure 6(a): sentinel uses a remote source (caching path 1).
+
+Regenerates both the Read and Write panels: Process(-with-control),
+Thread, DLL(-only) and the direct-access baseline, per block size.
+Virtual per-op microseconds land in ``extra_info``.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_BLOCKS
+
+STRATEGIES = ("process-control", "thread", "dll", "baseline")
+
+
+@pytest.mark.parametrize("block", BENCH_BLOCKS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig6aRead:
+    def test_read(self, sim_point, strategy, block):
+        result = sim_point(strategy, "network", "read", block)
+        assert result.per_op_us > 0
+
+
+@pytest.mark.parametrize("block", BENCH_BLOCKS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestFig6aWrite:
+    def test_write(self, sim_point, strategy, block):
+        result = sim_point(strategy, "network", "write", block)
+        assert result.per_op_us > 0
+
+
+def test_fig6a_shape(benchmark):
+    """The whole panel, with the paper's ordering asserted."""
+    from repro.afsim.figure6 import check_claims, run_panel
+
+    def panel():
+        return {op: run_panel("a", op, calls=150) for op in ("read", "write")}
+
+    series = benchmark.pedantic(panel, rounds=1, iterations=1)
+    for op in ("read", "write"):
+        assert check_claims(series[op], "a", op) == []
+    benchmark.extra_info["process_read_2048_us"] = round(
+        series["read"]["process"][2048].per_op_us, 1)
+    benchmark.extra_info["paper_read_ymax_us"] = 560.0

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Visualizing the paper's §6 critical paths on the simulated kernel.
+
+Prints, for one 512-byte read on the network path under each strategy:
+
+* the scheduler timeline (context switches, blocks, wakes) — the
+  narrative the paper walks through in prose;
+* the per-process CPU attribution — where the overhead actually lives.
+
+Run:  python examples/critical_path.py
+"""
+
+from repro.afsim.backings import make_backing
+from repro.afsim.sessions import open_session
+from repro.ntos import Kernel, Tracer
+
+
+def trace_one_read(strategy: str) -> None:
+    kernel = Kernel()
+    tracer = Tracer.attach(kernel)
+    app = kernel.create_process("app")
+
+    def main():
+        backing = make_backing(kernel, "network")
+        session = open_session(strategy, kernel, app, backing)
+        start = kernel.now
+        session.read(512)
+        main.latency = kernel.now - start
+        session.close()
+
+    kernel.create_thread(app, main, "app:main")
+    kernel.run()
+
+    print(f"\n=== {strategy}: one 512 B read over the network ===")
+    print(f"latency: {main.latency:.1f} virtual µs")
+    cpu = kernel.cpu_by_process()
+    attribution = ", ".join(f"{name}={us:.1f}µs"
+                            for name, us in sorted(cpu.items()))
+    print(f"CPU by process: {attribution}")
+    print(f"context switches: {kernel.context_switches} "
+          f"(cross-process: {kernel.process_switches})")
+    blocks = tracer.blocks_by_reason()
+    if blocks:
+        print(f"blocking events: {blocks}")
+    print(tracer.render_timeline(limit=14))
+
+
+def main() -> None:
+    for strategy in ("process-control", "thread", "dll"):
+        trace_one_read(strategy)
+
+    print("\nReading the timelines against the paper's §6:")
+    print(" - process-control: command pipe -> process switch -> sentinel")
+    print("   RPC -> pipe back -> process switch; 'extra buffer copying and")
+    print("   process context switching occurring in the critical path'")
+    print(" - thread: two cheap thread switches and one user-level copy")
+    print(" - dll: no switches at all; the read IS the network RPC")
+
+
+if __name__ == "__main__":
+    main()

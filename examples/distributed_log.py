@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Concurrent intelligent logging (paper §3).
+
+"Assume that several processes log events using the same log file ...
+The processes generating the logs do not need to know about log file
+locking."  Three writers — two in this process (different strategies)
+and one in a real sentinel child process — append to one active log
+file concurrently; the sentinel serializes the records.  The log also
+tees every record to a remote collector via a distribution sentinel.
+
+Run:  python examples/distributed_log.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro import Container, create_active, open_active
+from repro.net import Address, FileServer, Network
+
+LOG = "repro.sentinels.logfile:ConcurrentLogSentinel"
+DISTRIBUTE = "repro.sentinels.distribute:DistributionSentinel"
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-log-"))
+    logfile = workdir / "events.af"
+    create_active(logfile, LOG, params={"max_records": 100})
+
+    # -- three concurrent writers, three strategies ----------------------------
+    def writer(tag: str, strategy: str) -> None:
+        # each open spawns its own sentinel (§2.2); they coordinate
+        # through the container's cross-process lock
+        with open_active(logfile, "r+b", strategy=strategy) as stream:
+            for i in range(5):
+                stream.write(f"{tag} event {i}".encode())
+
+    threads = [
+        threading.Thread(target=writer, args=("alpha", "inproc")),
+        threading.Thread(target=writer, args=("beta", "thread")),
+        threading.Thread(target=writer, args=("gamma", "process-control")),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    records = Container.load(logfile).data.decode().splitlines()
+    print(f"{len(records)} records, all intact, globally sequenced:")
+    for record in records[:6]:
+        print("  ", record)
+    print("   ...")
+
+    # per-writer order is preserved even though writers interleaved
+    for tag in ("alpha", "beta", "gamma"):
+        own = [r.split(" ", 1)[1] for r in records if f"{tag} event" in r]
+        assert own == [f"{tag} event {i}" for i in range(5)], own
+    print("per-writer ordering verified for alpha/beta/gamma")
+
+    # -- log maintenance without touching the writers ---------------------------
+    with open_active(logfile, "r+b") as stream:
+        fields, _ = stream.control("stats")
+        print(f"\nlog stats: {fields}")
+        fields, _ = stream.control("compact", {"keep": 3})
+        print(f"compacted: dropped {fields['dropped']}, kept {fields['kept']}")
+
+    # -- distribution: tee to a remote collector ----------------------------------
+    network = Network()
+    collector = network.bind(Address("collector", 514), FileServer())
+    audit = workdir / "audit.af"
+    create_active(audit, DISTRIBUTE, params={"targets": [
+        {"kind": "fileserver", "address": "collector:514",
+         "path": "site-a.log"},
+    ]})
+    with open_active(audit, "r+b", network=network) as stream:
+        stream.write(b"deploy started\n")
+        stream.write(b"deploy finished\n")
+    print("\nremote collector received:",
+          collector.get_file("site-a.log").decode().strip().split("\n"))
+
+
+if __name__ == "__main__":
+    main()

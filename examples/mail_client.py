@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A file-based mail client (paper §3).
+
+Inbox: "reading it causes new messages to be retrieved possibly from
+multiple remote POP servers".  Outbox: "the sentinel process parses the
+data written to the file to extract the 'To' addresses and send the
+data to each recipient".  The 'mail client' below is just code that
+reads and writes two text files.
+
+Run:  python examples/mail_client.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MediatingConnector, create_active
+from repro.net import Address, Network, Pop3Server, SmtpServer
+from repro.net.pop3 import MailMessage
+
+INBOX = "repro.sentinels.mailbox:InboxSentinel"
+OUTBOX = "repro.sentinels.mailbox:OutboxSentinel"
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-mail-"))
+    network = Network()
+
+    # two POP accounts on different servers, one SMTP relay
+    work_pop = network.bind(Address("pop.work", 110),
+                            Pop3Server({"dana": "w0rk", "boss": "b0ss"}))
+    home_pop = network.bind(Address("pop.home", 110),
+                            Pop3Server({"dana": "h0me"}))
+    smtp = network.bind(Address("smtp.out", 25), SmtpServer())
+    smtp.register_domain("work.example", work_pop)
+
+    work_pop.deliver(MailMessage("boss@work.example", "dana@work.example",
+                                 "Standup moved", "Now at 9:15."))
+    home_pop.deliver(MailMessage("club@hobby.org", "dana@home.example",
+                                 "Race Sunday", "Bring the fast bike."))
+
+    inbox = workdir / "inbox.af"
+    create_active(inbox, INBOX, params={"accounts": [
+        {"address": "pop.work:110", "user": "dana", "password": "w0rk"},
+        {"address": "pop.home:110", "user": "dana", "password": "h0me"},
+    ]}, meta={"data": "memory"})
+
+    outbox = workdir / "outbox.af"
+    create_active(outbox, OUTBOX, params={
+        "smtp": "smtp.out:25", "sender": "dana@laptop",
+    }, meta={"data": "memory"})
+
+    # -- the whole mail client -------------------------------------------------
+    with MediatingConnector(network=network):
+        print("=== INBOX (both servers aggregated) ===")
+        with open(inbox) as handle:
+            print(handle.read())
+
+        print("=== composing a reply (writing a text file) ===")
+        with open(outbox, "w") as handle:
+            handle.write("To: boss@work.example\n"
+                         "Subject: Re: Standup moved\n"
+                         "\n"
+                         "Works for me.\n")
+        # closing the file sent the mail
+
+    delivered = work_pop.message_count("boss")
+    print(f"boss's mailbox now holds {delivered} message(s) "
+          f"(relay log: {[m.subject for m in smtp.sent]})")
+
+    # new mail shows up on the next inbox open — no decoupled snapshot
+    work_pop.deliver(MailMessage("boss@work.example", "dana@work.example",
+                                 "Re: Re: Standup moved", "Great."))
+    with MediatingConnector(network=network):
+        with open(inbox) as handle:
+            body = handle.read()
+    assert "Re: Re: Standup moved" in body
+    print("boss's answer visible in the inbox on re-open")
+
+
+if __name__ == "__main__":
+    main()

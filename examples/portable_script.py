@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Self-contained active files: code that travels with the data.
+
+The paper stores the sentinel *executable itself* inside the active
+file (as an NTFS stream), so copying the file copies its behaviour.
+``ScriptSentinel`` restores that property here: the active part is
+Python source embedded in the container.  Combined with the §2.3
+sandbox, a recipient can open a foreign active file under an explicit
+resource policy.
+
+Run:  python examples/portable_script.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Container, create_active, open_active
+from repro.core.sandbox import SandboxPolicy, sandbox_spec
+from repro.errors import SandboxViolation
+from repro.sentinels.script import script_spec
+
+ROT13_SOURCE = '''
+def _rot13(data):
+    out = bytearray()
+    for b in data:
+        if 65 <= b <= 90:
+            out.append(65 + (b - 65 + 13) % 26)
+        elif 97 <= b <= 122:
+            out.append(97 + (b - 97 + 13) % 26)
+        else:
+            out.append(b)
+    return bytes(out)
+
+def on_read(ctx, offset, size):
+    return _rot13(ctx.data.read_at(offset, size))
+
+def on_write(ctx, offset, data):
+    return ctx.data.write_at(offset, _rot13(data))
+'''
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-script-"))
+
+    # -- author a self-contained active file --------------------------------
+    original = workdir / "note.af"
+    create_active(original, script_spec(ROT13_SOURCE))
+    with open_active(original, "wb", strategy="inproc") as stream:
+        stream.write(b"meet me at the usual place")
+    stored = Container.load(original).data
+    print("on disk (rot13):", stored.decode())
+
+    # -- 'mail it' to another directory: behaviour travels too ---------------
+    received = workdir / "inbox" / "note.af"
+    received.parent.mkdir()
+    Container.load(original).copy_to(received)
+    with open_active(received, "rb", strategy="thread") as stream:
+        print("recipient reads:", stream.read().decode())
+
+    # -- the recipient doesn't trust the embedded code: sandbox it ------------
+    boxed = workdir / "inbox" / "note-sandboxed.af"
+    container = Container.load(received)
+    container.path = boxed
+    container.spec = sandbox_spec(container.spec, SandboxPolicy(
+        allow_writes=False,      # read-only
+        max_total_bytes=64,      # tiny budget
+        allowed_hosts=(),        # no network at all
+    ))
+    container.save()
+
+    with open_active(boxed, "r+b", strategy="inproc") as stream:
+        print("sandboxed read :", stream.read(26).decode())
+        try:
+            stream.write(b"tamper attempt")
+        except SandboxViolation as exc:
+            print("write blocked  :", exc)
+        try:
+            stream.seek(0)
+            stream.read(64)  # blows the 64-byte budget
+        except SandboxViolation as exc:
+            print("budget enforced:", exc)
+
+
+if __name__ == "__main__":
+    main()

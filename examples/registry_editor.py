@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+r"""Editing the system registry with a text editor (paper §3).
+
+"Filtering can also be used to provide a file-based interface to the
+Windows system registry ... Any modifications by the client application
+can in turn be parsed by the sentinel process and translated into
+appropriate registry modifications."  The "editor" below is sed-like
+string surgery on a plain text file.
+
+Run:  python examples/registry_editor.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MediatingConnector, create_active
+from repro.net import Address, Network, RegistryServer
+
+REGISTRY = "repro.sentinels.registryfs:RegistryFileSentinel"
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-registry-"))
+    network = Network()
+
+    hive = network.bind(Address("registry.local", 1), RegistryServer())
+    hive.set_value(r"HKLM\Software\PaperApp", "Version", "1.0")
+    hive.set_value(r"HKLM\Software\PaperApp", "Port", 8080, "REG_DWORD")
+    hive.set_value(r"HKLM\Software\PaperApp\UI", "Theme", "light")
+
+    config = workdir / "config.af"
+    create_active(config, REGISTRY,
+                  params={"registry": "registry.local:1", "key": "HKLM"},
+                  meta={"data": "memory"})
+
+    with MediatingConnector(network=network):
+        # a legacy "editor" sees a plain ini-style text file
+        with open(config) as handle:
+            text = handle.read()
+        print("=== registry as a text file ===")
+        print(text)
+
+        # edit it like any config file
+        edited = (text
+                  .replace("REG_DWORD:8080", "REG_DWORD:9090")
+                  .replace("REG_SZ:light", "REG_SZ:dark"))
+        edited += "[Software\\PaperApp]\nLogLevel = REG_SZ:debug\n"
+        with open(config, "w") as handle:
+            handle.write(edited)
+        # close parsed the text and issued the registry operations
+
+    print("=== registry after the edit ===")
+    print("Port     :", hive.get_value(r"HKLM\Software\PaperApp", "Port"))
+    print("Theme    :", hive.get_value(r"HKLM\Software\PaperApp\UI", "Theme"))
+    print("LogLevel :", hive.get_value(r"HKLM\Software\PaperApp", "LogLevel"))
+
+
+if __name__ == "__main__":
+    main()

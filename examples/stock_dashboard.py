@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""A live stock dashboard out of plain files (paper §3).
+
+"An active file that reflects the latest stock quotes (downloaded by
+the sentinel from a server) every time the file is opened" — plus an
+aggregate file that merges the quote feed, a database and an HTTP page
+into one report a legacy pager can read.
+
+Run:  python examples/stock_dashboard.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MediatingConnector, create_active, open_active
+from repro.net import (
+    Address,
+    HttpServer,
+    KeyValueStore,
+    Network,
+    QuoteServer,
+)
+
+QUOTES = "repro.sentinels.quotes:StockQuoteSentinel"
+AGGREGATE = "repro.sentinels.aggregate:AggregateSentinel"
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-stocks-"))
+    network = Network()
+
+    market = network.bind(Address("quotes.exchange", 7),
+                          QuoteServer({"ACME": 101.50, "GLOBEX": 42.00,
+                                       "INITECH": 13.37}))
+    network.bind(Address("db.internal", 5432),
+                 KeyValueStore({"positions": b"ACME:+300 GLOBEX:-120"}))
+    network.bind(Address("intranet", 80),
+                 HttpServer({"/banner.txt": b"*** trading floor bulletin ***"}))
+
+    # -- the ticker file ---------------------------------------------------------
+    ticker = workdir / "ticker.af"
+    create_active(ticker, QUOTES, params={"address": "quotes.exchange:7"},
+                  meta={"data": "memory"})
+
+    def cat(path) -> str:
+        """A legacy pager: opens a file, prints it."""
+        with open(path) as handle:
+            return handle.read()
+
+    with MediatingConnector(network=network):
+        print("--- open #1 ---")
+        print(cat(ticker), end="")
+        market.tick(5)  # the market moves
+        print("--- open #2 (same file, fresh prices) ---")
+        print(cat(ticker), end="")
+
+    # -- the aggregate dashboard --------------------------------------------------
+    dashboard = workdir / "dashboard.af"
+    create_active(dashboard, AGGREGATE, params={
+        "sources": [
+            {"kind": "http", "address": "intranet:80", "path": "/banner.txt"},
+            {"kind": "literal", "text": "\n\n[positions]\n"},
+            {"kind": "kv", "address": "db.internal:5432",
+             "keys": ["positions"]},
+            {"kind": "literal", "text": "\n"},
+        ],
+    }, meta={"data": "memory"})
+    with MediatingConnector(network=network):
+        print("--- dashboard ---")
+        print(cat(dashboard))
+
+    # -- steering the sentinel from an aware application ----------------------------
+    with open_active(ticker, "rb", network=network) as stream:
+        market.tick(1)
+        fields, _ = stream.control("refresh")
+        stream.seek(0)
+        print(f"--- mid-open refresh (feed generation "
+              f"{fields['generation']}) ---")
+        print(stream.read().decode(), end="")
+
+
+if __name__ == "__main__":
+    main()

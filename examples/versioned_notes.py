@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""A notes file that versions itself.
+
+Demonstrates an "intelligent file" built from the sentinel model: every
+editing session snapshots the previous contents, and old versions are
+listed, previewed and restored through control operations — no version
+control system anywhere, just a file.
+
+Run:  python examples/versioned_notes.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import create_active, open_active
+
+
+def edit(path, text: str) -> None:
+    """A 'text editor': truncate and rewrite, like editors do."""
+    with open_active(path, "w+b") as stream:
+        stream.write(text.encode())
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="af-versions-"))
+    notes = workdir / "notes.af"
+    create_active(notes, "repro.sentinels.versioned:VersioningSentinel",
+                  params={"max_versions": 10})
+
+    edit(notes, "v1: remember to buy milk\n")
+    edit(notes, "v2: milk bought; call the bank\n")
+    edit(notes, "v3: all done. relax.\n")
+
+    with open_active(notes, "r+b") as stream:
+        print("current:", stream.read().decode().strip())
+
+        fields, _ = stream.control("versions")
+        print("\nhistory:")
+        for entry in fields["versions"]:
+            print(f"  [{entry['index']}] {entry['label']:>6} "
+                  f"({entry['size']} bytes)")
+
+        _, payload = stream.control("peek", {"index": 0})
+        print("\npeek at version 0:", payload.decode().strip())
+
+        stream.control("restore", {"index": 1})
+        stream.seek(0)
+        print("after restore(1):", stream.read().decode().strip())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim (environment lacks the `wheel` package, so the
+PEP 517 editable path is unavailable; `pip install -e . --no-use-pep517`
+uses this file instead)."""
+from setuptools import setup
+
+setup()

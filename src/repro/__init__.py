@@ -1,0 +1,61 @@
+"""Active Files — a reproduction of Dasgupta, Itzkovitz & Karamcheti,
+"Active Files: A Mechanism for Integrating Legacy Applications into
+Distributed Systems" (ICDCS 2000).
+
+Quick start::
+
+    from repro import create_active, open_active
+
+    create_active("quotes.af",
+                  "repro.sentinels.quotes:StockQuoteSentinel",
+                  params={"address": "quotes.example:7"})
+    with open_active("quotes.af", "rb", network=net) as stream:
+        print(stream.read().decode())
+
+Package map:
+
+* :mod:`repro.core` — the active-files runtime (containers, sentinels,
+  the four implementation strategies, interception, Win32-style API);
+* :mod:`repro.sentinels` — ready-made sentinels for every Section 3 use;
+* :mod:`repro.net` — the simulated network and remote services;
+* :mod:`repro.ntos` — the virtual-time NT-like OS substrate;
+* :mod:`repro.afsim` — active files on that substrate, reproducing the
+  paper's Figure 6 performance study.
+"""
+
+from repro.core import (
+    ACTIVE_SUFFIX,
+    ActiveFile,
+    Container,
+    MediatingConnector,
+    STRATEGIES,
+    Sentinel,
+    SentinelContext,
+    SentinelSpec,
+    StreamSentinel,
+    Win32Api,
+    create_active,
+    is_active_path,
+    open_active,
+)
+from repro.errors import ActiveFileError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACTIVE_SUFFIX",
+    "ActiveFile",
+    "ActiveFileError",
+    "Container",
+    "MediatingConnector",
+    "STRATEGIES",
+    "Sentinel",
+    "SentinelContext",
+    "SentinelSpec",
+    "StreamSentinel",
+    "Win32Api",
+    "__version__",
+    "create_active",
+    "is_active_path",
+    "open_active",
+]

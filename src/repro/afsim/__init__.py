@@ -1,0 +1,54 @@
+"""Active files on the simulated NT kernel — the measured artifact.
+
+This package re-implements the paper's Appendix A on
+:mod:`repro.ntos`: application-side stub DLLs injected through the
+process IAT, sentinel processes connected by anonymous pipes (with and
+without a control channel), sentinel threads sharing memory and events,
+and direct DLL-only routing.  The fixed-block read/write application of
+Section 6 then runs unmodified on top, and
+:mod:`repro.afsim.figure6` reads the virtual clock to regenerate every
+series of Figure 6 (plus the direct-access baseline the text mentions).
+"""
+
+from repro.afsim.backings import (
+    Backing,
+    DiskBacking,
+    MemoryBacking,
+    RemoteBacking,
+    make_backing,
+    PATHS,
+)
+from repro.afsim.sessions import (
+    DllSession,
+    ControlProcessSession,
+    SimSession,
+    StreamProcessSession,
+    ThreadSession,
+    open_session,
+    SIM_STRATEGIES,
+)
+from repro.afsim.stubs import ActiveFileRuntime
+from repro.afsim.workload import measure_point, WorkloadResult
+
+# NOTE: the figure-6 harness lives in repro.afsim.figure6 and is *not*
+# re-exported here, so that ``python -m repro.afsim.figure6`` runs
+# without the found-in-sys.modules RuntimeWarning.
+
+__all__ = [
+    "ActiveFileRuntime",
+    "Backing",
+    "ControlProcessSession",
+    "DiskBacking",
+    "DllSession",
+    "MemoryBacking",
+    "PATHS",
+    "RemoteBacking",
+    "SIM_STRATEGIES",
+    "SimSession",
+    "StreamProcessSession",
+    "ThreadSession",
+    "WorkloadResult",
+    "make_backing",
+    "measure_point",
+    "open_session",
+]

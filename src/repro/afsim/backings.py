@@ -1,0 +1,123 @@
+"""The three critical caching paths of Figure 5, as sentinel backings.
+
+A *backing* is what the sentinel touches to satisfy one operation:
+
+* :class:`RemoteBacking` — path 1, "no cache in the sentinel process":
+  each read is a blocking RPC to the remote service; each write is a
+  one-way update message ("sends an update message to the remote
+  service").
+* :class:`DiskBacking` — path 2, "the data is cached in the active file
+  on disk": reads and writes hit the local NT file.
+* :class:`MemoryBacking` — path 3, "the cache resides in the sentinel's
+  memory": a user-level memcpy per operation.
+
+The baseline of Section 6 is the application using a backing directly,
+with no active-file machinery in between.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import SimulationError
+from repro.ntos.fs import NTFileSystem
+from repro.ntos.kernel import Kernel
+from repro.ntos.netdev import NetDevice, RemoteHost
+
+__all__ = ["Backing", "RemoteBacking", "DiskBacking", "MemoryBacking",
+           "make_backing", "PATHS"]
+
+#: Panel key -> path name, in the paper's order.
+PATHS = ("network", "disk", "memory")
+
+#: Request/response protocol header on the wire (op, offset, size).
+_WIRE_HEADER = struct.calcsize(">BQI") + 28  # + transport framing
+
+
+class Backing:
+    """What a sentinel (or the baseline application) operates against."""
+
+    def read(self, offset: int, size: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, offset: int, data: bytes) -> int:
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        """Wait for any asynchronous effects (used between measurements)."""
+
+
+class RemoteBacking(Backing):
+    """Path 1: every operation exchanges messages with a remote source."""
+
+    def __init__(self, kernel: Kernel, host: RemoteHost) -> None:
+        self.kernel = kernel
+        self.host = host
+
+    def read(self, offset: int, size: int) -> bytes:
+        self.host.request(request_bytes=_WIRE_HEADER,
+                          response_bytes=_WIRE_HEADER + size)
+        return b"\x00" * size
+
+    def write(self, offset: int, data: bytes) -> int:
+        # the update message goes out synchronously up to the wire (a
+        # send through a small socket buffer), but nobody waits for the
+        # remote acknowledgement — "writes are issued without waiting
+        # for their completion"
+        self.host.send(_WIRE_HEADER + len(data), blocking=True)
+        return len(data)
+
+    def settle(self) -> None:
+        self.host.drain()
+
+
+class DiskBacking(Backing):
+    """Path 2: operations hit the local on-disk cache file."""
+
+    def __init__(self, kernel: Kernel, fs: NTFileSystem,
+                 path: str = "cache.dat", size: int = 1 << 20) -> None:
+        self.kernel = kernel
+        if not fs.exists(path):
+            fs.create(path, b"\x00" * size)
+        self.file = fs.open(path)
+        self._size = size
+
+    def read(self, offset: int, size: int) -> bytes:
+        return self.file.read_at(offset % self._size, size)
+
+    def write(self, offset: int, data: bytes) -> int:
+        return self.file.write_at(offset % self._size, data)
+
+
+class MemoryBacking(Backing):
+    """Path 3: operations are user-level memcpys in the sentinel."""
+
+    def __init__(self, kernel: Kernel, size: int = 1 << 20) -> None:
+        self.kernel = kernel
+        self._buffer = bytearray(size)
+        self._size = size
+
+    def read(self, offset: int, size: int) -> bytes:
+        self.kernel.charge(size * self.kernel.costs.memcpy_us_per_byte)
+        offset %= self._size
+        return bytes(self._buffer[offset:offset + size]).ljust(size, b"\x00")
+
+    def write(self, offset: int, data: bytes) -> int:
+        self.kernel.charge(len(data) * self.kernel.costs.memcpy_us_per_byte)
+        offset %= self._size
+        self._buffer[offset:offset + len(data)] = data
+        return len(data)
+
+
+def make_backing(kernel: Kernel, path: str,
+                 fs: NTFileSystem | None = None,
+                 nic: NetDevice | None = None) -> Backing:
+    """Build the backing for one of the Figure 5 paths by name."""
+    if path == "network":
+        return RemoteBacking(kernel, RemoteHost(kernel,
+                                                nic or NetDevice(kernel)))
+    if path == "disk":
+        return DiskBacking(kernel, fs or NTFileSystem(kernel))
+    if path == "memory":
+        return MemoryBacking(kernel)
+    raise SimulationError(f"unknown caching path {path!r}; known: {PATHS}")

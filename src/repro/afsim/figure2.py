@@ -1,0 +1,121 @@
+"""A literal transcription of the paper's Figure 2 sentinel.
+
+Figure 2 shows "the code for a null filter in the simplest
+implementation strategy": a standalone sentinel executable with two
+``RWThrd`` threads — one pumping remote-source data into the cache file
+and the read pipe, one pumping the write pipe into the cache file and
+back to the source — whose ``main`` creates the handles, starts both
+threads, and blocks in ``WaitForMultipleObjects``.
+
+:func:`run_figure2_sentinel` executes that exact structure on the
+simulated kernel, C-to-Python translated line for line (the original C
+is quoted in the comments).  It is used by tests as a fidelity check
+and by readers as the Rosetta stone between the paper's listings and
+this codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ntos.fs import NTFileSystem
+from repro.ntos.kernel import Kernel, SimProcess
+from repro.ntos.pipes import KPipe
+
+__all__ = ["Figure2Handles", "run_figure2_sentinel"]
+
+_BUF = 1024  # char buf[1024];
+
+
+@dataclass
+class Figure2Handles:
+    """The four handles of the listing: hin, hout, hcache, hpipe."""
+
+    hin: KPipe       # GetStdHandle(STD_INPUT_HANDLE)  — the write pipe
+    hout: KPipe      # GetStdHandle(STD_OUTPUT_HANDLE) — the read pipe
+    hcache: object   # OpenFile(argv[2], ...)          — the data part
+    hpipe_in: KPipe  # OpenPipe(argv[1], ...)          — from the source
+    hpipe_out: KPipe = None  # ...and towards the source
+    log: list = field(default_factory=list)
+
+
+def run_figure2_sentinel(kernel: Kernel, process: SimProcess,
+                         handles: Figure2Handles) -> None:
+    """The sentinel ``main()`` of Figure 2, on simulated NT."""
+
+    def rw_thrd(direction: int) -> None:
+        """DWORD RWThrd(DWORD dir)"""
+        while True:
+            if direction == 0:  # if (dir == READ)
+                # ReadFile(hpipe, buf, 1024, &rbytes, NULL);
+                buf = handles.hpipe_in.read(_BUF)
+                if not buf:
+                    handles.hout.close_write()
+                    return
+                # WriteFile(hout, buf, rbytes, &wbytes, NULL);
+                handles.hout.write(buf)
+                # WriteFile(hcache, buf, rbytes, &wbytes, NULL);
+                handles.hcache.write(buf)
+                handles.log.append(("read-pump", len(buf)))
+            else:
+                # ReadFile(hin, buf, 1024, &wbytes, NULL);
+                buf = handles.hin.read(_BUF)
+                if not buf:
+                    if handles.hpipe_out is not None:
+                        handles.hpipe_out.close_write()
+                    return
+                # WriteFile(hcache, buf, wbytes, &rbytes, NULL);
+                handles.hcache.write(buf)
+                # WriteFile(hpipe, buf, wbytes, &rbytes, NULL);
+                if handles.hpipe_out is not None:
+                    handles.hpipe_out.write(buf)
+                handles.log.append(("write-pump", len(buf)))
+
+    # hthrd[0] = CreateThread(0, 0, RWThread, 0, 0, &tid);
+    # hthrd[1] = CreateThread(0, 0, RWThread, 1, 0, &tid);
+    hthrd = [
+        kernel.create_thread(process, lambda: rw_thrd(0), "RWThrd-read"),
+        kernel.create_thread(process, lambda: rw_thrd(1), "RWThrd-write"),
+    ]
+    # WaitForMultipleObjects(2, hthrd, TRUE, INFINITE);
+    kernel.join_all(hthrd)
+
+
+def build_figure2_machine(source_data: bytes = b"",
+                          kernel: Kernel | None = None):
+    """Wire one Figure 2 sentinel between an app and a 'remote source'.
+
+    Returns (kernel, handles, app-side endpoints): the application
+    writes into ``handles.hin`` and reads from ``handles.hout``; the
+    remote source is pre-loaded into ``handles.hpipe_in``.
+    """
+    kernel = kernel or Kernel()
+    fs = NTFileSystem(kernel)
+    fs.create("cache.dat")
+    sentinel_process = kernel.create_process("figure2-sentinel")
+    handles = Figure2Handles(
+        hin=KPipe(kernel, name="write-pipe"),
+        hout=KPipe(kernel, name="read-pipe"),
+        hcache=fs.open("cache.dat"),
+        hpipe_in=KPipe(kernel, name="source-in"),
+        hpipe_out=KPipe(kernel, name="source-out"),
+    )
+    if source_data:
+        # preload the remote stream (a feeder thread keeps pipe flow real)
+        feeder_process = kernel.create_process("remote-source")
+
+        def feeder():
+            for start in range(0, len(source_data), _BUF):
+                handles.hpipe_in.write(source_data[start:start + _BUF])
+            handles.hpipe_in.close_write()
+
+        kernel.create_thread(feeder_process, feeder, "source-feeder")
+    else:
+        handles.hpipe_in.close_write()
+
+    kernel.create_thread(sentinel_process,
+                         lambda: run_figure2_sentinel(kernel,
+                                                      sentinel_process,
+                                                      handles),
+                         "figure2-main")
+    return kernel, handles, fs

@@ -1,0 +1,81 @@
+"""ASCII rendering of Figure 6 panels.
+
+The paper presents its evaluation as six small line plots.  This module
+renders the regenerated series in the same visual grammar — per-op µs
+on the y axis, block size (log-spaced, as printed) on the x axis, one
+glyph per curve — so the reproduction can be eyeballed against the
+paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_ascii_panel"]
+
+#: Curve glyphs, highest curve first so overlaps keep the slower one.
+GLYPHS = {
+    "process": "P",
+    "thread": "T",
+    "dll": "D",
+    "baseline": ".",
+}
+
+
+def render_ascii_panel(series, panel: str, op: str,
+                       width: int = 64, height: int = 18) -> str:
+    """Render one panel's curves into a text plot."""
+    from repro.afsim.figure6 import PANELS
+
+    path, caption = PANELS[panel]
+    blocks = sorted(next(iter(series.values())))
+    curves = {name: [points[block].per_op_us for block in blocks]
+              for name, points in series.items()}
+    y_max = max(max(values) for values in curves.values()) or 1.0
+    y_max *= 1.05
+
+    # x positions: evenly spaced per sample, like the paper's category axis
+    if len(blocks) == 1:
+        columns = [width // 2]
+    else:
+        columns = [round(index * (width - 1) / (len(blocks) - 1))
+                   for index in range(len(blocks))]
+
+    grid = [[" "] * width for _ in range(height)]
+    for name in ("baseline", "dll", "thread", "process"):
+        if name not in curves:
+            continue
+        glyph = GLYPHS.get(name, "?")
+        previous = None
+        for column, value in zip(columns, curves[name]):
+            row = height - 1 - int(value / y_max * (height - 1))
+            row = min(max(row, 0), height - 1)
+            grid[row][column] = glyph
+            if previous is not None:
+                # linear interpolation between sample columns
+                prev_col, prev_row = previous
+                span = column - prev_col
+                for step in range(1, span):
+                    mid_row = round(prev_row + (row - prev_row) * step / span)
+                    if grid[mid_row][prev_col + step] == " ":
+                        grid[mid_row][prev_col + step] = "·"
+            previous = (column, row)
+
+    lines = [f"Figure 6({panel}) {op.capitalize()} — {caption}",
+             f"{y_max:8.0f} µs ┐"]
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    axis = [" "] * width
+    labels = []
+    for column, block in zip(columns, blocks):
+        labels.append((column, str(block)))
+        axis[column] = "┬"
+    lines.append(" " * 10 + "0└" + "".join(axis))
+    label_line = [" "] * (width + 12)
+    for column, text in labels:
+        start = min(column + 12, len(label_line) - len(text))
+        for index, char in enumerate(text):
+            label_line[start + index] = char
+    lines.append("".join(label_line).rstrip() + "  (block size, B)")
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in GLYPHS.items()
+                       if name in curves)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)

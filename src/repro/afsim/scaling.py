@@ -1,0 +1,117 @@
+"""Supplementary experiments beyond Figure 6.
+
+Two natural extensions of the paper's evaluation, run on the same
+simulated testbed:
+
+* **Sentinel-work additivity** (:func:`measure_with_sentinel_work`) —
+  §6 claims "the eventual cost of using active files is determined only
+  by the functionality that they implement, not by the cost of
+  interacting with them."  We inject a configurable amount of per-op
+  compute into the sentinel and check the measured per-op time grows by
+  exactly that amount (plus nothing).
+* **Concurrency scaling** (:func:`measure_concurrent`) — the paper's
+  §2.2 multi-open semantics, measured: N applications each open their
+  own active file (hence N sentinels) on one CPU; aggregate throughput
+  shows how much CPU each strategy's transport burns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.afsim.backings import Backing, make_backing
+from repro.afsim.sessions import open_session
+from repro.errors import SimulationError
+from repro.ntos.costs import CostModel
+from repro.ntos.fs import NTFileSystem
+from repro.ntos.kernel import Kernel
+
+__all__ = ["measure_with_sentinel_work", "measure_concurrent",
+           "ScalingResult"]
+
+
+class WorkingBacking(Backing):
+    """Wraps a backing, charging extra per-op sentinel compute."""
+
+    def __init__(self, kernel: Kernel, inner: Backing,
+                 work_us: float) -> None:
+        self.kernel = kernel
+        self.inner = inner
+        self.work_us = work_us
+
+    def read(self, offset: int, size: int) -> bytes:
+        self.kernel.charge(self.work_us)
+        return self.inner.read(offset, size)
+
+    def write(self, offset: int, data: bytes) -> int:
+        self.kernel.charge(self.work_us)
+        return self.inner.write(offset, data)
+
+    def settle(self) -> None:
+        self.inner.settle()
+
+
+def measure_with_sentinel_work(strategy: str, work_us: float,
+                               path: str = "memory", block: int = 512,
+                               calls: int = 200,
+                               costs: CostModel | None = None) -> float:
+    """Per-op µs of sequential reads with *work_us* of sentinel compute."""
+    kernel = Kernel(costs)
+    fs = NTFileSystem(kernel)
+    app = kernel.create_process("app")
+    out: dict[str, float] = {}
+
+    def main() -> None:
+        backing = WorkingBacking(kernel, make_backing(kernel, path, fs=fs),
+                                 work_us)
+        session = open_session(strategy, kernel, app, backing)
+        start = kernel.now
+        for _ in range(calls):
+            session.read(block)
+        out["per_op"] = (kernel.now - start) / calls
+        session.close()
+
+    kernel.create_thread(app, main, "app:main")
+    kernel.run()
+    return out["per_op"]
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Aggregate numbers for one concurrency level."""
+
+    strategy: str
+    clients: int
+    calls_per_client: int
+    total_us: float
+    #: Aggregate operations per simulated millisecond across all clients.
+    throughput_ops_per_ms: float
+
+
+def measure_concurrent(strategy: str, clients: int, path: str = "memory",
+                       block: int = 512, calls: int = 100,
+                       costs: CostModel | None = None) -> ScalingResult:
+    """N applications, N sentinels, one CPU: aggregate throughput."""
+    if clients < 1:
+        raise SimulationError("need at least one client")
+    kernel = Kernel(costs)
+    fs = NTFileSystem(kernel)
+
+    def client_main(app_process) -> None:
+        backing = make_backing(kernel, path, fs=fs)
+        session = open_session(strategy, kernel, app_process, backing)
+        for _ in range(calls):
+            session.read(block)
+        session.close()
+
+    for index in range(clients):
+        app = kernel.create_process(f"app{index}")
+        kernel.create_thread(app, lambda a=app: client_main(a),
+                             f"app{index}:main")
+    total = kernel.run()
+    operations = clients * calls
+    return ScalingResult(
+        strategy=strategy, clients=clients, calls_per_client=calls,
+        total_us=total,
+        throughput_ops_per_ms=operations / (total / 1000.0) if total else 0.0,
+    )

@@ -1,0 +1,363 @@
+"""The four §4 strategies, executed on the simulated kernel.
+
+Each session is the application-side object a stub holds behind the
+fictitious handle.  The code here is deliberately structured like the
+paper's description — the costs in Figure 6 must *emerge* from pipe
+crossings, event waits, copies and context switches, not from a closed
+formula.
+
+Wire header for the control protocol: ``op (u8) | offset (u64) |
+size (u32) | pad (3)`` = 16 bytes, written and read through simulated
+pipes so it is charged like any other pipe traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.afsim.backings import Backing
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel, SimProcess
+from repro.ntos.objects import KEvent
+from repro.ntos.pipes import KPipe
+from repro.ntos.sharedmem import SharedSection
+
+__all__ = [
+    "SimSession",
+    "ControlProcessSession",
+    "ThreadSession",
+    "DllSession",
+    "StreamProcessSession",
+    "open_session",
+    "SIM_STRATEGIES",
+]
+
+_HEADER = struct.Struct(">BQI3x")
+assert _HEADER.size == 16
+
+_OP_READ = 1
+_OP_WRITE = 2
+_OP_CLOSE = 3
+
+#: Shared data buffer for the thread strategy (1 MiB section).
+_SECTION_SIZE = 1 << 20
+
+SIM_STRATEGIES = ("process", "process-control", "thread", "dll")
+
+
+class SimSession:
+    """Application-side view of one open active file."""
+
+    strategy = ""
+
+    def read(self, size: int) -> bytes:
+        raise NotImplementedError
+
+    def write(self, data: bytes) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        """Quiesce asynchronous work (between measurement phases)."""
+
+
+# ---------------------------------------------------------------------------
+# Process-plus-control (the "Process" curve of Figure 6)
+# ---------------------------------------------------------------------------
+
+class ControlProcessSession(SimSession):
+    """Sentinel process + control channel + two data pipes (§4.2).
+
+    Read: " a 'read 50' command is sent to the sentinel, and then 50
+    bytes are read from the read pipe" — the application blocks for the
+    full round trip (two protection-domain crossings).
+
+    Write: "writes are issued without waiting for their completion" —
+    the command and payload go into the pipes and the application
+    continues; it only stalls when the pipes fill, i.e. at the
+    sentinel's bandwidth.
+    """
+
+    strategy = "process-control"
+
+    def __init__(self, kernel: Kernel, app_process: SimProcess,
+                 backing: Backing, readahead: bool = False,
+                 name: str = "af") -> None:
+        self.kernel = kernel
+        self.backing = backing
+        self.readahead = readahead
+        self._offset = 0
+        self._closed = False
+        # the control channel is a message pipe with a small buffer: a
+        # few dozen outstanding 16-byte commands, like an NT message-
+        # mode pipe; the data pipes use the regular buffer size
+        self.control = KPipe(kernel, capacity=512, name=f"{name}-control")
+        self.read_pipe = KPipe(kernel, name=f"{name}-read")
+        self.write_pipe = KPipe(kernel, name=f"{name}-write")
+        sentinel_process = kernel.create_process(f"{name}-sentinel")
+        kernel.create_thread(sentinel_process, self._sentinel_main,
+                             name=f"{name}-sentinel:main")
+
+    # -- sentinel side ----------------------------------------------------------
+
+    def _sentinel_main(self) -> None:
+        stash: dict[int, bytes] = {}
+        while True:
+            header = self.control.read(_HEADER.size)
+            if not header:
+                break
+            if len(header) < _HEADER.size:
+                header += self.control.read_exact(_HEADER.size - len(header))
+            op, offset, size = _HEADER.unpack(header)
+            if op == _OP_READ:
+                data = stash.pop(offset, None)
+                if data is None:
+                    data = self.backing.read(offset, size)
+                self.read_pipe.write(data)
+                if self.readahead:
+                    # §4.2: "eagerly inject data into the read pipe
+                    # (anticipating read requests)" — modelled as a
+                    # prefetch that overlaps the application's next step
+                    stash.clear()
+                    stash[offset + size] = self.backing.read(offset + size,
+                                                             size)
+            elif op == _OP_WRITE:
+                data = self.write_pipe.read_exact(size)
+                self.backing.write(offset, data)
+            elif op == _OP_CLOSE:
+                break
+            else:
+                raise SimulationError(f"sentinel got unknown op {op}")
+        self.backing.settle()
+        self.read_pipe.close_write()
+
+    # -- application side ----------------------------------------------------------
+
+    def read(self, size: int) -> bytes:
+        header = _HEADER.pack(_OP_READ, self._offset, size)
+        self.control.write(header)
+        data = self.read_pipe.read_exact(size)
+        self._offset += size
+        return data
+
+    def write(self, data: bytes) -> int:
+        header = _HEADER.pack(_OP_WRITE, self._offset, len(data))
+        self.control.write(header)
+        self.write_pipe.write(data)
+        self._offset += len(data)
+        return len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.control.write(_HEADER.pack(_OP_CLOSE, 0, 0))
+        # EOF on the read pipe confirms the sentinel finished settling
+        while self.read_pipe.read(4096):
+            pass
+
+    def settle(self) -> None:
+        self.backing.settle()
+
+
+# ---------------------------------------------------------------------------
+# DLL-with-thread (the "Thread" curve)
+# ---------------------------------------------------------------------------
+
+class ThreadSession(SimSession):
+    """Sentinel thread + shared memory + events (§4.3).
+
+    "There is no inter-process context switching needed ... File data
+    is not copied from user space to kernel space and then to user
+    space (as is the case with pipes), instead using only one
+    user-level copy."
+    """
+
+    strategy = "thread"
+
+    def __init__(self, kernel: Kernel, app_process: SimProcess,
+                 backing: Backing, name: str = "af") -> None:
+        self.kernel = kernel
+        self.backing = backing
+        self._offset = 0
+        self._closed = False
+        self.section = SharedSection(kernel, _SECTION_SIZE,
+                                     name=f"{name}-section")
+        self.request_ready = KEvent(kernel, name=f"{name}-req")
+        self.response_ready = KEvent(kernel, name=f"{name}-resp")
+        # the control block lives in shared memory; its fields are tiny
+        # compared to the payload, so only events are charged for it
+        self._cmd: tuple[int, int, int] = (0, 0, 0)
+        self._response: bytes = b""
+        kernel.create_thread(app_process, self._sentinel_thrd_main,
+                             name=f"{name}-sentinel-thread")
+
+    def _sentinel_thrd_main(self) -> None:
+        while True:
+            self.request_ready.wait()
+            op, offset, size = self._cmd
+            if op == _OP_READ:
+                data = self.backing.read(offset, size)
+                # the one user-level copy: sentinel buffer -> shared section
+                self.section.copy_in(data)
+                self._response = data
+                self.response_ready.set()
+            elif op == _OP_WRITE:
+                # the application already copied into the section; the
+                # sentinel works from it in place (no second copy)
+                payload = bytes(self.section._memory[:size])
+                self.backing.write(offset, payload)
+                self.response_ready.set()
+            elif op == _OP_CLOSE:
+                self.backing.settle()
+                self.response_ready.set()
+                return
+
+    def read(self, size: int) -> bytes:
+        self._cmd = (_OP_READ, self._offset, size)
+        self.request_ready.set()
+        self.response_ready.wait()
+        self._offset += size
+        return self._response
+
+    def write(self, data: bytes) -> int:
+        # the one user-level copy: application buffer -> shared section
+        self.section.copy_in(data)
+        self._cmd = (_OP_WRITE, self._offset, len(data))
+        self.request_ready.set()
+        self.response_ready.wait()
+        self._offset += len(data)
+        return len(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._cmd = (_OP_CLOSE, 0, 0)
+        self.request_ready.set()
+        self.response_ready.wait()
+
+    def settle(self) -> None:
+        self.backing.settle()
+
+
+# ---------------------------------------------------------------------------
+# DLL-only (the "DLL" curve)
+# ---------------------------------------------------------------------------
+
+class DllSession(SimSession):
+    """Direct routing into sentinel routines (§4.4).
+
+    "The DLL implementation introduces only a very thin layer of code
+    ... it incurs no extra system calls or context switches."
+    """
+
+    strategy = "dll"
+
+    def __init__(self, kernel: Kernel, app_process: SimProcess,
+                 backing: Backing, name: str = "af") -> None:
+        self.kernel = kernel
+        self.backing = backing
+        self._offset = 0
+
+    def read(self, size: int) -> bytes:
+        self.kernel.charge(self.kernel.costs.stub_call_us)
+        data = self.backing.read(self._offset, size)
+        self._offset += size
+        return data
+
+    def write(self, data: bytes) -> int:
+        self.kernel.charge(self.kernel.costs.stub_call_us)
+        written = self.backing.write(self._offset, data)
+        self._offset += written
+        return written
+
+    def close(self) -> None:
+        self.backing.settle()
+
+    def settle(self) -> None:
+        self.backing.settle()
+
+
+# ---------------------------------------------------------------------------
+# Simple process strategy (§4.1) — pipes only, eager stream pumps
+# ---------------------------------------------------------------------------
+
+class StreamProcessSession(SimSession):
+    """Two bare pipes, no control channel (§4.1, Figure 2).
+
+    The sentinel's read pump eagerly fills the read pipe from the
+    backing (it has no way to know what the application will ask for),
+    so sequential reads effectively get readahead; in exchange nothing
+    positional can ever be expressed.
+    """
+
+    strategy = "process"
+
+    def __init__(self, kernel: Kernel, app_process: SimProcess,
+                 backing: Backing, chunk: int = 4096,
+                 name: str = "af") -> None:
+        self.kernel = kernel
+        self.backing = backing
+        self.chunk = chunk
+        self._closed = False
+        self.read_pipe = KPipe(kernel, name=f"{name}-read")
+        self.write_pipe = KPipe(kernel, name=f"{name}-write")
+        sentinel_process = kernel.create_process(f"{name}-sentinel")
+        kernel.create_thread(sentinel_process, self._read_pump,
+                             name=f"{name}-sentinel:rw0")
+        kernel.create_thread(sentinel_process, self._write_pump,
+                             name=f"{name}-sentinel:rw1")
+
+    def _read_pump(self) -> None:
+        offset = 0
+        try:
+            while True:
+                data = self.backing.read(offset, self.chunk)
+                offset += len(data)
+                self.read_pipe.write(data)
+        except SimulationError:
+            return  # application closed its read end
+
+    def _write_pump(self) -> None:
+        offset = 0
+        while True:
+            data = self.write_pipe.read(self.chunk)
+            if not data:
+                break
+            offset += self.backing.write(offset, data)
+        self.backing.settle()
+
+    def read(self, size: int) -> bytes:
+        return self.read_pipe.read_exact(size)
+
+    def write(self, data: bytes) -> int:
+        return self.write_pipe.write(data)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.write_pipe.close_write()
+        self.read_pipe.close_read()
+
+    def settle(self) -> None:
+        self.backing.settle()
+
+
+def open_session(strategy: str, kernel: Kernel, app_process: SimProcess,
+                 backing: Backing, **options) -> SimSession:
+    """Build a session for *strategy* (simulation-side registry)."""
+    if strategy == "process-control":
+        return ControlProcessSession(kernel, app_process, backing, **options)
+    if strategy == "thread":
+        return ThreadSession(kernel, app_process, backing, **options)
+    if strategy == "dll":
+        return DllSession(kernel, app_process, backing, **options)
+    if strategy == "process":
+        return StreamProcessSession(kernel, app_process, backing, **options)
+    raise SimulationError(
+        f"unknown simulated strategy {strategy!r}; known: {SIM_STRATEGIES}"
+    )

@@ -1,0 +1,96 @@
+"""The injected stub DLL: IAT interception in the simulation.
+
+Appendix A.2: "the stub for OpenFile() (or CreateFile) checks to see if
+the file name corresponds to an active file or not (by checking the
+extension) ... a dummy handle is acquired and supplied as the return
+file handle ... whenever the application calls ReadFile on some file
+handle, our stub gets control.  The stub checks if this ReadFile is
+against the dummy handle we created.  If not, we pass it to the file
+system."
+
+:class:`ActiveFileRuntime` is that stub DLL for a simulated process:
+installing it rebinds the process's IAT entries so an *unmodified*
+application function (one that only calls ``win32.ReadFile`` etc.) gets
+active files whenever it opens a ``.af`` name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.afsim.sessions import SimSession
+from repro.ntos.iat import inject_dll
+from repro.ntos.kernel import Kernel
+from repro.ntos.win32 import Win32
+
+__all__ = ["ActiveFileRuntime"]
+
+ACTIVE_SUFFIX = ".af"
+
+
+class ActiveFileRuntime:
+    """Per-process active-file stubs, injected through the IAT."""
+
+    def __init__(self, kernel: Kernel, win32: Win32,
+                 session_factory: Callable[[str], SimSession]) -> None:
+        self.kernel = kernel
+        self.win32 = win32
+        self.session_factory = session_factory
+        self.opened = 0
+        self._installed = False
+
+    def install(self) -> "ActiveFileRuntime":
+        if self._installed:
+            return self
+        self._installed = True
+        inject_dll(self.win32.iat, {
+            "CreateFile": self._create_file_stub,
+            "ReadFile": self._read_file_stub,
+            "WriteFile": self._write_file_stub,
+            "GetFileSize": self._get_file_size_stub,
+        })
+        return self
+
+    # -- stub factories (each receives the original binding) ---------------------
+
+    def _create_file_stub(self, original):
+        def stub(path: str, create: bool = False) -> int:
+            if not str(path).endswith(ACTIVE_SUFFIX):
+                return original(path, create)
+            # launching the sentinel: a handful of kernel operations
+            # (pipes/threads/process) all charge themselves; the stub
+            # itself costs one syscall for the dummy-handle bookkeeping
+            self.kernel.syscall()
+            session = self.session_factory(str(path))
+            self.opened += 1
+            return self.win32.register_handle(session)
+        return stub
+
+    def _read_file_stub(self, original):
+        def stub(handle: int, size: int) -> bytes:
+            target = self.win32.handle_object(handle)
+            if isinstance(target, SimSession):
+                return target.read(size)
+            return original(handle, size)
+        return stub
+
+    def _write_file_stub(self, original):
+        def stub(handle: int, data: bytes) -> int:
+            target = self.win32.handle_object(handle)
+            if isinstance(target, SimSession):
+                return target.write(data)
+            return original(handle, data)
+        return stub
+
+    def _get_file_size_stub(self, original):
+        def stub(handle: int) -> int:
+            target = self.win32.handle_object(handle)
+            if isinstance(target, SimSession):
+                from repro.errors import SimulationError
+
+                raise SimulationError(
+                    "GetFileSize on a simulated active file is strategy-"
+                    "dependent; the measurement workload does not use it"
+                )
+            return original(handle)
+        return stub

@@ -1,0 +1,277 @@
+"""``afctl`` — command-line tooling for active files.
+
+Subcommands::
+
+    afctl create <path> <module:factory> [--param k=v ...] [--data FILE]
+    afctl info <path>                 inspect a container
+    afctl ls [<dir>]                  list active files in a directory
+    afctl cat <path>                  read an active file to stdout
+    afctl write <path>                write stdin into an active file
+    afctl copy <src> <dst>            copy (both parts move together)
+    afctl adapt <path>                stream sentinel -> random access (§5)
+    afctl sandbox <path> [...]        wrap the sentinel in a policy (§2.3)
+    afctl strategies                  list implementation strategies
+    afctl figure6 [...]               run the Figure 6 harness
+
+Network-backed sentinels need in-process services and are therefore
+exercised from Python (see ``examples/``); the CLI covers local and
+generated files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import Container, create_active, open_active
+from repro.core.strategies import STRATEGIES, resolve_strategy
+from repro.errors import ActiveFileError
+
+__all__ = ["main"]
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    params: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"afctl: bad --param {pair!r} (expected k=v)")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def cmd_create(args) -> int:
+    data = b""
+    if args.data:
+        with open(args.data, "rb") as stream:
+            data = stream.read()
+    meta = {"data": "memory"} if args.ephemeral else None
+    create_active(args.path, args.target, params=_parse_params(args.param),
+                  data=data, meta=meta, exist_ok=args.force)
+    print(f"created {args.path} ({args.target})")
+    return 0
+
+
+def cmd_info(args) -> int:
+    container = Container.load(args.path)
+    print(f"path:      {container.path}")
+    print(f"sentinel:  {container.spec.target}")
+    print(f"params:    {json.dumps(dict(container.spec.params), sort_keys=True)}")
+    print(f"meta:      {json.dumps(container.meta, sort_keys=True)}")
+    print(f"data part: {len(container.data)} bytes")
+    return 0
+
+
+def cmd_cat(args) -> int:
+    with open_active(args.path, "rb", strategy=args.strategy) as stream:
+        remaining = args.limit
+        while True:
+            chunk = stream.read(min(65536, remaining) if remaining else 65536)
+            if not chunk:
+                break
+            sys.stdout.buffer.write(chunk)
+            if remaining:
+                remaining -= len(chunk)
+                if remaining <= 0:
+                    break
+    sys.stdout.buffer.flush()
+    return 0
+
+
+def cmd_write(args) -> int:
+    body = sys.stdin.buffer.read()
+    mode = "ab" if args.append else "wb"
+    with open_active(args.path, mode, strategy=args.strategy) as stream:
+        stream.write(body)
+    print(f"wrote {len(body)} bytes to {args.path}", file=sys.stderr)
+    return 0
+
+
+def cmd_copy(args) -> int:
+    Container.load(args.source).copy_to(args.destination)
+    print(f"copied {args.source} -> {args.destination} "
+          "(active and data parts together)")
+    return 0
+
+
+def cmd_strategies(args) -> int:
+    descriptions = {
+        "process": "child process, two bare pipes (§4.1; sequential only)",
+        "process-control": "child process + control channel (§4.2; full API)",
+        "thread": "sentinel thread, shared memory + events (§4.3)",
+        "inproc": "direct routing, DLL-only analogue (§4.4)",
+    }
+    for name in STRATEGIES:
+        print(f"{name:>16}  {descriptions[name]}")
+    return 0
+
+
+def cmd_ls(args) -> int:
+    """List active files in a directory with their sentinel types."""
+    import os
+
+    from repro.core.container import is_active_path, sniff
+
+    rows = []
+    for name in sorted(os.listdir(args.directory)):
+        full = os.path.join(args.directory, name)
+        if not os.path.isfile(full):
+            continue
+        if not (is_active_path(full) or (args.sniff and sniff(full))):
+            continue
+        try:
+            container = Container.load(full)
+        except ActiveFileError:
+            rows.append((name, "<unreadable container>", "-"))
+            continue
+        rows.append((name, container.spec.target,
+                     f"{len(container.data)}B"))
+    if not rows:
+        print("no active files found")
+        return 0
+    width = max(len(name) for name, _, _ in rows)
+    for name, target, size in rows:
+        print(f"{name:<{width}}  {size:>8}  {target}")
+    return 0
+
+
+def cmd_adapt(args) -> int:
+    """Translate a stream-sentinel container for random-access strategies."""
+    from repro.core.adapter import adapt_spec
+
+    container = Container.load(args.path)
+    container.spec = adapt_spec(container.spec)
+    container.save()
+    print(f"adapted {args.path}: now served through "
+          f"{container.spec.target}")
+    return 0
+
+
+def cmd_sandbox(args) -> int:
+    """Wrap a container's sentinel in a sandbox policy."""
+    from repro.core.sandbox import SandboxPolicy, sandbox_spec
+
+    policy = SandboxPolicy(
+        max_op_bytes=args.max_op_bytes,
+        max_total_bytes=args.max_total_bytes,
+        max_operations=args.max_operations,
+        allow_writes=not args.read_only,
+        allow_truncate=not args.read_only,
+        allowed_hosts=(tuple(args.allow_host)
+                       if args.allow_host is not None else None),
+    )
+    container = Container.load(args.path)
+    container.spec = sandbox_spec(container.spec, policy)
+    container.save()
+    print(f"sandboxed {args.path}: {policy}")
+    return 0
+
+
+def cmd_figure6(args) -> int:
+    from repro.afsim.figure6 import main as figure6_main
+
+    forwarded = ["--panel", args.panel, "--op", args.op,
+                 "--calls", str(args.calls)]
+    if args.check:
+        forwarded.append("--check")
+    if args.plot:
+        forwarded.append("--plot")
+    return figure6_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="afctl",
+                                     description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_create = sub.add_parser("create", help="create an active file")
+    p_create.add_argument("path")
+    p_create.add_argument("target", help="sentinel spec, module:factory")
+    p_create.add_argument("--param", action="append", default=[],
+                          help="sentinel parameter k=v (JSON values ok)")
+    p_create.add_argument("--data", help="file providing the initial data part")
+    p_create.add_argument("--ephemeral", action="store_true",
+                          help="in-memory data part (generators)")
+    p_create.add_argument("--force", action="store_true",
+                          help="overwrite an existing container")
+    p_create.set_defaults(fn=cmd_create)
+
+    p_info = sub.add_parser("info", help="inspect a container")
+    p_info.add_argument("path")
+    p_info.set_defaults(fn=cmd_info)
+
+    p_cat = sub.add_parser("cat", help="read an active file to stdout")
+    p_cat.add_argument("path")
+    p_cat.add_argument("--strategy", default="thread",
+                       type=lambda s: resolve_strategy(s)[0])
+    p_cat.add_argument("--limit", type=int, default=0,
+                       help="stop after N bytes (endless generators)")
+    p_cat.set_defaults(fn=cmd_cat)
+
+    p_write = sub.add_parser("write", help="write stdin into an active file")
+    p_write.add_argument("path")
+    p_write.add_argument("--strategy", default="thread",
+                         type=lambda s: resolve_strategy(s)[0])
+    p_write.add_argument("--append", action="store_true")
+    p_write.set_defaults(fn=cmd_write)
+
+    p_copy = sub.add_parser("copy", help="copy an active file")
+    p_copy.add_argument("source")
+    p_copy.add_argument("destination")
+    p_copy.set_defaults(fn=cmd_copy)
+
+    p_strategies = sub.add_parser("strategies",
+                                  help="list implementation strategies")
+    p_strategies.set_defaults(fn=cmd_strategies)
+
+    p_ls = sub.add_parser("ls", help="list active files in a directory")
+    p_ls.add_argument("directory", nargs="?", default=".")
+    p_ls.add_argument("--sniff", action="store_true",
+                      help="also detect containers without the .af suffix")
+    p_ls.set_defaults(fn=cmd_ls)
+
+    p_adapt = sub.add_parser(
+        "adapt", help="translate a stream sentinel for random access (§5)")
+    p_adapt.add_argument("path")
+    p_adapt.set_defaults(fn=cmd_adapt)
+
+    p_sandbox = sub.add_parser(
+        "sandbox", help="wrap a container's sentinel in a sandbox (§2.3)")
+    p_sandbox.add_argument("path")
+    p_sandbox.add_argument("--max-op-bytes", type=int, default=1 << 20)
+    p_sandbox.add_argument("--max-total-bytes", type=int, default=None)
+    p_sandbox.add_argument("--max-operations", type=int, default=None)
+    p_sandbox.add_argument("--read-only", action="store_true")
+    p_sandbox.add_argument("--allow-host", action="append", default=None,
+                           help="allowlist a network host (repeatable; "
+                                "omit for unrestricted)")
+    p_sandbox.set_defaults(fn=cmd_sandbox)
+
+    p_fig = sub.add_parser("figure6", help="run the Figure 6 harness")
+    p_fig.add_argument("--panel", choices=("a", "b", "c", "all"),
+                       default="all")
+    p_fig.add_argument("--op", choices=("read", "write", "both"),
+                       default="both")
+    p_fig.add_argument("--calls", type=int, default=1000)
+    p_fig.add_argument("--check", action="store_true")
+    p_fig.add_argument("--plot", action="store_true")
+    p_fig.set_defaults(fn=cmd_figure6)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ActiveFileError as exc:
+        print(f"afctl: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The native active-files runtime — the paper's primary contribution.
+
+Public surface:
+
+* :func:`~repro.core.opener.create_active` / :func:`~repro.core.opener.open_active`
+  — make and open active files;
+* :class:`~repro.core.sentinel.Sentinel` / :class:`~repro.core.sentinel.StreamSentinel`
+  — the sentinel programming model;
+* :class:`~repro.core.interception.MediatingConnector` — transparent
+  ``open()`` interception for unmodified legacy code;
+* :class:`~repro.core.api.Win32Api` — the Win32-flavoured handle API;
+* :class:`~repro.core.container.Container` / :class:`~repro.core.spec.SentinelSpec`
+  — the on-disk representation.
+"""
+
+from repro.core.api import Win32Api
+from repro.core.cache import BlockCache
+from repro.core.container import ACTIVE_SUFFIX, Container, is_active_path
+from repro.core.fileobj import ActiveFile
+from repro.core.handles import HandleTable
+from repro.core.interception import MediatingConnector
+from repro.core.opener import create_active, open_active
+from repro.core.sentinel import Sentinel, SentinelContext, StreamSentinel
+from repro.core.spec import SentinelSpec
+from repro.core.strategies import STRATEGIES
+
+__all__ = [
+    "ACTIVE_SUFFIX",
+    "ActiveFile",
+    "BlockCache",
+    "Container",
+    "HandleTable",
+    "MediatingConnector",
+    "STRATEGIES",
+    "Sentinel",
+    "SentinelContext",
+    "SentinelSpec",
+    "StreamSentinel",
+    "Win32Api",
+    "create_active",
+    "is_active_path",
+    "open_active",
+]

@@ -1,0 +1,152 @@
+"""Automatic translation of stream sentinels to random-access strategies.
+
+The paper's §5 closes with: "We are currently exploring automatic
+translation strategies for taking an active file written for a
+process-based implementation and producing the DLLs necessary in the
+DLL-based strategies."  This module is that translation, implemented:
+
+:class:`StreamAdapterSentinel` wraps any
+:class:`~repro.core.sentinel.StreamSentinel` — a sentinel written purely
+in terms of the §4.1 sequential model (``generate``/``consume``) — and
+presents the full offset-addressed interface the control-channel,
+thread and inproc strategies require:
+
+* **reads**: the wrapped generator is pulled lazily and spooled into a
+  buffer, so random reads at any offset are served once the stream has
+  produced that far (exactly what a pipe reader could never do);
+* **writes**: offset writes are accepted when they continue the current
+  sequential frontier (the only order a stream sentinel can absorb) and
+  rejected otherwise with a clear error;
+* **size**: the number of bytes generated so far, or the full stream
+  length if it has ended.
+
+Usage — either wrap programmatically::
+
+    spec = SentinelSpec("repro.core.adapter:StreamAdapterSentinel",
+                        {"target": "mypkg:MyStreamSentinel",
+                         "params": {...}})
+
+or call :func:`adapt_spec` to translate an existing spec.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.sentinel import Sentinel, SentinelContext, StreamSentinel
+from repro.core.spec import SentinelSpec
+from repro.errors import SpecError, UnsupportedOperationError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["StreamAdapterSentinel", "adapt_spec"]
+
+
+def adapt_spec(spec: SentinelSpec) -> SentinelSpec:
+    """Translate a stream-sentinel spec into an adapted spec.
+
+    The returned spec instantiates the original sentinel inside a
+    :class:`StreamAdapterSentinel`, making it usable under every
+    strategy.
+    """
+    return SentinelSpec(
+        target="repro.core.adapter:StreamAdapterSentinel",
+        params={"target": spec.target, "params": dict(spec.params)},
+    )
+
+
+class StreamAdapterSentinel(Sentinel):
+    """Offset-addressed facade over a sequential stream sentinel.
+
+    Params: ``target`` (the wrapped sentinel's ``module:factory``),
+    ``params`` (its parameters), ``spool_limit`` (optional cap on how
+    many bytes of generated stream may be buffered; reads beyond raise
+    instead of exhausting memory on endless generators).
+    """
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        super().__init__(params)
+        target = self.params.get("target")
+        if not target:
+            raise SpecError("stream adapter requires a 'target' param")
+        inner_spec = SentinelSpec(target=target,
+                                  params=self.params.get("params") or {})
+        self.inner = inner_spec.instantiate()
+        if not isinstance(self.inner, StreamSentinel):
+            raise SpecError(
+                f"{target!r} is not a StreamSentinel; the adapter is only "
+                "needed for stream-only sentinels"
+            )
+        self.spool_limit = int(self.params.get("spool_limit", 64 * 1024 * 1024))
+        self._spool = ByteBuffer()
+        self._generator: Iterator[bytes] | None = None
+        self._stream_ended = False
+        self._write_frontier = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self.inner.on_open(ctx)
+        self._generator = iter(self.inner.generate(ctx))
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self.inner.on_close(ctx)
+
+    # -- the translation ------------------------------------------------------------
+
+    def _spool_until(self, target: int) -> None:
+        """Pull the wrapped generator until the spool covers *target*."""
+        if target > self.spool_limit:
+            raise UnsupportedOperationError(
+                f"read at {target} exceeds the adapter's spool limit "
+                f"({self.spool_limit} bytes); raise 'spool_limit' if the "
+                "stream really is that long"
+            )
+        while not self._stream_ended and self._spool.size < target:
+            try:
+                chunk = next(self._generator)
+            except StopIteration:
+                self._stream_ended = True
+                return
+            self._spool.append(chunk)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        self._spool_until(offset + size)
+        return self._spool.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        if offset != self._write_frontier:
+            raise UnsupportedOperationError(
+                f"stream sentinels absorb writes sequentially; got offset "
+                f"{offset}, expected {self._write_frontier}"
+            )
+        written = self.inner.consume(ctx, data, offset)
+        self._write_frontier += written
+        return written
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        if self._stream_ended:
+            return self._spool.size
+        if self.inner.endless:
+            from repro.sentinels.generate import UNBOUNDED_SIZE
+
+            return UNBOUNDED_SIZE
+        # finite but not yet exhausted: spool to the end to answer
+        self._spool_until(self.spool_limit)
+        if not self._stream_ended:
+            raise UnsupportedOperationError(
+                "stream longer than the spool limit; size unknowable"
+            )
+        return self._spool.size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        raise UnsupportedOperationError(
+            "stream sentinels cannot truncate; reopen the file instead"
+        )
+
+    def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
+                   payload: bytes) -> tuple[dict[str, Any], bytes]:
+        if op == "adapter_stats":
+            return {"spooled": self._spool.size,
+                    "stream_ended": self._stream_ended,
+                    "write_frontier": self._write_frontier}, b""
+        return self.inner.on_control(ctx, op, args, payload)

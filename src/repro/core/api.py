@@ -1,0 +1,126 @@
+"""A Win32-flavoured file API over both passive and active files.
+
+This is the surface the paper's instrumented applications call:
+``CreateFile``/``OpenFile``, ``ReadFile``, ``WriteFile``,
+``SetFilePointer``, ``GetFileSize``, ``FlushFileBuffers`` and
+``CloseHandle``.  The veneer plays the role of the injected stub DLL —
+"the stub for OpenFile() ... checks to see if the file name corresponds
+to an active file or not (by checking the extension).  If the file is
+not an active file, the stub calls the standard Win32 OpenFile routine."
+
+Handles are fictitious small integers from a :class:`HandleTable`;
+behind each one sits either a real Python file (passive path) or an
+:class:`~repro.core.fileobj.ActiveFile` (active path).  Legacy-style
+code written against this API cannot tell which it got.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+from repro.core.container import is_active_path, sniff
+from repro.core.fileobj import ActiveFile
+from repro.core.handles import HandleTable
+from repro.core.opener import DEFAULT_STRATEGY, open_active
+from repro.errors import UnsupportedOperationError
+
+__all__ = ["Win32Api", "FILE_BEGIN", "FILE_CURRENT", "FILE_END"]
+
+FILE_BEGIN = 0
+FILE_CURRENT = 1
+FILE_END = 2
+
+
+class Win32Api:
+    """One instrumented-application view of the file API."""
+
+    def __init__(self, network=None, strategy: str = DEFAULT_STRATEGY,
+                 sniff_content: bool = False) -> None:
+        self.network = network
+        self.strategy = strategy
+        #: Also treat magic-matching files without the ``.af`` suffix as
+        #: active (contents check instead of extension check).
+        self.sniff_content = sniff_content
+        self._handles = HandleTable()
+
+    # -- open/close -----------------------------------------------------------------
+
+    def _is_active(self, path: str) -> bool:
+        if is_active_path(path):
+            return True
+        return self.sniff_content and sniff(path)
+
+    def CreateFile(self, path: str, mode: str = "r+b") -> int:
+        """Open (or create, per *mode*) a file and return a handle."""
+        if self._is_active(str(path)):
+            stream = open_active(path, mode, strategy=self.strategy,
+                                 network=self.network)
+        else:
+            if "b" not in mode:
+                mode += "b"
+            stream = builtins.open(path, mode)
+        return self._handles.allocate(stream)
+
+    #: The paper uses OpenFile and CreateFile interchangeably.
+    OpenFile = CreateFile
+
+    def CloseHandle(self, handle: int) -> None:
+        stream = self._handles.release(handle)
+        stream.close()
+
+    # -- data plane -------------------------------------------------------------------
+
+    def ReadFile(self, handle: int, size: int) -> bytes:
+        return self._handles.get(handle).read(size)
+
+    def WriteFile(self, handle: int, data: bytes) -> int:
+        written = self._handles.get(handle).write(data)
+        return len(data) if written is None else written
+
+    def SetFilePointer(self, handle: int, offset: int,
+                       method: int = FILE_BEGIN) -> int:
+        return self._handles.get(handle).seek(offset, method)
+
+    def GetFileSize(self, handle: int) -> int:
+        """File size as the sentinel (or filesystem) reports it.
+
+        Under the simple process strategy this raises — faithfully: "
+        GetFileSize cannot be implemented as there is no method of
+        passing control information" (§4.1).
+        """
+        stream = self._handles.get(handle)
+        if isinstance(stream, ActiveFile):
+            return stream.getsize()
+        position = stream.tell()
+        try:
+            return stream.seek(0, FILE_END)
+        finally:
+            stream.seek(position, FILE_BEGIN)
+
+    def FlushFileBuffers(self, handle: int) -> None:
+        self._handles.get(handle).flush()
+
+    def ReadFileScatter(self, handle: int, sizes: list[int]) -> list[bytes]:
+        """Scatter read; unsupported without a control channel (§4.1)."""
+        stream = self._handles.get(handle)
+        if isinstance(stream, ActiveFile) and not stream.seekable():
+            raise UnsupportedOperationError(
+                "ReadFileScatter dropped: no control channel in the "
+                "simple process strategy"
+            )
+        return [stream.read(size) for size in sizes]
+
+    def WriteFileGather(self, handle: int, buffers: list[bytes]) -> int:
+        """Gather write; unsupported without a control channel (§4.1)."""
+        stream = self._handles.get(handle)
+        if isinstance(stream, ActiveFile) and not stream.seekable():
+            raise UnsupportedOperationError(
+                "WriteFileGather dropped: no control channel in the "
+                "simple process strategy"
+            )
+        return sum(stream.write(buffer) for buffer in buffers)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def open_handle_count(self) -> int:
+        return len(self._handles)

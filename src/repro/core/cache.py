@@ -1,0 +1,151 @@
+"""Sentinel-side caching — the three critical paths of Figure 5.
+
+The paper's evaluation distinguishes three sentinel configurations:
+
+* **path 1, no cache** — every application operation becomes a remote
+  exchange;
+* **path 2, on-disk cache** — "the sentinel interacts with its local
+  file rather than contacting the remote service", i.e. the data part
+  holds the cached bytes;
+* **path 3, in-memory cache** — "the cache resides in the sentinel's
+  memory rather than on disk".
+
+:class:`BlockCache` implements paths 2 and 3 over any
+:class:`~repro.core.datapart.DataPart` store (container-backed = disk,
+:class:`MemoryDataPart` = memory); path 1 is simply the absence of a
+cache.  Reads fault missing fixed-size blocks in from the origin ("
+caching only the most frequently accessed contents" — an LRU bound is
+supported); writes are pushed through to the origin and update any
+cached block they overlap.  :meth:`invalidate` supports the paper's
+consistency story: "the cache can be kept consistent with any updates
+performed to its contents at any of the remote sources."
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.core.datapart import DataPart
+from repro.errors import CacheError
+
+__all__ = ["BlockCache", "CACHE_PATHS"]
+
+#: The paper's cache-path names, as accepted by the remote-file sentinel.
+CACHE_PATHS = ("none", "disk", "memory")
+
+
+class BlockCache:
+    """A write-through block cache in front of a remote origin."""
+
+    def __init__(self, fetch: Callable[[int, int], bytes],
+                 push: Callable[[int, bytes], int],
+                 store: DataPart, block_size: int = 4096,
+                 max_blocks: int | None = None) -> None:
+        if block_size <= 0:
+            raise CacheError(f"block size must be positive, got {block_size}")
+        if max_blocks is not None and max_blocks <= 0:
+            raise CacheError(f"max_blocks must be positive, got {max_blocks}")
+        self._fetch = fetch
+        self._push = push
+        self._store = store
+        self.block_size = block_size
+        self.max_blocks = max_blocks
+        #: LRU of valid block indices (most recently used last).
+        self._valid: OrderedDict[int, None] = OrderedDict()
+        #: Origin size discovered from a short block fetch, if any.
+        self._known_end: int | None = None
+        self.hits = 0
+        self.misses = 0
+
+    # -- block bookkeeping ----------------------------------------------------------
+
+    def _touch(self, block: int) -> None:
+        self._valid.move_to_end(block)
+
+    def _admit(self, block: int) -> None:
+        self._valid[block] = None
+        self._valid.move_to_end(block)
+        if self.max_blocks is not None:
+            while len(self._valid) > self.max_blocks:
+                self._valid.popitem(last=False)
+
+    def _ensure_block(self, block: int) -> None:
+        if block in self._valid:
+            self.hits += 1
+            self._touch(block)
+            return
+        self.misses += 1
+        offset = block * self.block_size
+        data = self._fetch(offset, self.block_size)
+        if data:
+            self._store.write_at(offset, data)
+        if len(data) < self.block_size:
+            # A short fetch bounds the origin size from above; keep the
+            # tightest bound seen (fetches past EOF return nothing and
+            # would otherwise overestimate).
+            end = offset + len(data)
+            if self._known_end is None or end < self._known_end:
+                self._known_end = end
+        self._admit(block)
+
+    # -- data plane -------------------------------------------------------------------
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read through the cache, faulting in whole blocks as needed."""
+        if size <= 0 or offset < 0:
+            return b""
+        first = offset // self.block_size
+        last = (offset + size - 1) // self.block_size
+        for block in range(first, last + 1):
+            block_start = block * self.block_size
+            if self._known_end is not None and block_start >= self._known_end:
+                break  # past the origin's known end; nothing to fetch
+            self._ensure_block(block)
+        data = self._store.read_at(offset, size)
+        if self._known_end is not None and offset + len(data) > self._known_end:
+            data = data[:max(0, self._known_end - offset)]
+        return data
+
+    def write(self, offset: int, data: bytes) -> int:
+        """Write through to the origin, updating overlapped cached blocks."""
+        written = self._push(offset, data)
+        end = offset + len(data)
+        if self._known_end is not None and end > self._known_end:
+            self._known_end = end
+        first = offset // self.block_size
+        last = max(first, (end - 1) // self.block_size) if data else first
+        for block in range(first, last + 1):
+            if block in self._valid:
+                self._touch(block)
+        if data:
+            self._store.write_at(offset, data)
+            # Blocks fully covered by this write become valid even if
+            # they were never fetched.
+            for block in range(first, last + 1):
+                block_start = block * self.block_size
+                block_end = block_start + self.block_size
+                if block not in self._valid and \
+                        offset <= block_start and end >= block_end:
+                    self._admit(block)
+        return written
+
+    # -- consistency -------------------------------------------------------------------
+
+    def invalidate(self, offset: int | None = None,
+                   size: int | None = None) -> None:
+        """Drop cached blocks (all, or those overlapping a byte range)."""
+        if offset is None:
+            self._valid.clear()
+            self._known_end = None
+            return
+        span = self.block_size if size is None else max(size, 1)
+        first = offset // self.block_size
+        last = (offset + span - 1) // self.block_size
+        for block in range(first, last + 1):
+            self._valid.pop(block, None)
+        self._known_end = None
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._valid)

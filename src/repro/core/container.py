@@ -1,0 +1,184 @@
+"""The on-disk ``.af`` container — packaging the active and data parts.
+
+The paper packages an active file's two passive components (executable +
+data file) as NTFS alternate streams of a single file so that directory
+operations — copy, rename, delete — act on both at once.  POSIX
+filesystems lack streams, so we use a single-file container with the
+same observable property::
+
+    +-------+------------+-------------------+---------------+
+    | AFC1  | header len | JSON header       | raw data part |
+    +-------+------------+-------------------+---------------+
+
+The JSON header carries the sentinel spec and free-form metadata; the
+data segment is the data part verbatim.  All rewrites go through an
+atomic temp-file + ``os.replace`` so a crash never leaves a torn
+container.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ContainerError, ContainerFormatError
+from repro.core.spec import SentinelSpec
+
+__all__ = ["Container", "ACTIVE_SUFFIX", "MAGIC", "is_active_path", "sniff"]
+
+MAGIC = b"AFC1"
+_HEADER_LEN = struct.Struct(">I")
+
+#: Conventional filename suffix; the interception layer (like the paper's
+#: stubs, which "check the extension") treats matching names as candidates.
+ACTIVE_SUFFIX = ".af"
+
+_MAX_HEADER = 1 << 20  # 1 MiB of JSON header is already absurd
+
+
+def is_active_path(path: str | os.PathLike) -> bool:
+    """True if *path* names an active file by suffix convention."""
+    return str(path).endswith(ACTIVE_SUFFIX)
+
+
+def sniff(path: str | os.PathLike) -> bool:
+    """True if the file at *path* starts with the container magic."""
+    try:
+        with open(path, "rb") as stream:
+            return stream.read(len(MAGIC)) == MAGIC
+    except OSError:
+        return False
+
+
+class Container:
+    """One active file on disk: spec + metadata + data part."""
+
+    def __init__(self, path: str | os.PathLike, spec: SentinelSpec,
+                 data: bytes = b"", meta: dict[str, Any] | None = None) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.meta = dict(meta or {})
+        self._data = bytes(data)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, spec: SentinelSpec,
+               data: bytes = b"", meta: dict[str, Any] | None = None,
+               exist_ok: bool = False) -> "Container":
+        """Create a new container on disk and return it."""
+        container = cls(path, spec, data, meta)
+        if container.path.exists() and not exist_ok:
+            raise ContainerError(f"container already exists: {container.path}")
+        container.save()
+        return container
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Container":
+        """Parse the container at *path*."""
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise ContainerError(f"cannot read container {path}: {exc}") from exc
+        return cls._parse(path, raw)
+
+    @classmethod
+    def _parse(cls, path: Path, raw: bytes) -> "Container":
+        if len(raw) < len(MAGIC) + _HEADER_LEN.size:
+            raise ContainerFormatError(f"{path}: too short to be a container")
+        if raw[:len(MAGIC)] != MAGIC:
+            raise ContainerFormatError(f"{path}: bad magic {raw[:4]!r}")
+        (header_len,) = _HEADER_LEN.unpack_from(raw, len(MAGIC))
+        if header_len > _MAX_HEADER:
+            raise ContainerFormatError(f"{path}: implausible header length {header_len}")
+        header_start = len(MAGIC) + _HEADER_LEN.size
+        header_end = header_start + header_len
+        if len(raw) < header_end:
+            raise ContainerFormatError(f"{path}: truncated header")
+        try:
+            header = json.loads(raw[header_start:header_end].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ContainerFormatError(f"{path}: header is not JSON: {exc}") from exc
+        try:
+            spec = SentinelSpec.from_dict(header["spec"])
+        except KeyError as exc:
+            raise ContainerFormatError(f"{path}: header missing 'spec'") from exc
+        data_size = int(header.get("data_size", len(raw) - header_end))
+        data = raw[header_end:header_end + data_size]
+        if len(data) != data_size:
+            raise ContainerFormatError(
+                f"{path}: data segment truncated "
+                f"(expected {data_size}, found {len(data)})"
+            )
+        return cls(path, spec, data, header.get("meta") or {})
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomically write the container to its path."""
+        header = json.dumps(
+            {"spec": self.spec.to_dict(), "meta": self.meta,
+             "data_size": len(self._data)},
+            separators=(",", ":"), sort_keys=True,
+        ).encode("utf-8")
+        blob = MAGIC + _HEADER_LEN.pack(len(header)) + header + self._data
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent,
+                                        prefix=self.path.name + ".tmp")
+        try:
+            with os.fdopen(fd, "wb") as stream:
+                stream.write(blob)
+                stream.flush()
+                os.fsync(stream.fileno())
+            os.replace(tmp_name, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- data part ------------------------------------------------------------
+
+    @property
+    def data(self) -> bytes:
+        """The data part as loaded/last written."""
+        return self._data
+
+    def read_data(self) -> bytes:
+        """Re-read the data part from disk (sees other writers)."""
+        self._data = Container.load(self.path)._data
+        return self._data
+
+    def write_data(self, data: bytes) -> None:
+        """Replace the data part and persist atomically."""
+        self._data = bytes(data)
+        self.save()
+
+    # -- directory operations (paper §2.1) -------------------------------------
+
+    def copy_to(self, destination: str | os.PathLike) -> "Container":
+        """Copy this active file; the copy shares spec and data.
+
+        "a copy operation produces a second active file with the same
+        data and executable components as the first one."
+        """
+        clone = Container(destination, self.spec, self._data, dict(self.meta))
+        clone.save()
+        return clone
+
+    def rename_to(self, destination: str | os.PathLike) -> None:
+        os.replace(self.path, destination)
+        self.path = Path(destination)
+
+    def delete(self) -> None:
+        self.path.unlink()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Container(path={str(self.path)!r}, spec={self.spec.target!r}, "
+                f"data_size={len(self._data)})")

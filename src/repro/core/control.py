@@ -1,0 +1,110 @@
+"""The control-channel protocol.
+
+The process-plus-control strategy sends "all API requests from the
+application ... to the sentinel process via the control channel and the
+response of the sentinel process is read from the read pipe" (§4.2).
+This module defines the wire encoding of those commands and responses —
+a 4-byte length-prefixed JSON header followed by an opaque payload — and
+the command vocabulary shared by every channel-based strategy (process,
+process-plus-control and thread all reuse it; only the transport
+differs).
+
+The same encoding carries the network-proxy frames that let a sentinel
+child process reach the simulated network living in the application
+process (see :mod:`repro.core.netproxy`).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.errors import (
+    FrameError,
+    ProtocolError,
+    SandboxViolation,
+    SentinelError,
+    UnsupportedOperationError,
+)
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "command",
+    "ok_response",
+    "error_response",
+    "raise_for_response",
+    "COMMANDS",
+]
+
+_JSON_LEN = struct.Struct(">I")
+
+#: The full command vocabulary of the control channel.
+COMMANDS = ("read", "write", "size", "truncate", "flush", "control", "close")
+
+#: Exception classes a sentinel failure may round-trip as.
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "UnsupportedOperationError": UnsupportedOperationError,
+    "SentinelError": SentinelError,
+    "ProtocolError": ProtocolError,
+    "SandboxViolation": SandboxViolation,
+}
+
+
+def encode_message(fields: dict[str, Any], payload: bytes = b"") -> bytes:
+    """Encode a header dict + payload into one frame body."""
+    try:
+        header = json.dumps(fields, separators=(",", ":"),
+                            sort_keys=True).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise FrameError(f"unencodable message fields: {exc}") from exc
+    return _JSON_LEN.pack(len(header)) + header + payload
+
+
+def decode_message(blob: bytes) -> tuple[dict[str, Any], bytes]:
+    """Decode one frame body into (fields, payload)."""
+    if len(blob) < _JSON_LEN.size:
+        raise FrameError(f"message of {len(blob)} bytes has no header")
+    (header_len,) = _JSON_LEN.unpack_from(blob)
+    header_end = _JSON_LEN.size + header_len
+    if len(blob) < header_end:
+        raise FrameError("message header extends past frame body")
+    try:
+        fields = json.loads(blob[_JSON_LEN.size:header_end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"message header is not JSON: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise FrameError(f"message header must be an object, got {type(fields).__name__}")
+    return fields, blob[header_end:]
+
+
+def command(cmd: str, payload: bytes = b"", **fields: Any) -> bytes:
+    """Encode an application-to-sentinel command message."""
+    if cmd not in COMMANDS:
+        raise ProtocolError(f"unknown command {cmd!r}")
+    return encode_message({"cmd": cmd, **fields}, payload)
+
+
+def ok_response(payload: bytes = b"", **fields: Any) -> bytes:
+    """Encode a success response."""
+    return encode_message({"ok": True, **fields}, payload)
+
+
+def error_response(exc: BaseException) -> bytes:
+    """Encode an exception as a failure response."""
+    return encode_message({
+        "ok": False,
+        "error": str(exc),
+        "error_type": type(exc).__name__,
+    })
+
+
+def raise_for_response(fields: dict[str, Any]) -> None:
+    """If *fields* is a failure response, raise the matching exception."""
+    if fields.get("ok", False):
+        return
+    error_type = fields.get("error_type", "")
+    message = fields.get("error", "sentinel reported failure")
+    exc_class = _ERROR_TYPES.get(error_type, SentinelError)
+    raise exc_class(message)

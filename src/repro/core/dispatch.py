@@ -1,0 +1,91 @@
+"""Command dispatch loop shared by the channel-based strategies.
+
+The paper's §4.2/§5.2 sentinel "typically blocks on a read on the
+control channel.  Upon receiving a command from the application, the
+thread wakes up and performs the operation".  This module is that
+dispatch loop, factored out once: the process-plus-control runner drives
+it from pipe frames (encoded), the thread strategy drives it from the
+shared-memory channel (raw dicts — no serialization, which is exactly
+why that strategy is cheaper), and tests drive it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core import control
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import ProtocolError
+
+__all__ = ["SentinelDispatcher"]
+
+
+class SentinelDispatcher:
+    """Executes decoded control commands against one sentinel instance."""
+
+    def __init__(self, sentinel: Sentinel, ctx: SentinelContext) -> None:
+        self.sentinel = sentinel
+        self.ctx = ctx
+        self.closed = False
+
+    def open(self) -> None:
+        self.sentinel.on_open(self.ctx)
+
+    def execute(self, fields: dict[str, Any],
+                payload: bytes) -> tuple[dict[str, Any], bytes]:
+        """Serve one command; returns (response fields, response payload).
+
+        Sentinel exceptions become failure responses rather than killing
+        the dispatch loop — one bad operation must not tear down the
+        file.
+        """
+        cmd = fields.get("cmd", "")
+        try:
+            return self._execute(cmd, fields, payload)
+        except Exception as exc:
+            return ({"ok": False, "error": str(exc),
+                     "error_type": type(exc).__name__}, b"")
+
+    def handle(self, fields: dict[str, Any], payload: bytes) -> bytes:
+        """Like :meth:`execute` but returns an encoded response frame body."""
+        out_fields, out_payload = self.execute(fields, payload)
+        return control.encode_message(out_fields, out_payload)
+
+    def _execute(self, cmd: str, fields: dict[str, Any],
+                 payload: bytes) -> tuple[dict[str, Any], bytes]:
+        if cmd == "read":
+            data = self.sentinel.on_read(self.ctx,
+                                         int(fields["offset"]),
+                                         int(fields["size"]))
+            return {"ok": True}, data
+        if cmd == "write":
+            written = self.sentinel.on_write(self.ctx,
+                                             int(fields["offset"]), payload)
+            return {"ok": True, "written": written}, b""
+        if cmd == "size":
+            return {"ok": True, "size": self.sentinel.on_size(self.ctx)}, b""
+        if cmd == "truncate":
+            self.sentinel.on_truncate(self.ctx, int(fields["size"]))
+            return {"ok": True}, b""
+        if cmd == "flush":
+            self.sentinel.on_flush(self.ctx)
+            return {"ok": True}, b""
+        if cmd == "control":
+            out_fields, out_payload = self.sentinel.on_control(
+                self.ctx, fields.get("op", ""), fields.get("args") or {}, payload
+            )
+            return {"ok": True, **(out_fields or {})}, out_payload
+        if cmd == "close":
+            self.close()
+            return {"ok": True}, b""
+        raise ProtocolError(f"unknown command {cmd!r}")
+
+    def close(self) -> None:
+        """Run close-side lifecycle exactly once."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.sentinel.on_close(self.ctx)
+        finally:
+            self.ctx.data.close()

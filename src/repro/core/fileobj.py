@@ -1,0 +1,186 @@
+"""The application-facing file object.
+
+"From the user process' perspective, interactions with active files are
+indistinguishable from interactions with ordinary (passive) files"
+(§2.1).  :class:`ActiveFile` delivers that property for Python code: it
+subclasses :class:`io.RawIOBase`, so everything that accepts a binary
+file — ``io.TextIOWrapper``, ``io.BufferedReader``, ``shutil``,
+``json.load`` — works on an active file unmodified.
+
+The object owns the application-side cursor and translates positioned
+reads/writes onto its strategy session.  Sessions without random access
+(the simple process strategy) are driven through their sequential stream
+plane instead, and ``seekable()`` honestly reports ``False``.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.strategies.base import Session
+from repro.errors import UnsupportedOperationError
+
+__all__ = ["ActiveFile", "FileStats"]
+
+
+@dataclass
+class FileStats:
+    """Per-open operation counters (monitoring hook).
+
+    The paper motivates sentinels that "monitor how the application
+    uses this file"; these counters are the application-side mirror,
+    useful for tests, tuning, and the benchmark harness.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    seeks: int = 0
+    controls: int = 0
+
+
+class ActiveFile(io.RawIOBase):
+    """A binary file object served by a sentinel."""
+
+    def __init__(self, session: Session, name: str = "", *,
+                 readable: bool = True, writable: bool = True,
+                 append: bool = False) -> None:
+        super().__init__()
+        self._session = session
+        self.name = name
+        self._readable = readable
+        self._writable = writable
+        self._session_closed = False
+        self.stats = FileStats()
+        self._pos = 0
+        if append and session.supports_random_access:
+            self._pos = session.size()
+
+    # -- io.RawIOBase surface ------------------------------------------------------
+
+    def readable(self) -> bool:
+        return self._readable
+
+    def writable(self) -> bool:
+        return self._writable
+
+    def seekable(self) -> bool:
+        return self._session.supports_random_access
+
+    @property
+    def session(self) -> Session:
+        """The underlying strategy session (for introspection)."""
+        return self._session
+
+    @property
+    def strategy(self) -> str:
+        return self._session.strategy
+
+    def readinto(self, buffer) -> int:
+        self._ensure_open()
+        if not self._readable:
+            raise UnsupportedOperationError(f"{self.name}: not open for reading")
+        view = memoryview(buffer)
+        if self._session.supports_random_access:
+            data = self._session.read_at(self._pos, len(view))
+        else:
+            data = self._session.read_stream(len(view))
+        view[:len(data)] = data
+        self._pos += len(data)
+        self.stats.reads += 1
+        self.stats.bytes_read += len(data)
+        return len(data)
+
+    def write(self, data) -> int:
+        self._ensure_open()
+        if not self._writable:
+            raise UnsupportedOperationError(f"{self.name}: not open for writing")
+        data = bytes(data)
+        if self._session.supports_random_access:
+            written = self._session.write_at(self._pos, data)
+        else:
+            written = self._session.write_stream(data)
+        self._pos += written
+        self.stats.writes += 1
+        self.stats.bytes_written += written
+        return written
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        self._ensure_open()
+        if not self._session.supports_random_access:
+            raise UnsupportedOperationError(
+                f"{self._session.strategy}: seek requires a control channel "
+                "(use the process-control, thread, or inproc strategy)"
+            )
+        if whence == io.SEEK_SET:
+            target = offset
+        elif whence == io.SEEK_CUR:
+            target = self._pos + offset
+        elif whence == io.SEEK_END:
+            target = self._session.size() + offset
+        else:
+            raise ValueError(f"bad whence: {whence}")
+        if target < 0:
+            raise ValueError(f"negative seek target: {target}")
+        self._pos = target
+        self.stats.seeks += 1
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def truncate(self, size: int | None = None) -> int:
+        self._ensure_open()
+        target = self._pos if size is None else size
+        self._session.truncate(target)
+        return target
+
+    def flush(self) -> None:
+        if self.closed or self._session_closed:
+            return
+        if self._session.supports_control:
+            self._session.flush()
+
+    # -- beyond the passive-file surface ---------------------------------------------
+
+    def getsize(self) -> int:
+        """GetFileSize: ask the sentinel how big the file appears to be."""
+        self._ensure_open()
+        return self._session.size()
+
+    def control(self, op: str, args: dict[str, Any] | None = None,
+                payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
+        """Send a custom control operation to the sentinel.
+
+        This is the programmability escape hatch: applications that *do*
+        know they are holding an active file can steer the sentinel
+        ("yielding control to the end application") without leaving the
+        file abstraction.
+        """
+        self._ensure_open()
+        self.stats.controls += 1
+        return self._session.control(op, args, payload)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            if not self._session_closed:
+                self._session.close()
+                self._session_closed = True
+        finally:
+            super().close()
+
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise ValueError("I/O operation on closed active file")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"pos={self._pos}"
+        return (f"ActiveFile(name={self.name!r}, "
+                f"strategy={self._session.strategy!r}, {state})")

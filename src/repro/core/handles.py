@@ -1,0 +1,60 @@
+"""The dummy-handle table.
+
+The paper's OpenFile stub returns "a fictitious handle that points to
+this structure" and later stubs "check if this ReadFile is against the
+dummy handle we created".  :class:`HandleTable` is that structure for
+the Win32-style API veneer: small integer handles (multiples of 4,
+like real NT handles) mapped to whatever object the veneer stored.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import HandleError
+
+__all__ = ["HandleTable", "INVALID_HANDLE_VALUE"]
+
+#: Win32's INVALID_HANDLE_VALUE, for callers that prefer sentinel returns.
+INVALID_HANDLE_VALUE = -1
+
+
+class HandleTable:
+    """Thread-safe allocation of small-integer handles."""
+
+    def __init__(self, first: int = 4, step: int = 4) -> None:
+        self._lock = threading.Lock()
+        self._next = first
+        self._step = step
+        self._entries: dict[int, Any] = {}
+
+    def allocate(self, value: Any) -> int:
+        with self._lock:
+            handle = self._next
+            self._next += self._step
+            self._entries[handle] = value
+            return handle
+
+    def get(self, handle: int) -> Any:
+        with self._lock:
+            try:
+                return self._entries[handle]
+            except KeyError:
+                raise HandleError(f"invalid handle: {handle}") from None
+
+    def release(self, handle: int) -> Any:
+        """Remove and return the entry (closing is the caller's job)."""
+        with self._lock:
+            try:
+                return self._entries.pop(handle)
+            except KeyError:
+                raise HandleError(f"invalid handle: {handle}") from None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, handle: int) -> bool:
+        with self._lock:
+            return handle in self._entries

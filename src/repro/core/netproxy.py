@@ -1,0 +1,155 @@
+"""Bridging the simulated network into sentinel child processes.
+
+The process strategies run the sentinel in a real child interpreter, but
+the simulated network (and every service bound to it) lives in the
+application process.  This module keeps the paper's picture — the
+sentinel "can directly access both the remote information source(s) and
+the local file" — intact across that boundary by proxying network calls
+over a dedicated pipe pair:
+
+* the application side runs a :class:`NetworkBridgeServer` thread that
+  executes proxied calls against the real :class:`~repro.net.Network`;
+* the child side sees a :class:`ProxyNetwork`, which exposes the same
+  ``connect(address) -> connection`` surface sentinels already use, so a
+  sentinel cannot tell which side of the boundary it runs on.
+
+This mirrors reality: the "remote" sources genuinely are in a different
+process from the sentinel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import BinaryIO
+
+from repro.core.control import decode_message, encode_message
+from repro.errors import (
+    AddressError,
+    ChannelClosedError,
+    NetworkError,
+)
+from repro.net.address import Address
+from repro.net.message import Request, Response
+from repro.util.framing import read_frame, write_frame
+
+__all__ = ["NetworkBridgeServer", "ProxyNetwork", "ProxyConnection"]
+
+_TRANSPORT_ERRORS: dict[str, type[Exception]] = {
+    "AddressError": AddressError,
+    "NetworkError": NetworkError,
+}
+
+
+class NetworkBridgeServer:
+    """Application-side bridge endpoint: serves proxied network calls."""
+
+    def __init__(self, network, rfile: BinaryIO, wfile: BinaryIO) -> None:
+        self.network = network
+        self._rfile = rfile
+        self._wfile = wfile
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._serve,
+                                        name="af-net-bridge", daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                fields, payload = decode_message(read_frame(self._rfile))
+            except (ChannelClosedError, ValueError, OSError):
+                return  # child went away; bridge ends with it
+            try:
+                write_frame(self._wfile, self._handle(fields, payload))
+            except (ValueError, OSError):
+                return
+
+    def _handle(self, fields: dict, payload: bytes) -> bytes:
+        address = Address(host=fields.get("host", ""),
+                          port=int(fields.get("port", 0)),
+                          scheme=fields.get("scheme", ""))
+        request = Request(op=fields.get("op", ""),
+                          fields=fields.get("fields") or {},
+                          payload=payload)
+        try:
+            response = self.network.call(address, request)
+        except Exception as exc:
+            return encode_message({
+                "transport_ok": False,
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+            })
+        return encode_message({
+            "transport_ok": True,
+            "resp_ok": response.ok,
+            "resp_error": response.error,
+            "resp_fields": response.fields,
+        }, response.payload)
+
+
+class ProxyConnection:
+    """Child-side stand-in for :class:`repro.net.network.Connection`."""
+
+    def __init__(self, proxy: "ProxyNetwork", address: Address) -> None:
+        self._proxy = proxy
+        self.address = address
+        self._closed = False
+
+    def call(self, op: str, payload: bytes = b"", **fields) -> Response:
+        if self._closed:
+            raise NetworkError("connection is closed")
+        return self._proxy.call(self.address,
+                                Request(op=op, fields=dict(fields),
+                                        payload=payload))
+
+    def expect(self, op: str, payload: bytes = b"", **fields) -> Response:
+        response = self.call(op, payload, **fields)
+        if not response.ok:
+            raise NetworkError(f"{self.address} rejected {op!r}: {response.error}")
+        return response
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "ProxyConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ProxyNetwork:
+    """Child-side bridge endpoint with the Network ``connect``/``call`` surface."""
+
+    def __init__(self, rfile: BinaryIO, wfile: BinaryIO) -> None:
+        self._rfile = rfile
+        self._wfile = wfile
+        self._lock = threading.Lock()
+
+    def connect(self, address: Address) -> ProxyConnection:
+        return ProxyConnection(self, address)
+
+    def call(self, address: Address, request: Request) -> Response:
+        message = encode_message({
+            "host": address.host,
+            "port": address.port,
+            "scheme": address.scheme,
+            "op": request.op,
+            "fields": request.fields,
+        }, request.payload)
+        with self._lock:  # one in-flight exchange at a time over the pipe
+            write_frame(self._wfile, message)
+            fields, payload = decode_message(read_frame(self._rfile))
+        if not fields.get("transport_ok", False):
+            exc_class = _TRANSPORT_ERRORS.get(fields.get("error_type", ""),
+                                              NetworkError)
+            raise exc_class(fields.get("error", "bridge transport failure"))
+        return Response(ok=fields.get("resp_ok", False),
+                        fields=fields.get("resp_fields") or {},
+                        payload=payload,
+                        error=fields.get("resp_error", ""))

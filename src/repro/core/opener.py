@@ -1,0 +1,96 @@
+"""Creating and opening active files.
+
+:func:`create_active` writes a new ``.af`` container;
+:func:`open_active` is the library's front door — it loads the
+container, launches the sentinel under the requested strategy, applies
+the open-mode semantics, and hands back an
+:class:`~repro.core.fileobj.ActiveFile`.
+
+Opening is what starts the sentinel ("the sentinel process is started
+and terminated when a user process opens and closes the active file"),
+and each concurrent open gets its own sentinel, matching §2.2.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.core.container import Container
+from repro.core.fileobj import ActiveFile
+from repro.core.spec import SentinelSpec
+from repro.core.strategies import resolve_strategy
+from repro.errors import StrategyError
+
+__all__ = ["create_active", "open_active", "parse_mode", "DEFAULT_STRATEGY"]
+
+DEFAULT_STRATEGY = "thread"
+
+_VALID_MODES = {"r", "r+", "w", "w+", "a", "a+"}
+
+
+def parse_mode(mode: str) -> dict[str, bool]:
+    """Parse a binary open mode into capability flags.
+
+    Only binary modes are accepted here; text wrapping is the
+    interception layer's job.
+    """
+    base = mode.replace("b", "")
+    if base not in _VALID_MODES or ("b" in mode and mode.count("b") > 1):
+        raise ValueError(f"unsupported active-file mode: {mode!r}")
+    plus = "+" in base
+    kind = base[0]
+    return {
+        "readable": kind == "r" or plus,
+        "writable": kind in "wa" or plus,
+        "truncate": kind == "w",
+        "append": kind == "a",
+    }
+
+
+def create_active(path: str | os.PathLike, target: str | SentinelSpec,
+                  params: dict[str, Any] | None = None, data: bytes = b"",
+                  meta: dict[str, Any] | None = None,
+                  exist_ok: bool = False) -> Container:
+    """Create an active file on disk.
+
+    *target* is either a ready :class:`SentinelSpec` or a
+    ``"module:factory"`` string combined with *params*.
+    """
+    if isinstance(target, SentinelSpec):
+        if params:
+            raise ValueError("pass params inside the SentinelSpec, not both")
+        spec = target
+    else:
+        spec = SentinelSpec(target=target, params=params or {})
+    return Container.create(path, spec, data=data, meta=meta, exist_ok=exist_ok)
+
+
+def open_active(path: str | os.PathLike, mode: str = "r+b", *,
+                strategy: str = DEFAULT_STRATEGY, network=None) -> ActiveFile:
+    """Open the active file at *path* and return a binary file object.
+
+    ``strategy`` selects the implementation approach (§4): ``"process"``,
+    ``"process-control"``, ``"thread"`` (default), or ``"inproc"``
+    (paper aliases like ``"dll-only"`` work too).  ``network`` attaches a
+    :class:`repro.net.Network` whose services the sentinel may contact —
+    including from inside sentinel child processes, via the bridge.
+    """
+    flags = parse_mode(mode)
+    canonical, module = resolve_strategy(strategy)
+    container = Container.load(path)
+    session = module.open_session(container, network=network)
+
+    if flags["truncate"]:
+        if not session.supports_random_access:
+            session.close()
+            raise StrategyError(
+                f"mode {mode!r} needs truncation, which the {canonical!r} "
+                "strategy cannot express (no control channel)"
+            )
+        session.truncate(0)
+    return ActiveFile(
+        session, name=str(path),
+        readable=flags["readable"], writable=flags["writable"],
+        append=flags["append"],
+    )

@@ -1,0 +1,234 @@
+"""The sentinel child-process driver (``python -m repro.core.runner``).
+
+The two process-based strategies really do run the sentinel in a
+separate operating-system process, as the paper's §4.1/§4.2 prescribe:
+"the stub ... first creates a new process for running the executable
+associated with the active file" and "creates two pipes and attaches
+them to the standard input and output of the sentinel process".
+
+This module contains both halves of that arrangement:
+
+* :func:`main` — the child side.  It loads the container, instantiates
+  the sentinel from its spec, wires the data part (and, if granted, a
+  :class:`~repro.core.netproxy.ProxyNetwork` back to the application's
+  simulated network) and runs either the stream pumps (simple process
+  strategy, Figure 2) or the control dispatch loop (process-plus-control).
+* :func:`launch_runner` — the parent-side stub helper that creates the
+  pipes, spawns the child, and starts the network bridge.
+
+File-descriptor layout in the child:
+
+====  =========================================================
+fd    purpose
+====  =========================================================
+0     write pipe (application -> sentinel, raw data)
+1     read pipe (sentinel -> application; raw data in stream
+      mode, response frames in control mode)
+2     stderr (captured by the parent for crash diagnostics)
+N     control channel (``--control-fd N``; command frames)
+N     network bridge out/in (``--net-out-fd`` / ``--net-in-fd``)
+====  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from subprocess import PIPE, Popen
+
+from repro.core.container import Container
+from repro.core.control import decode_message
+from repro.core.dispatch import SentinelDispatcher
+from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
+from repro.core.sentinel import SentinelContext
+from repro.core.strategies.common import make_data_part
+from repro.errors import ChannelClosedError
+from repro.util.framing import read_exact, read_frame, write_frame
+
+__all__ = ["main", "launch_runner", "RunnerHandle"]
+
+
+# ---------------------------------------------------------------------------
+# Child side
+# ---------------------------------------------------------------------------
+
+def _build_context(container: Container, args) -> SentinelContext:
+    network = None
+    if args.net_out_fd >= 0 and args.net_in_fd >= 0:
+        network = ProxyNetwork(
+            rfile=os.fdopen(args.net_in_fd, "rb", buffering=0),
+            wfile=os.fdopen(args.net_out_fd, "wb", buffering=0),
+        )
+    return SentinelContext(
+        path=str(container.path),
+        params=dict(container.spec.params),
+        data=make_data_part(container),
+        network=network,
+        shared=None,  # cross-process sentinels coordinate via FileLock/IPC
+        meta=dict(container.meta),
+        strategy=args.strategy_name,
+    )
+
+
+def _run_stream(sentinel, ctx: SentinelContext) -> int:
+    """Figure 2: two pump threads, raw pipes, no control channel."""
+    stdin = os.fdopen(0, "rb", buffering=0)
+    stdout = os.fdopen(1, "wb", buffering=0)
+    sentinel.on_open(ctx)
+
+    def read_pump() -> None:
+        """Sentinel -> application: push the generated stream."""
+        try:
+            for chunk in sentinel.generate(ctx):
+                stdout.write(chunk)
+        except (BrokenPipeError, ValueError):
+            return  # application closed its read end; stop producing
+        finally:
+            try:
+                stdout.close()
+            except (BrokenPipeError, OSError):
+                pass
+
+    def write_pump() -> None:
+        """Application -> sentinel: absorb the written stream."""
+        offset = 0
+        while True:
+            chunk = stdin.read(65536)
+            if not chunk:
+                return
+            offset += sentinel.consume(ctx, chunk, offset)
+
+    threads = [
+        threading.Thread(target=read_pump, name="af-read-pump", daemon=True),
+        threading.Thread(target=write_pump, name="af-write-pump", daemon=True),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    try:
+        sentinel.on_close(ctx)
+    finally:
+        ctx.data.close()
+    return 0
+
+
+def _run_control(sentinel, ctx: SentinelContext, control_fd: int) -> int:
+    """§4.2: block on the control channel, answer on the read pipe."""
+    stdin = os.fdopen(0, "rb", buffering=0)
+    stdout = os.fdopen(1, "wb", buffering=0)
+    control_pipe = os.fdopen(control_fd, "rb", buffering=0)
+    dispatcher = SentinelDispatcher(sentinel, ctx)
+    dispatcher.open()
+    try:
+        while True:
+            try:
+                fields, _ = decode_message(read_frame(control_pipe))
+            except ChannelClosedError:
+                return 0  # application vanished without a close command
+            payload = b""
+            count = int(fields.get("count", 0))
+            if count:
+                payload = read_exact(stdin, count)
+            write_frame(stdout, dispatcher.handle(fields, payload))
+            if fields.get("cmd") == "close":
+                return 0
+    finally:
+        dispatcher.close()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.core.runner")
+    parser.add_argument("--container", required=True)
+    parser.add_argument("--mode", choices=("stream", "control"), required=True)
+    parser.add_argument("--control-fd", type=int, default=-1)
+    parser.add_argument("--net-out-fd", type=int, default=-1)
+    parser.add_argument("--net-in-fd", type=int, default=-1)
+    parser.add_argument("--strategy-name", default="process")
+    args = parser.parse_args(argv)
+
+    container = Container.load(args.container)
+    sentinel = container.spec.instantiate()
+    ctx = _build_context(container, args)
+    if args.mode == "stream":
+        return _run_stream(sentinel, ctx)
+    if args.control_fd < 0:
+        parser.error("--mode control requires --control-fd")
+    return _run_control(sentinel, ctx, args.control_fd)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunnerHandle:
+    """Everything the parent-side stub holds about one sentinel child."""
+
+    proc: Popen
+    stdin: object          # application's write pipe (raw)
+    stdout: object         # application's read pipe (raw/frames)
+    control: object | None  # control-channel write end, or None
+    bridge: NetworkBridgeServer | None
+    stderr_tail: deque = field(default_factory=lambda: deque(maxlen=50))
+
+    def stderr_text(self) -> str:
+        return "".join(self.stderr_tail).strip()
+
+
+def launch_runner(container_path: str, mode: str,
+                  network=None) -> RunnerHandle:
+    """Spawn the sentinel child and wire its pipes (the OpenFile stub)."""
+    argv = [sys.executable, "-m", "repro.core.runner",
+            "--container", str(container_path), "--mode", mode]
+    pass_fds: list[int] = []
+    to_close: list[int] = []
+
+    control_write = None
+    if mode == "control":
+        control_read_fd, control_write_fd = os.pipe()
+        argv += ["--control-fd", str(control_read_fd)]
+        pass_fds.append(control_read_fd)
+        to_close.append(control_read_fd)
+        control_write = os.fdopen(control_write_fd, "wb", buffering=0)
+
+    bridge = None
+    if network is not None:
+        req_read_fd, req_write_fd = os.pipe()   # child writes requests
+        resp_read_fd, resp_write_fd = os.pipe()  # child reads responses
+        argv += ["--net-out-fd", str(req_write_fd),
+                 "--net-in-fd", str(resp_read_fd)]
+        pass_fds += [req_write_fd, resp_read_fd]
+        to_close += [req_write_fd, resp_read_fd]
+        bridge = NetworkBridgeServer(
+            network,
+            rfile=os.fdopen(req_read_fd, "rb", buffering=0),
+            wfile=os.fdopen(resp_write_fd, "wb", buffering=0),
+        )
+        bridge.start()
+
+    strategy_name = "process" if mode == "stream" else "process-control"
+    argv += ["--strategy-name", strategy_name]
+    proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
+                 bufsize=0, pass_fds=pass_fds)
+    for fd in to_close:  # child-side ends stay open in the child only
+        os.close(fd)
+
+    handle = RunnerHandle(proc=proc, stdin=proc.stdin, stdout=proc.stdout,
+                          control=control_write, bridge=bridge)
+
+    def drain_stderr() -> None:
+        for line in proc.stderr:
+            handle.stderr_tail.append(line.decode("utf-8", errors="replace"))
+
+    threading.Thread(target=drain_stderr, name="af-stderr-drain",
+                     daemon=True).start()
+    return handle
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The sentinel programming model.
+
+"An active file is a regular file that is associated with an executable
+program.  When an active file is opened, the associated executable is
+run as a sentinel process" (paper §2).  In this reproduction a sentinel
+is a Python object with overridable handlers; the four implementation
+strategies differ only in *where* the object runs (child process,
+injected thread, or inline) and *how* operations reach it (pipes,
+control channel, shared memory, or direct calls) — the programming model
+is uniform, which is the portability the paper's Section 5 works
+towards.
+
+Two base classes are provided:
+
+* :class:`Sentinel` — offset-addressed handlers (`on_read`/`on_write`
+  with explicit offsets, plus size/truncate/flush/control).  The default
+  implementations pass through to the data part, i.e. a bare ``Sentinel``
+  is exactly the paper's *null filter*: "the active file has the
+  semantics of a passive file".
+* :class:`StreamSentinel` — for purely sequential producers/consumers
+  (the paper's Figure 2 two-thread model).  These also work under the
+  simple process strategy, which has no control channel and therefore no
+  way to express offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import UnsupportedOperationError
+from repro.core.datapart import DataPart, MemoryDataPart
+from repro.core.sync import SharedState
+from repro.net.address import Address
+
+__all__ = ["Sentinel", "StreamSentinel", "SentinelContext"]
+
+
+@dataclass
+class SentinelContext:
+    """Everything a sentinel can see while serving one open.
+
+    One context is created per open; ``shared`` (when available) is the
+    cross-open coordination state the paper's Section 2.2 calls for.
+    """
+
+    #: Path of the ``.af`` container, or ``""`` for anonymous opens.
+    path: str = ""
+    #: Parameters from the sentinel spec.
+    params: dict[str, Any] = field(default_factory=dict)
+    #: The local data part ("acts as a local cache").
+    data: DataPart = field(default_factory=MemoryDataPart)
+    #: Object exposing ``connect(Address)``; ``None`` if no network wired.
+    network: Any = None
+    #: Cross-open shared state (thread/inproc strategies of one process).
+    shared: SharedState | None = None
+    #: Container metadata (free-form).
+    meta: dict[str, Any] = field(default_factory=dict)
+    #: Strategy name serving this open ("process", "thread", ...).
+    strategy: str = ""
+
+    def connect(self, address: "Address | str"):
+        """Open a connection to a remote service by Address or URL string."""
+        if self.network is None:
+            raise UnsupportedOperationError(
+                "this open has no network attached; pass network= to open_active()"
+            )
+        if isinstance(address, str):
+            address, _ = Address.parse(address)
+        return self.network.connect(address)
+
+
+class Sentinel:
+    """Base class for offset-addressed sentinels (default: null filter)."""
+
+    #: Chunk size used when this sentinel is driven in stream mode.
+    stream_chunk = 4096
+
+    #: Endless sentinels (e.g. random generators) never signal EOF in
+    #: stream mode and report an unbounded size.
+    endless = False
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        self.params = dict(params or {})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        """Called once, after the strategy wired the context, before I/O."""
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        """Called once when the application closes the file."""
+
+    # -- data plane --------------------------------------------------------------
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        """Serve a read; default passes through to the data part."""
+        return ctx.data.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        """Serve a write; default passes through to the data part."""
+        return ctx.data.write_at(offset, data)
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        """Serve GetFileSize; default reports the data part's size."""
+        return ctx.data.size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        ctx.data.truncate(size)
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        ctx.data.flush()
+
+    # -- control plane ------------------------------------------------------------
+
+    def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
+                   payload: bytes) -> tuple[dict[str, Any], bytes]:
+        """Serve a custom control operation.
+
+        The control channel is what lets active files support "even ...
+        calls that do not have corresponding pipe operations" (§A.2).
+        Unknown operations raise, mirroring the paper's "dropped with an
+        appropriate return code".
+        """
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not implement control op {op!r}"
+        )
+
+    # -- stream-mode adaptation (simple process strategy) ---------------------------
+
+    def generate(self, ctx: SentinelContext) -> Iterator[bytes]:
+        """Produce the read stream; default walks on_read sequentially."""
+        offset = 0
+        while True:
+            chunk = self.on_read(ctx, offset, self.stream_chunk)
+            if not chunk:
+                if self.endless:
+                    continue
+                return
+            offset += len(chunk)
+            yield chunk
+
+    def consume(self, ctx: SentinelContext, data: bytes, offset: int) -> int:
+        """Absorb one chunk of the write stream at the running offset."""
+        return self.on_write(ctx, offset, data)
+
+
+class StreamSentinel(Sentinel):
+    """Base class for sequential producer/consumer sentinels.
+
+    Subclasses override :meth:`generate` and/or :meth:`consume`.  Random
+    access is rejected unless the subclass opts back in — such sentinels
+    are exactly the ones the paper runs under the simple process
+    strategy, where "operations such as ReadFileScatter (or seek in
+    Unix) ... cannot be implemented".
+    """
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} is stream-only; random reads unsupported"
+        )
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} is stream-only; random writes unsupported"
+        )
+
+    def generate(self, ctx: SentinelContext) -> Iterator[bytes]:
+        return iter(())
+
+    def consume(self, ctx: SentinelContext, data: bytes, offset: int) -> int:
+        raise UnsupportedOperationError(
+            f"{type(self).__name__} does not accept writes"
+        )

@@ -1,0 +1,98 @@
+"""Sentinel specifications — the "active part" of an active file.
+
+In the paper the active part is a Win32 executable or DLL stored as an
+NTFS stream of the file.  Here the active part is a *spec*: a reference
+to an importable factory (``"package.module:factory"``) plus a parameter
+dictionary.  Storing a reference rather than code keeps containers
+copyable and diffable while preserving the property that opening the
+file is what instantiates the sentinel.
+
+The factory may be either a :class:`~repro.core.sentinel.Sentinel`
+subclass (instantiated as ``cls(params)``) or a callable returning a
+sentinel (called as ``factory(params)``).
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+
+__all__ = ["SentinelSpec"]
+
+
+@dataclass(frozen=True)
+class SentinelSpec:
+    """An importable sentinel factory reference plus its parameters."""
+
+    target: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.target:
+            raise SpecError(
+                f"spec target must be 'module:attribute', got {self.target!r}"
+            )
+        module, _, attribute = self.target.partition(":")
+        if not module or not attribute:
+            raise SpecError(f"malformed spec target: {self.target!r}")
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"target": self.target, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SentinelSpec":
+        try:
+            target = data["target"]
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"spec payload missing 'target': {data!r}") from exc
+        params = data.get("params") or {}
+        if not isinstance(params, dict):
+            raise SpecError(f"spec params must be a dict, got {type(params).__name__}")
+        return cls(target=target, params=params)
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self):
+        """Import and return the factory object (class or callable)."""
+        module_name, _, attribute = self.target.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise SpecError(f"cannot import {module_name!r}: {exc}") from exc
+        factory = module
+        for part in attribute.split("."):
+            try:
+                factory = getattr(factory, part)
+            except AttributeError as exc:
+                raise SpecError(
+                    f"module {module_name!r} has no attribute {attribute!r}"
+                ) from exc
+        return factory
+
+    def instantiate(self):
+        """Build the sentinel instance this spec describes."""
+        factory = self.resolve()
+        if not callable(factory):
+            raise SpecError(f"spec target {self.target!r} is not callable")
+        try:
+            sentinel = factory(dict(self.params))
+        except Exception as exc:
+            raise SpecError(
+                f"sentinel factory {self.target!r} failed: {exc}"
+            ) from exc
+        from repro.core.sentinel import Sentinel  # local import: avoid cycle
+
+        if not isinstance(sentinel, Sentinel):
+            raise SpecError(
+                f"spec target {self.target!r} did not produce a Sentinel "
+                f"(got {type(sentinel).__name__})"
+            )
+        return sentinel
+
+    def __str__(self) -> str:
+        return self.target

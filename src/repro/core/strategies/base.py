@@ -1,0 +1,79 @@
+"""The session interface every strategy implements.
+
+A *session* is one application-side open of an active file: it owns the
+transport to "its" sentinel (child process, injected thread, or inline
+object) and translates file operations into that transport.  The file
+object (:mod:`repro.core.fileobj`) and the Win32-style API veneer
+(:mod:`repro.core.api`) are written purely against this interface.
+
+Capability flags express the paper's strategy differences: the simple
+process strategy "can only support a subset of the file operations"
+because bare pipes carry no control information, so its session reports
+``supports_random_access = False`` and offers the sequential stream
+methods instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UnsupportedOperationError
+
+__all__ = ["Session"]
+
+
+class Session:
+    """One open of an active file, bound to one sentinel."""
+
+    #: Canonical strategy name serving this session.
+    strategy = ""
+
+    #: Whether reads/writes may carry explicit offsets (seek support).
+    supports_random_access = True
+
+    #: Whether GetFileSize/truncate/flush/control round-trips exist.
+    supports_control = True
+
+    # -- random-access plane ----------------------------------------------------
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        raise UnsupportedOperationError(
+            f"{self.strategy}: random-access read unsupported"
+        )
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        raise UnsupportedOperationError(
+            f"{self.strategy}: random-access write unsupported"
+        )
+
+    def size(self) -> int:
+        raise UnsupportedOperationError(f"{self.strategy}: size unsupported")
+
+    def truncate(self, size: int) -> None:
+        raise UnsupportedOperationError(f"{self.strategy}: truncate unsupported")
+
+    def flush(self) -> None:
+        raise UnsupportedOperationError(f"{self.strategy}: flush unsupported")
+
+    def control(self, op: str, args: dict[str, Any] | None = None,
+                payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
+        raise UnsupportedOperationError(f"{self.strategy}: control unsupported")
+
+    # -- sequential plane (simple process strategy) -------------------------------
+
+    def read_stream(self, size: int) -> bytes:
+        """Read up to *size* bytes from the sequential read pipe."""
+        raise UnsupportedOperationError(
+            f"{self.strategy}: stream read unsupported"
+        )
+
+    def write_stream(self, data: bytes) -> int:
+        """Append *data* to the sequential write pipe."""
+        raise UnsupportedOperationError(
+            f"{self.strategy}: stream write unsupported"
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        raise NotImplementedError

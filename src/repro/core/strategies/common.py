@@ -1,0 +1,38 @@
+"""Shared helpers for building sentinel contexts from containers."""
+
+from __future__ import annotations
+
+from repro.core.container import Container
+from repro.core.datapart import ContainerDataPart, DataPart, MemoryDataPart
+from repro.core.sentinel import SentinelContext
+from repro.core.sync import shared_state_for
+
+__all__ = ["make_data_part", "make_context"]
+
+
+def make_data_part(container: Container) -> DataPart:
+    """Pick the data-part backing for *container*.
+
+    Containers may declare ``meta={"data": "memory"}`` for an ephemeral
+    data part (the paper: "an active file can have an empty data part
+    ... the sentinel process just creates the illusion of its
+    existence"); the default is the persistent container segment.
+    """
+    if container.meta.get("data") == "memory":
+        return MemoryDataPart(container.data)
+    return ContainerDataPart(container)
+
+
+def make_context(container: Container, network, strategy: str,
+                 with_shared: bool = True) -> SentinelContext:
+    """Build a per-open sentinel context for an in-process strategy."""
+    shared = shared_state_for(container.path) if with_shared else None
+    return SentinelContext(
+        path=str(container.path),
+        params=dict(container.spec.params),
+        data=make_data_part(container),
+        network=network,
+        shared=shared,
+        meta=dict(container.meta),
+        strategy=strategy,
+    )

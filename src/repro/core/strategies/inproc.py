@@ -1,0 +1,81 @@
+"""The DLL-only strategy (paper §4.4).
+
+File API calls are routed *directly* into sentinel routines — no second
+process, no second thread, no context switch, no copy beyond the one the
+sentinel itself performs: "The DLL-only implementation approach
+eliminates this switch by directly routing file system API calls to
+appropriate routines in the sentinel DLL."
+
+This is the cheapest strategy and the one whose overhead the paper
+measures as "negligible ... incurring the same costs as if the
+application were directly accessing the information sources".  The cost
+is convenience: the sentinel runs on the *application's* thread, so a
+slow handler stalls the caller, and the sentinel author gets no
+dispatch-loop scaffolding (here that only means exceptions propagate
+synchronously instead of being marshalled through response frames).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.core.container import Container
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.core.strategies.base import Session
+from repro.core.strategies.common import make_context
+
+__all__ = ["InprocSession", "open_session"]
+
+
+class InprocSession(Session):
+    """Direct-call session: the application thread runs the sentinel."""
+
+    strategy = "inproc"
+
+    def __init__(self, sentinel: Sentinel, ctx: SentinelContext) -> None:
+        self._sentinel = sentinel
+        self._ctx = ctx
+        self._closed = False
+        self._close_lock = threading.Lock()
+        sentinel.on_open(ctx)
+
+    # -- data plane ---------------------------------------------------------------
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        return self._sentinel.on_read(self._ctx, offset, size)
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        return self._sentinel.on_write(self._ctx, offset, data)
+
+    def size(self) -> int:
+        return self._sentinel.on_size(self._ctx)
+
+    def truncate(self, size: int) -> None:
+        self._sentinel.on_truncate(self._ctx, size)
+
+    def flush(self) -> None:
+        self._sentinel.on_flush(self._ctx)
+
+    def control(self, op: str, args: dict[str, Any] | None = None,
+                payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
+        return self._sentinel.on_control(self._ctx, op, args or {}, payload)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._sentinel.on_close(self._ctx)
+        finally:
+            self._ctx.data.close()
+
+
+def open_session(container: Container, network=None) -> InprocSession:
+    """Open *container* with the DLL-only strategy."""
+    sentinel = container.spec.instantiate()
+    ctx = make_context(container, network, strategy="inproc")
+    return InprocSession(sentinel, ctx)

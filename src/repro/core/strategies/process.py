@@ -1,0 +1,115 @@
+"""The simple process-based strategy (paper §4.1).
+
+"The process-based implementation approach is the simple and intuitive
+method, directly reflecting active file semantics": the sentinel runs as
+a real child process, connected to the application by two anonymous
+pipes on its standard input and output.  Reads drain the read pipe,
+writes feed the write pipe, and that is the *entire* vocabulary — "it
+can only support a subset of the file operations.  Operations such as
+ReadFileScatter (or seek in Unix) and GetFileSize cannot be implemented
+as there is no method of passing control information between the user
+process and the sentinel process."
+
+Accordingly :class:`ProcessSession` reports no random access and no
+control support; attempts raise
+:class:`~repro.errors.UnsupportedOperationError` (the paper's "dropped
+with an appropriate return code").
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.container import Container
+from repro.core.runner import RunnerHandle, launch_runner
+from repro.core.strategies.base import Session
+from repro.errors import SentinelCrashError
+
+__all__ = ["ProcessSession", "open_session"]
+
+
+class ProcessSession(Session):
+    """Sequential pipe session to a sentinel child process."""
+
+    strategy = "process"
+    supports_random_access = False
+    supports_control = False
+
+    def __init__(self, handle: RunnerHandle) -> None:
+        self._handle = handle
+        self._closed = False
+        self._read_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._read_eof = False
+
+    # -- sequential plane ---------------------------------------------------------
+
+    def read_stream(self, size: int) -> bytes:
+        """Read up to *size* bytes; short only at end of stream."""
+        if size <= 0:
+            return b""
+        chunks: list[bytes] = []
+        remaining = size
+        with self._read_lock:
+            if self._read_eof:
+                return b""
+            while remaining:
+                chunk = self._handle.stdout.read(remaining)
+                if not chunk:
+                    self._read_eof = True
+                    self._check_child_alive_at_eof()
+                    break
+                chunks.append(chunk)
+                remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def write_stream(self, data: bytes) -> int:
+        with self._write_lock:
+            try:
+                self._handle.stdin.write(data)
+            except (BrokenPipeError, ValueError) as exc:
+                raise SentinelCrashError(
+                    f"sentinel process died during write: "
+                    f"{self._handle.stderr_text() or exc}"
+                ) from exc
+        return len(data)
+
+    def _check_child_alive_at_eof(self) -> None:
+        """EOF is legitimate stream end unless the child crashed."""
+        returncode = self._handle.proc.poll()
+        if returncode not in (None, 0):
+            raise SentinelCrashError(
+                f"sentinel process exited with status {returncode}: "
+                f"{self._handle.stderr_text()}"
+            )
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for stream in (self._handle.stdin, self._handle.stdout):
+            try:
+                stream.close()
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            self._handle.proc.wait(timeout=10)
+        except Exception:
+            self._handle.proc.kill()
+            self._handle.proc.wait()
+        if self._handle.bridge is not None:
+            self._handle.bridge.join(timeout=1.0)
+        returncode = self._handle.proc.returncode
+        if returncode not in (0, None):
+            raise SentinelCrashError(
+                f"sentinel process exited with status {returncode}: "
+                f"{self._handle.stderr_text()}"
+            )
+
+
+def open_session(container: Container, network=None) -> ProcessSession:
+    """Open *container* with the simple process strategy."""
+    handle = launch_runner(str(container.path), mode="stream", network=network)
+    return ProcessSession(handle)

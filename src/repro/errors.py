@@ -1,0 +1,154 @@
+"""Exception hierarchy for the active-files reproduction.
+
+Every exception raised by this library derives from :class:`ActiveFileError`
+so callers can guard a whole interaction with one ``except`` clause while
+still being able to discriminate the failure class.  The hierarchy mirrors
+the layers of the system: container/spec problems, strategy/runtime
+problems, control-protocol problems, network problems and simulated-OS
+problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ActiveFileError",
+    "ContainerError",
+    "ContainerFormatError",
+    "SpecError",
+    "SentinelError",
+    "SentinelCrashError",
+    "StrategyError",
+    "UnsupportedOperationError",
+    "HandleError",
+    "ProtocolError",
+    "FrameError",
+    "ChannelClosedError",
+    "CacheError",
+    "InterceptionError",
+    "SandboxViolation",
+    "NetworkError",
+    "AddressError",
+    "ServiceError",
+    "RemoteFileNotFound",
+    "AuthenticationError",
+    "NTOSError",
+    "DeadlockError",
+    "SimulationError",
+]
+
+
+class ActiveFileError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+# --------------------------------------------------------------------------
+# Container / spec layer
+# --------------------------------------------------------------------------
+
+class ContainerError(ActiveFileError):
+    """A problem with an ``.af`` container file."""
+
+
+class ContainerFormatError(ContainerError):
+    """The on-disk bytes do not parse as a valid container."""
+
+
+class SpecError(ActiveFileError):
+    """A sentinel spec string or payload is malformed or unresolvable."""
+
+
+# --------------------------------------------------------------------------
+# Runtime layer
+# --------------------------------------------------------------------------
+
+class SentinelError(ActiveFileError):
+    """The sentinel raised or misbehaved while serving the application."""
+
+
+class SentinelCrashError(SentinelError):
+    """The sentinel process/thread died while the file was open."""
+
+
+class StrategyError(ActiveFileError):
+    """The requested implementation strategy cannot serve this request."""
+
+
+class UnsupportedOperationError(StrategyError):
+    """Operation has no mapping in this strategy (e.g. seek over bare pipes).
+
+    Mirrors the paper's process-based implementation, where calls such as
+    ``ReadFileScatter`` or ``GetFileSize`` "are simply dropped (with an
+    appropriate return code)".
+    """
+
+
+class HandleError(ActiveFileError):
+    """An operation used a closed, foreign, or otherwise invalid handle."""
+
+
+class CacheError(ActiveFileError):
+    """The caching layer hit an inconsistency."""
+
+
+class InterceptionError(ActiveFileError):
+    """The mediating-connectors analogue could not (un)install itself."""
+
+
+class SandboxViolation(ActiveFileError):
+    """A sandboxed sentinel (or its caller) exceeded the sandbox policy."""
+
+
+# --------------------------------------------------------------------------
+# Control protocol
+# --------------------------------------------------------------------------
+
+class ProtocolError(ActiveFileError):
+    """A control-channel exchange violated the protocol."""
+
+
+class FrameError(ProtocolError):
+    """A control frame failed to encode or decode."""
+
+
+class ChannelClosedError(ProtocolError):
+    """The peer closed the channel mid-conversation."""
+
+
+# --------------------------------------------------------------------------
+# Simulated network
+# --------------------------------------------------------------------------
+
+class NetworkError(ActiveFileError):
+    """Base class for simulated-network failures."""
+
+
+class AddressError(NetworkError):
+    """No service is bound at the requested address."""
+
+
+class ServiceError(NetworkError):
+    """A remote service rejected or failed a request."""
+
+
+class RemoteFileNotFound(ServiceError):
+    """The remote source has no such file/object."""
+
+
+class AuthenticationError(ServiceError):
+    """The remote source rejected the supplied credentials."""
+
+
+# --------------------------------------------------------------------------
+# Simulated OS
+# --------------------------------------------------------------------------
+
+class NTOSError(ActiveFileError):
+    """Base class for simulated-kernel failures."""
+
+
+class DeadlockError(NTOSError):
+    """Every simulated thread is blocked and no timer can release one."""
+
+
+class SimulationError(NTOSError):
+    """The simulation harness was misused or reached an impossible state."""

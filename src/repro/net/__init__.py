@@ -1,0 +1,45 @@
+"""In-process simulated network and remote information sources.
+
+The paper evaluates active files against remote services reached over
+100 Mbps Fast Ethernet.  This package provides the equivalent substrate:
+a message-passing :class:`~repro.net.network.Network` that connects
+clients (sentinels) to :class:`~repro.net.service.Service` instances,
+charging each exchange a latency + per-byte cost against a pluggable
+clock.  Services cover every information source the paper's Section 3
+mentions: plain file servers, HTTP- and FTP-style servers, POP3/SMTP
+mail, a stock-quote feed, a key-value database, and a Windows-registry
+style hive.
+"""
+
+from repro.net.address import Address
+from repro.net.message import Request, Response
+from repro.net.network import AccountingClock, LinkProfile, Network, WallClock
+from repro.net.service import Service
+
+from repro.net.fileserver import FileServer
+from repro.net.ftpd import FtpServer
+from repro.net.httpd import HttpServer
+from repro.net.kvstore import KeyValueStore
+from repro.net.pop3 import Pop3Server
+from repro.net.quoteserver import QuoteServer
+from repro.net.smtpd import SmtpServer
+from repro.net.winregistry import RegistryServer
+
+__all__ = [
+    "Address",
+    "Request",
+    "Response",
+    "Network",
+    "LinkProfile",
+    "AccountingClock",
+    "WallClock",
+    "Service",
+    "FileServer",
+    "FtpServer",
+    "HttpServer",
+    "KeyValueStore",
+    "Pop3Server",
+    "QuoteServer",
+    "SmtpServer",
+    "RegistryServer",
+]

@@ -1,0 +1,60 @@
+"""Network addresses for the simulated fabric.
+
+An address is ``host:port`` with an optional ``scheme://`` prefix and
+``/path`` suffix, e.g. ``ftp://files.example:21/pub/data.txt``.  The
+scheme is advisory (services define their own protocol); the path is
+carried for URL-style sources such as the HTTP and FTP servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AddressError
+
+__all__ = ["Address"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """An endpoint on the simulated network."""
+
+    host: str
+    port: int = 0
+    scheme: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise AddressError("address host must be non-empty")
+        if not 0 <= self.port <= 65535:
+            raise AddressError(f"port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        prefix = f"{self.scheme}://" if self.scheme else ""
+        return f"{prefix}{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> tuple["Address", str]:
+        """Parse ``[scheme://]host[:port][/path]``.
+
+        Returns the address and the path remainder (``""`` if none).
+        """
+        scheme = ""
+        rest = text
+        if "://" in rest:
+            scheme, rest = rest.split("://", 1)
+        path = ""
+        if "/" in rest:
+            rest, path = rest.split("/", 1)
+            path = "/" + path
+        port = 0
+        host = rest
+        if ":" in rest:
+            host, port_text = rest.rsplit(":", 1)
+            try:
+                port = int(port_text)
+            except ValueError as exc:
+                raise AddressError(f"bad port in address {text!r}") from exc
+        if not host:
+            raise AddressError(f"no host in address {text!r}")
+        return cls(host=host, port=port, scheme=scheme), path

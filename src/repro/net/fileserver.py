@@ -1,0 +1,171 @@
+"""A plain remote file service.
+
+This is the canonical "remote information source" of the paper's
+evaluation: the sentinel's path-1 configuration performs one read or
+write exchange against this service per application operation.  The
+protocol supports ranged reads and writes so sentinels can move exactly
+the block the application asked for.
+
+Operations::
+
+    read   path, offset, size          -> payload bytes
+    write  path, offset (+payload)     -> written count
+    append path (+payload)             -> offset written at
+    stat   path                        -> size, version
+    create path (+payload optional)    -> ok
+    delete path                        -> ok
+    list   prefix                      -> names
+    truncate path, size                -> ok
+
+Every mutation bumps a per-file version counter, which caching sentinels
+use for consistency checks ("the cache can be kept consistent with any
+updates performed ... at any of the remote sources").
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass, field
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["FileServer", "RemoteFile"]
+
+
+@dataclass
+class RemoteFile:
+    """One file hosted by the server."""
+
+    body: ByteBuffer = field(default_factory=ByteBuffer)
+    version: int = 0
+
+    def bump(self) -> None:
+        self.version += 1
+
+
+class FileServer(Service):
+    """An in-memory remote file store with ranged access."""
+
+    def __init__(self, files: dict[str, bytes] | None = None) -> None:
+        self._files: dict[str, RemoteFile] = {}
+        self._lock = threading.Lock()
+        self._watchers: list = []
+        for name, body in (files or {}).items():
+            self._files[name] = RemoteFile(body=ByteBuffer(body), version=1)
+
+    # -- direct (in-process) helpers, used by tests and fixtures ------------
+
+    def put_file(self, path: str, body: bytes) -> None:
+        with self._lock:
+            entry = self._files.setdefault(path, RemoteFile())
+            entry.body.setvalue(body)
+            entry.bump()
+        self._notify(path)
+
+    def get_file(self, path: str) -> bytes:
+        with self._lock:
+            entry = self._files.get(path)
+            if entry is None:
+                raise KeyError(path)
+            return entry.body.getvalue()
+
+    def subscribe(self, callback) -> None:
+        """Register *callback(path)* invoked after every mutation.
+
+        This is the hook caching sentinels use to invalidate on remote
+        updates (the paper's consistency requirement).
+        """
+        self._watchers.append(callback)
+
+    def _notify(self, path: str) -> None:
+        for callback in list(self._watchers):
+            callback(path)
+
+    def _entry(self, path: str) -> RemoteFile | None:
+        return self._files.get(path)
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_read(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        offset = int(request.fields.get("offset", 0))
+        size = int(request.fields.get("size", 0))
+        with self._lock:
+            entry = self._entry(path)
+            if entry is None:
+                return Response.failure(f"no such file: {path}")
+            data = entry.body.read_at(offset, size)
+            return Response(payload=data,
+                            fields={"version": entry.version, "eof": offset + size >= entry.body.size})
+
+    def op_write(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        offset = int(request.fields.get("offset", 0))
+        with self._lock:
+            entry = self._files.setdefault(path, RemoteFile())
+            written = entry.body.write_at(offset, request.payload)
+            entry.bump()
+            version = entry.version
+        self._notify(path)
+        return Response(fields={"written": written, "version": version})
+
+    def op_append(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            entry = self._files.setdefault(path, RemoteFile())
+            offset = entry.body.append(request.payload)
+            entry.bump()
+            version = entry.version
+        self._notify(path)
+        return Response(fields={"offset": offset, "version": version})
+
+    def op_stat(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            entry = self._entry(path)
+            if entry is None:
+                return Response.failure(f"no such file: {path}")
+            return Response(fields={"size": entry.body.size, "version": entry.version})
+
+    def op_create(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        exclusive = bool(request.fields.get("exclusive", False))
+        with self._lock:
+            if exclusive and path in self._files:
+                return Response.failure(f"file exists: {path}")
+            entry = self._files.setdefault(path, RemoteFile())
+            if request.payload:
+                entry.body.setvalue(request.payload)
+            entry.bump()
+        self._notify(path)
+        return Response()
+
+    def op_delete(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            if path not in self._files:
+                return Response.failure(f"no such file: {path}")
+            del self._files[path]
+        self._notify(path)
+        return Response()
+
+    def op_truncate(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        size = int(request.fields.get("size", 0))
+        with self._lock:
+            entry = self._entry(path)
+            if entry is None:
+                return Response.failure(f"no such file: {path}")
+            entry.body.truncate(size)
+            entry.bump()
+        self._notify(path)
+        return Response()
+
+    def op_list(self, request: Request) -> Response:
+        pattern = request.fields.get("pattern", "*")
+        with self._lock:
+            names = sorted(n for n in self._files if fnmatch.fnmatch(n, pattern))
+        return Response(fields={"names": names})

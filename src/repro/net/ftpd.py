@@ -1,0 +1,142 @@
+"""A minimal FTP-style file service with authentication.
+
+The paper motivates active files with "the illusion of accessing a
+single file even though the file data is physically located on multiple
+remote sites with varied authentication and access-control policies".
+This server supplies the authentication half: sessions must LOGIN with a
+user/password pair before transfer commands are accepted, and per-user
+access control restricts which path prefixes each account may touch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+from repro.util.naming import monotonic_name
+
+__all__ = ["FtpServer", "FtpAccount"]
+
+
+@dataclass
+class FtpAccount:
+    """One FTP account: password plus readable/writable path prefixes."""
+
+    password: str
+    read_prefixes: tuple[str, ...] = ("",)
+    write_prefixes: tuple[str, ...] = ()
+
+
+@dataclass
+class _Session:
+    user: str
+    account: FtpAccount
+
+
+def _allowed(prefixes: tuple[str, ...], path: str) -> bool:
+    return any(path.startswith(prefix) for prefix in prefixes)
+
+
+class FtpServer(Service):
+    """An in-memory FTP-like server with LOGIN/RETR/STOR/SIZE/LIST/QUIT."""
+
+    def __init__(self, accounts: dict[str, FtpAccount] | None = None,
+                 files: dict[str, bytes] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._accounts = dict(accounts or {"anonymous": FtpAccount(password="")})
+        self._files: dict[str, bytearray] = {
+            path: bytearray(body) for path, body in (files or {}).items()
+        }
+        self._sessions: dict[str, _Session] = {}
+
+    def put_file(self, path: str, body: bytes) -> None:
+        with self._lock:
+            self._files[path] = bytearray(body)
+
+    def get_file(self, path: str) -> bytes:
+        with self._lock:
+            return bytes(self._files[path])
+
+    def _session(self, request: Request) -> _Session | None:
+        token = request.fields.get("session", "")
+        with self._lock:
+            return self._sessions.get(token)
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_LOGIN(self, request: Request) -> Response:
+        user = request.fields.get("user", "")
+        password = request.fields.get("password", "")
+        with self._lock:
+            account = self._accounts.get(user)
+            if account is None or account.password != password:
+                return Response.failure("530 Login incorrect")
+            token = monotonic_name("ftp-session")
+            self._sessions[token] = _Session(user=user, account=account)
+        return Response(fields={"session": token})
+
+    def op_QUIT(self, request: Request) -> Response:
+        token = request.fields.get("session", "")
+        with self._lock:
+            self._sessions.pop(token, None)
+        return Response()
+
+    def op_RETR(self, request: Request) -> Response:
+        session = self._session(request)
+        if session is None:
+            return Response.failure("530 Not logged in")
+        path = request.fields.get("path", "")
+        if not _allowed(session.account.read_prefixes, path):
+            return Response.failure(f"550 Permission denied: {path}")
+        offset = int(request.fields.get("offset", 0))
+        size = request.fields.get("size")
+        with self._lock:
+            body = self._files.get(path)
+            if body is None:
+                return Response.failure(f"550 No such file: {path}")
+            end = len(body) if size is None else offset + int(size)
+            return Response(payload=bytes(body[offset:end]),
+                            fields={"size": len(body)})
+
+    def op_STOR(self, request: Request) -> Response:
+        session = self._session(request)
+        if session is None:
+            return Response.failure("530 Not logged in")
+        path = request.fields.get("path", "")
+        if not _allowed(session.account.write_prefixes, path):
+            return Response.failure(f"550 Permission denied: {path}")
+        append = bool(request.fields.get("append", False))
+        with self._lock:
+            if append and path in self._files:
+                self._files[path].extend(request.payload)
+            else:
+                self._files[path] = bytearray(request.payload)
+        return Response(fields={"stored": len(request.payload)})
+
+    def op_SIZE(self, request: Request) -> Response:
+        session = self._session(request)
+        if session is None:
+            return Response.failure("530 Not logged in")
+        path = request.fields.get("path", "")
+        if not _allowed(session.account.read_prefixes, path):
+            return Response.failure(f"550 Permission denied: {path}")
+        with self._lock:
+            body = self._files.get(path)
+            if body is None:
+                return Response.failure(f"550 No such file: {path}")
+            return Response(fields={"size": len(body)})
+
+    def op_LIST(self, request: Request) -> Response:
+        session = self._session(request)
+        if session is None:
+            return Response.failure("530 Not logged in")
+        prefix = request.fields.get("prefix", "")
+        with self._lock:
+            names = sorted(
+                name for name in self._files
+                if name.startswith(prefix)
+                and _allowed(session.account.read_prefixes, name)
+            )
+        return Response(fields={"names": names})

@@ -1,0 +1,96 @@
+"""A minimal HTTP-style document service.
+
+Models the paper's "seamless access to remote files ... using a standard
+protocol (e.g., FTP or HTTP)".  The protocol is a tiny subset of HTTP/1.0
+semantics expressed as network ops: GET (with optional Range), HEAD, PUT,
+DELETE.  Documents carry an entity tag (a version counter rendered as a
+string) so caching sentinels can revalidate cheaply with a conditional
+GET, exactly the way a real HTTP cache would.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+
+__all__ = ["HttpServer"]
+
+
+class HttpServer(Service):
+    """An in-memory HTTP-like origin server."""
+
+    def __init__(self, documents: dict[str, bytes] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._docs: dict[str, bytearray] = {}
+        self._etags: dict[str, int] = {}
+        self.hits = 0
+        self.conditional_hits = 0
+        for path, body in (documents or {}).items():
+            self._docs[path] = bytearray(body)
+            self._etags[path] = 1
+
+    def put_document(self, path: str, body: bytes) -> None:
+        """In-process publish/update of a document."""
+        with self._lock:
+            self._docs[path] = bytearray(body)
+            self._etags[path] = self._etags.get(path, 0) + 1
+
+    def etag(self, path: str) -> str:
+        with self._lock:
+            return f'"{self._etags.get(path, 0)}"'
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_GET(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        if_none_match = request.fields.get("if_none_match")
+        range_start = request.fields.get("range_start")
+        range_end = request.fields.get("range_end")
+        with self._lock:
+            body = self._docs.get(path)
+            if body is None:
+                return Response.failure("404 Not Found", status=404)
+            etag = f'"{self._etags[path]}"'
+            self.hits += 1
+            if if_none_match is not None and if_none_match == etag:
+                self.conditional_hits += 1
+                return Response(fields={"status": 304, "etag": etag})
+            data = bytes(body)
+            status = 200
+            if range_start is not None:
+                end = len(data) if range_end is None else int(range_end)
+                data = data[int(range_start):end]
+                status = 206
+            return Response(payload=data,
+                            fields={"status": status, "etag": etag,
+                                    "length": len(body)})
+
+    def op_HEAD(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            body = self._docs.get(path)
+            if body is None:
+                return Response.failure("404 Not Found", status=404)
+            return Response(fields={"status": 200,
+                                    "etag": f'"{self._etags[path]}"',
+                                    "length": len(body)})
+
+    def op_PUT(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            created = path not in self._docs
+            self._docs[path] = bytearray(request.payload)
+            self._etags[path] = self._etags.get(path, 0) + 1
+            return Response(fields={"status": 201 if created else 200,
+                                    "etag": f'"{self._etags[path]}"'})
+
+    def op_DELETE(self, request: Request) -> Response:
+        path = request.fields.get("path", "")
+        with self._lock:
+            if path not in self._docs:
+                return Response.failure("404 Not Found", status=404)
+            del self._docs[path]
+            del self._etags[path]
+            return Response(fields={"status": 204})

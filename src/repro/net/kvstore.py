@@ -1,0 +1,120 @@
+"""A key-value database service.
+
+The paper lists "databases" among the sources a sentinel can aggregate
+from, and motivates the search example: "an end application that
+searches through a collection of distributed databases cannot see
+changes in these databases ... when an intermediary first aggregates
+data".  This store provides versioned records and compare-and-swap so
+aggregating sentinels can both observe changes (via the store version)
+and write back safely.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from dataclasses import dataclass
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+
+__all__ = ["KeyValueStore"]
+
+
+@dataclass
+class _Record:
+    value: bytes
+    version: int
+
+
+class KeyValueStore(Service):
+    """An in-memory versioned key-value database."""
+
+    def __init__(self, initial: dict[str, bytes] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, _Record] = {
+            key: _Record(value=value, version=1)
+            for key, value in (initial or {}).items()
+        }
+        #: Monotonic store-wide version; bumps on every mutation.
+        self.store_version = len(self._records)
+
+    def put(self, key: str, value: bytes) -> None:
+        """In-process mutation helper (used to model external writers)."""
+        with self._lock:
+            record = self._records.get(key)
+            version = (record.version + 1) if record else 1
+            self._records[key] = _Record(value=value, version=version)
+            self.store_version += 1
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_get(self, request: Request) -> Response:
+        key = request.fields.get("key", "")
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                return Response.failure(f"no such key: {key}")
+            return Response(payload=record.value,
+                            fields={"version": record.version})
+
+    def op_put(self, request: Request) -> Response:
+        key = request.fields.get("key", "")
+        with self._lock:
+            record = self._records.get(key)
+            version = (record.version + 1) if record else 1
+            self._records[key] = _Record(value=request.payload, version=version)
+            self.store_version += 1
+            return Response(fields={"version": version})
+
+    def op_cas(self, request: Request) -> Response:
+        """Compare-and-swap on the record version."""
+        key = request.fields.get("key", "")
+        expected = int(request.fields.get("expected_version", 0))
+        with self._lock:
+            record = self._records.get(key)
+            current = record.version if record else 0
+            if current != expected:
+                return Response.failure("version conflict",
+                                        current_version=current)
+            version = current + 1
+            self._records[key] = _Record(value=request.payload, version=version)
+            self.store_version += 1
+            return Response(fields={"version": version})
+
+    def op_delete(self, request: Request) -> Response:
+        key = request.fields.get("key", "")
+        with self._lock:
+            if key not in self._records:
+                return Response.failure(f"no such key: {key}")
+            del self._records[key]
+            self.store_version += 1
+            return Response()
+
+    def op_scan(self, request: Request) -> Response:
+        """Return keys matching a glob pattern, with versions."""
+        pattern = request.fields.get("pattern", "*")
+        with self._lock:
+            matches = {
+                key: record.version
+                for key, record in sorted(self._records.items())
+                if fnmatch.fnmatch(key, pattern)
+            }
+            return Response(fields={"keys": matches,
+                                    "store_version": self.store_version})
+
+    def op_mget(self, request: Request) -> Response:
+        """Batch get: payload is newline-joined values for found keys."""
+        keys = request.fields.get("keys") or []
+        with self._lock:
+            found = {}
+            payload_parts = []
+            for key in keys:
+                record = self._records.get(key)
+                if record is not None:
+                    found[key] = {"version": record.version,
+                                  "size": len(record.value)}
+                    payload_parts.append(record.value)
+            return Response(payload=b"\n".join(payload_parts),
+                            fields={"found": found,
+                                    "store_version": self.store_version})

@@ -1,0 +1,59 @@
+"""Request/response messages exchanged over the simulated network.
+
+Messages are deliberately simple: an operation name, a dict of small
+JSON-able fields, and an opaque bytes payload.  The split keeps byte
+accounting honest — the fabric charges for ``len(payload)`` plus an
+encoded-header estimate — and keeps every service protocol uniform.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Request", "Response", "encoded_size"]
+
+#: Fixed per-message overhead charged by the fabric (framing, addressing),
+#: loosely an Ethernet + IP + TCP header budget.
+WIRE_HEADER_BYTES = 66
+
+
+def encoded_size(fields: Mapping[str, Any], payload: bytes) -> int:
+    """Approximate on-the-wire size of a message in bytes."""
+    header = json.dumps(fields, separators=(",", ":"), sort_keys=True)
+    return WIRE_HEADER_BYTES + len(header.encode("utf-8")) + len(payload)
+
+
+@dataclass
+class Request:
+    """A client-to-service message."""
+
+    op: str
+    fields: dict[str, Any] = field(default_factory=dict)
+    payload: bytes = b""
+
+    def wire_size(self) -> int:
+        return encoded_size({"op": self.op, **self.fields}, self.payload)
+
+
+@dataclass
+class Response:
+    """A service-to-client message.
+
+    ``ok`` distinguishes protocol-level failures (bad path, auth denied)
+    from transport failures, which surface as exceptions instead.
+    """
+
+    ok: bool = True
+    fields: dict[str, Any] = field(default_factory=dict)
+    payload: bytes = b""
+    error: str = ""
+
+    def wire_size(self) -> int:
+        meta = {"ok": self.ok, "error": self.error, **self.fields}
+        return encoded_size(meta, self.payload)
+
+    @classmethod
+    def failure(cls, error: str, **fields: Any) -> "Response":
+        return cls(ok=False, error=error, fields=dict(fields))

@@ -1,0 +1,139 @@
+"""A minimal POP3-style mailbox service.
+
+Backs the paper's inbox example: "an inbox file of an E-mail program can
+be such that reading it causes new messages to be retrieved possibly
+from multiple remote POP servers".  The op set follows POP3 semantics:
+STAT, LIST, RETR, DELE, with deletions applied at QUIT like the real
+protocol's update state.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+
+__all__ = ["Pop3Server", "MailMessage"]
+
+
+@dataclass
+class MailMessage:
+    """One stored mail message."""
+
+    sender: str
+    recipient: str
+    subject: str
+    body: str
+
+    def render(self) -> bytes:
+        """RFC822-ish rendering used for RETR payloads."""
+        text = (
+            f"From: {self.sender}\r\n"
+            f"To: {self.recipient}\r\n"
+            f"Subject: {self.subject}\r\n"
+            f"\r\n"
+            f"{self.body}\r\n"
+        )
+        return text.encode("utf-8")
+
+
+@dataclass
+class _Mailbox:
+    password: str
+    messages: list[MailMessage] = field(default_factory=list)
+    pending_delete: set[int] = field(default_factory=set)
+
+
+class Pop3Server(Service):
+    """An in-memory POP3-like server with per-user mailboxes."""
+
+    def __init__(self, users: dict[str, str] | None = None) -> None:
+        self._lock = threading.Lock()
+        self._boxes: dict[str, _Mailbox] = {
+            user: _Mailbox(password=password)
+            for user, password in (users or {}).items()
+        }
+
+    def deliver(self, message: MailMessage) -> bool:
+        """Deposit *message* into the recipient's mailbox (SMTP hook)."""
+        user = message.recipient.split("@", 1)[0]
+        with self._lock:
+            box = self._boxes.get(user)
+            if box is None:
+                return False
+            box.messages.append(message)
+            return True
+
+    def add_user(self, user: str, password: str) -> None:
+        with self._lock:
+            self._boxes[user] = _Mailbox(password=password)
+
+    def message_count(self, user: str) -> int:
+        with self._lock:
+            return len(self._boxes[user].messages)
+
+    def _auth(self, request: Request) -> _Mailbox | Response:
+        user = request.fields.get("user", "")
+        password = request.fields.get("password", "")
+        box = self._boxes.get(user)
+        if box is None or box.password != password:
+            return Response.failure("-ERR authentication failed")
+        return box
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_STAT(self, request: Request) -> Response:
+        with self._lock:
+            box = self._auth(request)
+            if isinstance(box, Response):
+                return box
+            live = [m for i, m in enumerate(box.messages)
+                    if i not in box.pending_delete]
+            octets = sum(len(m.render()) for m in live)
+            return Response(fields={"count": len(live), "octets": octets})
+
+    def op_LIST(self, request: Request) -> Response:
+        with self._lock:
+            box = self._auth(request)
+            if isinstance(box, Response):
+                return box
+            listing = [
+                {"index": i, "octets": len(m.render())}
+                for i, m in enumerate(box.messages)
+                if i not in box.pending_delete
+            ]
+            return Response(fields={"messages": listing})
+
+    def op_RETR(self, request: Request) -> Response:
+        index = int(request.fields.get("index", -1))
+        with self._lock:
+            box = self._auth(request)
+            if isinstance(box, Response):
+                return box
+            if not 0 <= index < len(box.messages) or index in box.pending_delete:
+                return Response.failure(f"-ERR no such message: {index}")
+            return Response(payload=box.messages[index].render())
+
+    def op_DELE(self, request: Request) -> Response:
+        index = int(request.fields.get("index", -1))
+        with self._lock:
+            box = self._auth(request)
+            if isinstance(box, Response):
+                return box
+            if not 0 <= index < len(box.messages) or index in box.pending_delete:
+                return Response.failure(f"-ERR no such message: {index}")
+            box.pending_delete.add(index)
+            return Response()
+
+    def op_QUIT(self, request: Request) -> Response:
+        with self._lock:
+            box = self._auth(request)
+            if isinstance(box, Response):
+                return box
+            box.messages = [m for i, m in enumerate(box.messages)
+                            if i not in box.pending_delete]
+            removed = len(box.pending_delete)
+            box.pending_delete.clear()
+            return Response(fields={"expunged": removed})

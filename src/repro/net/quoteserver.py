@@ -1,0 +1,76 @@
+"""A stock-quote feed service.
+
+Backs the paper's example of "an active file that reflects the latest
+stock quotes (downloaded by the sentinel from a server) every time the
+file is opened".  Prices move on an explicit deterministic random walk:
+callers advance the market with :meth:`tick`, so tests and examples see
+reproducible sequences (no hidden wall-clock or RNG state).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+
+__all__ = ["QuoteServer"]
+
+
+class QuoteServer(Service):
+    """An in-memory quote feed with a deterministic price walk."""
+
+    def __init__(self, quotes: dict[str, float] | None = None,
+                 seed: int = 0x5EED) -> None:
+        self._lock = threading.Lock()
+        self._quotes: dict[str, float] = dict(quotes or {})
+        self._state = seed & 0xFFFFFFFF
+        self.generation = 0
+
+    def _next_step(self) -> float:
+        """xorshift32-based step in [-1, 1), deterministic per seed."""
+        x = self._state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self._state = x
+        return (x / 2**31) - 1.0
+
+    def set_quote(self, symbol: str, price: float) -> None:
+        with self._lock:
+            self._quotes[symbol] = price
+            self.generation += 1
+
+    def tick(self, steps: int = 1) -> None:
+        """Advance the market *steps* times (each symbol moves ±1%)."""
+        with self._lock:
+            for _ in range(steps):
+                for symbol in sorted(self._quotes):
+                    price = self._quotes[symbol]
+                    self._quotes[symbol] = round(
+                        max(0.01, price * (1.0 + 0.01 * self._next_step())), 4
+                    )
+            self.generation += steps
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_QUOTE(self, request: Request) -> Response:
+        symbol = request.fields.get("symbol", "")
+        with self._lock:
+            price = self._quotes.get(symbol)
+            if price is None:
+                return Response.failure(f"unknown symbol: {symbol}")
+            return Response(fields={"symbol": symbol, "price": price,
+                                    "generation": self.generation})
+
+    def op_BATCH(self, request: Request) -> Response:
+        symbols = request.fields.get("symbols") or sorted(self._quotes)
+        with self._lock:
+            known = {s: self._quotes[s] for s in symbols if s in self._quotes}
+            missing = [s for s in symbols if s not in self._quotes]
+        return Response(fields={"quotes": known, "missing": missing,
+                                "generation": self.generation})
+
+    def op_SYMBOLS(self, request: Request) -> Response:
+        with self._lock:
+            return Response(fields={"symbols": sorted(self._quotes)})

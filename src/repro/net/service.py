@@ -1,0 +1,37 @@
+"""Base class for simulated remote services.
+
+A service implements operations as ``op_<name>`` methods taking the
+:class:`~repro.net.message.Request` and returning a
+:class:`~repro.net.message.Response`.  Dispatch, unknown-op handling and
+uniform error reporting live here so each concrete service only contains
+protocol logic.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import Request, Response
+
+__all__ = ["Service"]
+
+
+class Service:
+    """A network-addressable request/response server."""
+
+    #: Set by :meth:`Network.bind`.
+    address = None
+    network = None
+
+    def handle(self, request: Request) -> Response:
+        """Dispatch *request* to the matching ``op_`` method."""
+        handler = getattr(self, f"op_{request.op}", None)
+        if handler is None:
+            return Response.failure(f"unknown operation: {request.op!r}")
+        return handler(request)
+
+    def ops(self) -> list[str]:
+        """Names of the operations this service implements."""
+        return sorted(
+            name[len("op_"):]
+            for name in dir(self)
+            if name.startswith("op_") and callable(getattr(self, name))
+        )

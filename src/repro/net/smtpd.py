@@ -1,0 +1,87 @@
+"""A minimal SMTP-style outbound mail service.
+
+Backs the paper's outbox example: "the outbox-file can be programmed to
+send email to a particular recipient, every time some data is written to
+it", extended so "the sentinel process parses the data written to the
+file to extract the 'To' addresses and send the data to each recipient".
+
+Delivery routing: recipients whose domain matches a registered
+:class:`~repro.net.pop3.Pop3Server` are delivered there; everything else
+lands in the relay's sent-mail log (so tests can observe it).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.net.message import Request, Response
+from repro.net.pop3 import MailMessage, Pop3Server
+from repro.net.service import Service
+
+__all__ = ["SmtpServer", "parse_rfc822"]
+
+
+def parse_rfc822(raw: bytes) -> MailMessage:
+    """Parse the minimal RFC822-ish format produced by the mail sentinels."""
+    text = raw.decode("utf-8", errors="replace")
+    head, _, body = text.partition("\n\n")
+    if "\r\n\r\n" in text:
+        head, _, body = text.partition("\r\n\r\n")
+    headers: dict[str, str] = {}
+    for line in head.splitlines():
+        if ":" in line:
+            key, _, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+    return MailMessage(
+        sender=headers.get("from", ""),
+        recipient=headers.get("to", ""),
+        subject=headers.get("subject", ""),
+        body=body.strip("\r\n"),
+    )
+
+
+class SmtpServer(Service):
+    """An in-memory SMTP-like relay."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._domains: dict[str, Pop3Server] = {}
+        self.sent: list[MailMessage] = []
+
+    def register_domain(self, domain: str, pop3: Pop3Server) -> None:
+        """Route mail for ``user@domain`` into *pop3* mailboxes."""
+        with self._lock:
+            self._domains[domain] = pop3
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_SEND(self, request: Request) -> Response:
+        """Send one message.
+
+        Fields: ``sender``, ``recipients`` (list).  Payload: RFC822-ish
+        message text.  Returns per-recipient delivery status.
+        """
+        sender = request.fields.get("sender", "")
+        recipients = request.fields.get("recipients") or []
+        if not recipients:
+            return Response.failure("no recipients")
+        parsed = parse_rfc822(request.payload)
+        if sender:
+            parsed.sender = sender
+        statuses: dict[str, str] = {}
+        with self._lock:
+            for recipient in recipients:
+                message = MailMessage(
+                    sender=parsed.sender,
+                    recipient=recipient,
+                    subject=parsed.subject,
+                    body=parsed.body,
+                )
+                domain = recipient.split("@", 1)[1] if "@" in recipient else ""
+                pop3 = self._domains.get(domain)
+                if pop3 is not None and pop3.deliver(message):
+                    statuses[recipient] = "delivered"
+                else:
+                    statuses[recipient] = "relayed"
+                self.sent.append(message)
+        return Response(fields={"statuses": statuses})

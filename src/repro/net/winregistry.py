@@ -1,0 +1,159 @@
+r"""A Windows-registry-style hive service.
+
+Backs the paper's configuration example: "Filtering can also be used to
+provide a file-based interface to the Windows system registry,
+considerably simplifying system configuration."  The hive is a tree of
+keys (``HKLM\Software\Vendor\App``) holding named typed values.  The
+:mod:`repro.sentinels.registryfs` sentinel renders a subtree as a plain
+text file and parses edits back into registry mutations.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.message import Request, Response
+from repro.net.service import Service
+
+__all__ = ["RegistryServer", "RegistryKey"]
+
+_VALID_TYPES = {"REG_SZ", "REG_DWORD", "REG_BINARY"}
+
+
+@dataclass
+class RegistryKey:
+    """One key in the hive tree."""
+
+    subkeys: dict[str, "RegistryKey"] = field(default_factory=dict)
+    values: dict[str, tuple[str, Any]] = field(default_factory=dict)
+
+
+def _split(path: str) -> list[str]:
+    return [part for part in path.replace("/", "\\").split("\\") if part]
+
+
+class RegistryServer(Service):
+    """An in-memory registry hive with get/set/delete/enumerate ops."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._root = RegistryKey()
+        self.change_count = 0
+
+    # -- tree helpers ---------------------------------------------------------
+
+    def _walk(self, path: str, create: bool = False) -> RegistryKey | None:
+        node = self._root
+        for part in _split(path):
+            child = node.subkeys.get(part)
+            if child is None:
+                if not create:
+                    return None
+                child = RegistryKey()
+                node.subkeys[part] = child
+            node = child
+        return node
+
+    def set_value(self, key_path: str, name: str, value: Any,
+                  value_type: str = "REG_SZ") -> None:
+        """In-process mutation helper used by fixtures and the sentinel."""
+        if value_type not in _VALID_TYPES:
+            raise ValueError(f"bad registry type: {value_type}")
+        if value_type == "REG_DWORD":
+            value = int(value)
+        with self._lock:
+            node = self._walk(key_path, create=True)
+            node.values[name] = (value_type, value)
+            self.change_count += 1
+
+    def get_value(self, key_path: str, name: str) -> tuple[str, Any]:
+        with self._lock:
+            node = self._walk(key_path)
+            if node is None or name not in node.values:
+                raise KeyError(f"{key_path}\\{name}")
+            return node.values[name]
+
+    def dump_subtree(self, key_path: str) -> dict:
+        """Return a JSON-able snapshot of a subtree (used by the sentinel)."""
+        def render(node: RegistryKey) -> dict:
+            return {
+                "values": {name: {"type": t, "data": v}
+                           for name, (t, v) in sorted(node.values.items())},
+                "subkeys": {name: render(child)
+                            for name, child in sorted(node.subkeys.items())},
+            }
+
+        with self._lock:
+            node = self._walk(key_path)
+            if node is None:
+                raise KeyError(key_path)
+            return render(node)
+
+    # -- protocol ------------------------------------------------------------
+
+    def op_get(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        name = request.fields.get("name", "")
+        try:
+            value_type, value = self.get_value(key_path, name)
+        except KeyError:
+            return Response.failure(f"value not found: {key_path}\\{name}")
+        return Response(fields={"type": value_type, "data": value})
+
+    def op_set(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        name = request.fields.get("name", "")
+        value_type = request.fields.get("type", "REG_SZ")
+        data = request.fields.get("data")
+        try:
+            self.set_value(key_path, name, data, value_type)
+        except ValueError as exc:
+            return Response.failure(str(exc))
+        return Response(fields={"change_count": self.change_count})
+
+    def op_delete_value(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        name = request.fields.get("name", "")
+        with self._lock:
+            node = self._walk(key_path)
+            if node is None or name not in node.values:
+                return Response.failure(f"value not found: {key_path}\\{name}")
+            del node.values[name]
+            self.change_count += 1
+        return Response(fields={"change_count": self.change_count})
+
+    def op_delete_key(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        parts = _split(key_path)
+        if not parts:
+            return Response.failure("cannot delete the hive root")
+        with self._lock:
+            parent = self._walk("\\".join(parts[:-1]))
+            if parent is None or parts[-1] not in parent.subkeys:
+                return Response.failure(f"key not found: {key_path}")
+            del parent.subkeys[parts[-1]]
+            self.change_count += 1
+        return Response(fields={"change_count": self.change_count})
+
+    def op_enum(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        with self._lock:
+            node = self._walk(key_path)
+            if node is None:
+                return Response.failure(f"key not found: {key_path}")
+            return Response(fields={
+                "subkeys": sorted(node.subkeys),
+                "values": {name: {"type": t, "data": v}
+                           for name, (t, v) in sorted(node.values.items())},
+            })
+
+    def op_dump(self, request: Request) -> Response:
+        key_path = request.fields.get("key", "")
+        try:
+            tree = self.dump_subtree(key_path)
+        except KeyError:
+            return Response.failure(f"key not found: {key_path}")
+        return Response(fields={"tree": tree,
+                                "change_count": self.change_count})

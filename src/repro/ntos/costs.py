@@ -1,0 +1,128 @@
+"""The calibrated cost model for the simulated testbed.
+
+All values are virtual microseconds (or µs per byte) chosen to sit in
+the plausible range for the paper's hardware — Windows NT 4 on a
+300 MHz Pentium II with 100 Mbps Fast Ethernet — and then lightly tuned
+so the simulated Figure 6 endpoints land near the paper's printed axes.
+The *relative* results (process ≫ thread ≫ DLL, network > disk >
+memory, read > write) do not depend on fine tuning: they fall out of
+how many syscalls, copies and context switches each strategy's critical
+path contains.
+
+Sources for the ballparks: NT-era microbenchmark literature (lmbench on
+P6-class machines) puts a null syscall at ~2-4 µs, a process context
+switch at ~10-20 µs, pipe latency at ~20-60 µs round trip, memcpy
+bandwidth around 80-150 MB/s, and small-message UDP/TCP round trips on
+100 Mbps Ethernet at ~150-300 µs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Virtual-time costs charged by the simulated kernel's primitives."""
+
+    # -- CPU / kernel crossings --------------------------------------------------
+    #: Entering and leaving the kernel for one system call.
+    syscall_us: float = 3.0
+    #: Switching between threads of one process.
+    thread_switch_us: float = 6.0
+    #: Switching between threads of different processes (address-space
+    #: change, TLB effects).
+    process_switch_us: float = 14.0
+    #: Fixed cost of a user-level procedure call through a rebound IAT
+    #: entry (the DLL-only diversion) — "only a very thin layer of code".
+    stub_call_us: float = 0.35
+    #: CreateThread (NT-era: object + stack + scheduler insertion).
+    thread_create_us: float = 90.0
+    #: CreateProcess (address space, image load amortized) — why the
+    #: per-open sentinel launch is the process strategies' hidden tax.
+    process_create_us: float = 2000.0
+
+    # -- memory -------------------------------------------------------------------
+    #: One user-level memcpy, per byte (~100 MB/s on a PII).
+    memcpy_us_per_byte: float = 0.010
+    #: Crossing user/kernel during pipe I/O copies the buffer twice as
+    #: expensively (cache-cold kernel buffers).
+    kernel_copy_us_per_byte: float = 0.014
+
+    # -- kernel objects --------------------------------------------------------------
+    #: Signalling or resetting an event (SetEvent/ResetEvent syscalls).
+    event_signal_us: float = 3.5
+    #: A blocking wait that actually parks the thread (WaitForSingleObject).
+    event_wait_us: float = 4.0
+    #: Fixed per-operation overhead of a pipe read or write, on top of
+    #: the syscall and the per-byte copies.
+    pipe_op_us: float = 11.0
+    #: Capacity of an anonymous pipe's in-kernel buffer (NT-era default
+    #: was small; 4 KiB makes writers throttle at the consumer's
+    #: bandwidth, which the Write curves rely on).
+    pipe_capacity: int = 4096
+
+    # -- storage ---------------------------------------------------------------------
+    #: Fixed overhead of one ReadFile hitting the filesystem (buffer-
+    #: cache lookup, FS code path) beyond the bare syscall.
+    disk_read_op_us: float = 60.0
+    #: Per-byte cost of file reads (cache misses amortized over the
+    #: 1000-call scan — reads are the slow direction).
+    disk_read_us_per_byte: float = 0.25
+    #: Fixed overhead of one WriteFile (write-behind: data lands in the
+    #: buffer cache and the lazy writer flushes asynchronously).
+    disk_write_op_us: float = 20.0
+    #: Per-byte cost of cached file writes (≈ a kernel-side copy).
+    disk_write_us_per_byte: float = 0.03
+
+    # -- network ---------------------------------------------------------------------
+    #: One-way small-message latency through the protocol stack and wire.
+    net_latency_us: float = 90.0
+    #: 100 Mbps Fast Ethernet = 12.5 bytes/µs -> 0.08 µs per byte.
+    net_us_per_byte: float = 0.08
+    #: Server-side processing per request at the remote source.
+    server_us: float = 25.0
+
+    def tuned(self, **overrides: float) -> "CostModel":
+        """A copy with some parameters replaced (for ablations)."""
+        return replace(self, **overrides)
+
+    @classmethod
+    def modern(cls) -> "CostModel":
+        """A 2020s-laptop regime (for robustness ablations).
+
+        Roughly 20-50x faster CPU-side primitives, ~100x faster memcpy,
+        10 GbE networking and NVMe-class storage.  The paper's relative
+        claims must survive this recalibration — they depend on the
+        *structure* of each strategy's critical path, not the constants.
+        """
+        return cls(
+            syscall_us=0.15,
+            thread_switch_us=1.2,
+            process_switch_us=2.5,
+            stub_call_us=0.01,
+            thread_create_us=8.0,
+            process_create_us=250.0,
+            memcpy_us_per_byte=0.0001,
+            kernel_copy_us_per_byte=0.00015,
+            event_signal_us=0.2,
+            event_wait_us=0.25,
+            pipe_op_us=0.6,
+            pipe_capacity=65536,
+            disk_read_op_us=6.0,
+            disk_read_us_per_byte=0.0015,
+            disk_write_op_us=2.0,
+            disk_write_us_per_byte=0.0005,
+            net_latency_us=12.0,
+            net_us_per_byte=0.0008,   # 10 Gb/s
+            server_us=2.0,
+        )
+
+    def net_transfer_us(self, nbytes: int) -> float:
+        """One-way network cost of an *nbytes* message."""
+        return self.net_latency_us + nbytes * self.net_us_per_byte
+
+    def switch_us(self, same_process: bool) -> float:
+        return self.thread_switch_us if same_process else self.process_switch_us

@@ -1,0 +1,177 @@
+r"""An NTFS-flavoured filesystem with named streams and disk costs.
+
+Two roles:
+
+* **packaging** — Appendix A: "Both are saved as (passive) files,
+  relying on NTFS streams capability to package them as a single data
+  file".  A file here is a dictionary of named streams; the unnamed
+  stream is the regular contents, and active files store their
+  executable reference under ``:active`` next to the data in the
+  unnamed stream.  Copy/rename move all streams at once.
+
+* **cost model** — file reads and writes charge the syscall, a fixed
+  filesystem operation cost and a per-byte transfer cost; this is the
+  backing of the paper's path 2 ("the sentinel interacts with its local
+  file").
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["NTFileSystem", "NTFile"]
+
+#: The default (anonymous) stream, like NTFS's unnamed data stream.
+DEFAULT_STREAM = ""
+
+
+def split_stream(path: str) -> tuple[str, str]:
+    """Split ``name:stream`` NTFS syntax into (name, stream)."""
+    if ":" in path:
+        name, _, stream = path.partition(":")
+        return name, stream
+    return path, DEFAULT_STREAM
+
+
+class NTFile:
+    """An open handle onto one stream of one file."""
+
+    def __init__(self, fs: "NTFileSystem", name: str, stream: str) -> None:
+        self.fs = fs
+        self.name = name
+        self.stream = stream
+        self.position = 0
+        self.closed = False
+
+    def _body(self) -> ByteBuffer:
+        return self.fs._stream(self.name, self.stream)
+
+    def _charge_read(self, nbytes: int) -> None:
+        kernel = self.fs.kernel
+        kernel.syscall(kernel.costs.disk_read_op_us)
+        kernel.charge(nbytes * kernel.costs.disk_read_us_per_byte)
+
+    def _charge_write(self, nbytes: int) -> None:
+        kernel = self.fs.kernel
+        kernel.syscall(kernel.costs.disk_write_op_us)
+        kernel.charge(nbytes * kernel.costs.disk_write_us_per_byte)
+
+    def read(self, size: int) -> bytes:
+        if self.closed:
+            raise SimulationError(f"read on closed {self.name}")
+        data = self._body().read_at(self.position, size)
+        self._charge_read(len(data))
+        self.position += len(data)
+        return data
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        if self.closed:
+            raise SimulationError(f"read on closed {self.name}")
+        data = self._body().read_at(offset, size)
+        self._charge_read(len(data))
+        return data
+
+    def write(self, data: bytes) -> int:
+        if self.closed:
+            raise SimulationError(f"write on closed {self.name}")
+        self._charge_write(len(data))
+        written = self._body().write_at(self.position, data)
+        self.position += written
+        return written
+
+    def write_at(self, offset: int, data: bytes) -> int:
+        if self.closed:
+            raise SimulationError(f"write on closed {self.name}")
+        self._charge_write(len(data))
+        return self._body().write_at(offset, data)
+
+    def seek(self, offset: int) -> int:
+        self.position = offset
+        return offset
+
+    def size(self) -> int:
+        self.fs.kernel.syscall()  # GetFileSize is a cheap metadata call
+        return self._body().size
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class NTFileSystem:
+    """The volume: named files, each a dict of streams."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._files: dict[str, dict[str, ByteBuffer]] = {}
+
+    # -- namespace ---------------------------------------------------------------
+
+    def _stream(self, name: str, stream: str) -> ByteBuffer:
+        try:
+            return self._files[name][stream]
+        except KeyError:
+            raise SimulationError(f"no such file/stream: {name}:{stream}") \
+                from None
+
+    def create(self, path: str, contents: bytes = b"") -> None:
+        """Create a file (or one of its streams)."""
+        name, stream = split_stream(path)
+        streams = self._files.setdefault(name, {})
+        streams[stream] = ByteBuffer(contents)
+
+    def exists(self, path: str) -> bool:
+        name, stream = split_stream(path)
+        return name in self._files and stream in self._files[name]
+
+    def streams_of(self, name: str) -> list[str]:
+        if name not in self._files:
+            raise SimulationError(f"no such file: {name}")
+        return sorted(self._files[name])
+
+    def open(self, path: str, create: bool = False) -> NTFile:
+        name, stream = split_stream(path)
+        if create and not self.exists(path):
+            self.create(path)
+        self.kernel.syscall(self.kernel.costs.disk_read_op_us)  # open touches FS
+        self._stream(name, stream)  # existence check
+        return NTFile(self, name, stream)
+
+    def read_whole(self, path: str) -> bytes:
+        """Metadata-ish helper without positional bookkeeping (charged)."""
+        name, stream = split_stream(path)
+        body = self._stream(name, stream)
+        self.kernel.syscall(self.kernel.costs.disk_read_op_us)
+        self.kernel.charge(body.size * self.kernel.costs.disk_read_us_per_byte)
+        return body.getvalue()
+
+    # -- directory operations (move all streams together) -------------------------
+
+    def copy(self, source: str, destination: str) -> None:
+        """Copy a file with *all* its streams (the paper's §2.1 property)."""
+        if source not in self._files:
+            raise SimulationError(f"no such file: {source}")
+        total = sum(body.size for body in self._files[source].values())
+        self.kernel.syscall(self.kernel.costs.disk_read_op_us)
+        self.kernel.charge(total * (self.kernel.costs.disk_read_us_per_byte
+                                    + self.kernel.costs.disk_write_us_per_byte))
+        self._files[destination] = {
+            stream: ByteBuffer(body.getvalue())
+            for stream, body in self._files[source].items()
+        }
+
+    def rename(self, source: str, destination: str) -> None:
+        if source not in self._files:
+            raise SimulationError(f"no such file: {source}")
+        self.kernel.syscall(self.kernel.costs.disk_read_op_us)
+        self._files[destination] = self._files.pop(source)
+
+    def delete(self, name: str) -> None:
+        if name not in self._files:
+            raise SimulationError(f"no such file: {name}")
+        self.kernel.syscall(self.kernel.costs.disk_read_op_us)
+        del self._files[name]
+
+    def listdir(self) -> list[str]:
+        return sorted(self._files)

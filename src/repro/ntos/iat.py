@@ -1,0 +1,72 @@
+"""Import address tables and the mediating-connectors toolkit.
+
+Appendix A: "At compile time, the linker constructs an import address
+table (IAT) for the process, which becomes the target for all API
+calls ... We manipulate the import table of a running process, so that
+it can use active files."
+
+Each simulated process owns an :class:`ImportAddressTable` mapping API
+names to callables.  :func:`mediate` rebinds an entry to a wrapper that
+receives the original binding — exactly the Detours/Mediating-Connectors
+interposition shape — and :func:`inject_dll` is the bulk form used when
+an active file open injects the stub DLL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["ImportAddressTable", "mediate", "inject_dll"]
+
+
+class ImportAddressTable:
+    """One process's API-name -> implementation bindings."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Callable] = {}
+        #: Names that have been rebound at least once (telemetry).
+        self.mediated: set[str] = set()
+
+    def bind(self, name: str, fn: Callable) -> None:
+        """Initial (load-time) binding of an API entry."""
+        self._entries[name] = fn
+
+    def lookup(self, name: str) -> Callable:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise SimulationError(f"unresolved import: {name}") from None
+
+    def call(self, name: str, *args, **kwargs):
+        """Call through the table — the application's only call path."""
+        return self.lookup(name)(*args, **kwargs)
+
+    def rebind(self, name: str, fn: Callable) -> Callable:
+        """Replace an entry; returns the previous binding."""
+        previous = self.lookup(name)
+        self._entries[name] = fn
+        self.mediated.add(name)
+        return previous
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+
+def mediate(iat: ImportAddressTable, name: str,
+            wrapper_factory: Callable[[Callable], Callable]) -> None:
+    """Rebind *name* to ``wrapper_factory(original)``.
+
+    The factory receives the original binding so the wrapper can fall
+    through for non-active files, like the paper's stubs do.
+    """
+    original = iat.lookup(name)
+    iat.rebind(name, wrapper_factory(original))
+
+
+def inject_dll(iat: ImportAddressTable,
+               stubs: dict[str, Callable[[Callable], Callable]]) -> None:
+    """Inject a stub DLL: mediate every entry in *stubs* at once."""
+    for name, factory in stubs.items():
+        mediate(iat, name, factory)

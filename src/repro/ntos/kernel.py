@@ -1,0 +1,334 @@
+"""The virtual-time cooperative kernel.
+
+Simulated threads are carried by real Python threads, but *exactly one*
+is ever runnable: every blocking primitive hands the CPU to the next
+ready thread (charging a context switch) and parks the caller on a
+private condition variable.  Time is a virtual microsecond clock that
+only moves when a primitive charges it or when the scheduler jumps to
+the next timer while everything is blocked.
+
+The design invariants (tested in ``tests/ntos``):
+
+* single-runnable — at most one simulated thread executes between
+  handoffs;
+* monotonic clock — ``kernel.now`` never decreases;
+* determinism — FIFO ready queue + sequence-numbered timers, no wall
+  clock, no RNG: identical programs produce identical schedules and
+  identical final clocks;
+* deadlock detection — if every thread is blocked and no timer is
+  pending, the kernel raises :class:`~repro.errors.DeadlockError`
+  instead of hanging the host process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Callable
+
+from repro.errors import DeadlockError, SimulationError
+from repro.ntos.costs import CostModel
+
+__all__ = ["Kernel", "SimProcess", "SimThread"]
+
+
+class SimProcess:
+    """A simulated address space; threads of one process switch cheaply."""
+
+    def __init__(self, kernel: "Kernel", name: str, pid: int) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.pid = pid
+        self.threads: list["SimThread"] = []
+        #: Import address table; populated lazily by the win32 veneer.
+        self.iat = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimProcess({self.name!r}, pid={self.pid})"
+
+
+class SimThread:
+    """A simulated thread carried by one (parked) real Python thread."""
+
+    def __init__(self, kernel: "Kernel", process: SimProcess,
+                 target: Callable[[], None], name: str, tid: int) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.name = name
+        self.tid = tid
+        self.target = target
+        self.finished = False
+        self.blocked_on: str | None = None
+        #: Threads blocked in join() on this thread.
+        self.joiners: list["SimThread"] = []
+        #: Virtual µs of CPU charged while this thread was current.
+        self.cpu_us = 0.0
+        self._turn = threading.Condition()
+        self._can_run = False
+        self._carrier = threading.Thread(target=self._main, name=name,
+                                         daemon=True)
+
+    # -- carrier-thread machinery -------------------------------------------------
+
+    def _main(self) -> None:
+        self._await_turn()
+        try:
+            if self.kernel._failure is None:
+                self.target()
+        except DeadlockError:
+            pass  # already recorded by the scheduler
+        except BaseException as exc:  # propagate to the host thread
+            self.kernel._record_failure(exc)
+        finally:
+            self.kernel._thread_exit(self)
+
+    def _await_turn(self) -> None:
+        with self._turn:
+            while not self._can_run:
+                self._turn.wait()
+            self._can_run = False
+
+    def _resume(self) -> None:
+        with self._turn:
+            self._can_run = True
+            self._turn.notify()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else (self.blocked_on or "ready")
+        return f"SimThread({self.name!r}, {state})"
+
+
+class Kernel:
+    """Scheduler, virtual clock and accounting for one simulation run."""
+
+    def __init__(self, costs: CostModel | None = None) -> None:
+        self.costs = costs or CostModel()
+        self.now = 0.0
+        self.current: SimThread | None = None
+        self._ready: deque[SimThread] = deque()
+        self._timers: list[tuple[float, int, Callable[[], None]]] = []
+        self._timer_seq = itertools.count()
+        self._pid_seq = itertools.count(4, 4)
+        self._tid_seq = itertools.count(100, 4)
+        self._live = 0
+        self._threads: list[SimThread] = []
+        self._done = threading.Condition()
+        self._failure: BaseException | None = None
+        # accounting
+        self.context_switches = 0
+        self.process_switches = 0
+        self.syscalls = 0
+        self.started = False
+
+    # -- construction ---------------------------------------------------------------
+
+    def create_process(self, name: str) -> SimProcess:
+        self.charge_if_running(self.costs.process_create_us)
+        return SimProcess(self, name, next(self._pid_seq))
+
+    def create_thread(self, process: SimProcess, target: Callable[[], None],
+                      name: str = "") -> SimThread:
+        """Create a thread; it becomes ready immediately (NT semantics)."""
+        self.charge_if_running(self.costs.thread_create_us)
+        tid = next(self._tid_seq)
+        thread = SimThread(self, process, target,
+                           name or f"{process.name}:t{tid}", tid)
+        process.threads.append(thread)
+        self._threads.append(thread)
+        self._live += 1
+        self._ready.append(thread)
+        thread._carrier.start()
+        return thread
+
+    # -- time ------------------------------------------------------------------------
+
+    def charge(self, microseconds: float) -> None:
+        """Advance the clock: the current thread spent this much CPU."""
+        if microseconds < 0:
+            raise SimulationError("cannot charge negative time")
+        self.now += microseconds
+        if self.current is not None:
+            self.current.cpu_us += microseconds
+
+    def cpu_by_process(self) -> dict[str, float]:
+        """Aggregate charged CPU per process name (analysis helper)."""
+        totals: dict[str, float] = {}
+        for thread in self._threads:
+            name = thread.process.name
+            totals[name] = totals.get(name, 0.0) + thread.cpu_us
+        return totals
+
+    def charge_if_running(self, microseconds: float) -> None:
+        """Charge only when a simulated thread is executing (creation
+        from the host thread during setup is free)."""
+        if self.current is not None:
+            self.charge(microseconds)
+
+    def syscall(self, extra_us: float = 0.0) -> None:
+        """Charge one kernel crossing (plus *extra_us* of kernel work)."""
+        self.syscalls += 1
+        self.charge(self.costs.syscall_us + extra_us)
+
+    def at(self, deadline_us: float, callback: Callable[[], None]) -> None:
+        """Run *callback* when the clock reaches *deadline_us*."""
+        heapq.heappush(self._timers, (deadline_us, next(self._timer_seq),
+                                      callback))
+
+    # -- scheduling core ----------------------------------------------------------------
+
+    def _pick_next(self, blocking: SimThread | None) -> SimThread | None:
+        """Next ready thread, advancing the clock over timers if needed.
+
+        Returns ``None`` only when no thread exists to run and no timer
+        can create one — the caller decides whether that is normal
+        termination or deadlock.
+        """
+        while True:
+            if self._ready:
+                return self._ready.popleft()
+            if self._timers:
+                deadline, _, callback = heapq.heappop(self._timers)
+                if deadline > self.now:
+                    self.now = deadline
+                callback()
+                continue
+            return None
+
+    def _handoff(self, me: SimThread, make_me_ready: bool,
+                 reason: str = "") -> None:
+        """Give up the CPU; return when scheduled again."""
+        if self.current is not me:
+            raise SimulationError(
+                f"{me.name} tried to hand off while {self.current} runs"
+            )
+        if make_me_ready:
+            self._ready.append(me)
+        else:
+            me.blocked_on = reason or "blocked"
+        nxt = self._pick_next(blocking=me)
+        if nxt is me:
+            me.blocked_on = None
+            return  # sole runnable thread: keep going, no switch cost
+        if nxt is None:
+            self._record_failure(DeadlockError(
+                f"all threads blocked ({me.name} on "
+                f"{reason or 'unknown'}) with no pending timers"
+            ))
+            raise self._failure  # unwind this carrier thread
+        self._switch_to(nxt, from_thread=me)
+        me._await_turn()
+        me.blocked_on = None
+        if self._failure is not None:
+            raise self._failure
+
+    def _switch_to(self, nxt: SimThread, from_thread: SimThread | None) -> None:
+        self.context_switches += 1
+        same = (from_thread is not None
+                and nxt.process is from_thread.process)
+        if not same:
+            self.process_switches += 1
+        if from_thread is not None:
+            self.charge(self.costs.switch_us(same))
+        self.current = nxt
+        nxt._resume()
+
+    # -- public scheduling primitives --------------------------------------------------
+
+    def yield_cpu(self) -> None:
+        """Voluntarily reschedule (stay ready)."""
+        self._handoff(self.current, make_me_ready=True)
+
+    def block(self, reason: str) -> None:
+        """Park the current thread; someone must :meth:`wake` it."""
+        self._handoff(self.current, make_me_ready=False, reason=reason)
+
+    def wake(self, thread: SimThread) -> None:
+        """Make a blocked thread ready (runs when its turn comes)."""
+        if thread.finished:
+            raise SimulationError(f"cannot wake finished thread {thread.name}")
+        self._ready.append(thread)
+
+    def sleep(self, duration_us: float) -> None:
+        """Block the current thread for *duration_us* of virtual time."""
+        me = self.current
+        self.at(self.now + duration_us, lambda: self.wake(me))
+        self.block(f"sleep({duration_us})")
+
+    def join(self, thread: SimThread) -> None:
+        """Block until *thread* finishes (WaitForSingleObject on a thread)."""
+        if thread is self.current:
+            raise SimulationError(f"{thread.name} cannot join itself")
+        self.syscall(self.costs.event_wait_us)
+        if thread.finished:
+            return
+        thread.joiners.append(self.current)
+        self.block(f"join({thread.name})")
+
+    def join_all(self, threads) -> None:
+        """WaitForMultipleObjects(..., TRUE, INFINITE) over threads."""
+        for thread in threads:
+            self.join(thread)
+
+    def _thread_exit(self, thread: SimThread) -> None:
+        thread.finished = True
+        for joiner in thread.joiners:
+            self._ready.append(joiner)
+        thread.joiners.clear()
+        with self._done:
+            self._live -= 1
+            if self._live == 0 or self._failure is not None:
+                self._done.notify_all()
+                if self._live == 0:
+                    return
+        if self._failure is not None:
+            return
+        nxt = self._pick_next(blocking=None)
+        if nxt is None:
+            self._record_failure(DeadlockError(
+                f"{thread.name} exited leaving only blocked threads"
+            ))
+            return
+        self._switch_to(nxt, from_thread=thread)
+
+    def _record_failure(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+        with self._done:
+            self._done.notify_all()
+        # wake every parked carrier so it can observe the failure and
+        # unwind (they check self._failure when resumed)
+        for thread in self._threads:
+            if not thread.finished:
+                thread._resume()
+
+    # -- running ---------------------------------------------------------------------------
+
+    def run(self) -> float:
+        """Start scheduling and block (host thread) until completion.
+
+        Returns the final virtual clock in microseconds.  Re-raises any
+        failure (including deadlock) detected during the run.
+        """
+        if self.started:
+            raise SimulationError("kernel already ran; create a fresh one")
+        self.started = True
+        if not self._ready:
+            return self.now
+        first = self._ready.popleft()
+        self.current = first
+        first._resume()
+        with self._done:
+            while self._live > 0 and self._failure is None:
+                self._done.wait()
+        if self._failure is not None:
+            raise self._failure
+        return self.now
+
+    def run_program(self, main: Callable[[], None],
+                    process_name: str = "main") -> float:
+        """Convenience: one process, one thread running *main*, then run."""
+        process = self.create_process(process_name)
+        self.create_thread(process, main, name=f"{process_name}:main")
+        return self.run()

@@ -1,0 +1,160 @@
+"""The NIC and wire model — path 1's remote information source.
+
+A :class:`RemoteHost` stands for one machine across the 100 Mbps Fast
+Ethernet link.  Two interaction shapes cover what the paper's sentinels
+do:
+
+* :meth:`RemoteHost.request` — a blocking RPC: send a request, the
+  server processes it, the response comes back.  The caller's simulated
+  thread parks for the whole round trip (other threads may run — that
+  overlap is what lets write streaming "hide some of the latency").
+* :meth:`RemoteHost.send` — a one-way update message ("sends an update
+  message to the remote service"): the caller pays the local send cost
+  (serialization onto the wire) and continues; delivery completes via a
+  timer.
+
+A bounded number of in-flight one-way messages models the transmit
+queue: once it is full, further sends block until the wire drains —
+the bandwidth restriction the Write curves measure.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel, SimThread
+
+__all__ = ["NetDevice", "RemoteHost"]
+
+
+class NetDevice:
+    """The local NIC: serializes outbound messages one at a time."""
+
+    def __init__(self, kernel: Kernel, queue_limit: int = 8) -> None:
+        self.kernel = kernel
+        self.queue_limit = queue_limit
+        self._in_flight = 0
+        self._blocked_senders: deque[SimThread] = deque()
+        #: Virtual time at which the transmitter becomes free.
+        self._tx_free_at = 0.0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def _tx_time(self, nbytes: int) -> float:
+        """Wire occupancy of one message (serialization only)."""
+        return nbytes * self.kernel.costs.net_us_per_byte
+
+    def transmit(self, nbytes: int, on_delivered: Callable[[], None],
+                 block_until_sent: bool = False) -> None:
+        """Queue one message; *on_delivered* fires at the receiver.
+
+        The caller is charged the protocol-stack cost synchronously and
+        blocks if the transmit queue is full.  With *block_until_sent*
+        the caller additionally waits until the message has left the
+        wire (a send through a small socket buffer), which is how the
+        sentinel's synchronous update messages behave.
+        """
+        kernel = self.kernel
+        while self._in_flight >= self.queue_limit:
+            self._blocked_senders.append(kernel.current)
+            kernel.block("nic-queue-full")
+        # protocol stack work (buffer handoff into the driver)
+        kernel.syscall(nbytes * kernel.costs.kernel_copy_us_per_byte)
+        start = max(kernel.now, self._tx_free_at)
+        done = start + self._tx_time(nbytes)
+        self._tx_free_at = done
+        self._in_flight += 1
+        self.messages_sent += 1
+        self.bytes_sent += nbytes
+        delivered_at = done + kernel.costs.net_latency_us
+
+        def arrive() -> None:
+            self._in_flight -= 1
+            while self._blocked_senders and self._in_flight < self.queue_limit:
+                kernel.wake(self._blocked_senders.popleft())
+            on_delivered()
+
+        kernel.at(delivered_at, arrive)
+        if block_until_sent and done > kernel.now:
+            me = kernel.current
+            state = {"sent": False}
+
+            def wire_clear() -> None:
+                state["sent"] = True
+                kernel.wake(me)
+
+            kernel.at(done, wire_clear)
+            while not state["sent"]:
+                kernel.block("nic-wire-busy")
+
+
+class RemoteHost:
+    """One remote machine reachable through the local NIC."""
+
+    def __init__(self, kernel: Kernel, nic: NetDevice, name: str = "") -> None:
+        self.kernel = kernel
+        self.nic = nic
+        self.name = name or "remote"
+        self.requests = 0
+        self.one_way_messages = 0
+
+    def request(self, request_bytes: int, response_bytes: int,
+                server_us: float | None = None) -> None:
+        """Blocking RPC round trip; returns when the response arrived."""
+        kernel = self.kernel
+        if server_us is None:
+            server_us = kernel.costs.server_us
+        me = kernel.current
+        state = {"responded": False}
+
+        def response_arrived() -> None:
+            state["responded"] = True
+            kernel.wake(me)
+
+        def request_arrived() -> None:
+            # server processes, then the response crosses the wire back;
+            # response NIC is the server's, modelled with the same params
+            response_at = (kernel.now + server_us
+                           + self.nic._tx_time(response_bytes)
+                           + kernel.costs.net_latency_us)
+            kernel.at(response_at, response_arrived)
+
+        self.requests += 1
+        self.nic.transmit(request_bytes, request_arrived)
+        while not state["responded"]:
+            kernel.block(f"rpc({self.name})")
+        # response delivery into our buffers
+        kernel.syscall(response_bytes * kernel.costs.kernel_copy_us_per_byte)
+
+    def send(self, nbytes: int, blocking: bool = False) -> None:
+        """One-way update message.
+
+        Non-blocking (default): returns once the NIC queued it.
+        Blocking: returns once the message has left the wire — the
+        shape of a sentinel's synchronous update send through a small
+        socket buffer.
+        """
+        self.one_way_messages += 1
+        self.nic.transmit(nbytes, lambda: None, block_until_sent=blocking)
+
+    def drain(self) -> None:
+        """Block until every queued one-way message is delivered."""
+        kernel = self.kernel
+        if self.nic._in_flight == 0:
+            return
+        me = kernel.current
+        state = {"done": False}
+
+        def check() -> None:
+            if self.nic._in_flight == 0:
+                state["done"] = True
+                kernel.wake(me)
+            else:
+                kernel.at(kernel.now + 1.0, check)
+
+        kernel.at(kernel.now + 1.0, check)
+        while not state["done"]:
+            kernel.block("nic-drain")
+

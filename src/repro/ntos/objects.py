@@ -1,0 +1,128 @@
+"""Dispatcher objects: events, semaphores, mutexes.
+
+These are the NT synchronization primitives the paper's thread-based
+implementation builds its shared-memory channel from ("these 'messages'
+are implemented using events and shared memory").  Waits and signals
+charge syscall-ish costs from the :class:`~repro.ntos.costs.CostModel`;
+blocking waits park the simulated thread on the kernel.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel, SimThread
+
+__all__ = ["KEvent", "KSemaphore", "KMutex"]
+
+
+class KEvent:
+    """An NT event object (manual- or auto-reset)."""
+
+    def __init__(self, kernel: Kernel, manual_reset: bool = False,
+                 signaled: bool = False, name: str = "") -> None:
+        self.kernel = kernel
+        kernel.charge_if_running(kernel.costs.event_signal_us)
+        self.manual_reset = manual_reset
+        self.signaled = signaled
+        self.name = name or "event"
+        self._waiters: deque[SimThread] = deque()
+
+    def set(self) -> None:
+        """SetEvent: release one waiter (auto) or all waiters (manual)."""
+        self.kernel.syscall(self.kernel.costs.event_signal_us)
+        if self._waiters:
+            if self.manual_reset:
+                self.signaled = True
+                while self._waiters:
+                    self.kernel.wake(self._waiters.popleft())
+            else:
+                # auto-reset with a waiter: hand the signal straight over
+                self.kernel.wake(self._waiters.popleft())
+        else:
+            self.signaled = True
+
+    def reset(self) -> None:
+        self.kernel.syscall(self.kernel.costs.event_signal_us)
+        self.signaled = False
+
+    def wait(self) -> None:
+        """WaitForSingleObject."""
+        self.kernel.syscall(self.kernel.costs.event_wait_us)
+        if self.signaled:
+            if not self.manual_reset:
+                self.signaled = False
+            return
+        self._waiters.append(self.kernel.current)
+        self.kernel.block(f"wait({self.name})")
+
+
+class KSemaphore:
+    """An NT semaphore."""
+
+    def __init__(self, kernel: Kernel, initial: int = 0,
+                 name: str = "") -> None:
+        if initial < 0:
+            raise SimulationError("semaphore count cannot be negative")
+        self.kernel = kernel
+        self.count = initial
+        self.name = name or "semaphore"
+        self._waiters: deque[SimThread] = deque()
+
+    def release(self, count: int = 1) -> None:
+        self.kernel.syscall(self.kernel.costs.event_signal_us)
+        for _ in range(count):
+            if self._waiters:
+                self.kernel.wake(self._waiters.popleft())
+            else:
+                self.count += 1
+
+    def acquire(self) -> None:
+        self.kernel.syscall(self.kernel.costs.event_wait_us)
+        if self.count > 0:
+            self.count -= 1
+            return
+        self._waiters.append(self.kernel.current)
+        self.kernel.block(f"acquire({self.name})")
+
+
+class KMutex:
+    """An NT mutex (owned, non-recursive here for simplicity)."""
+
+    def __init__(self, kernel: Kernel, name: str = "") -> None:
+        self.kernel = kernel
+        self.name = name or "mutex"
+        self.owner: SimThread | None = None
+        self._waiters: deque[SimThread] = deque()
+
+    def acquire(self) -> None:
+        self.kernel.syscall(self.kernel.costs.event_wait_us)
+        me = self.kernel.current
+        if self.owner is None:
+            self.owner = me
+            return
+        if self.owner is me:
+            raise SimulationError(f"recursive acquire of {self.name}")
+        self._waiters.append(me)
+        self.kernel.block(f"acquire({self.name})")
+        # ownership was transferred to us by release()
+
+    def release(self) -> None:
+        self.kernel.syscall(self.kernel.costs.event_signal_us)
+        if self.owner is not self.kernel.current:
+            raise SimulationError(
+                f"{self.kernel.current} released {self.name} it does not own"
+            )
+        if self._waiters:
+            self.owner = self._waiters.popleft()
+            self.kernel.wake(self.owner)
+        else:
+            self.owner = None
+
+    def __enter__(self) -> "KMutex":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

@@ -1,0 +1,119 @@
+"""Anonymous pipes with kernel-crossing costs.
+
+Pipes are the transport of both process-based strategies.  Their cost
+structure is exactly why those strategies are slow: every operation is
+a system call, and "file data is ... copied from user space to kernel
+space and then to user space" — one kernel copy on write, one on read,
+each charged per byte, plus fixed pipe bookkeeping.
+
+A bounded in-kernel buffer provides the flow control the evaluation
+relies on for writes: "writes are issued without waiting for their
+completion", so a fast writer eventually fills the pipe and runs at the
+consumer's bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel, SimThread
+
+__all__ = ["KPipe"]
+
+
+class KPipe:
+    """A unidirectional anonymous pipe."""
+
+    def __init__(self, kernel: Kernel, capacity: int | None = None,
+                 name: str = "") -> None:
+        self.kernel = kernel
+        kernel.charge_if_running(kernel.costs.syscall_us
+                                 + kernel.costs.pipe_op_us)
+        self.capacity = capacity or kernel.costs.pipe_capacity
+        self.name = name or "pipe"
+        self._buffer = bytearray()
+        self._read_closed = False
+        self._write_closed = False
+        self._readers: deque[SimThread] = deque()
+        self._writers: deque[SimThread] = deque()
+        self.bytes_transferred = 0
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _charge_op(self, nbytes: int) -> None:
+        self.kernel.syscall(self.kernel.costs.pipe_op_us)
+        self.kernel.charge(nbytes * self.kernel.costs.kernel_copy_us_per_byte)
+
+    def _wake_all(self, queue: deque[SimThread]) -> None:
+        while queue:
+            self.kernel.wake(queue.popleft())
+
+    # -- write side -------------------------------------------------------------------
+
+    def write(self, data: bytes) -> int:
+        """Write all of *data*, blocking while the pipe is full."""
+        if self._write_closed:
+            raise SimulationError(f"write on closed {self.name}")
+        remaining = memoryview(bytes(data))
+        total = len(remaining)
+        while len(remaining):
+            if self._read_closed:
+                raise SimulationError(f"{self.name}: read end closed (EPIPE)")
+            space = self.capacity - len(self._buffer)
+            if space == 0:
+                self._writers.append(self.kernel.current)
+                self.kernel.block(f"pipe-full({self.name})")
+                continue
+            chunk = remaining[:space]
+            self._charge_op(len(chunk))
+            self._buffer.extend(chunk)
+            self.bytes_transferred += len(chunk)
+            remaining = remaining[len(chunk):]
+            self._wake_all(self._readers)
+        return total
+
+    def close_write(self) -> None:
+        self._write_closed = True
+        self._wake_all(self._readers)
+
+    # -- read side ---------------------------------------------------------------------
+
+    def read(self, size: int) -> bytes:
+        """Read up to *size* bytes; blocks while empty; b'' at EOF."""
+        if self._read_closed:
+            raise SimulationError(f"read on closed {self.name}")
+        if size <= 0:
+            return b""
+        while not self._buffer:
+            if self._write_closed:
+                return b""
+            self._readers.append(self.kernel.current)
+            self.kernel.block(f"pipe-empty({self.name})")
+        chunk = bytes(self._buffer[:size])
+        del self._buffer[:size]
+        self._charge_op(len(chunk))
+        self._wake_all(self._writers)
+        return chunk
+
+    def read_exact(self, size: int) -> bytes:
+        """Read exactly *size* bytes; raises on EOF mid-read."""
+        pieces = []
+        remaining = size
+        while remaining:
+            chunk = self.read(remaining)
+            if not chunk:
+                raise SimulationError(
+                    f"{self.name}: EOF with {remaining} bytes outstanding"
+                )
+            pieces.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(pieces)
+
+    def close_read(self) -> None:
+        self._read_closed = True
+        self._wake_all(self._writers)
+
+    @property
+    def fill(self) -> int:
+        return len(self._buffer)

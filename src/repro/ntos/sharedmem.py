@@ -1,0 +1,50 @@
+"""Shared-memory sections.
+
+The DLL-with-thread strategy's data plane: "the data is passed using a
+shared memory buffer", so a transfer costs exactly one user-level
+memcpy — the paper's "only one user-level copy" advantage over pipes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.ntos.kernel import Kernel
+
+__all__ = ["SharedSection"]
+
+
+class SharedSection:
+    """A fixed-size mapped memory region."""
+
+    def __init__(self, kernel: Kernel, size: int, name: str = "") -> None:
+        if size <= 0:
+            raise SimulationError("shared section size must be positive")
+        self.kernel = kernel
+        kernel.charge_if_running(kernel.costs.syscall_us)
+        self.size = size
+        self.name = name or "section"
+        self._memory = bytearray(size)
+        #: Bytes meaningful in the section (set by the last copy_in).
+        self.used = 0
+
+    def copy_in(self, data: bytes, offset: int = 0) -> int:
+        """memcpy user buffer -> section; charges per byte."""
+        if offset + len(data) > self.size:
+            raise SimulationError(
+                f"{self.name}: copy_in of {len(data)}B at {offset} exceeds "
+                f"section size {self.size}"
+            )
+        self.kernel.charge(len(data) * self.kernel.costs.memcpy_us_per_byte)
+        self._memory[offset:offset + len(data)] = data
+        self.used = max(self.used, offset + len(data))
+        return len(data)
+
+    def copy_out(self, size: int, offset: int = 0) -> bytes:
+        """memcpy section -> user buffer; charges per byte."""
+        if offset + size > self.size:
+            raise SimulationError(
+                f"{self.name}: copy_out of {size}B at {offset} exceeds "
+                f"section size {self.size}"
+            )
+        self.kernel.charge(size * self.kernel.costs.memcpy_us_per_byte)
+        return bytes(self._memory[offset:offset + size])

@@ -1,0 +1,132 @@
+"""Execution tracing for the simulated kernel.
+
+A :class:`Tracer` records scheduler-level events — context switches,
+blocks, wakes, timer firings, syscalls — with their virtual timestamps,
+bounded to a maximum event count so tracing a long run cannot exhaust
+memory.  The timeline renderer turns a trace into the kind of
+critical-path narrative the paper's §6 walks through ("completing the
+read operation requires a thread in the sentinel process to receive the
+read request, copy the buffer, send a message, and context switch...").
+
+Usage::
+
+    kernel = Kernel()
+    tracer = Tracer.attach(kernel)
+    ... run ...
+    print(tracer.render_timeline())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.ntos.kernel import Kernel
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler-level event."""
+
+    at_us: float
+    kind: str           # "switch" | "block" | "wake" | "exit" | "spawn"
+    thread: str
+    detail: str = ""
+
+
+class Tracer:
+    """Bounded recorder of kernel scheduling events.
+
+    Attaching wraps the kernel's scheduling entry points; detaching (or
+    hitting the bound) restores them.  The kernel itself stays
+    trace-agnostic.
+    """
+
+    def __init__(self, kernel: Kernel, max_events: int = 100_000) -> None:
+        self.kernel = kernel
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+        self._originals: dict[str, Any] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def _record(self, kind: str, thread: str, detail: str = "") -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(at_us=self.kernel.now, kind=kind,
+                                      thread=thread, detail=detail))
+
+    @classmethod
+    def attach(cls, kernel: Kernel, max_events: int = 100_000) -> "Tracer":
+        tracer = cls(kernel, max_events)
+        tracer._originals = {
+            "_switch_to": kernel._switch_to,
+            "block": kernel.block,
+            "wake": kernel.wake,
+            "create_thread": kernel.create_thread,
+            "_thread_exit": kernel._thread_exit,
+        }
+
+        def traced_switch_to(nxt, from_thread):
+            source = from_thread.name if from_thread else "<scheduler>"
+            tracer._record("switch", nxt.name, f"from {source}")
+            return tracer._originals["_switch_to"](nxt, from_thread)
+
+        def traced_block(reason):
+            current = kernel.current.name if kernel.current else "?"
+            tracer._record("block", current, reason)
+            return tracer._originals["block"](reason)
+
+        def traced_wake(thread):
+            tracer._record("wake", thread.name)
+            return tracer._originals["wake"](thread)
+
+        def traced_create_thread(process, target, name=""):
+            thread = tracer._originals["create_thread"](process, target, name)
+            tracer._record("spawn", thread.name, f"in {process.name}")
+            return thread
+
+        def traced_thread_exit(thread):
+            tracer._record("exit", thread.name)
+            return tracer._originals["_thread_exit"](thread)
+
+        kernel._switch_to = traced_switch_to
+        kernel.block = traced_block
+        kernel.wake = traced_wake
+        kernel.create_thread = traced_create_thread
+        kernel._thread_exit = traced_thread_exit
+        return tracer
+
+    def detach(self) -> None:
+        for name, original in self._originals.items():
+            setattr(self.kernel, name, original)
+        self._originals = {}
+
+    # -- analysis ------------------------------------------------------------------
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)
+
+    def blocks_by_reason(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for event in self.events:
+            if event.kind == "block":
+                # collapse parametric reasons: "sleep(3.0)" -> "sleep"
+                reason = event.detail.split("(", 1)[0]
+                totals[reason] = totals.get(reason, 0) + 1
+        return totals
+
+    def render_timeline(self, limit: int = 50) -> str:
+        """A human-readable critical-path narrative."""
+        lines = [f"{'t (µs)':>10}  {'event':<7} {'thread':<28} detail"]
+        for event in self.events[:limit]:
+            lines.append(f"{event.at_us:>10.2f}  {event.kind:<7} "
+                         f"{event.thread:<28} {event.detail}")
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events"
+                         + (f" ({self.dropped} dropped)" if self.dropped else ""))
+        return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""The Win32 file API veneer over the simulated kernel.
+
+Applications in the simulation are "compiled with loose links": every
+file operation goes through the process's import address table, so the
+active-files stub DLL (:mod:`repro.afsim.stubs`) can divert them without
+the application changing — the Appendix A arrangement, executable.
+
+Only the file-flavoured subset the paper exercises is provided:
+``CreateFile``, ``ReadFile``, ``WriteFile``, ``SetFilePointer``,
+``GetFileSize``, ``CloseHandle``, plus ``CreateThread`` and
+``CreatePipe`` conveniences used by stubs and sentinels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.ntos.fs import NTFile, NTFileSystem
+from repro.ntos.iat import ImportAddressTable
+from repro.ntos.kernel import Kernel, SimProcess
+from repro.ntos.pipes import KPipe
+
+__all__ = ["Win32"]
+
+
+class Win32:
+    """One process's view of the Win32 API (calls go through its IAT)."""
+
+    def __init__(self, kernel: Kernel, process: SimProcess,
+                 fs: NTFileSystem) -> None:
+        self.kernel = kernel
+        self.process = process
+        self.fs = fs
+        self._handles: dict[int, object] = {}
+        self._refcounts: dict[int, int] = {}  # id(obj) -> open handles
+        self._next_handle = 4
+        if process.iat is None:
+            process.iat = ImportAddressTable()
+        self.iat = process.iat
+        self._bind_defaults()
+
+    # -- handle table -----------------------------------------------------------------
+
+    def _allocate(self, obj: object) -> int:
+        handle = self._next_handle
+        self._next_handle += 4
+        self._handles[handle] = obj
+        self._refcounts[id(obj)] = self._refcounts.get(id(obj), 0) + 1
+        return handle
+
+    def _get(self, handle: int) -> object:
+        try:
+            return self._handles[handle]
+        except KeyError:
+            raise SimulationError(f"invalid handle: {handle}") from None
+
+    def register_handle(self, obj: object) -> int:
+        """Allocate a (possibly fictitious) handle for stub-owned state."""
+        return self._allocate(obj)
+
+    def handle_object(self, handle: int) -> object:
+        return self._get(handle)
+
+    # -- default (kernel32) bindings -----------------------------------------------------
+
+    def _bind_defaults(self) -> None:
+        self.iat.bind("CreateFile", self._create_file)
+        self.iat.bind("ReadFile", self._read_file)
+        self.iat.bind("WriteFile", self._write_file)
+        self.iat.bind("SetFilePointer", self._set_file_pointer)
+        self.iat.bind("GetFileSize", self._get_file_size)
+        self.iat.bind("CloseHandle", self._close_handle)
+
+    def _create_file(self, path: str, create: bool = False) -> int:
+        return self._allocate(self.fs.open(path, create=create))
+
+    def _read_file(self, handle: int, size: int) -> bytes:
+        stream = self._get(handle)
+        if not isinstance(stream, NTFile):
+            raise SimulationError(f"ReadFile on non-file handle {handle}")
+        return stream.read(size)
+
+    def _write_file(self, handle: int, data: bytes) -> int:
+        stream = self._get(handle)
+        if not isinstance(stream, NTFile):
+            raise SimulationError(f"WriteFile on non-file handle {handle}")
+        return stream.write(data)
+
+    def _set_file_pointer(self, handle: int, offset: int) -> int:
+        stream = self._get(handle)
+        if not isinstance(stream, NTFile):
+            raise SimulationError(f"SetFilePointer on non-file handle {handle}")
+        self.kernel.syscall()
+        return stream.seek(offset)
+
+    def _get_file_size(self, handle: int) -> int:
+        stream = self._get(handle)
+        if not isinstance(stream, NTFile):
+            raise SimulationError(f"GetFileSize on non-file handle {handle}")
+        return stream.size()
+
+    def _close_handle(self, handle: int) -> None:
+        obj = self._handles.pop(handle, None)
+        if obj is None:
+            raise SimulationError(f"invalid handle: {handle}")
+        self.kernel.syscall()
+        # NT semantics: the object goes away with its *last* handle
+        remaining = self._refcounts.get(id(obj), 1) - 1
+        if remaining > 0:
+            self._refcounts[id(obj)] = remaining
+            return
+        self._refcounts.pop(id(obj), None)
+        close = getattr(obj, "close", None)
+        if callable(close):
+            close()
+
+    # -- application-facing API (through the IAT) --------------------------------------------
+
+    def CreateFile(self, path: str, create: bool = False) -> int:
+        return self.iat.call("CreateFile", path, create)
+
+    def ReadFile(self, handle: int, size: int) -> bytes:
+        return self.iat.call("ReadFile", handle, size)
+
+    def WriteFile(self, handle: int, data: bytes) -> int:
+        return self.iat.call("WriteFile", handle, data)
+
+    def SetFilePointer(self, handle: int, offset: int) -> int:
+        return self.iat.call("SetFilePointer", handle, offset)
+
+    def GetFileSize(self, handle: int) -> int:
+        return self.iat.call("GetFileSize", handle)
+
+    def CloseHandle(self, handle: int) -> None:
+        return self.iat.call("CloseHandle", handle)
+
+    # -- process/thread/pipe conveniences ----------------------------------------------------
+
+    def CreateThread(self, target: Callable[[], None], name: str = ""):
+        """Spawn a thread in this process (charged as a syscall)."""
+        self.kernel.syscall(self.kernel.costs.event_signal_us)
+        return self.kernel.create_thread(self.process, target,
+                                         name or f"{self.process.name}:thr")
+
+    def CreatePipe(self, name: str = "") -> KPipe:
+        self.kernel.syscall(self.kernel.costs.pipe_op_us)
+        return KPipe(self.kernel, name=name)
+
+    def DuplicateHandle(self, handle: int) -> int:
+        """Appendix A.2: "pipe handles are duplicated using the
+        DuplicateHandle function" — a second handle onto the same
+        kernel object."""
+        target = self._get(handle)
+        self.kernel.syscall()
+        return self._allocate(target)
+
+    def WaitForSingleObject(self, thread) -> None:
+        """Block until *thread* (a SimThread) finishes."""
+        self.kernel.join(thread)
+
+    def WaitForMultipleObjects(self, threads, wait_all: bool = True) -> None:
+        """Figure 2's ``WaitForMultipleObjects(2, hthrd, TRUE, INFINITE)``."""
+        if not wait_all:
+            raise SimulationError("only wait_all=True is modelled")
+        self.kernel.join_all(threads)

@@ -1,0 +1,48 @@
+"""The sentinel library — every use from the paper's Section 3.
+
+Each module provides one or more sentinel classes usable as container
+spec targets, e.g. ``"repro.sentinels.null:NullFilterSentinel"``.
+"""
+
+from repro.sentinels.null import NullFilterSentinel
+from repro.sentinels.generate import (
+    CounterSentinel,
+    RandomBytesSentinel,
+    SequenceSentinel,
+)
+from repro.sentinels.compress import CompressionSentinel
+from repro.sentinels.cipher import XorCipherSentinel
+from repro.sentinels.logfile import ConcurrentLogSentinel
+from repro.sentinels.audit import AuditSentinel
+from repro.sentinels.registryfs import RegistryFileSentinel
+from repro.sentinels.remotefile import RemoteFileSentinel
+from repro.sentinels.aggregate import AggregateSentinel
+from repro.sentinels.quotes import StockQuoteSentinel
+from repro.sentinels.mailbox import InboxSentinel, OutboxSentinel
+from repro.sentinels.distribute import DistributionSentinel
+from repro.sentinels.script import ScriptSentinel, script_spec
+from repro.sentinels.compose import PipelineSentinel, pipeline_spec
+from repro.sentinels.versioned import VersioningSentinel
+
+__all__ = [
+    "PipelineSentinel",
+    "pipeline_spec",
+    "VersioningSentinel",
+    "ScriptSentinel",
+    "script_spec",
+    "NullFilterSentinel",
+    "CounterSentinel",
+    "RandomBytesSentinel",
+    "SequenceSentinel",
+    "CompressionSentinel",
+    "XorCipherSentinel",
+    "ConcurrentLogSentinel",
+    "AuditSentinel",
+    "RegistryFileSentinel",
+    "RemoteFileSentinel",
+    "AggregateSentinel",
+    "StockQuoteSentinel",
+    "InboxSentinel",
+    "OutboxSentinel",
+    "DistributionSentinel",
+]

@@ -1,0 +1,110 @@
+"""Aggregation sentinel (paper §3).
+
+"The sentinel can aggregate information from various sources,
+presenting it to client applications as a conventional file.  Examples
+of these sources include other local or remote files, databases,
+network connections, or even other processes ... The sentinel can also
+merge multiple remote files into a single local file."
+
+Sources are fetched afresh at every open, which is what makes an
+aggregate active file *live*: unlike the paper's criticized
+intermediary approach, re-opening the file observes changes in the
+original sources.  A ``refresh`` control op re-aggregates mid-open.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["AggregateSentinel"]
+
+
+class AggregateSentinel(Sentinel):
+    """Concatenates multiple information sources into one read-only file.
+
+    Params: ``sources`` — a list of dicts, each one of:
+
+    * ``{"kind": "literal", "text": ...}`` or ``{"kind": "literal", "data": base16}``
+    * ``{"kind": "local", "path": ...}`` — a real filesystem file
+    * ``{"kind": "fileserver", "address": ..., "path": ...}``
+    * ``{"kind": "http", "address": ..., "path": ...}``
+    * ``{"kind": "kv", "address": ..., "keys": [...]}`` — database rows
+
+    plus ``separator`` (string inserted between sources, default "")
+    and ``headers`` (bool: prefix each source with a ``== name ==``
+    banner line, default False).
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.sources = list(self.params.get("sources") or [])
+        if not self.sources:
+            raise SentinelError("aggregate sentinel requires a 'sources' list")
+        self.separator = str(self.params.get("separator", "")).encode("utf-8")
+        self.headers = bool(self.params.get("headers", False))
+        self._view = ByteBuffer()
+
+    # -- fetching ---------------------------------------------------------------------
+
+    def _fetch_one(self, ctx: SentinelContext, source: dict[str, Any]) -> tuple[str, bytes]:
+        kind = source.get("kind", "")
+        if kind == "literal":
+            if "text" in source:
+                return "literal", str(source["text"]).encode("utf-8")
+            return "literal", bytes.fromhex(source.get("data", ""))
+        if kind == "local":
+            path = source["path"]
+            with open(path, "rb") as stream:
+                return str(path), stream.read()
+        if kind == "fileserver":
+            connection = ctx.connect(str(source["address"]))
+            response = connection.expect("stat", path=source["path"])
+            size = int(response.fields["size"])
+            body = connection.expect("read", path=source["path"], offset=0,
+                                     size=size).payload
+            return str(source["path"]), body
+        if kind == "http":
+            connection = ctx.connect(str(source["address"]))
+            response = connection.expect("GET", path=source["path"])
+            return str(source["path"]), response.payload
+        if kind == "kv":
+            connection = ctx.connect(str(source["address"]))
+            response = connection.expect("mget", keys=list(source.get("keys") or []))
+            return "kv:" + ",".join(source.get("keys") or []), response.payload
+        raise SentinelError(f"unknown aggregate source kind: {kind!r}")
+
+    def _aggregate(self, ctx: SentinelContext) -> None:
+        pieces: list[bytes] = []
+        for source in self.sources:
+            name, body = self._fetch_one(ctx, source)
+            if self.headers:
+                pieces.append(f"== {name} ==\n".encode("utf-8"))
+            pieces.append(body)
+        self._view.setvalue(self.separator.join(pieces) if not self.headers
+                            else b"".join(pieces))
+
+    # -- sentinel interface ---------------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._aggregate(ctx)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._view.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("aggregate files are read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._view.size
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "refresh":
+            self._aggregate(ctx)
+            return {"size": self._view.size}, b""
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,99 @@
+"""Access-auditing sentinel (paper §3).
+
+"The owner/creator of a file may wish to control and log its accesses
+... A file containing sensitive data would like to log every access
+from users, even if these users are trusted users."  This sentinel is a
+pass-through filter whose side effect is an append-only audit trail of
+every operation, written as JSON lines to a separate real file so the
+trail survives the sentinel and is visible to external monitors.
+
+It also demonstrates access control ("the file itself can specify the
+kind of access control policies"): ``deny_writes`` / ``deny_reads``
+params reject the corresponding operations while still logging the
+attempt — resource-centric control, per the paper's contrast with
+Janus/Ufo's process-centric control.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError, UnsupportedOperationError
+
+__all__ = ["AuditSentinel"]
+
+
+class AuditSentinel(Sentinel):
+    """Pass-through filter with an append-only JSON-lines audit trail.
+
+    Params: ``audit_path`` (required; real filesystem path),
+    ``deny_reads`` / ``deny_writes`` (bools, default False),
+    ``identity`` (string recorded with each entry, default "anonymous").
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.audit_path = self.params.get("audit_path")
+        if not self.audit_path:
+            raise SentinelError("audit sentinel requires an 'audit_path' param")
+        self.deny_reads = bool(self.params.get("deny_reads", False))
+        self.deny_writes = bool(self.params.get("deny_writes", False))
+        self.identity = str(self.params.get("identity", "anonymous"))
+        self._seq = 0
+
+    def _record(self, event: str, **detail) -> None:
+        entry = {"seq": self._seq, "who": self.identity, "event": event,
+                 **detail}
+        self._seq += 1
+        line = (json.dumps(entry, separators=(",", ":"), sort_keys=True)
+                + "\n").encode("utf-8")
+        # O_APPEND keeps concurrent sentinel processes from interleaving
+        # partial lines.
+        fd = os.open(self.audit_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line)
+        finally:
+            os.close(fd)
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._record("open", path=ctx.path, strategy=ctx.strategy)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self._record("close", path=ctx.path)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        if self.deny_reads:
+            self._record("read-denied", offset=offset, size=size)
+            raise UnsupportedOperationError("reads denied by file policy")
+        data = ctx.data.read_at(offset, size)
+        self._record("read", offset=offset, size=size, returned=len(data))
+        return data
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        if self.deny_writes:
+            self._record("write-denied", offset=offset, size=len(data))
+            raise UnsupportedOperationError("writes denied by file policy")
+        written = ctx.data.write_at(offset, data)
+        self._record("write", offset=offset, size=written)
+        return written
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        if self.deny_writes:
+            self._record("truncate-denied", size=size)
+            raise UnsupportedOperationError("writes denied by file policy")
+        ctx.data.truncate(size)
+        self._record("truncate", size=size)
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "trail":
+            try:
+                with open(self.audit_path, "rb") as stream:
+                    return {}, stream.read()
+            except FileNotFoundError:
+                return {}, b""
+        return super().on_control(ctx, op, args, payload)

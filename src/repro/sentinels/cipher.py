@@ -1,0 +1,55 @@
+"""Encryption filter sentinel (a §3 filtering variant).
+
+The data part holds ciphertext; the application reads and writes
+plaintext.  The cipher is a position-keyed XOR keystream — *not*
+cryptographically strong, and documented as such; the point being
+demonstrated is the filtering mechanism ("the client application is
+completely unaware"), not cryptography.  Because XOR with a
+position-derived keystream is offset-local, random access needs no
+block alignment at all.
+"""
+
+from __future__ import annotations
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.sentinels.generate import _splitmix64
+
+__all__ = ["XorCipherSentinel"]
+
+
+class XorCipherSentinel(Sentinel):
+    """Transparent XOR-keystream cipher filter.
+
+    Params: ``key`` (string, required).
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        key = self.params.get("key")
+        if not key:
+            raise SentinelError("cipher sentinel requires a non-empty 'key' param")
+        key_bytes = str(key).encode("utf-8")
+        self._key_seed = int.from_bytes(key_bytes[:8].ljust(8, b"\x55"), "little")
+        self._key_seed ^= len(key_bytes) * 0x9E3779B9
+
+    def _keystream(self, offset: int, size: int) -> bytes:
+        first_word = offset // 8
+        last_word = (offset + size - 1) // 8 if size else first_word
+        blob = b"".join(
+            _splitmix64(self._key_seed ^ index).to_bytes(8, "little")
+            for index in range(first_word, last_word + 1)
+        )
+        start = offset - first_word * 8
+        return blob[start:start + size]
+
+    def _apply(self, offset: int, data: bytes) -> bytes:
+        stream = self._keystream(offset, len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        ciphertext = ctx.data.read_at(offset, size)
+        return self._apply(offset, ciphertext)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        return ctx.data.write_at(offset, self._apply(offset, data))

@@ -1,0 +1,188 @@
+"""Per-file compression sentinel (paper §3, "Input and output filtering").
+
+"A simple example of such filtering is a compressed file ... the
+sentinel process compresses and decompresses the file data as it is
+written and read.  An advantage of this approach over compressed file
+systems is that file compression can be handled on a per-file basis
+with different compression algorithms ... both compression and
+decompression can be demand-driven and performed incrementally."
+
+The data part stores a chunked zlib format; the application sees plain
+bytes.  Chunking is what makes decompression *demand-driven*: a read
+touches only the chunks it overlaps, and only dirty chunks are
+recompressed at flush.
+
+Data-part layout::
+
+    b"AFZ1" | u32 chunk_size | u32 nchunks | u64 raw_size
+    | nchunks * u32 compressed_length | concatenated zlib frames
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+
+__all__ = ["CompressionSentinel"]
+
+_MAGIC = b"AFZ1"
+_HEADER = struct.Struct(">4sIIQ")
+_LEN = struct.Struct(">I")
+
+
+class CompressionSentinel(Sentinel):
+    """Transparent chunked-zlib compression filter.
+
+    Params: ``chunk_size`` (raw bytes per chunk, default 16384),
+    ``level`` (zlib level, default 6).
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.chunk_size = int(self.params.get("chunk_size", 16384))
+        self.level = int(self.params.get("level", 6))
+        if self.chunk_size <= 0:
+            raise SentinelError(f"chunk_size must be positive: {self.chunk_size}")
+        self._frames: list[bytes] = []       # compressed chunks as stored
+        self._plain: dict[int, bytearray] = {}  # decompressed chunk cache
+        self._dirty: set[int] = set()
+        self._raw_size = 0
+
+    # -- container format -------------------------------------------------------
+
+    def _load(self, ctx: SentinelContext) -> None:
+        blob = ctx.data.read_at(0, ctx.data.size)
+        self._frames = []
+        self._plain = {}
+        self._dirty = set()
+        if not blob:
+            self._raw_size = 0
+            return
+        if len(blob) < _HEADER.size:
+            raise SentinelError("compressed data part is truncated")
+        magic, chunk_size, nchunks, raw_size = _HEADER.unpack_from(blob)
+        if magic != _MAGIC:
+            raise SentinelError(f"bad compressed-file magic: {magic!r}")
+        self.chunk_size = chunk_size
+        self._raw_size = raw_size
+        cursor = _HEADER.size
+        lengths = []
+        for _ in range(nchunks):
+            (length,) = _LEN.unpack_from(blob, cursor)
+            lengths.append(length)
+            cursor += _LEN.size
+        for length in lengths:
+            frame = blob[cursor:cursor + length]
+            if len(frame) != length:
+                raise SentinelError("compressed chunk table is inconsistent")
+            self._frames.append(frame)
+            cursor += length
+
+    def _store(self, ctx: SentinelContext) -> None:
+        for index in sorted(self._dirty):
+            raw = bytes(self._plain.get(index, b""))
+            frame = zlib.compress(raw, self.level)
+            while index >= len(self._frames):
+                self._frames.append(zlib.compress(b"", self.level))
+            self._frames[index] = frame
+        self._dirty.clear()
+        nchunks = self._chunk_count()
+        del self._frames[nchunks:]
+        header = _HEADER.pack(_MAGIC, self.chunk_size, len(self._frames),
+                              self._raw_size)
+        table = b"".join(_LEN.pack(len(frame)) for frame in self._frames)
+        ctx.data.truncate(0)
+        ctx.data.write_at(0, header + table + b"".join(self._frames))
+        ctx.data.flush()
+
+    def _chunk_count(self) -> int:
+        if self._raw_size == 0:
+            return 0
+        return (self._raw_size + self.chunk_size - 1) // self.chunk_size
+
+    # -- chunk access -------------------------------------------------------------
+
+    def _chunk(self, index: int) -> bytearray:
+        cached = self._plain.get(index)
+        if cached is not None:
+            return cached
+        if index < len(self._frames):
+            raw = bytearray(zlib.decompress(self._frames[index]))
+        else:
+            raw = bytearray()
+        self._plain[index] = raw
+        return raw
+
+    # -- sentinel interface ----------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._load(ctx)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        size = max(0, min(size, self._raw_size - offset))
+        if size <= 0:
+            return b""
+        pieces = []
+        remaining = size
+        position = offset
+        while remaining:
+            index, within = divmod(position, self.chunk_size)
+            chunk = self._chunk(index)
+            take = min(remaining, self.chunk_size - within)
+            piece = bytes(chunk[within:within + take])
+            piece += b"\x00" * (take - len(piece))  # sparse chunk tail
+            pieces.append(piece)
+            remaining -= take
+            position += take
+        return b"".join(pieces)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        position = offset
+        cursor = 0
+        while cursor < len(data):
+            index, within = divmod(position, self.chunk_size)
+            chunk = self._chunk(index)
+            take = min(len(data) - cursor, self.chunk_size - within)
+            if within > len(chunk):
+                chunk.extend(b"\x00" * (within - len(chunk)))
+            chunk[within:within + take] = data[cursor:cursor + take]
+            self._dirty.add(index)
+            cursor += take
+            position += take
+        self._raw_size = max(self._raw_size, offset + len(data))
+        return len(data)
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._raw_size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        if size < self._raw_size:
+            boundary, within = divmod(size, self.chunk_size)
+            if within:
+                chunk = self._chunk(boundary)
+                del chunk[within:]
+                self._dirty.add(boundary)
+                drop_from = boundary + 1
+            else:
+                drop_from = boundary
+            for index in list(self._plain):
+                if index >= drop_from:
+                    del self._plain[index]
+                    self._dirty.discard(index)
+        self._raw_size = size
+        self._dirty.add(size // self.chunk_size if size else 0)
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        self._store(ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self._store(ctx)
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "ratio":
+            stored = sum(len(frame) for frame in self._frames)
+            return {"raw_size": self._raw_size, "stored_size": stored}, b""
+        return super().on_control(ctx, op, args, payload)

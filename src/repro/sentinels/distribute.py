@@ -1,0 +1,75 @@
+"""Distribution sentinel (paper §3).
+
+"Sentinel processes can also distribute information to various sources,
+triggered by file operations against the active file.  As with
+aggregation, these sources include other local or remote files,
+databases, network connections, and other processes."
+
+Every application write lands in the data part *and* is propagated to
+each configured target — a tee with remote sinks.  Propagation is
+synchronous ("side effects ... triggered by file operations"), so when
+``write()`` returns, every sink has the bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+
+__all__ = ["DistributionSentinel"]
+
+
+class DistributionSentinel(Sentinel):
+    """Tees writes to the data part plus remote/local/database sinks.
+
+    Params: ``targets`` — list of dicts, each one of:
+
+    * ``{"kind": "fileserver", "address": ..., "path": ...}`` —
+      appended to the remote file;
+    * ``{"kind": "local", "path": ...}`` — appended to a real file;
+    * ``{"kind": "kv", "address": ..., "key": ...}`` — each write
+      stored as the new value of the key.
+
+    Reads serve the local data part, so the active file doubles as the
+    local record of everything distributed.
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.targets = list(self.params.get("targets") or [])
+        if not self.targets:
+            raise SentinelError("distribution sentinel requires a 'targets' list")
+        for target in self.targets:
+            if target.get("kind") not in ("fileserver", "local", "kv"):
+                raise SentinelError(f"unknown target kind: {target.get('kind')!r}")
+        self.distributed_writes = 0
+
+    def _propagate(self, ctx: SentinelContext, data: bytes) -> None:
+        for target in self.targets:
+            kind = target["kind"]
+            if kind == "fileserver":
+                connection = ctx.connect(str(target["address"]))
+                connection.expect("append", data, path=target["path"])
+            elif kind == "local":
+                with open(target["path"], "ab") as stream:
+                    stream.write(data)
+            elif kind == "kv":
+                connection = ctx.connect(str(target["address"]))
+                connection.expect("put", data, key=target["key"])
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        written = ctx.data.write_at(offset, data)
+        self._propagate(ctx, data)
+        self.distributed_writes += 1
+        return written
+
+    def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
+                   payload: bytes):
+        if op == "stats":
+            return {"distributed_writes": self.distributed_writes,
+                    "targets": len(self.targets)}, b""
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,163 @@
+"""Data-generation sentinels (paper §3, "Data generation").
+
+"The sentinel process can completely obviate the existence of a
+physical (passive) file ... the corresponding active file appears to
+client programs as a data file that contains an infinite stream of
+random numbers."
+
+All three generators here are *deterministic functions of the offset*,
+so they work identically under every strategy (including random access
+under the control-channel strategies) and produce reproducible examples
+and benchmarks.  Seeding comes from spec params.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.sentinel import Sentinel, SentinelContext
+
+__all__ = ["RandomBytesSentinel", "CounterSentinel", "SequenceSentinel"]
+
+#: Reported by endless generators for GetFileSize; effectively "infinite"
+#: while still fitting in a signed 64-bit size field.
+UNBOUNDED_SIZE = (1 << 63) - 1
+
+
+def _splitmix64(value: int) -> int:
+    """One round of splitmix64 — a solid stateless 64-bit mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+class RandomBytesSentinel(Sentinel):
+    """An infinite stream of pseudo-random bytes.
+
+    Params: ``seed`` (int, default 0), ``limit`` (optional byte count;
+    omitted = endless).
+    """
+
+    endless = True
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.seed = int(self.params.get("seed", 0))
+        limit = self.params.get("limit")
+        self.limit = None if limit is None else int(limit)
+        if self.limit is not None:
+            self.endless = False
+
+    def _word(self, index: int) -> bytes:
+        return _splitmix64(self.seed ^ index).to_bytes(8, "little")
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        if self.limit is not None:
+            size = max(0, min(size, self.limit - offset))
+        if size <= 0:
+            return b""
+        first_word = offset // 8
+        last_word = (offset + size - 1) // 8
+        blob = b"".join(self._word(i) for i in range(first_word, last_word + 1))
+        start = offset - first_word * 8
+        return blob[start:start + size]
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("random-bytes files are read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return UNBOUNDED_SIZE if self.limit is None else self.limit
+
+    def generate(self, ctx: SentinelContext) -> Iterator[bytes]:
+        offset = 0
+        while self.limit is None or offset < self.limit:
+            chunk = self.on_read(ctx, offset, self.stream_chunk)
+            if not chunk:
+                return
+            offset += len(chunk)
+            yield chunk
+
+
+class CounterSentinel(Sentinel):
+    """Newline-separated decimal integers, one per line, forever.
+
+    Params: ``start`` (default 0), ``width`` (zero-padded digits,
+    default 10), ``count`` (optional line limit).
+    """
+
+    endless = True
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.start = int(self.params.get("start", 0))
+        self.width = int(self.params.get("width", 10))
+        count = self.params.get("count")
+        self.count = None if count is None else int(count)
+        if self.count is not None:
+            self.endless = False
+        self.line_len = self.width + 1  # digits + newline
+
+    def _line(self, index: int) -> bytes:
+        return f"{self.start + index:0{self.width}d}\n".encode("ascii")
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        if self.count is not None:
+            total = self.count * self.line_len
+            size = max(0, min(size, total - offset))
+        if size <= 0:
+            return b""
+        first = offset // self.line_len
+        last = (offset + size - 1) // self.line_len
+        blob = b"".join(self._line(i) for i in range(first, last + 1))
+        start = offset - first * self.line_len
+        return blob[start:start + size]
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("counter files are read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        if self.count is None:
+            return UNBOUNDED_SIZE
+        return self.count * self.line_len
+
+
+class SequenceSentinel(Sentinel):
+    """A fixed byte pattern repeated up to a total length.
+
+    Params: ``pattern`` (str, default ``"abc"``), ``repeats``
+    (default 1).  Finite — handy for tests that need a predictable
+    generated file of exact size.
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.pattern = str(self.params.get("pattern", "abc")).encode("utf-8")
+        self.repeats = int(self.params.get("repeats", 1))
+
+    @property
+    def total(self) -> int:
+        return len(self.pattern) * self.repeats
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        size = max(0, min(size, self.total - offset))
+        if size <= 0 or not self.pattern:
+            return b""
+        period = len(self.pattern)
+        first = offset // period
+        last = (offset + size - 1) // period
+        blob = self.pattern * (last - first + 1)
+        start = offset - first * period
+        return blob[start:start + size]
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("sequence files are read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self.total

@@ -1,0 +1,162 @@
+"""Mailbox sentinels (paper §3, aggregation + distribution).
+
+Inbox: "an inbox file of an E-mail program can be such that reading it
+causes new messages to be retrieved possibly from multiple remote POP
+servers."
+
+Outbox: "the outbox-file can be programmed to send email to a
+particular recipient, every time some data is written to it.  This
+concept can be extended such that the sentinel process parses the data
+written to the file to extract the 'To' addresses and send the data to
+each recipient."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["InboxSentinel", "OutboxSentinel"]
+
+
+class InboxSentinel(Sentinel):
+    """Aggregates messages from multiple POP3-style accounts into one file.
+
+    Params: ``accounts`` — list of ``{"address", "user", "password"}``
+    dicts; ``delete_after_fetch`` (bool, default False) — issue DELE +
+    QUIT after retrieving, like a classic POP client.
+
+    The rendered view is mbox-flavoured: each message is prefixed with a
+    ``From <account>`` separator line.
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        self.accounts = list(self.params.get("accounts") or [])
+        if not self.accounts:
+            raise SentinelError("inbox sentinel requires an 'accounts' list")
+        self.delete_after_fetch = bool(self.params.get("delete_after_fetch", False))
+        self._view = ByteBuffer()
+        self.fetched = 0
+
+    def _fetch(self, ctx: SentinelContext) -> None:
+        pieces: list[bytes] = []
+        fetched = 0
+        for account in self.accounts:
+            connection = ctx.connect(str(account["address"]))
+            credentials = {"user": account["user"],
+                           "password": account["password"]}
+            listing = connection.expect("LIST", **credentials).fields["messages"]
+            for entry in listing:
+                index = entry["index"]
+                body = connection.expect("RETR", index=index,
+                                         **credentials).payload
+                pieces.append(f"From {account['user']}@{account['address']}\n"
+                              .encode("utf-8"))
+                pieces.append(body.replace(b"\r\n", b"\n"))
+                fetched += 1
+                if self.delete_after_fetch:
+                    connection.expect("DELE", index=index, **credentials)
+            if self.delete_after_fetch:
+                connection.expect("QUIT", **credentials)
+        self._view.setvalue(b"".join(pieces))
+        self.fetched = fetched
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._fetch(ctx)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._view.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("the inbox view is read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._view.size
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "fetch":
+            self._fetch(ctx)
+            return {"fetched": self.fetched, "size": self._view.size}, b""
+        return super().on_control(ctx, op, args, payload)
+
+
+class OutboxSentinel(Sentinel):
+    """Sends what the application writes as e-mail on flush/close.
+
+    Params: ``smtp`` (relay address string), ``sender`` (string),
+    ``recipients`` (default list used when the written text has no
+    ``To:`` header).
+
+    Recipients are parsed from the ``To:`` header of the written text
+    (comma-separated), falling back to the configured default list.
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        if "smtp" not in self.params:
+            raise SentinelError("outbox sentinel requires an 'smtp' address param")
+        self.sender = str(self.params.get("sender", ""))
+        self.default_recipients = list(self.params.get("recipients") or [])
+        self._buffer = ByteBuffer()
+        self.sent_count = 0
+
+    @staticmethod
+    def _parse_recipients(raw: bytes) -> list[str]:
+        for line in raw.decode("utf-8", errors="replace").splitlines():
+            if not line.strip():
+                break  # end of headers
+            if line.lower().startswith("to:"):
+                to = line.partition(":")[2]
+                return [addr.strip() for addr in to.split(",") if addr.strip()]
+        return []
+
+    def _send(self, ctx: SentinelContext) -> dict[str, Any]:
+        raw = self._buffer.getvalue()
+        if not raw.strip():
+            return {"sent": False, "reason": "outbox empty"}
+        recipients = self._parse_recipients(raw) or self.default_recipients
+        if not recipients:
+            raise SentinelError("no recipients: message has no To: header and "
+                                "the outbox has no default recipients")
+        connection = ctx.connect(str(self.params["smtp"]))
+        response = connection.expect("SEND", raw, sender=self.sender,
+                                     recipients=recipients)
+        self._buffer.truncate(0)
+        self.sent_count += 1
+        return {"sent": True, "statuses": response.fields["statuses"]}
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._buffer.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        return self._buffer.write_at(offset, data)
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._buffer.size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        self._buffer.truncate(size)
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        self._send(ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self._send(ctx)
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "send":
+            return self._send(ctx), b""
+        if op == "stats":
+            return {"sent_count": self.sent_count,
+                    "pending_bytes": self._buffer.size}, b""
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,18 @@
+"""The null filter (paper Figure 2).
+
+"The sentinel can be a null filter, in which case the active file has
+the semantics of a passive file."  The base :class:`Sentinel` already
+passes everything through to the data part, so the null filter is an
+empty subclass — kept as a named class so containers can reference it
+explicitly and tests can assert passive-equivalence against it.
+"""
+
+from __future__ import annotations
+
+from repro.core.sentinel import Sentinel
+
+__all__ = ["NullFilterSentinel"]
+
+
+class NullFilterSentinel(Sentinel):
+    """Pass-through sentinel: active file ≡ passive file."""

@@ -1,0 +1,71 @@
+"""Stock-quote file sentinel (paper §3).
+
+"An example might be an active file that reflects the latest stock
+quotes (downloaded by the sentinel from a server) every time the file
+is opened."  Opening the file snapshots the feed; the ``refresh``
+control op re-downloads without reopening.
+"""
+
+from __future__ import annotations
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["StockQuoteSentinel"]
+
+
+class StockQuoteSentinel(Sentinel):
+    """A read-only text file of the latest quotes.
+
+    Params: ``address`` (quote-server address string), ``symbols``
+    (list; empty/omitted = all symbols the server offers), ``format``
+    ("plain" -> ``SYM<TAB>price`` lines, or "csv").
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        if "address" not in self.params:
+            raise SentinelError("quote sentinel requires an 'address' param")
+        self.symbols = list(self.params.get("symbols") or [])
+        self.format = str(self.params.get("format", "plain"))
+        if self.format not in ("plain", "csv"):
+            raise SentinelError(f"unknown quote format {self.format!r}")
+        self._view = ByteBuffer()
+        self.generation = -1
+
+    def _download(self, ctx: SentinelContext) -> None:
+        connection = ctx.connect(str(self.params["address"]))
+        fields = {"symbols": self.symbols} if self.symbols else {}
+        response = connection.expect("BATCH", **fields)
+        quotes = response.fields["quotes"]
+        self.generation = int(response.fields["generation"])
+        lines = []
+        if self.format == "csv":
+            lines.append("symbol,price")
+            lines += [f"{symbol},{price}" for symbol, price in sorted(quotes.items())]
+        else:
+            lines += [f"{symbol}\t{price}" for symbol, price in sorted(quotes.items())]
+        self._view.setvalue(("\n".join(lines) + "\n").encode("utf-8"))
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._download(ctx)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._view.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        from repro.errors import UnsupportedOperationError
+
+        raise UnsupportedOperationError("quote files are read-only")
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._view.size
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "refresh":
+            self._download(ctx)
+            return {"generation": self.generation, "size": self._view.size}, b""
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,143 @@
+r"""File interface to the Windows-style registry (paper §3).
+
+"Filtering can also be used to provide a file-based interface to the
+Windows system registry, considerably simplifying system configuration.
+The sentinel checks the registry, providing a simplified version (e.g.,
+a plain text file) to the client application.  Any modifications by the
+client application can in turn be parsed by the sentinel process and
+translated into appropriate registry modifications."
+
+Rendered format (ini-flavoured, one section per key)::
+
+    [Software\App]
+    Port = REG_DWORD:8080
+    Version = REG_SZ:1.2
+
+Edits are applied on flush/close by diffing the parsed text against the
+snapshot taken at open: changed and added values become ``set`` calls,
+removed values become ``delete_value`` calls.
+"""
+
+from __future__ import annotations
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["RegistryFileSentinel", "render_registry", "parse_registry"]
+
+
+def render_registry(tree: dict, prefix: str = "") -> str:
+    """Render a registry dump (see ``RegistryServer.dump_subtree``) as text."""
+    lines: list[str] = []
+
+    def walk(node: dict, path: str) -> None:
+        if node["values"]:
+            lines.append(f"[{path}]" if path else "[.]")
+            for name, value in sorted(node["values"].items()):
+                lines.append(f"{name} = {value['type']}:{value['data']}")
+            lines.append("")
+        for name, child in sorted(node["subkeys"].items()):
+            walk(child, f"{path}\\{name}" if path else name)
+
+    walk(tree, prefix)
+    return "\n".join(lines) + ("\n" if lines and lines[-1] else "")
+
+
+def parse_registry(text: str) -> dict[tuple[str, str], tuple[str, str]]:
+    """Parse rendered text into ``{(key_path, name): (type, data)}``."""
+    values: dict[tuple[str, str], tuple[str, str]] = {}
+    section = None
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith((";", "#")):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            section = line[1:-1]
+            if section == ".":
+                section = ""
+            continue
+        if "=" not in line:
+            raise SentinelError(f"registry text line {lineno}: no '=' in {line!r}")
+        if section is None:
+            raise SentinelError(f"registry text line {lineno}: value before any [key]")
+        name, _, typed = (part.strip() for part in line.partition("="))
+        value_type, sep, data = typed.partition(":")
+        if not sep:
+            value_type, data = "REG_SZ", typed
+        values[(section, name)] = (value_type.strip(), data)
+    return values
+
+
+class RegistryFileSentinel(Sentinel):
+    """Plain-text file view of a registry subtree.
+
+    Params: ``registry`` (address string of a
+    :class:`~repro.net.RegistryServer`), ``key`` (subtree to expose,
+    e.g. ``"HKLM\\Software\\App"``), ``read_only`` (bool, default
+    False).
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        if "registry" not in self.params:
+            raise SentinelError("registry sentinel requires a 'registry' address param")
+        self.key = str(self.params.get("key", ""))
+        self.read_only = bool(self.params.get("read_only", False))
+        self._view = ByteBuffer()
+        self._baseline: dict[tuple[str, str], tuple[str, str]] = {}
+        self._dirty = False
+
+    def _connection(self, ctx: SentinelContext):
+        return ctx.connect(str(self.params["registry"]))
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        response = self._connection(ctx).expect("dump", key=self.key)
+        text = render_registry(response.fields["tree"])
+        self._view.setvalue(text.encode("utf-8"))
+        self._baseline = parse_registry(text)
+        self._dirty = False
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._view.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        if self.read_only:
+            from repro.errors import UnsupportedOperationError
+
+            raise UnsupportedOperationError("registry view is read-only")
+        self._dirty = True
+        return self._view.write_at(offset, data)
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        self._dirty = True
+        self._view.truncate(size)
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._view.size
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        self._apply(ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self._apply(ctx)
+
+    def _apply(self, ctx: SentinelContext) -> None:
+        """Diff the edited text against the open-time snapshot and push."""
+        if not self._dirty:
+            return
+        text = self._view.getvalue().decode("utf-8")
+        edited = parse_registry(text)
+        connection = self._connection(ctx)
+        for (key_path, name), (value_type, data) in sorted(edited.items()):
+            if self._baseline.get((key_path, name)) != (value_type, data):
+                full_key = f"{self.key}\\{key_path}" if key_path else self.key
+                connection.expect("set", key=full_key, name=name,
+                                  type=value_type, data=data)
+        for (key_path, name) in sorted(set(self._baseline) - set(edited)):
+            full_key = f"{self.key}\\{key_path}" if key_path else self.key
+            connection.expect("delete_value", key=full_key, name=name)
+        self._baseline = edited
+        self._dirty = False

@@ -1,0 +1,265 @@
+"""Seamless remote-file proxy sentinel (paper §3, "Aggregation").
+
+"An example of active-file based aggregation is seamless access to
+remote files that are not accessible via network-mapped shares.  The
+sentinel accesses the remote file using a standard protocol (e.g., FTP
+or HTTP), creates a local copy, and makes the copy available to the
+client application ... Similar transparent access to remote files can
+also be provided without ever making a local copy.  The sentinel
+directly reads data from and writes data to a network connection."
+
+The three cache configurations are the critical paths of Figure 5:
+
+* ``cache="none"``  — every operation is a remote exchange (path 1);
+* ``cache="disk"``  — the data part holds the cached blocks (path 2);
+* ``cache="memory"`` — a private in-memory block store (path 3).
+
+Consistency: with ``validate=True`` the sentinel stats the origin
+before each read and drops the cache when the remote version moved —
+"the cache can be kept consistent with any updates performed to its
+contents at any of the remote sources."
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.cache import CACHE_PATHS, BlockCache
+from repro.core.datapart import MemoryDataPart
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import RemoteFileNotFound, SentinelError
+
+__all__ = ["RemoteFileSentinel", "FileServerOrigin", "HttpOrigin", "FtpOrigin"]
+
+
+class FileServerOrigin:
+    """Adapter for :class:`repro.net.FileServer` (ranged native protocol)."""
+
+    def __init__(self, ctx: SentinelContext, params: dict[str, Any]) -> None:
+        self._connection = ctx.connect(str(params["address"]))
+        self.path = str(params["path"])
+
+    def read(self, offset: int, size: int) -> bytes:
+        response = self._connection.expect("read", path=self.path,
+                                           offset=offset, size=size)
+        return response.payload
+
+    def write(self, offset: int, data: bytes) -> int:
+        response = self._connection.expect("write", data, path=self.path,
+                                           offset=offset)
+        return int(response.fields["written"])
+
+    def stat(self) -> tuple[int, Any]:
+        response = self._connection.call("stat", path=self.path)
+        if not response.ok:
+            raise RemoteFileNotFound(response.error)
+        return int(response.fields["size"]), response.fields["version"]
+
+    def truncate(self, size: int) -> None:
+        self._connection.expect("truncate", path=self.path, size=size)
+
+
+class HttpOrigin:
+    """Adapter for :class:`repro.net.HttpServer` (range GET, whole PUT)."""
+
+    def __init__(self, ctx: SentinelContext, params: dict[str, Any]) -> None:
+        self._connection = ctx.connect(str(params["address"]))
+        self.path = str(params["path"])
+
+    def read(self, offset: int, size: int) -> bytes:
+        response = self._connection.call("GET", path=self.path,
+                                         range_start=offset,
+                                         range_end=offset + size)
+        if not response.ok:
+            raise RemoteFileNotFound(response.error)
+        return response.payload
+
+    def write(self, offset: int, data: bytes) -> int:
+        # HTTP has no ranged PUT: read-modify-write the entity.
+        current = b""
+        response = self._connection.call("GET", path=self.path)
+        if response.ok:
+            current = response.payload
+        body = bytearray(current)
+        if offset > len(body):
+            body.extend(b"\x00" * (offset - len(body)))
+        body[offset:offset + len(data)] = data
+        self._connection.expect("PUT", bytes(body), path=self.path)
+        return len(data)
+
+    def stat(self) -> tuple[int, Any]:
+        response = self._connection.call("HEAD", path=self.path)
+        if not response.ok:
+            raise RemoteFileNotFound(response.error)
+        return int(response.fields["length"]), response.fields["etag"]
+
+    def truncate(self, size: int) -> None:
+        response = self._connection.call("GET", path=self.path)
+        body = response.payload if response.ok else b""
+        body = body[:size].ljust(size, b"\x00")
+        self._connection.expect("PUT", body, path=self.path)
+
+
+class FtpOrigin:
+    """Adapter for :class:`repro.net.FtpServer` (authenticated sessions)."""
+
+    def __init__(self, ctx: SentinelContext, params: dict[str, Any]) -> None:
+        self._connection = ctx.connect(str(params["address"]))
+        self.path = str(params["path"])
+        response = self._connection.expect(
+            "LOGIN",
+            user=str(params.get("user", "anonymous")),
+            password=str(params.get("password", "")),
+        )
+        self._session = response.fields["session"]
+
+    def read(self, offset: int, size: int) -> bytes:
+        response = self._connection.call("RETR", session=self._session,
+                                         path=self.path, offset=offset,
+                                         size=size)
+        if not response.ok:
+            raise RemoteFileNotFound(response.error)
+        return response.payload
+
+    def write(self, offset: int, data: bytes) -> int:
+        current = b""
+        response = self._connection.call("RETR", session=self._session,
+                                         path=self.path)
+        if response.ok:
+            current = response.payload
+        body = bytearray(current)
+        if offset > len(body):
+            body.extend(b"\x00" * (offset - len(body)))
+        body[offset:offset + len(data)] = data
+        self._connection.expect("STOR", bytes(body), session=self._session,
+                                path=self.path)
+        return len(data)
+
+    def stat(self) -> tuple[int, Any]:
+        response = self._connection.call("SIZE", session=self._session,
+                                         path=self.path)
+        if not response.ok:
+            raise RemoteFileNotFound(response.error)
+        # FTP has no cheap version token; use the size as a weak one.
+        return int(response.fields["size"]), response.fields["size"]
+
+    def truncate(self, size: int) -> None:
+        body = self.read(0, size).ljust(size, b"\x00")
+        self._connection.expect("STOR", body, session=self._session,
+                                path=self.path)
+
+
+_ORIGINS = {
+    "fileserver": FileServerOrigin,
+    "http": HttpOrigin,
+    "ftp": FtpOrigin,
+}
+
+
+class RemoteFileSentinel(Sentinel):
+    """A local file that is a logical proxy for one remote file.
+
+    Params: ``address`` (service address string), ``path`` (remote
+    path), ``protocol`` ("fileserver" | "http" | "ftp", default
+    "fileserver"), ``cache`` ("none" | "disk" | "memory", default
+    "none"), ``block_size`` (default 4096), ``max_blocks`` (optional
+    LRU bound), ``validate`` (bool: revalidate version before reads),
+    ``user``/``password`` (ftp).
+    """
+
+    def __init__(self, params=None) -> None:
+        super().__init__(params)
+        for required in ("address", "path"):
+            if required not in self.params:
+                raise SentinelError(f"remote-file sentinel requires {required!r}")
+        protocol = str(self.params.get("protocol", "fileserver"))
+        if protocol not in _ORIGINS:
+            raise SentinelError(f"unknown protocol {protocol!r}; "
+                                f"known: {sorted(_ORIGINS)}")
+        self.protocol = protocol
+        cache = str(self.params.get("cache", "none"))
+        if cache not in CACHE_PATHS:
+            raise SentinelError(f"unknown cache path {cache!r}; "
+                                f"known: {CACHE_PATHS}")
+        self.cache_path = cache
+        self.block_size = int(self.params.get("block_size", 4096))
+        max_blocks = self.params.get("max_blocks")
+        self.max_blocks = None if max_blocks is None else int(max_blocks)
+        self.validate = bool(self.params.get("validate", False))
+        self._origin = None
+        self._cache: BlockCache | None = None
+        self._last_version: Any = None
+
+    # -- wiring ---------------------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._origin = _ORIGINS[self.protocol](ctx, self.params)
+        if self.cache_path == "none":
+            return
+        store = ctx.data if self.cache_path == "disk" else MemoryDataPart()
+        self._cache = BlockCache(
+            fetch=self._origin.read, push=self._origin.write,
+            store=store, block_size=self.block_size,
+            max_blocks=self.max_blocks,
+        )
+        try:
+            _, self._last_version = self._origin.stat()
+        except RemoteFileNotFound:
+            self._last_version = None
+
+    def _revalidate(self) -> None:
+        if not self.validate or self._cache is None:
+            return
+        try:
+            _, version = self._origin.stat()
+        except RemoteFileNotFound:
+            version = None
+        if version != self._last_version:
+            self._cache.invalidate()
+            self._last_version = version
+
+    # -- sentinel interface ------------------------------------------------------------
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        if self._cache is None:
+            return self._origin.read(offset, size)
+        self._revalidate()
+        return self._cache.read(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        if self._cache is None:
+            return self._origin.write(offset, data)
+        written = self._cache.write(offset, data)
+        # our own write moved the origin's version token
+        try:
+            _, self._last_version = self._origin.stat()
+        except RemoteFileNotFound:
+            self._last_version = None
+        return written
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        size, _ = self._origin.stat()
+        return size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        self._origin.truncate(size)
+        if self._cache is not None:
+            self._cache.invalidate()
+            try:
+                _, self._last_version = self._origin.stat()
+            except RemoteFileNotFound:
+                self._last_version = None
+
+    def on_control(self, ctx: SentinelContext, op, args, payload):
+        if op == "invalidate":
+            if self._cache is not None:
+                self._cache.invalidate()
+            return {"invalidated": self._cache is not None}, b""
+        if op == "cache_stats":
+            if self._cache is None:
+                return {"cache": "none"}, b""
+            return {"cache": self.cache_path,
+                    "hits": self._cache.hits,
+                    "misses": self._cache.misses,
+                    "blocks": self._cache.cached_blocks}, b""
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,183 @@
+"""Sentinels whose code travels *inside* the container.
+
+The paper stores the sentinel executable itself in the active file (an
+NTFS stream), so copying the file copies its behaviour — no external
+installation step.  Module-reference specs lose that property when the
+target package is absent on the destination machine; the
+:class:`ScriptSentinel` restores it: the active part is Python source
+embedded in the spec params, executed when the file is opened.
+
+The source may define any of the handler functions::
+
+    def on_open(ctx): ...
+    def on_read(ctx, offset, size): ...
+    def on_write(ctx, offset, data): ...
+    def on_size(ctx): ...
+    def on_truncate(ctx, size): ...
+    def on_flush(ctx): ...
+    def on_control(ctx, op, args, payload): ...
+    def on_close(ctx): ...
+
+plus a ``generate(ctx)`` / ``consume(ctx, data, offset)`` pair for
+stream mode.  Handlers it omits keep the null-filter defaults.  A
+``state`` dict is provided for cross-call persistence.
+
+SECURITY: the script executes with the opener's privileges — exactly
+the paper's §2.3 caveat ("this program can, of course have any side
+effect, including malicious ones ... these effects are no different
+from those initiated by any other executable started under the same
+user-id").  Builtins are trimmed to discourage accidents, **not** to
+contain adversaries; for untrusted containers combine with
+:func:`repro.core.sandbox.sandbox_spec` and set
+``allow_scripts=False`` at the call site that opens foreign files.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError, SpecError
+
+__all__ = ["ScriptSentinel", "script_spec"]
+
+_HANDLER_NAMES = ("on_open", "on_read", "on_write", "on_size", "on_truncate",
+                  "on_flush", "on_control", "on_close", "generate", "consume")
+
+#: Builtins available to embedded scripts — enough for data wrangling,
+#: no import machinery or file/process access.
+_SCRIPT_BUILTINS = {
+    name: __builtins__[name] if isinstance(__builtins__, dict)
+    else getattr(__builtins__, name)
+    for name in (
+        "abs", "all", "any", "bool", "bytearray", "bytes", "chr", "dict",
+        "divmod", "enumerate", "filter", "float", "format", "frozenset",
+        "hash", "hex", "int", "isinstance", "iter", "len", "list", "map",
+        "max", "min", "next", "oct", "ord", "pow", "range", "repr",
+        "reversed", "round", "set", "slice", "sorted", "str", "sum",
+        "tuple", "zip", "ValueError", "KeyError", "IndexError",
+        "StopIteration", "Exception", "True", "False", "None",
+    )
+    if (isinstance(__builtins__, dict) and name in __builtins__)
+    or hasattr(__builtins__, name)
+}
+
+
+def script_spec(source: str, params: dict[str, Any] | None = None):
+    """Build a spec embedding *source* as the active part."""
+    from repro.core.spec import SentinelSpec
+
+    return SentinelSpec(
+        target="repro.sentinels.script:ScriptSentinel",
+        params={"source": source, "script_params": dict(params or {})},
+    )
+
+
+class ScriptSentinel(Sentinel):
+    """Executes handler functions defined by embedded Python source.
+
+    Params: ``source`` (the script text), ``script_params`` (dict made
+    available to the script as the global ``params``).
+    """
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        super().__init__(params)
+        source = self.params.get("source")
+        if not source:
+            raise SpecError("script sentinel requires a 'source' param")
+        namespace: dict[str, Any] = {
+            "__builtins__": dict(_SCRIPT_BUILTINS),
+            "params": dict(self.params.get("script_params") or {}),
+            "state": {},
+        }
+        try:
+            exec(compile(source, "<active-part>", "exec"), namespace)
+        except SyntaxError as exc:
+            raise SpecError(f"active-part script does not parse: {exc}") from exc
+        except Exception as exc:
+            raise SentinelError(f"active-part script failed to load: {exc}") \
+                from exc
+        self._handlers = {
+            name: namespace[name]
+            for name in _HANDLER_NAMES
+            if callable(namespace.get(name))
+        }
+        if not self._handlers:
+            raise SpecError(
+                "active-part script defines no handler functions "
+                f"(expected any of {', '.join(_HANDLER_NAMES)})"
+            )
+
+    def _call(self, name: str, *args):
+        handler = self._handlers.get(name)
+        if handler is None:
+            return None, False
+        try:
+            return handler(*args), True
+        except SentinelError:
+            raise
+        except Exception as exc:
+            raise SentinelError(f"script handler {name} failed: {exc}") from exc
+
+    # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._call("on_open", ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        self._call("on_close", ctx)
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        result, handled = self._call("on_read", ctx, offset, size)
+        if not handled:
+            return super().on_read(ctx, offset, size)
+        if not isinstance(result, (bytes, bytearray)):
+            raise SentinelError(
+                f"script on_read returned {type(result).__name__}, not bytes"
+            )
+        return bytes(result)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        result, handled = self._call("on_write", ctx, offset, data)
+        if not handled:
+            return super().on_write(ctx, offset, data)
+        return int(result if result is not None else len(data))
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        result, handled = self._call("on_size", ctx)
+        if not handled:
+            return super().on_size(ctx)
+        return int(result)
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        _, handled = self._call("on_truncate", ctx, size)
+        if not handled:
+            super().on_truncate(ctx, size)
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        _, handled = self._call("on_flush", ctx)
+        if not handled:
+            super().on_flush(ctx)
+
+    def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
+                   payload: bytes) -> tuple[dict[str, Any], bytes]:
+        result, handled = self._call("on_control", ctx, op, args, payload)
+        if not handled:
+            return super().on_control(ctx, op, args, payload)
+        if not (isinstance(result, tuple) and len(result) == 2):
+            raise SentinelError(
+                "script on_control must return (fields dict, payload bytes)"
+            )
+        return result
+
+    def generate(self, ctx: SentinelContext):
+        handler = self._handlers.get("generate")
+        if handler is None:
+            return super().generate(ctx)
+        return handler(ctx)
+
+    def consume(self, ctx: SentinelContext, data: bytes, offset: int) -> int:
+        result, handled = self._call("consume", ctx, data, offset)
+        if not handled:
+            return super().consume(ctx, data, offset)
+        return int(result if result is not None else len(data))

@@ -1,0 +1,162 @@
+"""A versioning filter sentinel (a §3 "intelligent file").
+
+"The owner/creator of a file may wish to control and log its accesses"
+— this sentinel goes one step further and keeps the file's *history*:
+every snapshot preserves the then-current contents (zlib-compressed),
+and the application can list and restore versions through control
+operations, all without any version-control tooling — the file versions
+itself.
+
+Policies: ``snapshot_on_close`` (default True) snapshots automatically
+when a writing open closes; explicit ``snapshot`` control ops work at
+any time.  ``max_versions`` bounds history (oldest dropped first).
+
+Data-part layout::
+
+    b"AFV1" | u32 header_len | JSON header | current | version blobs
+
+where the header records the current size and each version's (length,
+label) and the blobs are zlib-compressed snapshots, newest last.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Any
+
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import SentinelError
+from repro.util.bytesbuf import ByteBuffer
+
+__all__ = ["VersioningSentinel"]
+
+_MAGIC = b"AFV1"
+_LEN = struct.Struct(">I")
+
+
+class VersioningSentinel(Sentinel):
+    """Transparent file with built-in snapshot history.
+
+    Params: ``max_versions`` (default 16), ``snapshot_on_close``
+    (default True — only when the open actually wrote).
+    """
+
+    def __init__(self, params: dict[str, Any] | None = None) -> None:
+        super().__init__(params)
+        self.max_versions = int(self.params.get("max_versions", 16))
+        if self.max_versions < 1:
+            raise SentinelError("max_versions must be >= 1")
+        self.snapshot_on_close = bool(self.params.get("snapshot_on_close",
+                                                      True))
+        self._current = ByteBuffer()
+        self._versions: list[tuple[str, bytes]] = []  # (label, zlib blob)
+        self._wrote = False
+
+    # -- persistence -------------------------------------------------------------
+
+    def _load(self, ctx: SentinelContext) -> None:
+        blob = ctx.data.read_at(0, ctx.data.size)
+        if not blob:
+            return
+        if blob[:4] != _MAGIC:
+            # adopt a plain data part as the initial current contents
+            self._current.setvalue(blob)
+            return
+        (header_len,) = _LEN.unpack_from(blob, 4)
+        header_end = 8 + header_len
+        try:
+            header = json.loads(blob[8:header_end].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SentinelError(f"corrupt version header: {exc}") from exc
+        cursor = header_end
+        current_size = int(header["current_size"])
+        self._current.setvalue(blob[cursor:cursor + current_size])
+        cursor += current_size
+        self._versions = []
+        for entry in header["versions"]:
+            length = int(entry["length"])
+            self._versions.append((str(entry["label"]),
+                                   blob[cursor:cursor + length]))
+            cursor += length
+
+    def _store(self, ctx: SentinelContext) -> None:
+        current = self._current.getvalue()
+        header = json.dumps({
+            "current_size": len(current),
+            "versions": [{"label": label, "length": len(blob)}
+                         for label, blob in self._versions],
+        }, separators=(",", ":")).encode("utf-8")
+        body = (_MAGIC + _LEN.pack(len(header)) + header + current
+                + b"".join(blob for _, blob in self._versions))
+        ctx.data.truncate(0)
+        ctx.data.write_at(0, body)
+        ctx.data.flush()
+
+    # -- versioning ------------------------------------------------------------------
+
+    def _snapshot(self, label: str) -> int:
+        self._versions.append((label,
+                               zlib.compress(self._current.getvalue(), 6)))
+        if len(self._versions) > self.max_versions:
+            del self._versions[:len(self._versions) - self.max_versions]
+        return len(self._versions) - 1
+
+    # -- sentinel interface -------------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._load(ctx)
+        self._wrote = False
+
+    def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        return self._current.read_at(offset, size)
+
+    def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        self._wrote = True
+        return self._current.write_at(offset, data)
+
+    def on_size(self, ctx: SentinelContext) -> int:
+        return self._current.size
+
+    def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        self._wrote = True
+        self._current.truncate(size)
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        self._store(ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        if self._wrote and self.snapshot_on_close:
+            self._snapshot("close")
+        self._store(ctx)
+
+    def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
+                   payload: bytes) -> tuple[dict[str, Any], bytes]:
+        if op == "snapshot":
+            index = self._snapshot(str(args.get("label", "manual")))
+            self._store(ctx)
+            return {"version": index, "versions": len(self._versions)}, b""
+        if op == "versions":
+            listing = [
+                {"index": index, "label": label,
+                 "size": len(zlib.decompress(blob))}
+                for index, (label, blob) in enumerate(self._versions)
+            ]
+            return {"versions": listing, "current_size": self._current.size}, b""
+        if op == "restore":
+            index = int(args.get("index", -1))
+            if not 0 <= index < len(self._versions):
+                raise SentinelError(f"no such version: {index}")
+            label, blob = self._versions[index]
+            self._current.setvalue(zlib.decompress(blob))
+            self._wrote = True
+            self._store(ctx)
+            return {"restored": index, "label": label,
+                    "size": self._current.size}, b""
+        if op == "peek":
+            index = int(args.get("index", -1))
+            if not 0 <= index < len(self._versions):
+                raise SentinelError(f"no such version: {index}")
+            return {"index": index}, zlib.decompress(self._versions[index][1])
+        return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,69 @@
+"""Length-prefixed framing over byte streams.
+
+The two process-based strategies talk to the sentinel child over OS
+pipes.  Pipes are byte streams, so commands and payloads are delimited
+with a 4-byte big-endian length prefix.  A maximum frame size guards the
+receiver against a corrupt or adversarial peer allocating unbounded
+memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO
+
+from repro.errors import ChannelClosedError, FrameError
+
+__all__ = ["read_exact", "write_frame", "read_frame", "MAX_FRAME"]
+
+_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame body (16 MiB).  Large file operations are
+#: chunked well below this by the strategies.
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def read_exact(stream: BinaryIO, size: int) -> bytes:
+    """Read exactly *size* bytes from *stream* or raise.
+
+    Raises :class:`ChannelClosedError` if EOF arrives first — a half
+    frame always means the peer died mid-message.
+    """
+    chunks = []
+    remaining = size
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            raise ChannelClosedError(
+                f"stream closed with {remaining} of {size} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    """Write one length-prefixed frame and flush it."""
+    if len(payload) > MAX_FRAME:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    stream.write(_LEN.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> bytes:
+    """Read one length-prefixed frame.
+
+    Raises :class:`ChannelClosedError` on clean EOF at a frame boundary as
+    well — callers that want to treat clean EOF differently should catch
+    it and inspect the message.
+    """
+    header = stream.read(_LEN.size)
+    if not header:
+        raise ChannelClosedError("stream closed at frame boundary")
+    if len(header) < _LEN.size:
+        header += read_exact(stream, _LEN.size - len(header))
+    (size,) = _LEN.unpack(header)
+    if size > MAX_FRAME:
+        raise FrameError(f"incoming frame of {size} bytes exceeds MAX_FRAME")
+    return read_exact(stream, size)

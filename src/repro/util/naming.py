@@ -1,0 +1,30 @@
+"""Deterministic unique-name generation.
+
+Simulated kernels, networks and handle tables all need unique ids.  Using
+a per-prefix monotonic counter (rather than ``uuid4``/``random``) keeps
+every run of the simulator bit-for-bit reproducible, which the
+performance harness relies on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import defaultdict
+
+__all__ = ["monotonic_name", "reset_names"]
+
+_counters: defaultdict[str, itertools.count] = defaultdict(itertools.count)
+_lock = threading.Lock()
+
+
+def monotonic_name(prefix: str) -> str:
+    """Return ``"<prefix>-<n>"`` with *n* counting up per prefix."""
+    with _lock:
+        return f"{prefix}-{next(_counters[prefix])}"
+
+
+def reset_names() -> None:
+    """Reset all counters (test isolation helper)."""
+    with _lock:
+        _counters.clear()

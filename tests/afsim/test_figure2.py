@@ -1,0 +1,140 @@
+"""Tests for the Figure 2 transcription and thread join primitives."""
+
+import pytest
+
+from repro.afsim.figure2 import build_figure2_machine
+from repro.errors import SimulationError
+from repro.ntos import Kernel
+
+
+class TestJoin:
+    def test_join_finished_thread_returns(self):
+        kernel = Kernel()
+        process = kernel.create_process("p")
+        worker = kernel.create_thread(process, lambda: None, "w")
+
+        def main():
+            kernel.yield_cpu()  # let the worker finish
+            kernel.join(worker)
+
+        kernel.create_thread(process, main, "m")
+        kernel.run()
+
+    def test_join_blocks_until_exit(self):
+        kernel = Kernel()
+        process = kernel.create_process("p")
+        trace = []
+
+        def worker():
+            for _ in range(3):
+                trace.append("work")
+                kernel.yield_cpu()
+
+        def main():
+            handle = kernel.create_thread(process, worker, "w")
+            kernel.join(handle)
+            trace.append("joined")
+
+        kernel.create_thread(process, main, "m")
+        kernel.run()
+        assert trace == ["work", "work", "work", "joined"]
+
+    def test_join_self_rejected(self):
+        kernel = Kernel()
+        process = kernel.create_process("p")
+        holder = {}
+
+        def main():
+            kernel.join(holder["me"])
+
+        holder["me"] = kernel.create_thread(process, main, "m")
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_join_all(self):
+        kernel = Kernel()
+        process = kernel.create_process("p")
+        done = []
+
+        def main():
+            workers = [kernel.create_thread(process,
+                                            lambda i=i: done.append(i),
+                                            f"w{i}")
+                       for i in range(3)]
+            kernel.join_all(workers)
+            done.append("all")
+
+        kernel.create_thread(process, main, "m")
+        kernel.run()
+        assert done == [0, 1, 2, "all"]
+
+
+class TestFigure2:
+    def test_read_pump_reaches_app_and_cache(self):
+        source = b"remote payload " * 100
+        kernel, handles, fs = build_figure2_machine(source)
+        received = []
+        app_process = kernel.create_process("app")
+
+        def app():
+            while True:
+                chunk = handles.hout.read(512)
+                if not chunk:
+                    break
+                received.append(chunk)
+            handles.hin.close_write()
+
+        kernel.create_thread(app_process, app, "app")
+        kernel.run()
+        assert b"".join(received) == source
+        # "writes it to the data file (the cache)"
+        assert fs._files["cache.dat"][""].getvalue() == source
+
+    def test_write_pump_reaches_cache_and_source(self):
+        kernel, handles, fs = build_figure2_machine(b"")
+        echoed = []
+        app_process = kernel.create_process("app")
+
+        def app():
+            handles.hin.write(b"app wrote this")
+            handles.hin.close_write()
+            while True:
+                chunk = handles.hpipe_out.read(64)
+                if not chunk:
+                    return
+                echoed.append(chunk)
+
+        kernel.create_thread(app_process, app, "app")
+        kernel.run()
+        assert b"".join(echoed) == b"app wrote this"
+        assert fs._files["cache.dat"][""].getvalue() == b"app wrote this"
+
+    def test_sentinel_main_waits_for_both_pumps(self):
+        source = b"x" * 2048
+        kernel, handles, fs = build_figure2_machine(source)
+        app_process = kernel.create_process("app")
+
+        def app():
+            handles.hin.close_write()
+            while handles.hout.read(1024):
+                pass
+
+        kernel.create_thread(app_process, app, "app")
+        kernel.run()  # would deadlock if join_all misbehaved
+        pump_kinds = {kind for kind, _ in handles.log}
+        assert pump_kinds == {"read-pump"}
+
+    def test_deterministic(self):
+        def run():
+            kernel, handles, _ = build_figure2_machine(b"d" * 5000)
+            app_process = kernel.create_process("app")
+
+            def app():
+                handles.hin.close_write()
+                while handles.hout.read(700):
+                    pass
+
+            kernel.create_thread(app_process, app, "app")
+            return kernel.run()
+
+        assert run() == run()

@@ -1,0 +1,190 @@
+"""Tests for the Figure 6 harness: the paper's claims, as assertions.
+
+These run the actual measurement at a reduced call count — the shape
+claims are scale-invariant (verified at 1000 calls by the benchmark
+harness and ``--check``).
+"""
+
+import pytest
+
+from repro.afsim.figure6 import (
+    BLOCK_SIZES,
+    PANELS,
+    check_claims,
+    format_panel,
+    main,
+    run_panel,
+)
+from repro.afsim.workload import measure_point
+from repro.errors import SimulationError
+from repro.ntos.costs import CostModel
+
+CALLS = 150
+
+
+@pytest.fixture(scope="module")
+def figure6():
+    """One full figure at reduced calls, shared across this module."""
+    return {
+        panel: {op: run_panel(panel, op, calls=CALLS)
+                for op in ("read", "write")}
+        for panel in PANELS
+    }
+
+
+class TestQualitativeClaims:
+    @pytest.mark.parametrize("panel", ["a", "b", "c"])
+    @pytest.mark.parametrize("op", ["read", "write"])
+    def test_all_claims_hold(self, figure6, panel, op):
+        problems = check_claims(figure6[panel][op], panel, op)
+        assert problems == []
+
+    @pytest.mark.parametrize("panel", ["a", "b", "c"])
+    @pytest.mark.parametrize("op", ["read", "write"])
+    def test_strategy_ordering(self, figure6, panel, op):
+        series = figure6[panel][op]
+        for block in BLOCK_SIZES:
+            assert series["process"][block].per_op_us \
+                > series["thread"][block].per_op_us \
+                > series["dll"][block].per_op_us
+
+    def test_read_latency_exceeds_write_for_process(self, figure6):
+        """Reads are blocking round trips; writes are pipelined."""
+        for panel in ("a", "c"):
+            series_read = figure6[panel]["read"]
+            series_write = figure6[panel]["write"]
+            for block in BLOCK_SIZES:
+                assert series_read["process"][block].per_op_us \
+                    > series_write["process"][block].per_op_us
+
+    def test_paths_ordered_at_matching_points(self, figure6):
+        """network > memory and disk > memory for every strategy/size."""
+        for op in ("read",):
+            for curve in ("process", "thread", "dll"):
+                for block in BLOCK_SIZES:
+                    network = figure6["a"][op][curve][block].per_op_us
+                    disk = figure6["b"][op][curve][block].per_op_us
+                    memory = figure6["c"][op][curve][block].per_op_us
+                    assert network > memory
+                    assert disk > memory
+
+    def test_dll_matches_baseline(self, figure6):
+        for panel in PANELS:
+            for op in ("read", "write"):
+                series = figure6[panel][op]
+                for block in BLOCK_SIZES:
+                    dll = series["dll"][block].per_op_us
+                    base = series["baseline"][block].per_op_us
+                    assert abs(dll - base) <= 3.0 + 0.15 * base
+
+    def test_endpoints_in_paper_ballpark(self, figure6):
+        """Process@2048 within 2x of the paper's printed y-axis tops."""
+        from repro.afsim.figure6 import PAPER_TOPS_US
+
+        for (panel, op), paper_top in PAPER_TOPS_US.items():
+            measured = figure6[panel][op]["process"][2048].per_op_us
+            assert paper_top / 2 < measured < paper_top * 2, \
+                f"{panel}/{op}: {measured} vs paper {paper_top}"
+
+
+class TestDeterminism:
+    def test_identical_points_identical_times(self):
+        a = measure_point("thread", "memory", "read", 512, calls=40)
+        b = measure_point("thread", "memory", "read", 512, calls=40)
+        assert a.total_us == b.total_us
+
+    def test_per_op_is_total_over_calls(self):
+        result = measure_point("dll", "memory", "read", 64, calls=10)
+        assert result.per_op_us == pytest.approx(result.total_us / 10)
+
+
+class TestWorkloadValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(SimulationError):
+            measure_point("hovercraft", "memory", "read", 8)
+
+    def test_unknown_op(self):
+        with pytest.raises(SimulationError):
+            measure_point("dll", "memory", "append", 8)
+
+    def test_unknown_path(self):
+        with pytest.raises(SimulationError):
+            measure_point("dll", "floppy", "read", 8)
+
+    def test_costs_override_changes_results(self):
+        cheap = measure_point("thread", "memory", "read", 512, calls=30)
+        pricey = measure_point(
+            "thread", "memory", "read", 512, calls=30,
+            costs=CostModel().tuned(thread_switch_us=500.0),
+        )
+        assert pricey.per_op_us > cheap.per_op_us + 500
+
+    def test_counters_populated(self):
+        result = measure_point("process-control", "memory", "read", 64,
+                               calls=20)
+        assert result.context_switches > 20
+        assert result.syscalls > 40
+
+
+class TestHarnessCli:
+    def test_main_runs_one_panel(self, capsys):
+        assert main(["--panel", "c", "--op", "read", "--calls", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6(c) Read" in out
+        assert "Process" in out and "DLL" in out
+
+    def test_main_check_passes(self, capsys):
+        assert main(["--panel", "c", "--op", "both", "--calls", "120",
+                     "--check"]) == 0
+        assert "ALL CLAIMS HOLD" in capsys.readouterr().out
+
+    def test_format_panel_mentions_paper_axis(self, figure6):
+        text = format_panel(figure6["a"]["read"], "a", "read")
+        assert "paper y-max" in text
+        assert "560.0" in text
+
+
+class TestAsciiPlot:
+    def test_render_contains_all_curves(self, figure6):
+        from repro.afsim.plot import render_ascii_panel
+
+        text = render_ascii_panel(figure6["a"]["read"], "a", "read")
+        for glyph in ("P", "T", "D"):
+            assert glyph in text
+        assert "2048" in text
+        assert "P=process" in text
+
+    def test_plot_flag_in_cli(self, capsys):
+        assert main(["--panel", "c", "--op", "read", "--calls", "40",
+                     "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "(block size, B)" in out
+
+
+class TestJsonExport:
+    def test_json_to_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "fig6.json"
+        assert main(["--panel", "c", "--op", "read", "--calls", "40",
+                     "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["calls_per_point"] == 40
+        curves = payload["panels"]["c"]["read"]
+        assert set(curves) == {"process", "thread", "dll", "baseline"}
+        assert curves["process"]["2048"] > curves["dll"]["2048"]
+
+    def test_json_to_stdout(self, capsys):
+        assert main(["--panel", "c", "--op", "read", "--calls", "40",
+                     "--json", "-"]) == 0
+        assert '"panels"' in capsys.readouterr().out
+
+
+def test_ascii_plot_single_block_size():
+    """Degenerate axis (one sample) must still render."""
+    from repro.afsim.figure6 import run_panel
+    from repro.afsim.plot import render_ascii_panel
+
+    series = run_panel("c", "read", calls=20, block_sizes=(512,))
+    text = render_ascii_panel(series, "c", "read")
+    assert "512" in text

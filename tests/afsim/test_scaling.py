@@ -1,0 +1,77 @@
+"""Tests for the supplementary sentinel-work and concurrency experiments."""
+
+import pytest
+
+from repro.afsim.scaling import (
+    measure_concurrent,
+    measure_with_sentinel_work,
+)
+from repro.errors import SimulationError
+
+
+class TestSentinelWorkAdditivity:
+    """§6: 'the eventual cost ... is determined only by the functionality
+    that they implement, not by the cost of interacting with them.'"""
+
+    @pytest.mark.parametrize("strategy", ["process-control", "thread", "dll"])
+    def test_injected_work_is_exactly_additive(self, strategy):
+        baseline = measure_with_sentinel_work(strategy, work_us=0.0)
+        loaded = measure_with_sentinel_work(strategy, work_us=200.0)
+        assert loaded - baseline == pytest.approx(200.0, abs=2.0)
+
+    def test_framework_overhead_independent_of_work(self):
+        """The strategy gap (framework cost) stays constant as the
+        sentinel's functionality gets heavier."""
+        gaps = []
+        for work in (0.0, 100.0, 400.0):
+            process = measure_with_sentinel_work("process-control", work)
+            dll = measure_with_sentinel_work("dll", work)
+            gaps.append(process - dll)
+        assert max(gaps) - min(gaps) < 2.0
+
+    def test_heavy_sentinel_dwarfs_transport(self):
+        """With enough sentinel work, strategy choice stops mattering —
+        the paper's argument for why the convenience trade is usually
+        worth it."""
+        process = measure_with_sentinel_work("process-control", 5000.0)
+        dll = measure_with_sentinel_work("dll", 5000.0)
+        assert (process - dll) / dll < 0.03
+
+
+class TestConcurrencyScaling:
+    def test_throughput_hierarchy_preserved_under_load(self):
+        results = {strategy: measure_concurrent(strategy, clients=8,
+                                                calls=40)
+                   for strategy in ("process-control", "thread", "dll")}
+        assert results["dll"].throughput_ops_per_ms \
+            > results["thread"].throughput_ops_per_ms \
+            > results["process-control"].throughput_ops_per_ms
+
+    def test_single_cpu_total_time_scales_with_clients(self):
+        one = measure_concurrent("thread", clients=1, calls=50)
+        four = measure_concurrent("thread", clients=4, calls=50)
+        # one CPU: 4x the work takes ~4x the time (plus scheduling)
+        assert four.total_us > 3.5 * one.total_us
+
+    def test_aggregate_throughput_roughly_flat_on_cpu_bound_path(self):
+        """More clients don't create CPU out of thin air."""
+        few = measure_concurrent("dll", clients=2, calls=50)
+        many = measure_concurrent("dll", clients=8, calls=50)
+        ratio = many.throughput_ops_per_ms / few.throughput_ops_per_ms
+        assert 0.6 < ratio < 1.4
+
+    def test_network_path_overlaps_waits_across_clients(self):
+        """On the network path, client B computes while client A waits
+        on the wire — aggregate throughput rises with concurrency."""
+        one = measure_concurrent("dll", clients=1, calls=30, path="network")
+        four = measure_concurrent("dll", clients=4, calls=30, path="network")
+        assert four.throughput_ops_per_ms > 1.5 * one.throughput_ops_per_ms
+
+    def test_deterministic(self):
+        a = measure_concurrent("thread", clients=3, calls=20)
+        b = measure_concurrent("thread", clients=3, calls=20)
+        assert a == b
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(SimulationError):
+            measure_concurrent("dll", clients=0)

@@ -1,0 +1,225 @@
+"""Tests for the simulated strategy sessions and stub injection."""
+
+import pytest
+
+from repro.afsim.backings import (
+    DiskBacking,
+    MemoryBacking,
+    RemoteBacking,
+    make_backing,
+)
+from repro.afsim.sessions import SIM_STRATEGIES, open_session
+from repro.afsim.stubs import ActiveFileRuntime
+from repro.errors import SimulationError
+from repro.ntos import Kernel, NTFileSystem, NetDevice, RemoteHost, Win32
+
+
+def build_machine():
+    kernel = Kernel()
+    fs = NTFileSystem(kernel)
+    app = kernel.create_process("app")
+    return kernel, fs, app
+
+
+class TestBackings:
+    def test_make_backing_by_name(self):
+        kernel, fs, _ = build_machine()
+        assert isinstance(make_backing(kernel, "network"), RemoteBacking)
+        assert isinstance(make_backing(kernel, "disk", fs=fs), DiskBacking)
+        assert isinstance(make_backing(kernel, "memory"), MemoryBacking)
+        with pytest.raises(SimulationError):
+            make_backing(kernel, "tape")
+
+    def test_memory_backing_roundtrip(self):
+        kernel, _, app = build_machine()
+        backing = MemoryBacking(kernel, size=64)
+
+        def main():
+            backing.write(0, b"hello")
+            assert backing.read(0, 5) == b"hello"
+
+        kernel.create_thread(app, main)
+        kernel.run()
+        assert kernel.now > 0
+
+    def test_disk_backing_wraps_offsets(self):
+        kernel, fs, app = build_machine()
+        backing = DiskBacking(kernel, fs, size=64)
+
+        def main():
+            backing.write(100, b"xy")  # wraps to 100 % 64 = 36
+            assert backing.read(36, 2) == b"xy"
+
+        kernel.create_thread(app, main)
+        kernel.run()
+
+    def test_remote_read_blocks_for_rtt(self):
+        kernel, _, app = build_machine()
+        backing = RemoteBacking(kernel, RemoteHost(kernel, NetDevice(kernel)))
+
+        def main():
+            data = backing.read(0, 256)
+            assert len(data) == 256
+
+        kernel.create_thread(app, main)
+        kernel.run()
+        assert kernel.now >= 2 * kernel.costs.net_latency_us
+
+    def test_remote_write_cheaper_than_read(self):
+        def run(op):
+            kernel, _, app = build_machine()
+            backing = RemoteBacking(kernel,
+                                    RemoteHost(kernel, NetDevice(kernel)))
+            if op == "read":
+                kernel.create_thread(app, lambda: backing.read(0, 64))
+            else:
+                kernel.create_thread(app, lambda: backing.write(0, b"x" * 64))
+            return kernel.run()
+
+        assert run("write") < run("read")
+
+
+@pytest.mark.parametrize("strategy", SIM_STRATEGIES)
+class TestSessionsReturnData:
+    def test_sequential_reads(self, strategy):
+        kernel, fs, app = build_machine()
+        results = []
+
+        def main():
+            backing = MemoryBacking(kernel)
+            session = open_session(strategy, kernel, app, backing)
+            for _ in range(4):
+                results.append(len(session.read(128)))
+            session.close()
+
+        kernel.create_thread(app, main)
+        kernel.run()
+        assert results == [128, 128, 128, 128]
+
+    def test_sequential_writes(self, strategy):
+        kernel, fs, app = build_machine()
+
+        def main():
+            backing = MemoryBacking(kernel)
+            session = open_session(strategy, kernel, app, backing)
+            for _ in range(4):
+                session.write(b"z" * 64)
+            session.close()
+            session.settle()
+
+        kernel.create_thread(app, main)
+        assert kernel.run() > 0
+
+    def test_close_terminates_all_threads(self, strategy):
+        kernel, fs, app = build_machine()
+
+        def main():
+            session = open_session(strategy, kernel, app,
+                                   MemoryBacking(kernel))
+            session.read(8)
+            session.close()
+
+        kernel.create_thread(app, main)
+        kernel.run()  # would deadlock/hang if sentinel threads leaked
+
+
+class TestStrategyCostOrdering:
+    """The paper's central quantitative claim, at the session level."""
+
+    def run_reads(self, strategy, path="memory", calls=50, block=512):
+        kernel, fs, app = build_machine()
+
+        def main():
+            backing = make_backing(kernel, path, fs=fs)
+            session = open_session(strategy, kernel, app, backing)
+            start = kernel.now
+            for _ in range(calls):
+                session.read(block)
+            main.elapsed = kernel.now - start
+            session.close()
+
+        kernel.create_thread(app, main)
+        kernel.run()
+        return main.elapsed / calls
+
+    def test_process_heavier_than_thread_heavier_than_dll(self):
+        process = self.run_reads("process-control")
+        thread = self.run_reads("thread")
+        dll = self.run_reads("dll")
+        assert process > thread > dll
+
+    def test_dll_near_zero_on_memory_path(self):
+        assert self.run_reads("dll") < 10.0
+
+    def test_unknown_strategy_rejected(self):
+        kernel, fs, app = build_machine()
+        with pytest.raises(SimulationError):
+            open_session("carrier-pigeon", kernel, app, MemoryBacking(kernel))
+
+
+class TestStreamProcessPrefetch:
+    def test_stream_reads_benefit_from_pump_readahead(self):
+        """§4.1 pipes pump eagerly; sequential reads overlap the backing."""
+        def per_op(strategy):
+            kernel, fs, app = build_machine()
+
+            def main():
+                backing = make_backing(kernel, "network")
+                session = open_session(strategy, kernel, app, backing,
+                                       **({"chunk": 512}
+                                          if strategy == "process" else {}))
+                start = kernel.now
+                for _ in range(50):
+                    session.read(512)
+                main.elapsed = kernel.now - start
+                session.close()
+
+            kernel.create_thread(app, main)
+            kernel.run()
+            return main.elapsed / 50
+
+        assert per_op("process") < per_op("process-control")
+
+
+class TestStubInjection:
+    def test_unmodified_app_gets_active_file(self):
+        kernel, fs, app = build_machine()
+        fs.create("doc.af", b"")
+        fs.create("plain.txt", b"passive contents")
+        win32 = Win32(kernel, app, fs)
+        runtime = ActiveFileRuntime(
+            kernel, win32,
+            lambda path: open_session("dll", kernel, app,
+                                      MemoryBacking(kernel)),
+        ).install()
+        results = {}
+
+        def legacy_app():
+            # this function knows nothing about active files
+            active = win32.CreateFile("doc.af")
+            passive = win32.CreateFile("plain.txt")
+            results["active"] = win32.ReadFile(active, 16)
+            results["passive"] = win32.ReadFile(passive, 16)
+            win32.CloseHandle(active)
+            win32.CloseHandle(passive)
+
+        kernel.create_thread(app, legacy_app)
+        kernel.run()
+        assert len(results["active"]) == 16
+        assert results["passive"] == b"passive contents"
+        assert runtime.opened == 1
+
+    def test_iat_records_mediation(self):
+        kernel, fs, app = build_machine()
+        win32 = Win32(kernel, app, fs)
+        ActiveFileRuntime(kernel, win32, lambda path: None).install()
+        assert {"CreateFile", "ReadFile", "WriteFile"} <= app.iat.mediated
+
+    def test_double_install_is_idempotent(self):
+        kernel, fs, app = build_machine()
+        win32 = Win32(kernel, app, fs)
+        runtime = ActiveFileRuntime(kernel, win32, lambda path: None)
+        runtime.install()
+        before = dict(win32.iat._entries)
+        runtime.install()
+        assert win32.iat._entries == before

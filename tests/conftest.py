@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import create_active
+from repro.net import Address, FileServer, Network
+
+#: All four §4 strategies; process ones spawn a real child interpreter.
+ALL_STRATEGIES = ("inproc", "thread", "process-control", "process")
+
+#: Strategies with a control channel (full file API).
+CONTROL_STRATEGIES = ("inproc", "thread", "process-control")
+
+#: Fast strategies for tests where the transport doesn't matter.
+FAST_STRATEGIES = ("inproc", "thread")
+
+
+@pytest.fixture
+def network():
+    return Network()
+
+
+@pytest.fixture
+def fileserver(network):
+    address = Address("files.test", 7000)
+    server = network.bind(address, FileServer())
+    server.test_address = address
+    return server
+
+
+@pytest.fixture
+def make_active(tmp_path):
+    """Factory for active files in a temp directory."""
+    counter = [0]
+
+    def factory(target, params=None, data=b"", meta=None, name=None):
+        counter[0] += 1
+        path = tmp_path / (name or f"file{counter[0]}.af")
+        create_active(path, target, params=params, data=data, meta=meta)
+        return str(path)
+
+    return factory

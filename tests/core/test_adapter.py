@@ -1,0 +1,161 @@
+"""Tests for the stream-to-random-access adapter (§5 future work)."""
+
+import pytest
+
+from repro.core import create_active, open_active
+from repro.core.adapter import StreamAdapterSentinel, adapt_spec
+from repro.core.sentinel import SentinelContext, StreamSentinel
+from repro.core.spec import SentinelSpec
+from repro.errors import SpecError, UnsupportedOperationError
+
+ADAPTER = "repro.core.adapter:StreamAdapterSentinel"
+
+
+class TickerStream(StreamSentinel):
+    """A finite stream sentinel written purely in the §4.1 model."""
+
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.lines = int(self.params.get("lines", 5))
+        self.consumed = []
+
+    def generate(self, ctx):
+        for i in range(self.lines):
+            yield f"tick {i:03d}\n".encode()
+
+    def consume(self, ctx, data, offset):
+        self.consumed.append(data)
+        return len(data)
+
+
+class EndlessStream(StreamSentinel):
+    endless = True
+
+    def generate(self, ctx):
+        i = 0
+        while True:
+            yield f"{i}|".encode()
+            i += 1
+
+
+class WriteOnlyStream(StreamSentinel):
+    """Uses the default (rejecting) consume."""
+
+    def generate(self, ctx):
+        yield b"output only"
+
+
+def make_adapted(target, params=None, **adapter_params):
+    spec = SentinelSpec(ADAPTER, {"target": target, "params": params or {},
+                                  **adapter_params})
+    sentinel = spec.instantiate()
+    ctx = SentinelContext()
+    sentinel.on_open(ctx)
+    return sentinel, ctx
+
+
+class TestAdapterDirect:
+    def test_sequential_reads(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        assert sentinel.on_read(ctx, 0, 9) == b"tick 000\n"
+        assert sentinel.on_read(ctx, 9, 9) == b"tick 001\n"
+
+    def test_random_read_spools_forward(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        # jump straight to the 4th record without reading the first three
+        assert sentinel.on_read(ctx, 27, 9) == b"tick 003\n"
+        # earlier data still available (it was spooled)
+        assert sentinel.on_read(ctx, 0, 4) == b"tick"
+
+    def test_read_past_end_is_short(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream",
+                                     {"lines": 2})
+        assert sentinel.on_read(ctx, 0, 1000) == b"tick 000\ntick 001\n"
+
+    def test_size_of_finite_stream(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream", {"lines": 3})
+        assert sentinel.on_size(ctx) == 27
+
+    def test_size_of_endless_stream_is_unbounded(self):
+        from repro.sentinels.generate import UNBOUNDED_SIZE
+
+        sentinel, ctx = make_adapted(f"{__name__}:EndlessStream")
+        assert sentinel.on_size(ctx) == UNBOUNDED_SIZE
+
+    def test_spool_limit_guards_endless_streams(self):
+        sentinel, ctx = make_adapted(f"{__name__}:EndlessStream",
+                                     spool_limit=256)
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_read(ctx, 1000, 10)
+
+    def test_sequential_writes_forwarded(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        assert sentinel.on_write(ctx, 0, b"abc") == 3
+        assert sentinel.on_write(ctx, 3, b"def") == 3
+        assert sentinel.inner.consumed == [b"abc", b"def"]
+
+    def test_non_sequential_write_rejected(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        sentinel.on_write(ctx, 0, b"abc")
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_write(ctx, 100, b"xyz")
+
+    def test_write_to_write_rejecting_stream(self):
+        sentinel, ctx = make_adapted(f"{__name__}:WriteOnlyStream")
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_write(ctx, 0, b"in")
+
+    def test_truncate_rejected(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_truncate(ctx, 0)
+
+    def test_stats_control_op(self):
+        sentinel, ctx = make_adapted(f"{__name__}:TickerStream")
+        sentinel.on_read(ctx, 0, 9)
+        fields, _ = sentinel.on_control(ctx, "adapter_stats", {}, b"")
+        assert fields["spooled"] >= 9
+
+    def test_requires_target(self):
+        with pytest.raises(SpecError):
+            StreamAdapterSentinel({})
+
+    def test_rejects_non_stream_target(self):
+        with pytest.raises(SpecError, match="not a StreamSentinel"):
+            StreamAdapterSentinel(
+                {"target": "repro.sentinels.null:NullFilterSentinel"}
+            )
+
+
+class TestAdaptSpec:
+    def test_adapt_spec_wraps(self):
+        original = SentinelSpec(f"{__name__}:TickerStream", {"lines": 2})
+        adapted = adapt_spec(original)
+        assert adapted.target == ADAPTER
+        assert adapted.params["target"] == f"{__name__}:TickerStream"
+        assert adapted.params["params"] == {"lines": 2}
+
+
+class TestAdapterUnderRandomAccessStrategies:
+    """The point of the translation: stream sentinels gain seek/size."""
+
+    @pytest.mark.parametrize("strategy", ["inproc", "thread",
+                                          "process-control"])
+    def test_stream_sentinel_now_seekable(self, tmp_path, strategy):
+        path = tmp_path / "adapted.af"
+        create_active(path, adapt_spec(
+            SentinelSpec(f"{__name__}:TickerStream", {"lines": 10})
+        ), meta={"data": "memory"})
+        with open_active(str(path), "rb", strategy=strategy) as stream:
+            assert stream.seekable()
+            stream.seek(18)
+            assert stream.read(9) == b"tick 002\n"
+            assert stream.getsize() == 90
+
+    def test_same_sentinel_still_works_under_bare_pipes(self, tmp_path):
+        """Unadapted, the stream sentinel serves the §4.1 strategy."""
+        path = tmp_path / "plain.af"
+        create_active(path, f"{__name__}:TickerStream",
+                      params={"lines": 3}, meta={"data": "memory"})
+        with open_active(str(path), "rb", strategy="process") as stream:
+            assert stream.read() == b"tick 000\ntick 001\ntick 002\n"

@@ -1,0 +1,147 @@
+"""Tests for the Win32-flavoured API veneer."""
+
+import pytest
+
+from repro.core.api import FILE_BEGIN, FILE_CURRENT, FILE_END, Win32Api
+from repro.errors import HandleError, UnsupportedOperationError
+
+NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+@pytest.fixture
+def api():
+    return Win32Api(strategy="inproc")
+
+
+class TestPassiveFiles:
+    """The veneer serves ordinary files when the name isn't active."""
+
+    def test_read_write_roundtrip(self, api, tmp_path):
+        path = tmp_path / "plain.txt"
+        handle = api.CreateFile(str(path), "w+b")
+        assert api.WriteFile(handle, b"hello") == 5
+        api.SetFilePointer(handle, 0, FILE_BEGIN)
+        assert api.ReadFile(handle, 5) == b"hello"
+        api.CloseHandle(handle)
+        assert path.read_bytes() == b"hello"
+
+    def test_getfilesize_preserves_position(self, api, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_bytes(b"0123456789")
+        handle = api.CreateFile(str(path), "rb")
+        api.SetFilePointer(handle, 4, FILE_BEGIN)
+        assert api.GetFileSize(handle) == 10
+        assert api.ReadFile(handle, 2) == b"45"
+        api.CloseHandle(handle)
+
+    def test_text_mode_coerced_to_binary(self, api, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_bytes(b"abc")
+        handle = api.CreateFile(str(path), "r")
+        assert api.ReadFile(handle, 3) == b"abc"
+        api.CloseHandle(handle)
+
+
+class TestActiveFiles:
+    def test_active_file_indistinguishable(self, api, make_active):
+        path = make_active(NULL, data=b"0123456789")
+        handle = api.CreateFile(path, "r+b")
+        assert api.ReadFile(handle, 4) == b"0123"
+        api.SetFilePointer(handle, -2, FILE_END)
+        assert api.ReadFile(handle, 2) == b"89"
+        api.SetFilePointer(handle, 0, FILE_BEGIN)
+        api.WriteFile(handle, b"XX")
+        assert api.GetFileSize(handle) == 10
+        api.FlushFileBuffers(handle)
+        api.CloseHandle(handle)
+
+    def test_openfile_alias(self, api, make_active):
+        path = make_active(NULL, data=b"alias")
+        handle = api.OpenFile(path, "rb")
+        assert api.ReadFile(handle, 5) == b"alias"
+        api.CloseHandle(handle)
+
+    def test_seek_current(self, api, make_active):
+        path = make_active(NULL, data=b"0123456789")
+        handle = api.CreateFile(path, "rb")
+        api.SetFilePointer(handle, 3, FILE_BEGIN)
+        api.SetFilePointer(handle, 2, FILE_CURRENT)
+        assert api.ReadFile(handle, 1) == b"5"
+        api.CloseHandle(handle)
+
+    def test_sniff_content_detects_renamed_containers(self, make_active,
+                                                      tmp_path):
+        import shutil
+
+        source = make_active(NULL, data=b"hidden")
+        disguised = tmp_path / "looks_plain.bin"
+        shutil.copy(source, disguised)
+        api = Win32Api(strategy="inproc", sniff_content=True)
+        handle = api.CreateFile(str(disguised), "rb")
+        assert api.ReadFile(handle, 6) == b"hidden"
+        api.CloseHandle(handle)
+
+    def test_scatter_read_on_seekable(self, api, make_active):
+        path = make_active(NULL, data=b"aabbcc")
+        handle = api.CreateFile(path, "rb")
+        assert api.ReadFileScatter(handle, [2, 2, 2]) == [b"aa", b"bb", b"cc"]
+        api.CloseHandle(handle)
+
+    def test_scatter_read_dropped_on_process_strategy(self, make_active):
+        api = Win32Api(strategy="process")
+        path = make_active(NULL, data=b"aabbcc")
+        handle = api.CreateFile(path, "rb")
+        with pytest.raises(UnsupportedOperationError):
+            api.ReadFileScatter(handle, [2, 2])
+        api.CloseHandle(handle)
+
+
+class TestHandles:
+    def test_handles_are_nt_style(self, api, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"")
+        handles = [api.CreateFile(str(path), "rb") for _ in range(3)]
+        assert all(h % 4 == 0 for h in handles)
+        assert len(set(handles)) == 3
+        for handle in handles:
+            api.CloseHandle(handle)
+
+    def test_invalid_handle_rejected(self, api):
+        with pytest.raises(HandleError):
+            api.ReadFile(999, 1)
+
+    def test_double_close_rejected(self, api, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"")
+        handle = api.CreateFile(str(path), "rb")
+        api.CloseHandle(handle)
+        with pytest.raises(HandleError):
+            api.CloseHandle(handle)
+
+    def test_open_handle_count(self, api, tmp_path):
+        path = tmp_path / "f"
+        path.write_bytes(b"")
+        assert api.open_handle_count() == 0
+        handle = api.CreateFile(str(path), "rb")
+        assert api.open_handle_count() == 1
+        api.CloseHandle(handle)
+        assert api.open_handle_count() == 0
+
+
+class TestGatherWrite:
+    def test_gather_write_on_seekable(self, api, make_active):
+        from repro.core import Container
+
+        path = make_active(NULL, data=b"")
+        handle = api.CreateFile(path, "r+b")
+        assert api.WriteFileGather(handle, [b"ab", b"cd", b"ef"]) == 6
+        api.CloseHandle(handle)
+        assert Container.load(path).data == b"abcdef"
+
+    def test_gather_write_dropped_on_process_strategy(self, make_active):
+        api = Win32Api(strategy="process")
+        path = make_active(NULL, data=b"")
+        handle = api.CreateFile(path, "r+b")
+        with pytest.raises(UnsupportedOperationError):
+            api.WriteFileGather(handle, [b"x"])
+        api.CloseHandle(handle)

@@ -1,0 +1,198 @@
+"""Tests for the block cache (Figure 5 paths 2 and 3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import BlockCache
+from repro.core.datapart import MemoryDataPart
+from repro.errors import CacheError
+from repro.util.bytesbuf import ByteBuffer
+
+
+class Origin:
+    """An instrumented fake remote origin."""
+
+    def __init__(self, body=b""):
+        self.body = ByteBuffer(body)
+        self.reads = 0
+        self.writes = 0
+
+    def fetch(self, offset, size):
+        self.reads += 1
+        return self.body.read_at(offset, size)
+
+    def push(self, offset, data):
+        self.writes += 1
+        return self.body.write_at(offset, data)
+
+
+def make_cache(body=b"", block_size=8, max_blocks=None):
+    origin = Origin(body)
+    cache = BlockCache(fetch=origin.fetch, push=origin.push,
+                       store=MemoryDataPart(), block_size=block_size,
+                       max_blocks=max_blocks)
+    return cache, origin
+
+
+class TestReads:
+    def test_first_read_faults_blocks(self):
+        cache, origin = make_cache(b"0123456789abcdef", block_size=8)
+        assert cache.read(0, 4) == b"0123"
+        assert origin.reads == 1
+        assert cache.misses == 1
+
+    def test_repeat_read_hits(self):
+        cache, origin = make_cache(b"0123456789abcdef", block_size=8)
+        cache.read(0, 4)
+        cache.read(2, 4)
+        assert origin.reads == 1
+        assert cache.hits == 1
+
+    def test_read_spanning_blocks(self):
+        cache, origin = make_cache(b"0123456789abcdef", block_size=4)
+        assert cache.read(2, 8) == b"23456789"
+        assert origin.reads == 3  # blocks 0,1,2
+
+    def test_read_past_origin_end_is_short(self):
+        cache, _ = make_cache(b"short", block_size=8)
+        assert cache.read(0, 100) == b"short"
+        assert cache.read(5, 10) == b""
+
+    def test_short_fetch_sets_known_end(self):
+        cache, origin = make_cache(b"0123456789", block_size=8)
+        cache.read(0, 10)
+        # reads entirely past the end don't re-fetch
+        origin.reads = 0
+        assert cache.read(50, 10) == b""
+        assert origin.reads == 0
+
+    def test_zero_and_negative_sizes(self):
+        cache, _ = make_cache(b"abc")
+        assert cache.read(0, 0) == b""
+        assert cache.read(-1, 5) == b""
+
+
+class TestWrites:
+    def test_write_through(self):
+        cache, origin = make_cache(b"00000000", block_size=4)
+        cache.write(2, b"XY")
+        assert origin.body.getvalue() == b"00XY0000"
+        assert origin.writes == 1
+
+    def test_write_updates_cached_block(self):
+        cache, origin = make_cache(b"00000000", block_size=8)
+        cache.read(0, 8)
+        cache.write(0, b"ZZ")
+        origin.reads = 0
+        assert cache.read(0, 8) == b"ZZ000000"
+        assert origin.reads == 0  # served from cache
+
+    def test_full_block_write_becomes_valid_without_fetch(self):
+        cache, origin = make_cache(b"0" * 16, block_size=8)
+        cache.write(0, b"A" * 8)
+        origin.reads = 0
+        assert cache.read(0, 8) == b"A" * 8
+        assert origin.reads == 0
+
+    def test_partial_write_to_uncached_block_stays_invalid(self):
+        cache, origin = make_cache(b"00000000", block_size=8)
+        cache.write(2, b"XY")  # partial, block not cached
+        assert cache.read(0, 8) == b"00XY0000"
+        assert origin.reads == 1  # had to fetch on read
+
+    def test_write_extends_known_end(self):
+        cache, origin = make_cache(b"abc", block_size=4)
+        cache.read(0, 3)            # learns end = 3
+        cache.write(3, b"defg")     # extends origin
+        assert cache.read(0, 7) == b"abcdefg"
+
+    def test_empty_write(self):
+        cache, origin = make_cache(b"abc")
+        assert cache.write(1, b"") == 0
+        assert origin.body.getvalue() == b"abc"
+
+
+class TestEviction:
+    def test_lru_bound_respected(self):
+        cache, origin = make_cache(bytes(range(64)), block_size=8,
+                                   max_blocks=2)
+        cache.read(0, 8)
+        cache.read(8, 8)
+        cache.read(16, 8)
+        assert cache.cached_blocks == 2
+
+    def test_lru_evicts_least_recent(self):
+        cache, origin = make_cache(bytes(64), block_size=8, max_blocks=2)
+        cache.read(0, 8)   # block 0
+        cache.read(8, 8)   # block 1
+        cache.read(0, 8)   # touch block 0
+        cache.read(16, 8)  # block 2 -> evicts block 1
+        origin.reads = 0
+        cache.read(0, 8)
+        assert origin.reads == 0    # block 0 still cached
+        cache.read(8, 8)
+        assert origin.reads == 1    # block 1 was evicted
+
+
+class TestInvalidation:
+    def test_full_invalidate_refetches(self):
+        cache, origin = make_cache(b"version one....", block_size=16)
+        assert cache.read(0, 11) == b"version one"
+        origin.body.setvalue(b"version two....")
+        cache.invalidate()
+        assert cache.read(0, 11) == b"version two"
+
+    def test_range_invalidate(self):
+        cache, origin = make_cache(bytes(32), block_size=8)
+        cache.read(0, 32)
+        fetched_before = origin.reads
+        cache.invalidate(offset=8, size=8)  # only block 1
+        cache.read(0, 32)
+        assert origin.reads == fetched_before + 1
+
+
+class TestValidation:
+    def test_bad_block_size(self):
+        with pytest.raises(CacheError):
+            BlockCache(fetch=lambda o, s: b"", push=lambda o, d: 0,
+                       store=MemoryDataPart(), block_size=0)
+
+    def test_bad_max_blocks(self):
+        with pytest.raises(CacheError):
+            BlockCache(fetch=lambda o, s: b"", push=lambda o, d: 0,
+                       store=MemoryDataPart(), max_blocks=0)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(body=st.binary(min_size=1, max_size=200),
+           block_size=st.sampled_from([1, 3, 8, 16]),
+           reads=st.lists(st.tuples(st.integers(0, 220), st.integers(0, 64)),
+                          max_size=10))
+    def test_cached_reads_match_origin(self, body, block_size, reads):
+        cache, origin = make_cache(body, block_size=block_size)
+        for offset, size in reads:
+            assert cache.read(offset, size) == body[offset:offset + size]
+
+    @settings(max_examples=60, deadline=None)
+    @given(block_size=st.sampled_from([2, 4, 8]),
+           ops=st.lists(
+               st.one_of(
+                   st.tuples(st.just("r"), st.integers(0, 64), st.integers(0, 24)),
+                   st.tuples(st.just("w"), st.integers(0, 64),
+                             st.binary(min_size=1, max_size=16)),
+               ), max_size=14))
+    def test_mixed_ops_match_reference(self, block_size, ops):
+        body = b"0123456789" * 3
+        cache, origin = make_cache(body, block_size=block_size)
+        reference = ByteBuffer(body)
+        for op in ops:
+            if op[0] == "r":
+                _, offset, size = op
+                expected = reference.read_at(offset, size)
+                assert cache.read(offset, size) == expected
+            else:
+                _, offset, data = op
+                cache.write(offset, data)
+                reference.write_at(offset, data)
+        assert origin.body.getvalue() == reference.getvalue()

@@ -1,0 +1,177 @@
+"""Tests for the afctl command-line tool."""
+
+import io
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.core import Container
+
+
+@pytest.fixture
+def workdir(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestCreateInfo:
+    def test_create_and_info(self, workdir, capsys):
+        assert main(["create", "f.af",
+                     "repro.sentinels.null:NullFilterSentinel"]) == 0
+        assert main(["info", "f.af"]) == 0
+        out = capsys.readouterr().out
+        assert "NullFilterSentinel" in out
+        assert "data part: 0 bytes" in out
+
+    def test_create_with_json_params(self, workdir):
+        assert main(["create", "g.af",
+                     "repro.sentinels.generate:CounterSentinel",
+                     "--param", "width=3", "--param", "count=2",
+                     "--ephemeral"]) == 0
+        container = Container.load("g.af")
+        assert container.spec.params == {"width": 3, "count": 2}
+        assert container.meta == {"data": "memory"}
+
+    def test_create_string_param_fallback(self, workdir):
+        main(["create", "s.af", "repro.sentinels.cipher:XorCipherSentinel",
+              "--param", "key=hunter2"])
+        assert Container.load("s.af").spec.params == {"key": "hunter2"}
+
+    def test_create_refuses_overwrite_without_force(self, workdir, capsys):
+        main(["create", "f.af", "repro.sentinels.null:NullFilterSentinel"])
+        assert main(["create", "f.af",
+                     "repro.sentinels.null:NullFilterSentinel"]) == 1
+        assert "afctl:" in capsys.readouterr().err
+
+    def test_create_with_data_file(self, workdir):
+        (workdir / "seed.txt").write_bytes(b"seed content")
+        main(["create", "d.af", "repro.sentinels.null:NullFilterSentinel",
+              "--data", "seed.txt"])
+        assert Container.load("d.af").data == b"seed content"
+
+    def test_bad_param_syntax(self, workdir):
+        with pytest.raises(SystemExit):
+            main(["create", "x.af", "repro.sentinels.null:NullFilterSentinel",
+                  "--param", "oops"])
+
+    def test_info_missing_file(self, workdir, capsys):
+        assert main(["info", "ghost.af"]) == 1
+
+
+class TestCatWrite:
+    def test_cat(self, workdir, capsysbinary):
+        main(["create", "c.af", "repro.sentinels.null:NullFilterSentinel",
+              "--force"])
+        Container.load("c.af").write_data(b"cat me\n")
+        assert main(["cat", "c.af"]) == 0
+        assert capsysbinary.readouterr().out.endswith(b"cat me\n")
+
+    def test_cat_limit_on_endless_generator(self, workdir, capsysbinary):
+        main(["create", "r.af", "repro.sentinels.generate:RandomBytesSentinel",
+              "--ephemeral"])
+        assert main(["cat", "r.af", "--limit", "64"]) == 0
+        assert len(capsysbinary.readouterr().out) >= 64
+
+    def test_write_then_cat(self, workdir, monkeypatch, capsys):
+        main(["create", "w.af", "repro.sentinels.null:NullFilterSentinel"])
+        monkeypatch.setattr(sys, "stdin",
+                            type("S", (), {"buffer": io.BytesIO(b"payload")})())
+        assert main(["write", "w.af"]) == 0
+        assert Container.load("w.af").data == b"payload"
+
+    def test_write_append(self, workdir, monkeypatch):
+        main(["create", "w.af", "repro.sentinels.null:NullFilterSentinel"])
+        Container.load("w.af").write_data(b"head;")
+        monkeypatch.setattr(sys, "stdin",
+                            type("S", (), {"buffer": io.BytesIO(b"tail")})())
+        main(["write", "w.af", "--append"])
+        assert Container.load("w.af").data == b"head;tail"
+
+
+class TestCopyAndMisc:
+    def test_copy_moves_both_parts(self, workdir):
+        main(["create", "a.af", "repro.sentinels.cipher:XorCipherSentinel",
+              "--param", "key=k"])
+        Container.load("a.af").write_data(b"secret-ish")
+        assert main(["copy", "a.af", "b.af"]) == 0
+        copy = Container.load("b.af")
+        assert copy.spec.params == {"key": "k"}
+        assert copy.data == b"secret-ish"
+
+    def test_strategies_listing(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("process", "process-control", "thread", "inproc"):
+            assert name in out
+
+    def test_figure6_passthrough(self, capsys):
+        assert main(["figure6", "--panel", "c", "--op", "read",
+                     "--calls", "40"]) == 0
+        assert "Figure 6(c) Read" in capsys.readouterr().out
+
+
+class TestAdaptAndSandboxCommands:
+    def test_adapt_rewrites_spec(self, workdir, capsys):
+        main(["create", "t.af", "tests.core.test_adapter:TickerStream",
+              "--param", "lines=4", "--ephemeral"])
+        assert main(["adapt", "t.af"]) == 0
+        container = Container.load("t.af")
+        assert container.spec.target == \
+            "repro.core.adapter:StreamAdapterSentinel"
+        # the adapted file is now seekable under random-access strategies
+        from repro.core import open_active
+
+        with open_active("t.af", "rb", strategy="inproc") as stream:
+            stream.seek(9)
+            assert stream.read(9) == b"tick 001\n"
+
+    def test_sandbox_rewrites_spec(self, workdir):
+        main(["create", "s.af", "repro.sentinels.null:NullFilterSentinel"])
+        Container.load("s.af").write_data(b"guarded")
+        assert main(["sandbox", "s.af", "--read-only",
+                     "--max-total-bytes", "4"]) == 0
+        from repro.core import open_active
+        from repro.errors import SandboxViolation
+
+        with open_active("s.af", "r+b", strategy="inproc") as stream:
+            assert stream.read(4) == b"guar"
+            with pytest.raises(SandboxViolation):
+                stream.read(4)
+
+    def test_sandbox_host_allowlist_flag(self, workdir):
+        main(["create", "h.af", "repro.sentinels.null:NullFilterSentinel"])
+        main(["sandbox", "h.af", "--allow-host", "files",
+              "--allow-host", "quotes"])
+        params = Container.load("h.af").spec.params
+        assert params["policy"]["allowed_hosts"] == ["files", "quotes"]
+
+
+class TestLsCommand:
+    def test_ls_lists_active_files(self, workdir, capsys):
+        main(["create", "one.af", "repro.sentinels.null:NullFilterSentinel"])
+        main(["create", "two.af", "repro.sentinels.cipher:XorCipherSentinel",
+              "--param", "key=k"])
+        (workdir / "plain.txt").write_text("not active")
+        assert main(["ls", "."]) == 0
+        out = capsys.readouterr().out
+        assert "one.af" in out and "two.af" in out
+        assert "plain.txt" not in out
+        assert "XorCipherSentinel" in out
+
+    def test_ls_empty_directory(self, workdir, capsys):
+        assert main(["ls", "."]) == 0
+        assert "no active files" in capsys.readouterr().out
+
+    def test_ls_sniff_finds_renamed_containers(self, workdir, capsys):
+        import shutil
+
+        main(["create", "orig.af", "repro.sentinels.null:NullFilterSentinel"])
+        shutil.copy("orig.af", "disguised.bin")
+        main(["ls", ".", "--sniff"])
+        assert "disguised.bin" in capsys.readouterr().out
+
+    def test_ls_reports_corrupt_containers(self, workdir, capsys):
+        (workdir / "broken.af").write_bytes(b"not a container at all")
+        main(["ls", "."])
+        assert "<unreadable container>" in capsys.readouterr().out

@@ -1,0 +1,156 @@
+"""Tests for the .af container format and its directory semantics."""
+
+import os
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.container import (
+    ACTIVE_SUFFIX,
+    Container,
+    is_active_path,
+    sniff,
+)
+from repro.core.spec import SentinelSpec
+from repro.errors import ContainerError, ContainerFormatError
+
+SPEC = SentinelSpec("repro.sentinels.null:NullFilterSentinel", {"p": 1})
+
+
+@pytest.fixture
+def path(tmp_path):
+    return tmp_path / "thing.af"
+
+
+class TestRoundtrip:
+    def test_create_load(self, path):
+        Container.create(path, SPEC, data=b"body", meta={"m": True})
+        loaded = Container.load(path)
+        assert loaded.spec == SPEC
+        assert loaded.data == b"body"
+        assert loaded.meta == {"m": True}
+
+    def test_empty_data_part(self, path):
+        Container.create(path, SPEC)
+        assert Container.load(path).data == b""
+
+    def test_create_refuses_overwrite(self, path):
+        Container.create(path, SPEC)
+        with pytest.raises(ContainerError):
+            Container.create(path, SPEC)
+
+    def test_create_exist_ok(self, path):
+        Container.create(path, SPEC, data=b"one")
+        Container.create(path, SPEC, data=b"two", exist_ok=True)
+        assert Container.load(path).data == b"two"
+
+    def test_write_data_persists(self, path):
+        container = Container.create(path, SPEC, data=b"old")
+        container.write_data(b"new data")
+        assert Container.load(path).data == b"new data"
+
+    def test_read_data_sees_external_writer(self, path):
+        container = Container.create(path, SPEC, data=b"old")
+        other = Container.load(path)
+        other.write_data(b"changed")
+        assert container.data == b"old"  # stale snapshot
+        assert container.read_data() == b"changed"
+
+    @given(st.binary(max_size=2048))
+    def test_arbitrary_data_roundtrips(self, body):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as d:
+            target = os.path.join(d, "x.af")
+            Container.create(target, SPEC, data=body)
+            assert Container.load(target).data == body
+
+
+class TestFormatRobustness:
+    def test_load_missing_file(self, path):
+        with pytest.raises(ContainerError):
+            Container.load(path)
+
+    def test_bad_magic(self, path):
+        path.write_bytes(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(ContainerFormatError, match="bad magic"):
+            Container.load(path)
+
+    def test_too_short(self, path):
+        path.write_bytes(b"AF")
+        with pytest.raises(ContainerFormatError, match="too short"):
+            Container.load(path)
+
+    def test_truncated_header(self, path):
+        Container.create(path, SPEC, data=b"x" * 100)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:10])
+        with pytest.raises(ContainerFormatError):
+            Container.load(path)
+
+    def test_truncated_data(self, path):
+        Container.create(path, SPEC, data=b"x" * 100)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-50])
+        with pytest.raises(ContainerFormatError, match="truncated"):
+            Container.load(path)
+
+    def test_header_not_json(self, path):
+        header = b"this is not json"
+        blob = b"AFC1" + len(header).to_bytes(4, "big") + header
+        path.write_bytes(blob)
+        with pytest.raises(ContainerFormatError, match="not JSON"):
+            Container.load(path)
+
+    def test_header_missing_spec(self, path):
+        import json
+
+        header = json.dumps({"meta": {}}).encode()
+        blob = b"AFC1" + len(header).to_bytes(4, "big") + header
+        path.write_bytes(blob)
+        with pytest.raises(ContainerFormatError, match="missing 'spec'"):
+            Container.load(path)
+
+    def test_implausible_header_length(self, path):
+        blob = b"AFC1" + (1 << 30).to_bytes(4, "big") + b"x" * 100
+        path.write_bytes(blob)
+        with pytest.raises(ContainerFormatError, match="implausible"):
+            Container.load(path)
+
+
+class TestDirectoryOperations:
+    """Paper §2.1: directory operations act on both components at once."""
+
+    def test_copy_carries_both_parts(self, path, tmp_path):
+        original = Container.create(path, SPEC, data=b"payload")
+        copy = original.copy_to(tmp_path / "copy.af")
+        loaded = Container.load(tmp_path / "copy.af")
+        assert loaded.spec == SPEC
+        assert loaded.data == b"payload"
+        # copies are independent afterwards
+        copy.write_data(b"diverged")
+        assert Container.load(path).data == b"payload"
+
+    def test_rename(self, path, tmp_path):
+        container = Container.create(path, SPEC, data=b"d")
+        container.rename_to(tmp_path / "renamed.af")
+        assert not path.exists()
+        assert Container.load(tmp_path / "renamed.af").data == b"d"
+
+    def test_delete(self, path):
+        Container.create(path, SPEC).delete()
+        assert not path.exists()
+
+
+class TestDetection:
+    def test_is_active_path(self):
+        assert is_active_path("x" + ACTIVE_SUFFIX)
+        assert not is_active_path("x.txt")
+
+    def test_sniff(self, path, tmp_path):
+        Container.create(path, SPEC)
+        assert sniff(path)
+        plain = tmp_path / "plain.bin"
+        plain.write_bytes(b"not a container")
+        assert not sniff(plain)
+        assert not sniff(tmp_path / "absent")

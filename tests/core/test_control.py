@@ -1,0 +1,170 @@
+"""Tests for the control protocol codec and the dispatcher."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import control
+from repro.core.dispatch import SentinelDispatcher
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import (
+    FrameError,
+    ProtocolError,
+    SentinelError,
+    UnsupportedOperationError,
+)
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        blob = control.encode_message({"cmd": "read", "n": 5}, b"payload")
+        fields, payload = control.decode_message(blob)
+        assert fields == {"cmd": "read", "n": 5}
+        assert payload == b"payload"
+
+    def test_empty_payload(self):
+        fields, payload = control.decode_message(control.encode_message({"a": 1}))
+        assert (fields, payload) == ({"a": 1}, b"")
+
+    def test_unencodable_fields(self):
+        with pytest.raises(FrameError):
+            control.encode_message({"bad": object()})
+
+    def test_decode_too_short(self):
+        with pytest.raises(FrameError):
+            control.decode_message(b"\x00")
+
+    def test_decode_header_overruns(self):
+        with pytest.raises(FrameError):
+            control.decode_message(b"\x00\x00\x00\xff{}")
+
+    def test_decode_header_not_json(self):
+        blob = (7).to_bytes(4, "big") + b"nopenop"
+        with pytest.raises(FrameError):
+            control.decode_message(blob)
+
+    def test_decode_header_not_object(self):
+        import json
+
+        body = json.dumps([1, 2]).encode()
+        blob = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameError):
+            control.decode_message(blob)
+
+    def test_command_validates_name(self):
+        with pytest.raises(ProtocolError):
+            control.command("explode")
+
+    def test_known_commands_encode(self):
+        for cmd in control.COMMANDS:
+            fields, _ = control.decode_message(control.command(cmd))
+            assert fields["cmd"] == cmd
+
+    @given(st.dictionaries(st.text(min_size=1, max_size=8),
+                           st.integers() | st.text(max_size=16), max_size=6),
+           st.binary(max_size=256))
+    def test_property_roundtrip(self, fields, payload):
+        out_fields, out_payload = control.decode_message(
+            control.encode_message(fields, payload)
+        )
+        assert out_fields == fields
+        assert out_payload == payload
+
+
+class TestResponses:
+    def test_ok_response(self):
+        fields, payload = control.decode_message(control.ok_response(b"d", x=1))
+        assert fields == {"ok": True, "x": 1}
+        control.raise_for_response(fields)  # no raise
+
+    def test_error_response_roundtrips_type(self):
+        fields, _ = control.decode_message(
+            control.error_response(UnsupportedOperationError("nope"))
+        )
+        with pytest.raises(UnsupportedOperationError, match="nope"):
+            control.raise_for_response(fields)
+
+    def test_unknown_error_type_becomes_sentinel_error(self):
+        with pytest.raises(SentinelError, match="weird"):
+            control.raise_for_response({"ok": False, "error": "weird",
+                                        "error_type": "ValueError"})
+
+
+class CountingSentinel(Sentinel):
+    def __init__(self, params=None):
+        super().__init__(params)
+        self.closes = 0
+
+    def on_close(self, ctx):
+        self.closes += 1
+
+    def on_control(self, ctx, op, args, payload):
+        if op == "sum":
+            return {"total": sum(args.get("values", []))}, payload[::-1]
+        return super().on_control(ctx, op, args, payload)
+
+
+class TestDispatcher:
+    @pytest.fixture
+    def dispatcher(self):
+        sentinel = CountingSentinel()
+        ctx = SentinelContext()
+        ctx.data.write_at(0, b"0123456789")
+        return SentinelDispatcher(sentinel, ctx)
+
+    def test_read(self, dispatcher):
+        fields, payload = dispatcher.execute({"cmd": "read", "offset": 2,
+                                              "size": 4}, b"")
+        assert fields["ok"] and payload == b"2345"
+
+    def test_write(self, dispatcher):
+        fields, _ = dispatcher.execute({"cmd": "write", "offset": 0}, b"XY")
+        assert fields["written"] == 2
+
+    def test_size(self, dispatcher):
+        fields, _ = dispatcher.execute({"cmd": "size"}, b"")
+        assert fields["size"] == 10
+
+    def test_truncate_and_flush(self, dispatcher):
+        dispatcher.execute({"cmd": "truncate", "size": 3}, b"")
+        fields, _ = dispatcher.execute({"cmd": "size"}, b"")
+        assert fields["size"] == 3
+        fields, _ = dispatcher.execute({"cmd": "flush"}, b"")
+        assert fields["ok"]
+
+    def test_custom_control(self, dispatcher):
+        fields, payload = dispatcher.execute(
+            {"cmd": "control", "op": "sum", "args": {"values": [1, 2, 3]}},
+            b"abc",
+        )
+        assert fields["total"] == 6
+        assert payload == b"cba"
+
+    def test_unknown_control_op_is_failure_response(self, dispatcher):
+        fields, _ = dispatcher.execute({"cmd": "control", "op": "nope",
+                                        "args": {}}, b"")
+        assert fields["ok"] is False
+        assert fields["error_type"] == "UnsupportedOperationError"
+
+    def test_unknown_command_is_failure_response(self, dispatcher):
+        fields, _ = dispatcher.execute({"cmd": "zap"}, b"")
+        assert fields["ok"] is False
+        assert fields["error_type"] == "ProtocolError"
+
+    def test_sentinel_exception_does_not_kill_loop(self, dispatcher):
+        fields, _ = dispatcher.execute({"cmd": "read", "offset": "NaN",
+                                        "size": 1}, b"")
+        assert fields["ok"] is False
+        # loop still serves afterwards
+        fields, payload = dispatcher.execute({"cmd": "read", "offset": 0,
+                                              "size": 2}, b"")
+        assert payload == b"01"
+
+    def test_close_is_idempotent(self, dispatcher):
+        dispatcher.execute({"cmd": "close"}, b"")
+        dispatcher.close()
+        assert dispatcher.sentinel.closes == 1
+
+    def test_handle_encodes(self, dispatcher):
+        blob = dispatcher.handle({"cmd": "size"}, b"")
+        fields, _ = control.decode_message(blob)
+        assert fields["size"] == 10

@@ -1,0 +1,136 @@
+"""Tests for the ActiveFile object's io integration."""
+
+import io
+
+import pytest
+
+from repro.core import open_active
+from repro.errors import UnsupportedOperationError
+
+NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+@pytest.fixture
+def stream(make_active):
+    path = make_active(NULL, data=b"line one\nline two\nline three\n")
+    with open_active(path, "r+b", strategy="inproc") as handle:
+        yield handle
+
+
+class TestIoIntegration:
+    def test_is_raw_io(self, stream):
+        assert isinstance(stream, io.RawIOBase)
+
+    def test_buffered_reader_wraps(self, make_active):
+        path = make_active(NULL, data=b"abc\ndef\n")
+        raw = open_active(path, "rb", strategy="inproc")
+        with io.BufferedReader(raw) as buffered:
+            assert buffered.readline() == b"abc\n"
+            assert buffered.readline() == b"def\n"
+
+    def test_text_wrapper(self, make_active):
+        path = make_active(NULL, data="héllo\nwörld\n".encode("utf-8"))
+        raw = open_active(path, "rb", strategy="thread")
+        with io.TextIOWrapper(io.BufferedReader(raw), encoding="utf-8") as text:
+            assert text.read() == "héllo\nwörld\n"
+
+    def test_readinto(self, stream):
+        buffer = bytearray(8)
+        assert stream.readinto(buffer) == 8
+        assert bytes(buffer) == b"line one"
+
+    def test_readall(self, stream):
+        assert stream.readall() == b"line one\nline two\nline three\n"
+
+    def test_iteration_via_buffered(self, make_active):
+        path = make_active(NULL, data=b"a\nb\nc\n")
+        with io.BufferedReader(open_active(path, "rb", strategy="inproc")) as b:
+            assert list(b) == [b"a\n", b"b\n", b"c\n"]
+
+    def test_flags(self, stream):
+        assert stream.readable() and stream.writable() and stream.seekable()
+
+    def test_context_manager_closes(self, make_active):
+        path = make_active(NULL, data=b"x")
+        with open_active(path, "rb", strategy="inproc") as handle:
+            pass
+        assert handle.closed
+
+    def test_repr_mentions_strategy(self, stream):
+        assert "inproc" in repr(stream)
+
+    def test_bad_whence(self, stream):
+        with pytest.raises(ValueError):
+            stream.seek(0, 9)
+
+    def test_negative_seek_target(self, stream):
+        with pytest.raises(ValueError):
+            stream.seek(-1)
+
+    def test_truncate_defaults_to_position(self, stream):
+        stream.seek(4)
+        assert stream.truncate() == 4
+        stream.seek(0)
+        assert stream.read() == b"line"
+
+    def test_strategy_property(self, stream):
+        assert stream.strategy == "inproc"
+        assert stream.session.strategy == "inproc"
+
+
+class TestModeParsing:
+    def test_invalid_mode_rejected(self, make_active):
+        path = make_active(NULL)
+        for bad in ("x", "rw", "rbb", "q+"):
+            with pytest.raises(ValueError):
+                open_active(path, bad, strategy="inproc")
+
+    def test_plus_modes_read_and_write(self, make_active):
+        path = make_active(NULL, data=b"orig")
+        with open_active(path, "w+b", strategy="inproc") as handle:
+            handle.write(b"new")
+            handle.seek(0)
+            assert handle.read() == b"new"
+
+
+class TestStreamModeFileObject:
+    def test_stream_read_is_not_seekable(self, make_active):
+        path = make_active(NULL, data=b"data")
+        with open_active(path, "rb", strategy="process") as handle:
+            assert not handle.seekable()
+            assert handle.read(2) == b"da"
+            with pytest.raises(UnsupportedOperationError):
+                handle.seek(0)
+
+    def test_flush_noop_without_control(self, make_active):
+        path = make_active(NULL, data=b"data")
+        with open_active(path, "rb", strategy="process") as handle:
+            handle.flush()  # must not raise
+
+
+class TestFileStats:
+    def test_counters_track_operations(self, make_active):
+        path = make_active(NULL, data=b"0123456789")
+        with open_active(path, "r+b", strategy="inproc") as handle:
+            handle.read(4)
+            handle.seek(0)
+            handle.write(b"ab")
+            handle.read(2)
+            stats = handle.stats
+        assert stats.reads == 2
+        assert stats.bytes_read == 6
+        assert stats.writes == 1
+        assert stats.bytes_written == 2
+        assert stats.seeks == 1
+
+    def test_control_counter(self, make_active):
+        path = make_active("repro.sentinels.logfile:ConcurrentLogSentinel")
+        with open_active(path, "r+b", strategy="inproc") as handle:
+            handle.control("stats")
+            assert handle.stats.controls == 1
+
+    def test_short_reads_count_actual_bytes(self, make_active):
+        path = make_active(NULL, data=b"abc")
+        with open_active(path, "rb", strategy="inproc") as handle:
+            handle.read(100)
+            assert handle.stats.bytes_read == 3

@@ -1,0 +1,175 @@
+"""Tests for the mediating-connectors (open interception) layer."""
+
+import builtins
+import io
+
+import pytest
+
+from repro.core import Container, MediatingConnector
+from repro.errors import InterceptionError
+
+NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+class TestInstallation:
+    def test_install_uninstall_restores(self):
+        original = builtins.open
+        connector = MediatingConnector()
+        connector.install()
+        assert builtins.open is not original
+        connector.uninstall()
+        assert builtins.open is original
+
+    def test_double_install_rejected(self):
+        connector = MediatingConnector()
+        with connector:
+            with pytest.raises(InterceptionError):
+                connector.install()
+
+    def test_uninstall_without_install_rejected(self):
+        with pytest.raises(InterceptionError):
+            MediatingConnector().uninstall()
+
+    def test_refuses_to_clobber_foreign_hook(self):
+        connector = MediatingConnector()
+        connector.install()
+        foreign = lambda *a, **k: None  # noqa: E731
+        saved = builtins.open
+        builtins.open = foreign
+        try:
+            with pytest.raises(InterceptionError):
+                connector.uninstall()
+        finally:
+            builtins.open = saved
+            connector.uninstall()
+
+    def test_nested_scopes_of_two_connectors(self, make_active):
+        path = make_active(NULL, data=b"inner")
+        outer, inner = MediatingConnector(), MediatingConnector()
+        with outer:
+            with inner:
+                with open(path, "rb") as stream:
+                    assert stream.read() == b"inner"
+            # outer still installed and functional
+            with open(path, "rb") as stream:
+                assert stream.read() == b"inner"
+
+
+class TestTransparency:
+    """Legacy code calling plain open() gets active files unmodified."""
+
+    def legacy_word_count(self, filename):
+        """A 'legacy application': knows nothing about active files."""
+        with open(filename) as stream:
+            return sum(len(line.split()) for line in stream)
+
+    def test_legacy_text_reader(self, make_active):
+        path = make_active(NULL, data=b"one two three\nfour five\n")
+        with MediatingConnector():
+            assert self.legacy_word_count(path) == 5
+
+    def test_passive_files_unaffected(self, tmp_path):
+        plain = tmp_path / "plain.txt"
+        plain.write_text("hello there\n")
+        connector = MediatingConnector()
+        with connector:
+            assert self.legacy_word_count(str(plain)) == 2
+        assert connector.intercepted_opens == 0
+
+    def test_intercepted_counter(self, make_active):
+        path = make_active(NULL, data=b"x")
+        connector = MediatingConnector()
+        with connector:
+            with open(path, "rb") as stream:
+                stream.read()
+        assert connector.intercepted_opens == 1
+
+    def test_binary_mode(self, make_active):
+        path = make_active(NULL, data=b"\x00\x01\x02")
+        with MediatingConnector():
+            with open(path, "rb") as stream:
+                assert stream.read() == b"\x00\x01\x02"
+
+    def test_text_write_mode(self, make_active):
+        path = make_active(NULL, data=b"old old old")
+        with MediatingConnector():
+            with open(path, "w") as stream:
+                stream.write("fresh")
+        assert Container.load(path).data == b"fresh"
+
+    def test_append_text(self, make_active):
+        path = make_active(NULL, data=b"start;")
+        with MediatingConnector():
+            with open(path, "a") as stream:
+                stream.write("more")
+        assert Container.load(path).data == b"start;more"
+
+    def test_readline_and_iteration(self, make_active):
+        path = make_active(NULL, data=b"a\nbb\nccc\n")
+        with MediatingConnector():
+            with open(path) as stream:
+                assert stream.readline() == "a\n"
+                assert list(stream) == ["bb\n", "ccc\n"]
+
+    def test_encoding_honoured(self, make_active):
+        path = make_active(NULL, data="naïve".encode("latin-1"))
+        with MediatingConnector():
+            with open(path, encoding="latin-1") as stream:
+                assert stream.read() == "naïve"
+
+    def test_json_load_works(self, make_active):
+        import json
+
+        path = make_active(NULL, data=b'{"answer": 42}')
+        with MediatingConnector():
+            with open(path) as stream:
+                assert json.load(stream) == {"answer": 42}
+
+    def test_binary_mode_with_encoding_rejected(self, make_active):
+        path = make_active(NULL, data=b"x")
+        with MediatingConnector():
+            with pytest.raises(ValueError):
+                open(path, "rb", encoding="utf-8")
+
+    def test_nonexistent_af_path_falls_through(self, tmp_path):
+        with MediatingConnector():
+            with pytest.raises(FileNotFoundError):
+                open(tmp_path / "ghost.af")
+
+    def test_file_descriptor_open_falls_through(self, tmp_path):
+        import os
+
+        plain = tmp_path / "fd.txt"
+        plain.write_text("via fd")
+        fd = os.open(plain, os.O_RDONLY)
+        with MediatingConnector():
+            with open(fd) as stream:
+                assert stream.read() == "via fd"
+
+    def test_generated_file_through_interception(self, make_active):
+        path = make_active("repro.sentinels.generate:CounterSentinel",
+                           params={"width": 3, "count": 4},
+                           meta={"data": "memory"})
+        with MediatingConnector():
+            with open(path) as stream:
+                assert stream.readlines() == ["000\n", "001\n", "002\n", "003\n"]
+
+    def test_strategy_selection(self, make_active):
+        path = make_active(NULL, data=b"via thread")
+        with MediatingConnector(strategy="thread"):
+            with open(path, "rb") as stream:
+                assert stream.read() == b"via thread"
+
+
+class TestWrapForMode:
+    def test_text_wrapper_type(self, make_active):
+        path = make_active(NULL, data=b"t")
+        with MediatingConnector():
+            with open(path) as stream:
+                assert isinstance(stream, io.TextIOWrapper)
+
+    def test_binary_read_is_buffered(self, make_active):
+        path = make_active(NULL, data=b"t")
+        with MediatingConnector():
+            with open(path, "rb") as stream:
+                assert isinstance(stream, io.BufferedReader)

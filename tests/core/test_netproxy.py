@@ -1,0 +1,115 @@
+"""Tests for the network bridge between application and sentinel child.
+
+These tests exercise the bridge in-process over socketpairs; the
+integration tests exercise it across a real child interpreter.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
+from repro.errors import AddressError, NetworkError
+from repro.net import Address, FileServer, Network
+
+
+@pytest.fixture
+def bridged():
+    """A (network, proxy, cleanup) triple wired over OS pipes."""
+    network = Network()
+    network.bind(Address("files", 1), FileServer({"f.txt": b"bridge data"}))
+
+    req_read, req_write = os.pipe()
+    resp_read, resp_write = os.pipe()
+    server = NetworkBridgeServer(
+        network,
+        rfile=os.fdopen(req_read, "rb", buffering=0),
+        wfile=os.fdopen(resp_write, "wb", buffering=0),
+    )
+    server.start()
+    proxy = ProxyNetwork(
+        rfile=os.fdopen(resp_read, "rb", buffering=0),
+        wfile=os.fdopen(req_write, "wb", buffering=0),
+    )
+
+    def cleanup():
+        proxy._wfile.close()
+        proxy._rfile.close()
+        server.join(timeout=2.0)
+
+    yield network, proxy, cleanup
+    cleanup()
+
+
+class TestProxyCalls:
+    def test_roundtrip(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        response = connection.expect("read", path="f.txt", offset=0, size=6)
+        assert response.payload == b"bridge"
+
+    def test_payload_crosses_both_ways(self, bridged):
+        network, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        connection.expect("write", b"NEW!", path="f.txt", offset=0)
+        response = connection.expect("read", path="f.txt", offset=0, size=4)
+        assert response.payload == b"NEW!"
+
+    def test_protocol_failure_is_response_not_exception(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        response = connection.call("read", path="ghost", offset=0, size=1)
+        assert not response.ok
+        assert "no such file" in response.error
+
+    def test_expect_raises_on_failure(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        with pytest.raises(NetworkError):
+            connection.expect("read", path="ghost", offset=0, size=1)
+
+    def test_transport_error_type_preserved(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("nowhere", 9))
+        with pytest.raises(AddressError):
+            connection.call("read")
+
+    def test_partition_propagates_as_network_error(self, bridged):
+        network, proxy, _ = bridged
+        network.partition(Address("files", 1))
+        connection = proxy.connect(Address("files", 1))
+        with pytest.raises(NetworkError):
+            connection.call("read", path="f.txt", offset=0, size=1)
+
+    def test_closed_connection_rejected(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        connection.close()
+        with pytest.raises(NetworkError):
+            connection.call("read")
+
+    def test_concurrent_callers_serialize_safely(self, bridged):
+        _, proxy, _ = bridged
+        connection = proxy.connect(Address("files", 1))
+        errors = []
+
+        def caller():
+            try:
+                for _ in range(25):
+                    response = connection.expect("read", path="f.txt",
+                                                 offset=0, size=11)
+                    assert response.payload == b"bridge data"
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+
+    def test_bridge_exits_on_child_close(self, bridged):
+        _, proxy, cleanup = bridged
+        cleanup()  # closing the child side must end the server thread

@@ -1,0 +1,124 @@
+"""Unit tests for open-mode parsing and opener edge cases."""
+
+import pytest
+
+from repro.core.opener import parse_mode
+from repro.core import create_active, open_active
+from repro.errors import SimulationError
+
+
+class TestParseMode:
+    @pytest.mark.parametrize("mode,expected", [
+        ("rb", {"readable": True, "writable": False,
+                "truncate": False, "append": False}),
+        ("r+b", {"readable": True, "writable": True,
+                 "truncate": False, "append": False}),
+        ("wb", {"readable": False, "writable": True,
+                "truncate": True, "append": False}),
+        ("w+b", {"readable": True, "writable": True,
+                 "truncate": True, "append": False}),
+        ("ab", {"readable": False, "writable": True,
+                "truncate": False, "append": True}),
+        ("a+b", {"readable": True, "writable": True,
+                 "truncate": False, "append": True}),
+    ])
+    def test_flag_matrix(self, mode, expected):
+        assert parse_mode(mode) == expected
+
+    def test_mode_without_b_accepted(self):
+        # the opener layer is binary; the b is conventional
+        assert parse_mode("r")["readable"]
+
+    @pytest.mark.parametrize("mode", ["x", "rw", "rbb", "", "+", "br+q"])
+    def test_bad_modes(self, mode):
+        with pytest.raises(ValueError):
+            parse_mode(mode)
+
+
+class TestOpenerEdges:
+    def test_pathlib_path_accepted(self, tmp_path):
+        from pathlib import Path
+
+        target = tmp_path / "p.af"
+        create_active(target, "repro.sentinels.null:NullFilterSentinel",
+                      data=b"via Path")
+        with open_active(Path(target), "rb", strategy="inproc") as stream:
+            assert stream.read() == b"via Path"
+
+    def test_spec_object_with_params_kwarg_rejected(self, tmp_path):
+        from repro.core.spec import SentinelSpec
+
+        spec = SentinelSpec("repro.sentinels.null:NullFilterSentinel")
+        with pytest.raises(ValueError, match="params"):
+            create_active(tmp_path / "x.af", spec, params={"extra": 1})
+
+    def test_open_missing_container(self, tmp_path):
+        from repro.errors import ContainerError
+
+        with pytest.raises(ContainerError):
+            open_active(tmp_path / "ghost.af", "rb", strategy="inproc")
+
+
+class TestSimStubGetFileSize:
+    def test_stubbed_getfilesize_raises_for_active_handles(self):
+        from repro.afsim.sessions import open_session
+        from repro.afsim.backings import MemoryBacking
+        from repro.afsim.stubs import ActiveFileRuntime
+        from repro.ntos import Kernel, NTFileSystem, Win32
+
+        kernel = Kernel()
+        fs = NTFileSystem(kernel)
+        fs.create("d.af", b"")
+        app = kernel.create_process("app")
+        win32 = Win32(kernel, app, fs)
+        ActiveFileRuntime(
+            kernel, win32,
+            lambda path: open_session("dll", kernel, app,
+                                      MemoryBacking(kernel)),
+        ).install()
+        failures = []
+
+        def main():
+            handle = win32.CreateFile("d.af")
+            try:
+                win32.GetFileSize(handle)
+            except SimulationError as exc:
+                failures.append(exc)
+            win32.CloseHandle(handle)
+
+        kernel.create_thread(app, main)
+        kernel.run()
+        assert len(failures) == 1
+
+
+class TestNetDevEdges:
+    def test_drain_with_empty_queue_is_noop(self):
+        from repro.ntos import Kernel, NetDevice, RemoteHost
+
+        kernel = Kernel()
+        host = RemoteHost(kernel, NetDevice(kernel))
+        kernel.run_program(host.drain)
+        assert kernel.now == 0.0
+
+    def test_blocking_send_waits_for_wire_time(self):
+        from repro.ntos import Kernel, NetDevice, RemoteHost
+
+        kernel = Kernel()
+        host = RemoteHost(kernel, NetDevice(kernel))
+        kernel.run_program(lambda: host.send(12500, blocking=True))
+        # 12500 B at 0.08 µs/B = 1000 µs of wire occupancy
+        assert kernel.now >= 1000.0
+
+    def test_nonblocking_send_returns_before_wire_time(self):
+        from repro.ntos import Kernel, NetDevice, RemoteHost
+
+        kernel = Kernel()
+        host = RemoteHost(kernel, NetDevice(kernel))
+        out = {}
+
+        def main():
+            host.send(12500, blocking=False)
+            out["at"] = kernel.now
+
+        kernel.run_program(main)
+        assert out["at"] < 1000.0

@@ -1,0 +1,82 @@
+"""Adversarial fuzzing of the control protocol and dispatcher.
+
+The dispatch loop must never die, whatever garbage arrives — one bad
+operation cannot take the file down (and in the child-process runner, a
+dead loop would strand the application)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.control import decode_message, encode_message
+from repro.core.dispatch import SentinelDispatcher
+from repro.core.sentinel import Sentinel, SentinelContext
+from repro.errors import FrameError
+
+# arbitrary JSON-able field dictionaries
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(max_size=20),
+    lambda inner: st.lists(inner, max_size=4)
+    | st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    max_leaves=10,
+)
+field_dicts = st.dictionaries(st.text(max_size=12), json_values, max_size=6)
+
+
+class TestDispatcherNeverDies:
+    @settings(max_examples=200, deadline=None)
+    @given(fields=field_dicts, payload=st.binary(max_size=64))
+    def test_arbitrary_commands_yield_responses(self, fields, payload):
+        dispatcher = SentinelDispatcher(Sentinel(), SentinelContext())
+        out_fields, out_payload = dispatcher.execute(fields, payload)
+        assert isinstance(out_fields, dict)
+        assert "ok" in out_fields
+        assert isinstance(out_payload, bytes)
+        # and the loop still works afterwards
+        ok_fields, _ = dispatcher.execute({"cmd": "size"}, b"")
+        assert ok_fields["ok"] is True
+
+    @settings(max_examples=200, deadline=None)
+    @given(cmd=st.sampled_from(["read", "write", "truncate", "size",
+                                "flush", "control", "close", "zap"]),
+           fields=field_dicts, payload=st.binary(max_size=64))
+    def test_known_commands_with_garbage_arguments(self, cmd, fields,
+                                                   payload):
+        dispatcher = SentinelDispatcher(Sentinel(), SentinelContext())
+        out_fields, _ = dispatcher.execute({**fields, "cmd": cmd}, payload)
+        assert isinstance(out_fields.get("ok"), bool)
+
+
+class TestCodecFuzz:
+    @settings(max_examples=300, deadline=None)
+    @given(blob=st.binary(max_size=256))
+    def test_decode_never_crashes_unexpectedly(self, blob):
+        try:
+            fields, payload = decode_message(blob)
+        except FrameError:
+            return  # the one sanctioned failure mode
+        assert isinstance(fields, dict)
+        assert isinstance(payload, bytes)
+
+    @settings(max_examples=200, deadline=None)
+    @given(fields=field_dicts, payload=st.binary(max_size=128))
+    def test_encode_decode_roundtrip_arbitrary_json(self, fields, payload):
+        out_fields, out_payload = decode_message(
+            encode_message(fields, payload))
+        assert out_fields == fields
+        assert out_payload == payload
+
+    @settings(max_examples=100, deadline=None)
+    @given(blob=st.binary(min_size=1, max_size=128),
+           flip=st.integers(0, 127))
+    def test_bitflipped_valid_frames_fail_cleanly(self, blob, flip):
+        valid = encode_message({"cmd": "read", "offset": 0, "size": 4},
+                               blob)
+        corrupted = bytearray(valid)
+        corrupted[flip % len(corrupted)] ^= 0xFF
+        try:
+            fields, payload = decode_message(bytes(corrupted))
+        except FrameError:
+            return
+        # if it still parsed, it must be structurally sound
+        assert isinstance(fields, dict)
+        assert isinstance(payload, bytes)

@@ -1,0 +1,128 @@
+"""Failure injection for the sentinel child-process runner."""
+
+import signal
+import time
+
+import pytest
+
+from repro.core import create_active, open_active
+from repro.errors import SentinelCrashError
+
+NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+class CrashOnNthRead:
+    """Importable sentinel that kills its own process mid-session."""
+
+    def __new__(cls, params):
+        from repro.core.sentinel import Sentinel
+
+        class Impl(Sentinel):
+            def __init__(self, p):
+                super().__init__(p)
+                self.reads = 0
+
+            def on_read(self, ctx, offset, size):
+                self.reads += 1
+                if self.reads >= int(self.params.get("after", 1)):
+                    import os
+
+                    os._exit(41)  # simulate a hard sentinel crash
+                return ctx.data.read_at(offset, size)
+
+        return Impl(params)
+
+
+class TestChildCrash:
+    def test_hard_crash_mid_read_raises(self, tmp_path):
+        path = tmp_path / "crashy.af"
+        create_active(path, f"{__name__}:CrashOnNthRead",
+                      params={"after": 3}, data=b"0123456789")
+        stream = open_active(str(path), "rb", strategy="process-control")
+        assert stream.read(2) == b"01"
+        assert stream.read(2) == b"23"
+        with pytest.raises(SentinelCrashError):
+            stream.read(2)
+        with pytest.raises(SentinelCrashError):
+            stream.close()
+
+    def test_killed_child_surfaces_on_next_op(self, tmp_path):
+        path = tmp_path / "victim.af"
+        create_active(path, NULL, data=b"x" * 64)
+        stream = open_active(str(path), "rb", strategy="process-control")
+        assert stream.read(4) == b"xxxx"
+        proc = stream.session._handle.proc
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+        with pytest.raises(SentinelCrashError):
+            stream.read(4)
+        with pytest.raises(SentinelCrashError):
+            stream.close()
+
+    def test_crash_message_includes_stderr(self, tmp_path):
+        path = tmp_path / "broken.af"
+        # spec resolves to a module that import-errors in the child
+        create_active(path, "definitely.not.a.module:Sentinel")
+        stream = open_active(str(path), "rb", strategy="process-control")
+        with pytest.raises(SentinelCrashError) as excinfo:
+            stream.read(1)
+        stream_error = str(excinfo.value)
+        # stderr tail is drained asynchronously; give it a beat if empty
+        for _ in range(20):
+            if "definitely" in stream_error:
+                break
+            time.sleep(0.05)
+            stream_error = stream.session._handle.stderr_text()
+        assert "definitely" in stream_error
+        with pytest.raises(SentinelCrashError):
+            stream.close()
+
+    def test_stream_strategy_child_crash(self, tmp_path):
+        path = tmp_path / "crashy2.af"
+        create_active(path, f"{__name__}:CrashOnNthRead",
+                      params={"after": 1}, data=b"0123456789",
+                      meta={"data": "memory"})
+        stream = open_active(str(path), "rb", strategy="process")
+        with pytest.raises(SentinelCrashError):
+            # the pump dies before producing; EOF + nonzero exit
+            data = stream.read(10)
+            if not data:  # EOF race: surface the crash via close
+                stream.close()
+
+    def test_clean_eof_is_not_a_crash(self, tmp_path):
+        path = tmp_path / "fine.af"
+        create_active(path, NULL, data=b"short")
+        with open_active(str(path), "rb", strategy="process") as stream:
+            assert stream.read() == b"short"
+            assert stream.read(10) == b""  # EOF, not an error
+
+
+class TestApplicationMisbehaviour:
+    def test_close_without_reading_everything(self, tmp_path):
+        """Abandoning a stream mid-read must not hang or error."""
+        path = tmp_path / "big.af"
+        create_active(path, NULL, data=b"z" * 300_000)
+        stream = open_active(str(path), "rb", strategy="process")
+        assert len(stream.read(10)) == 10
+        stream.close()  # child blocked writing the rest; must unblock
+
+    def test_immediate_close(self, tmp_path):
+        path = tmp_path / "f.af"
+        create_active(path, NULL, data=b"data")
+        for strategy in ("process", "process-control"):
+            stream = open_active(str(path), "rb", strategy=strategy)
+            stream.close()
+
+    def test_many_sequential_opens_no_fd_leak(self, tmp_path):
+        import os
+
+        path = tmp_path / "f.af"
+        create_active(path, NULL, data=b"data")
+        fd_dir = f"/proc/{os.getpid()}/fd"
+        before = len(os.listdir(fd_dir))
+        for _ in range(10):
+            with open_active(str(path), "rb",
+                             strategy="process-control") as stream:
+                stream.read(4)
+        after = len(os.listdir(fd_dir))
+        assert after <= before + 4  # allowance for pytest bookkeeping

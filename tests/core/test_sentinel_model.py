@@ -1,0 +1,112 @@
+"""Direct tests of the sentinel programming model itself."""
+
+import pytest
+
+from repro.core.datapart import MemoryDataPart
+from repro.core.sentinel import Sentinel, SentinelContext, StreamSentinel
+from repro.errors import UnsupportedOperationError
+from repro.net import Address, FileServer, Network
+
+
+class TestDefaultSentinelIsNullFilter:
+    """A bare Sentinel must behave exactly like a passive file."""
+
+    @pytest.fixture
+    def pair(self):
+        sentinel = Sentinel({"extra": 1})
+        ctx = SentinelContext(data=MemoryDataPart(b"passive bytes"))
+        return sentinel, ctx
+
+    def test_params_captured(self, pair):
+        sentinel, _ = pair
+        assert sentinel.params == {"extra": 1}
+
+    def test_read_passthrough(self, pair):
+        sentinel, ctx = pair
+        assert sentinel.on_read(ctx, 0, 7) == b"passive"
+
+    def test_write_passthrough(self, pair):
+        sentinel, ctx = pair
+        assert sentinel.on_write(ctx, 0, b"ACTIVE!") == 7
+        assert ctx.data.getvalue() == b"ACTIVE! bytes"
+
+    def test_size_truncate_flush(self, pair):
+        sentinel, ctx = pair
+        assert sentinel.on_size(ctx) == 13
+        sentinel.on_truncate(ctx, 4)
+        assert sentinel.on_size(ctx) == 4
+        sentinel.on_flush(ctx)  # no-op, must not raise
+
+    def test_lifecycle_hooks_are_noops(self, pair):
+        sentinel, ctx = pair
+        sentinel.on_open(ctx)
+        sentinel.on_close(ctx)
+
+    def test_control_unsupported_by_default(self, pair):
+        sentinel, ctx = pair
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_control(ctx, "custom", {}, b"")
+
+
+class TestStreamModeAdaptation:
+    """Default generate()/consume() walk the offset handlers."""
+
+    def test_generate_walks_data_part(self):
+        sentinel = Sentinel()
+        sentinel.stream_chunk = 4
+        ctx = SentinelContext(data=MemoryDataPart(b"0123456789"))
+        assert list(sentinel.generate(ctx)) == [b"0123", b"4567", b"89"]
+
+    def test_generate_empty_data(self):
+        sentinel = Sentinel()
+        ctx = SentinelContext(data=MemoryDataPart())
+        assert list(sentinel.generate(ctx)) == []
+
+    def test_consume_writes_at_offset(self):
+        sentinel = Sentinel()
+        ctx = SentinelContext(data=MemoryDataPart())
+        assert sentinel.consume(ctx, b"abc", 0) == 3
+        assert sentinel.consume(ctx, b"def", 3) == 3
+        assert ctx.data.getvalue() == b"abcdef"
+
+
+class TestStreamSentinelRefusesRandomAccess:
+    def test_reads_writes_rejected(self):
+        sentinel = StreamSentinel()
+        ctx = SentinelContext()
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_read(ctx, 0, 1)
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.on_write(ctx, 0, b"x")
+        with pytest.raises(UnsupportedOperationError):
+            sentinel.consume(ctx, b"x", 0)
+
+    def test_default_generate_is_empty(self):
+        assert list(StreamSentinel().generate(SentinelContext())) == []
+
+
+class TestContextConnect:
+    def test_connect_requires_network(self):
+        ctx = SentinelContext()
+        with pytest.raises(UnsupportedOperationError, match="no network"):
+            ctx.connect("host:1")
+
+    def test_connect_parses_string_addresses(self):
+        network = Network()
+        network.bind(Address("svc", 9), FileServer({"f": b"x"}))
+        ctx = SentinelContext(network=network)
+        connection = ctx.connect("svc:9")
+        assert connection.expect("read", path="f", offset=0, size=1) \
+            .payload == b"x"
+
+    def test_connect_accepts_address_objects(self):
+        network = Network()
+        network.bind(Address("svc", 9), FileServer())
+        ctx = SentinelContext(network=network)
+        assert ctx.connect(Address("svc", 9)) is not None
+
+    def test_connect_with_scheme_url(self):
+        network = Network()
+        network.bind(Address("web", 80, "http"), FileServer())
+        ctx = SentinelContext(network=network)
+        assert ctx.connect("http://web:80/some/path") is not None

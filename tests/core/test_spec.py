@@ -1,0 +1,98 @@
+"""Tests for sentinel specs."""
+
+import pytest
+
+from repro.core.sentinel import Sentinel
+from repro.core.spec import SentinelSpec
+from repro.errors import SpecError
+
+
+class GoodSentinel(Sentinel):
+    pass
+
+
+def good_factory(params):
+    return GoodSentinel(params)
+
+
+def bad_factory(params):
+    return object()  # not a Sentinel
+
+
+def exploding_factory(params):
+    raise RuntimeError("boom")
+
+
+NOT_CALLABLE = 42
+
+
+class TestValidation:
+    def test_requires_colon(self):
+        with pytest.raises(SpecError):
+            SentinelSpec(target="no_colon_here")
+
+    @pytest.mark.parametrize("target", [":attr", "module:", ":"])
+    def test_rejects_empty_halves(self, target):
+        with pytest.raises(SpecError):
+            SentinelSpec(target=target)
+
+    def test_str(self):
+        assert str(SentinelSpec("a.b:C")) == "a.b:C"
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        spec = SentinelSpec("a.b:C", {"x": 1, "y": [1, 2]})
+        assert SentinelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_missing_target(self):
+        with pytest.raises(SpecError):
+            SentinelSpec.from_dict({"params": {}})
+
+    def test_from_dict_bad_params(self):
+        with pytest.raises(SpecError):
+            SentinelSpec.from_dict({"target": "a:B", "params": [1, 2]})
+
+    def test_from_dict_none_params(self):
+        spec = SentinelSpec.from_dict({"target": "a:B", "params": None})
+        assert spec.params == {}
+
+
+class TestResolution:
+    def test_resolves_class(self):
+        spec = SentinelSpec(f"{__name__}:GoodSentinel", {"k": "v"})
+        sentinel = spec.instantiate()
+        assert isinstance(sentinel, GoodSentinel)
+        assert sentinel.params == {"k": "v"}
+
+    def test_resolves_factory_function(self):
+        spec = SentinelSpec(f"{__name__}:good_factory")
+        assert isinstance(spec.instantiate(), GoodSentinel)
+
+    def test_resolves_dotted_attribute(self):
+        spec = SentinelSpec(f"{__name__}:TestResolution.nested_factory")
+        assert isinstance(spec.instantiate(), GoodSentinel)
+
+    @staticmethod
+    def nested_factory(params):
+        return GoodSentinel(params)
+
+    def test_missing_module(self):
+        with pytest.raises(SpecError, match="cannot import"):
+            SentinelSpec("no.such.module:X").resolve()
+
+    def test_missing_attribute(self):
+        with pytest.raises(SpecError, match="no attribute"):
+            SentinelSpec(f"{__name__}:Nonexistent").resolve()
+
+    def test_non_callable_target(self):
+        with pytest.raises(SpecError, match="not callable"):
+            SentinelSpec(f"{__name__}:NOT_CALLABLE").instantiate()
+
+    def test_factory_returning_non_sentinel(self):
+        with pytest.raises(SpecError, match="did not produce a Sentinel"):
+            SentinelSpec(f"{__name__}:bad_factory").instantiate()
+
+    def test_factory_raising(self):
+        with pytest.raises(SpecError, match="failed: boom"):
+            SentinelSpec(f"{__name__}:exploding_factory").instantiate()

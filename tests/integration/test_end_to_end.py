@@ -1,0 +1,286 @@
+"""End-to-end integration scenarios across the whole native stack.
+
+Each test is one of the paper's motivating stories, executed with real
+sentinel child processes, the interception layer, and the simulated
+network together.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    Container,
+    MediatingConnector,
+    Win32Api,
+    create_active,
+    open_active,
+)
+from repro.net import (
+    Address,
+    FileServer,
+    KeyValueStore,
+    Network,
+    Pop3Server,
+    QuoteServer,
+    SmtpServer,
+)
+from repro.net.pop3 import MailMessage
+
+
+class TestSearchApplicationStory:
+    """The intro's search example: an app scanning distributed databases
+    must see changes while it runs — impossible with a passive snapshot,
+    natural with an active file."""
+
+    def test_search_sees_database_changes_between_passes(self, tmp_path):
+        network = Network()
+        store = network.bind(Address("db", 1), KeyValueStore({
+            "doc:1": b"the quick brown fox",
+            "doc:2": b"jumped over the moon",
+        }))
+        path = tmp_path / "corpus.af"
+        create_active(path, "repro.sentinels.aggregate:AggregateSentinel",
+                      params={"sources": [
+                          {"kind": "kv", "address": "db:1",
+                           "keys": ["doc:1", "doc:2", "doc:3"]},
+                      ]}, meta={"data": "memory"})
+
+        def legacy_search(filename, needle):
+            with open(filename) as stream:
+                return needle in stream.read()
+
+        with MediatingConnector(network=network):
+            assert not legacy_search(str(path), "lazy dog")
+            store.put("doc:3", b"over the lazy dog")  # a writer elsewhere
+            assert legacy_search(str(path), "lazy dog")
+
+
+class TestChildProcessFullStack:
+    """Real sentinel subprocess + network bridge + caching together."""
+
+    def test_cached_remote_file_through_child_process(self, tmp_path):
+        network = Network()
+        server = network.bind(Address("files", 1),
+                              FileServer({"big.bin": bytes(range(256)) * 16}))
+        path = tmp_path / "proxy.af"
+        create_active(path, "repro.sentinels.remotefile:RemoteFileSentinel",
+                      params={"address": "files:1", "path": "big.bin",
+                              "cache": "memory", "block_size": 256},
+                      meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="process-control",
+                         network=network) as stream:
+            assert stream.read(16) == bytes(range(16))
+            stream.seek(0)
+            stream.read(16)  # cache hit inside the child
+            fields, _ = stream.control("cache_stats")
+            assert fields["hits"] >= 1
+            stream.seek(1024)
+            stream.write(b"\xff" * 8)
+        assert server.get_file("big.bin")[1024:1032] == b"\xff" * 8
+
+    def test_two_child_processes_share_one_origin(self, tmp_path):
+        network = Network()
+        server = network.bind(Address("files", 1),
+                              FileServer({"shared.txt": b"0" * 64}))
+        path = tmp_path / "shared.af"
+        create_active(path, "repro.sentinels.remotefile:RemoteFileSentinel",
+                      params={"address": "files:1", "path": "shared.txt"},
+                      meta={"data": "memory"})
+        a = open_active(path, "r+b", strategy="process-control",
+                        network=network)
+        b = open_active(path, "r+b", strategy="process-control",
+                        network=network)
+        try:
+            a.write(b"AAAA")
+            b.seek(0)
+            assert b.read(4) == b"AAAA"  # no cache: b sees a's write
+        finally:
+            a.close()
+            b.close()
+
+
+class TestWin32VeneerOverDistributedFiles:
+    """Legacy Win32-style code against remote-backed active files."""
+
+    def test_handle_api_against_quotes(self, tmp_path):
+        network = Network()
+        network.bind(Address("q", 7), QuoteServer({"ACME": 55.0}))
+        path = tmp_path / "quotes.af"
+        create_active(path, "repro.sentinels.quotes:StockQuoteSentinel",
+                      params={"address": "q:7"}, meta={"data": "memory"})
+        api = Win32Api(network=network, strategy="thread")
+        handle = api.CreateFile(str(path), "rb")
+        body = api.ReadFile(handle, api.GetFileSize(handle))
+        api.CloseHandle(handle)
+        assert body == b"ACME\t55.0\n"
+
+
+class TestMailRoundTrip:
+    def test_outbox_to_inbox_through_relay(self, tmp_path):
+        network = Network()
+        pop3 = network.bind(Address("pop", 110), Pop3Server({"sam": "pw"}))
+        smtp = network.bind(Address("smtp", 25), SmtpServer())
+        smtp.register_domain("corp.example", pop3)
+
+        outbox = tmp_path / "outbox.af"
+        create_active(outbox, "repro.sentinels.mailbox:OutboxSentinel",
+                      params={"smtp": "smtp:25", "sender": "sam@laptop"},
+                      meta={"data": "memory"})
+        inbox = tmp_path / "inbox.af"
+        create_active(inbox, "repro.sentinels.mailbox:InboxSentinel",
+                      params={"accounts": [
+                          {"address": "pop:110", "user": "sam",
+                           "password": "pw"},
+                      ]}, meta={"data": "memory"})
+
+        with MediatingConnector(network=network):
+            with open(outbox, "w") as stream:
+                stream.write("To: sam@corp.example\nSubject: note to self\n"
+                             "\nremember the milk")
+            with open(inbox) as stream:
+                body = stream.read()
+        assert "Subject: note to self" in body
+        assert "remember the milk" in body
+
+
+class TestCopySemanticsEndToEnd:
+    """§2.1: copying an active file copies behaviour, not a snapshot."""
+
+    def test_copied_generator_still_generates(self, tmp_path):
+        source = tmp_path / "gen.af"
+        create_active(source, "repro.sentinels.generate:CounterSentinel",
+                      params={"width": 2, "count": 3},
+                      meta={"data": "memory"})
+        Container.load(source).copy_to(tmp_path / "gen-copy.af")
+        with open_active(tmp_path / "gen-copy.af", "rb") as stream:
+            assert stream.read() == b"00\n01\n02\n"
+
+    def test_copied_cipher_file_decrypts_with_same_key(self, tmp_path):
+        source = tmp_path / "vault.af"
+        create_active(source, "repro.sentinels.cipher:XorCipherSentinel",
+                      params={"key": "swordfish"})
+        with open_active(source, "wb", strategy="inproc") as stream:
+            stream.write(b"the combination is 1234")
+        Container.load(source).copy_to(tmp_path / "vault-copy.af")
+        with open_active(tmp_path / "vault-copy.af", "rb",
+                         strategy="inproc") as stream:
+            assert stream.read() == b"the combination is 1234"
+
+
+class TestConcurrencyAcrossStrategies:
+    def test_mixed_strategy_log_writers_under_contention(self, tmp_path):
+        path = tmp_path / "log.af"
+        create_active(path, "repro.sentinels.logfile:ConcurrentLogSentinel",
+                      params={"stamp": False})
+        errors = []
+
+        def writer(tag, strategy):
+            try:
+                with open_active(path, "r+b", strategy=strategy) as stream:
+                    for i in range(10):
+                        stream.write(f"{tag}:{i}".encode())
+            except Exception as exc:  # pragma: no cover
+                errors.append((tag, exc))
+
+        threads = [
+            threading.Thread(target=writer, args=("inp", "inproc")),
+            threading.Thread(target=writer, args=("thr", "thread")),
+            threading.Thread(target=writer, args=("prc", "process-control")),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        records = Container.load(path).data.splitlines()
+        assert len(records) == 30
+        for tag in ("inp", "thr", "prc"):
+            own = [r for r in records if r.startswith(tag.encode())]
+            assert own == [f"{tag}:{i}".encode() for i in range(10)]
+
+
+class TestFailureScenarios:
+    def test_network_partition_then_heal_mid_session(self, tmp_path):
+        network = Network()
+        network.bind(Address("files", 1), FileServer({"f": b"live data"}))
+        path = tmp_path / "p.af"
+        create_active(path, "repro.sentinels.remotefile:RemoteFileSentinel",
+                      params={"address": "files:1", "path": "f"},
+                      meta={"data": "memory"})
+        with open_active(path, "rb", strategy="thread",
+                         network=network) as stream:
+            assert stream.read(4) == b"live"
+            network.partition(Address("files", 1))
+            with pytest.raises(Exception):
+                stream.seek(0)
+                stream.read(4)
+            network.heal(Address("files", 1))
+            stream.seek(0)
+            assert stream.read(4) == b"live"
+
+    def test_sentinel_exception_does_not_poison_session(self, tmp_path):
+        path = tmp_path / "x.af"
+        create_active(path, "repro.sentinels.generate:RandomBytesSentinel",
+                      params={"seed": 1}, meta={"data": "memory"})
+        from repro.errors import UnsupportedOperationError
+
+        with open_active(path, "r+b", strategy="thread") as stream:
+            with pytest.raises(UnsupportedOperationError):
+                stream.write(b"read-only!")  # sentinel raises
+            assert len(stream.read(8)) == 8  # session still serves
+
+    def test_memory_cache_not_shared_between_opens(self, tmp_path):
+        """Each open gets its own sentinel, hence its own memory cache."""
+        network = Network()
+        server = network.bind(Address("files", 1),
+                              FileServer({"f": b"version-A....."}))
+        path = tmp_path / "c.af"
+        create_active(path, "repro.sentinels.remotefile:RemoteFileSentinel",
+                      params={"address": "files:1", "path": "f",
+                              "cache": "memory"},
+                      meta={"data": "memory"})
+        a = open_active(path, "rb", strategy="inproc", network=network)
+        assert a.read(9) == b"version-A"
+        server.put_file("f", b"version-B.....")
+        b = open_active(path, "rb", strategy="inproc", network=network)
+        try:
+            assert b.read(9) == b"version-B"   # fresh sentinel, fresh cache
+            a.seek(0)
+            assert a.read(9) == b"version-A"   # stale by configuration
+        finally:
+            a.close()
+            b.close()
+
+
+class TestStreamStrategyWithNetwork:
+    """The simple process strategy (bare pipes) + the network bridge."""
+
+    def test_generator_sentinel_over_bridge(self, tmp_path):
+        """A stream sentinel in a child process pulls from the parent's
+        simulated network through the bridge, pipes the result to the
+        app — the full §4.1 picture with a live remote source."""
+        network = Network()
+        network.bind(Address("files", 1),
+                     FileServer({"feed.txt": b"streamed from afar"}))
+        path = tmp_path / "feed.af"
+        create_active(path, "repro.sentinels.remotefile:RemoteFileSentinel",
+                      params={"address": "files:1", "path": "feed.txt"},
+                      meta={"data": "memory"})
+        with open_active(path, "rb", strategy="process",
+                         network=network) as stream:
+            assert stream.read() == b"streamed from afar"
+
+    def test_stream_write_distributes_over_bridge(self, tmp_path):
+        network = Network()
+        server = network.bind(Address("collector", 1), FileServer())
+        path = tmp_path / "sink.af"
+        create_active(path, "repro.sentinels.distribute:DistributionSentinel",
+                      params={"targets": [
+                          {"kind": "fileserver", "address": "collector:1",
+                           "path": "remote.log"},
+                      ]}, meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="process",
+                         network=network) as stream:
+            stream.write(b"pushed through bare pipes")
+        assert server.get_file("remote.log") == b"pushed through bare pipes"

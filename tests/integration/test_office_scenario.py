@@ -1,0 +1,171 @@
+"""A whole-office scenario: many active files, one legacy toolchain.
+
+Exercises the complete stack at once: quotes, registry, mail, logging,
+remote documents and compression, all through one MediatingConnector,
+with some opens running concurrently.  This is the paper's vision
+statement as a test: a suite of dumb file-based tools becomes a
+distributed application purely through the files it touches.
+"""
+
+import threading
+
+import pytest
+
+from repro.core import MediatingConnector, create_active
+from repro.core.spec import SentinelSpec
+from repro.net import (
+    Address,
+    FileServer,
+    Network,
+    Pop3Server,
+    QuoteServer,
+    RegistryServer,
+    SmtpServer,
+)
+from repro.sentinels.compose import pipeline_spec
+
+
+@pytest.fixture
+def office(tmp_path):
+    """The whole office: servers + a directory of active files."""
+    network = Network()
+    quotes = network.bind(Address("quotes", 7),
+                          QuoteServer({"ACME": 100.0, "GLOBEX": 20.0}))
+    registry = network.bind(Address("registry", 1), RegistryServer())
+    registry.set_value(r"HKLM\Office", "Locale", "en-US")
+    files = network.bind(Address("files", 445),
+                         FileServer({"shared/handbook.txt":
+                                     b"Rule 1: files are the interface.\n"}))
+    pop3 = network.bind(Address("pop", 110), Pop3Server({"pat": "pw"}))
+    smtp = network.bind(Address("smtp", 25), SmtpServer())
+    smtp.register_domain("office.example", pop3)
+
+    d = tmp_path / "desktop"
+    d.mkdir()
+    create_active(d / "ticker.af",
+                  "repro.sentinels.quotes:StockQuoteSentinel",
+                  params={"address": "quotes:7"}, meta={"data": "memory"})
+    create_active(d / "settings.af",
+                  "repro.sentinels.registryfs:RegistryFileSentinel",
+                  params={"registry": "registry:1", "key": "HKLM"},
+                  meta={"data": "memory"})
+    create_active(d / "handbook.af",
+                  "repro.sentinels.remotefile:RemoteFileSentinel",
+                  params={"address": "files:445",
+                          "path": "shared/handbook.txt",
+                          "cache": "memory"},
+                  meta={"data": "memory"})
+    create_active(d / "outbox.af",
+                  "repro.sentinels.mailbox:OutboxSentinel",
+                  params={"smtp": "smtp:25", "sender": "pat@desk"},
+                  meta={"data": "memory"})
+    create_active(d / "activity.af",
+                  "repro.sentinels.logfile:ConcurrentLogSentinel",
+                  params={"stamp": False})
+    create_active(d / "archive.af", pipeline_spec(
+        SentinelSpec("repro.sentinels.compress:CompressionSentinel"),
+        SentinelSpec("repro.sentinels.cipher:XorCipherSentinel",
+                     {"key": "office"}),
+    ))
+    return network, d, {"quotes": quotes, "registry": registry,
+                        "files": files, "pop3": pop3, "smtp": smtp}
+
+
+def test_legacy_toolchain_runs_the_office(office):
+    network, desk, servers = office
+
+    # "legacy tools": every one of these only opens/reads/writes files
+    def tool_cat(path):
+        with open(path) as stream:
+            return stream.read()
+
+    def tool_append(path, line):
+        with open(path, "a") as stream:
+            stream.write(line + "\n")
+
+    def tool_overwrite(path, text):
+        with open(path, "w") as stream:
+            stream.write(text)
+
+    with MediatingConnector(network=network, strategy="inproc"):
+        # 1. the morning dashboard
+        ticker = tool_cat(desk / "ticker.af")
+        assert "ACME\t100.0" in ticker
+        tool_append(desk / "activity.af", "checked ticker")
+
+        # 2. read the shared handbook (remote file, cached)
+        handbook = tool_cat(desk / "handbook.af")
+        assert "files are the interface" in handbook
+        tool_append(desk / "activity.af", "read handbook")
+
+        # 3. fix a setting with a text editor
+        settings = tool_cat(desk / "settings.af")
+        tool_overwrite(desk / "settings.af",
+                       settings.replace("en-US", "fr-FR"))
+        tool_append(desk / "activity.af", "changed locale")
+
+        # 4. archive the ticker snapshot, encrypted+compressed
+        tool_overwrite(desk / "archive.af", ticker * 50)
+
+        # 5. send the day's summary by writing a file
+        tool_overwrite(desk / "outbox.af",
+                       "To: pat@office.example\nSubject: daily summary\n\n"
+                       + tool_cat(desk / "activity.af"))
+
+    # verify every side effect landed in the right distributed system
+    assert servers["registry"].get_value(r"HKLM\Office", "Locale") \
+        == ("REG_SZ", "fr-FR")
+    assert servers["pop3"].message_count("pat") == 1
+    from repro.core import Container
+
+    log_lines = Container.load(desk / "activity.af").data.decode().splitlines()
+    assert log_lines == ["checked ticker", "read handbook", "changed locale"]
+    archive_on_disk = Container.load(desk / "archive.af").data
+    assert b"ACME" not in archive_on_disk  # encrypted
+    with MediatingConnector(network=network, strategy="inproc"):
+        restored = open(desk / "archive.af").read()
+    assert "ACME\t100.0" in restored
+
+
+def test_concurrent_desk_sessions(office):
+    """Three 'users' hammer the same desk concurrently."""
+    network, desk, servers = office
+    errors = []
+
+    def user(tag, strategy):
+        try:
+            with MediatingConnector():  # nested installs are per-connector
+                pass
+        except Exception:
+            pass
+        try:
+            from repro.core import open_active
+
+            for i in range(5):
+                with open_active(desk / "activity.af", "r+b",
+                                 strategy=strategy) as stream:
+                    stream.write(f"{tag}:{i}".encode())
+                with open_active(desk / "ticker.af", "rb",
+                                 strategy=strategy,
+                                 network=network) as stream:
+                    assert b"ACME" in stream.read()
+        except Exception as exc:  # pragma: no cover
+            errors.append((tag, exc))
+
+    threads = [
+        threading.Thread(target=user, args=("u1", "inproc")),
+        threading.Thread(target=user, args=("u2", "thread")),
+        threading.Thread(target=user, args=("u3", "inproc")),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    from repro.core import Container
+
+    records = Container.load(desk / "activity.af").data.splitlines()
+    assert len(records) == 15
+    for tag in ("u1", "u2", "u3"):
+        own = [r for r in records if r.startswith(tag.encode())]
+        assert own == [f"{tag}:{i}".encode() for i in range(5)]

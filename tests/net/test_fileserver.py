@@ -1,0 +1,142 @@
+"""Tests for the remote file server service."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import Address, FileServer, Network
+
+
+@pytest.fixture
+def served():
+    net = Network()
+    addr = Address("files", 7000)
+    server = net.bind(addr, FileServer({"data.bin": b"0123456789"}))
+    return net.connect(addr), server
+
+
+class TestRead:
+    def test_full_read(self, served):
+        conn, _ = served
+        response = conn.expect("read", path="data.bin", offset=0, size=10)
+        assert response.payload == b"0123456789"
+        assert response.fields["eof"] is True
+
+    def test_ranged_read(self, served):
+        conn, _ = served
+        response = conn.expect("read", path="data.bin", offset=3, size=4)
+        assert response.payload == b"3456"
+        assert response.fields["eof"] is False
+
+    def test_read_missing_file_fails(self, served):
+        conn, _ = served
+        assert not conn.call("read", path="nope", offset=0, size=1).ok
+
+    def test_read_reports_version(self, served):
+        conn, _ = served
+        v1 = conn.expect("read", path="data.bin", offset=0, size=1).fields["version"]
+        conn.expect("write", b"X", path="data.bin", offset=0)
+        v2 = conn.expect("read", path="data.bin", offset=0, size=1).fields["version"]
+        assert v2 == v1 + 1
+
+
+class TestWrite:
+    def test_write_in_place(self, served):
+        conn, server = served
+        response = conn.expect("write", b"ABC", path="data.bin", offset=2)
+        assert response.fields["written"] == 3
+        assert server.get_file("data.bin") == b"01ABC56789"
+
+    def test_write_creates_file(self, served):
+        conn, server = served
+        conn.expect("write", b"new", path="fresh.txt", offset=0)
+        assert server.get_file("fresh.txt") == b"new"
+
+    def test_append(self, served):
+        conn, server = served
+        response = conn.expect("append", b"++", path="data.bin")
+        assert response.fields["offset"] == 10
+        assert server.get_file("data.bin") == b"0123456789++"
+
+    def test_truncate(self, served):
+        conn, server = served
+        conn.expect("truncate", path="data.bin", size=4)
+        assert server.get_file("data.bin") == b"0123"
+
+    def test_truncate_missing_fails(self, served):
+        conn, _ = served
+        assert not conn.call("truncate", path="nope", size=0).ok
+
+
+class TestNamespace:
+    def test_stat(self, served):
+        conn, _ = served
+        response = conn.expect("stat", path="data.bin")
+        assert response.fields["size"] == 10
+
+    def test_stat_missing_fails(self, served):
+        conn, _ = served
+        assert not conn.call("stat", path="ghost").ok
+
+    def test_create_exclusive(self, served):
+        conn, _ = served
+        assert conn.call("create", path="data.bin", exclusive=True).ok is False
+        assert conn.call("create", b"seed", path="other", exclusive=True).ok
+
+    def test_delete(self, served):
+        conn, _ = served
+        conn.expect("delete", path="data.bin")
+        assert not conn.call("stat", path="data.bin").ok
+
+    def test_delete_missing_fails(self, served):
+        conn, _ = served
+        assert not conn.call("delete", path="ghost").ok
+
+    def test_list_with_pattern(self, served):
+        conn, server = served
+        server.put_file("logs/a.log", b"")
+        server.put_file("logs/b.log", b"")
+        response = conn.expect("list", pattern="logs/*")
+        assert response.fields["names"] == ["logs/a.log", "logs/b.log"]
+
+
+class TestWatchers:
+    def test_subscribe_sees_mutations(self, served):
+        conn, server = served
+        seen = []
+        server.subscribe(seen.append)
+        conn.expect("write", b"z", path="data.bin", offset=0)
+        conn.expect("delete", path="data.bin")
+        assert seen == ["data.bin", "data.bin"]
+
+    def test_put_file_notifies(self, served):
+        _, server = served
+        seen = []
+        server.subscribe(seen.append)
+        server.put_file("x", b"1")
+        assert seen == ["x"]
+
+
+class TestProperties:
+    @given(st.binary(max_size=200), st.integers(0, 64), st.integers(0, 64))
+    def test_remote_read_matches_local_slice(self, body, offset, size):
+        net = Network()
+        addr = Address("f", 1)
+        net.bind(addr, FileServer({"f": body}))
+        response = net.connect(addr).expect("read", path="f",
+                                            offset=offset, size=size)
+        assert response.payload == body[offset:offset + size]
+
+    @given(st.lists(st.tuples(st.integers(0, 100), st.binary(min_size=1, max_size=32)),
+                    min_size=1, max_size=10))
+    def test_writes_match_reference_buffer(self, writes):
+        from repro.util.bytesbuf import ByteBuffer
+
+        net = Network()
+        addr = Address("f", 1)
+        server = net.bind(addr, FileServer())
+        conn = net.connect(addr)
+        reference = ByteBuffer()
+        for offset, data in writes:
+            conn.expect("write", data, path="f", offset=offset)
+            reference.write_at(offset, data)
+        assert server.get_file("f") == reference.getvalue()

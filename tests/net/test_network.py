@@ -1,0 +1,220 @@
+"""Tests for the simulated network fabric."""
+
+import pytest
+
+from repro.errors import AddressError, NetworkError
+from repro.net import (
+    AccountingClock,
+    Address,
+    FileServer,
+    LinkProfile,
+    Network,
+    Request,
+    Response,
+    Service,
+)
+
+
+class Echo(Service):
+    def op_echo(self, request):
+        return Response(payload=request.payload, fields=dict(request.fields))
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+@pytest.fixture
+def addr():
+    return Address("echo.example", 9)
+
+
+class TestAddress:
+    def test_str(self):
+        assert str(Address("h", 80, "http")) == "http://h:80"
+        assert str(Address("h", 80)) == "h:80"
+
+    def test_parse_full(self):
+        address, path = Address.parse("ftp://files.example:21/pub/data.txt")
+        assert address == Address("files.example", 21, "ftp")
+        assert path == "/pub/data.txt"
+
+    def test_parse_bare_host(self):
+        address, path = Address.parse("files.example")
+        assert address == Address("files.example", 0)
+        assert path == ""
+
+    def test_parse_rejects_bad_port(self):
+        with pytest.raises(AddressError):
+            Address.parse("host:notaport")
+
+    def test_parse_rejects_empty_host(self):
+        with pytest.raises(AddressError):
+            Address.parse(":80")
+
+    def test_port_range_validated(self):
+        with pytest.raises(AddressError):
+            Address("h", 70000)
+
+    def test_ordering_and_hashing(self):
+        a, b = Address("a", 1), Address("b", 1)
+        assert a < b
+        assert len({a, b, Address("a", 1)}) == 2
+
+
+class TestBinding:
+    def test_bind_and_connect(self, net, addr):
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        response = conn.call("echo", b"hi", tag=1)
+        assert response.ok and response.payload == b"hi"
+        assert response.fields["tag"] == 1
+
+    def test_double_bind_rejected(self, net, addr):
+        net.bind(addr, Echo())
+        with pytest.raises(AddressError):
+            net.bind(addr, Echo())
+
+    def test_connect_unbound_rejected(self, net, addr):
+        with pytest.raises(AddressError):
+            net.connect(addr)
+
+    def test_unbind(self, net, addr):
+        net.bind(addr, Echo())
+        net.unbind(addr)
+        with pytest.raises(AddressError):
+            net.connect(addr)
+
+    def test_unbind_unknown_rejected(self, net, addr):
+        with pytest.raises(AddressError):
+            net.unbind(addr)
+
+    def test_addresses_sorted(self, net):
+        net.bind(Address("b", 1), Echo())
+        net.bind(Address("a", 1), Echo())
+        assert net.addresses() == [Address("a", 1), Address("b", 1)]
+
+    def test_bind_sets_backrefs(self, net, addr):
+        service = net.bind(addr, Echo())
+        assert service.address == addr
+        assert service.network is net
+
+
+class TestTransportAccounting:
+    def test_charges_latency_and_bandwidth(self):
+        profile = LinkProfile(latency_us=100.0, bandwidth_mbps=100.0)
+        net = Network(profile=profile)
+        addr = Address("echo", 1)
+        net.bind(addr, Echo())
+        before = net.clock.now_us()
+        net.connect(addr).call("echo", b"x" * 1250)  # 1250 B = 100 µs at 100 Mbps
+        elapsed = net.clock.now_us() - before
+        # two latencies plus request+response serialization; request alone
+        # contributes >= 100 µs of serialization.
+        assert elapsed > 300.0
+        assert net.stats.requests == 1
+        assert net.stats.bytes_sent > 1250
+
+    def test_transfer_cost_formula(self):
+        profile = LinkProfile(latency_us=50.0, bandwidth_mbps=100.0)
+        assert profile.transfer_us(0) == 50.0
+        # 100 Mbps = 100 bits/µs -> 1250 bytes = 10000 bits = 100 µs
+        assert profile.transfer_us(1250) == pytest.approx(150.0)
+
+    def test_per_link_profile_overrides_default(self):
+        net = Network(profile=LinkProfile(latency_us=1.0))
+        slow = Address("slow", 1)
+        net.bind(slow, Echo(), profile=LinkProfile(latency_us=10_000.0))
+        before = net.clock.now_us()
+        net.connect(slow).call("echo")
+        assert net.clock.now_us() - before >= 20_000.0
+
+    def test_stats_per_service(self, net, addr):
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        for _ in range(3):
+            conn.call("echo")
+        assert net.stats.per_service[str(addr)] == 3
+
+    def test_accounting_clock_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AccountingClock().charge(-1.0)
+
+
+class TestFailures:
+    def test_partition_blocks_calls(self, net, addr):
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        net.partition(addr)
+        with pytest.raises(NetworkError):
+            conn.call("echo")
+        net.heal(addr)
+        assert conn.call("echo").ok
+
+    def test_unknown_op_is_protocol_failure(self, net, addr):
+        net.bind(addr, Echo())
+        response = net.connect(addr).call("nosuch")
+        assert not response.ok
+        assert "unknown operation" in response.error
+
+    def test_service_exception_becomes_failure_response(self, net, addr):
+        class Buggy(Service):
+            def op_boom(self, request):
+                raise RuntimeError("kaput")
+
+        net.bind(addr, Buggy())
+        response = net.connect(addr).call("boom")
+        assert not response.ok
+        assert "kaput" in response.error
+
+    def test_expect_raises_on_failure(self, net, addr):
+        net.bind(addr, Echo())
+        with pytest.raises(NetworkError):
+            net.connect(addr).expect("nosuch")
+
+    def test_closed_connection_rejected(self, net, addr):
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        conn.close()
+        with pytest.raises(NetworkError):
+            conn.call("echo")
+
+    def test_connection_context_manager(self, net, addr):
+        net.bind(addr, Echo())
+        with net.connect(addr) as conn:
+            assert conn.call("echo").ok
+        with pytest.raises(NetworkError):
+            conn.call("echo")
+
+
+class TestServiceIntrospection:
+    def test_ops_listing(self):
+        server = FileServer()
+        ops = server.ops()
+        assert {"read", "write", "stat", "list"} <= set(ops)
+
+
+class TestAddressProperties:
+    from hypothesis import given, strategies as st
+
+    host_strategy = st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789.-",
+        min_size=1, max_size=20,
+    ).filter(lambda h: "/" not in h and ":" not in h and h.strip())
+
+    @given(host=host_strategy, port=st.integers(1, 65535),
+           scheme=st.sampled_from(["", "ftp", "http", "afp"]))
+    def test_parse_str_roundtrip(self, host, port, scheme):
+        original = Address(host=host, port=port, scheme=scheme)
+        parsed, path = Address.parse(str(original))
+        assert parsed == original
+        assert path == ""
+
+    @given(host=host_strategy, port=st.integers(1, 65535),
+           path=st.text(alphabet="abc/xyz.", max_size=16))
+    def test_parse_extracts_path(self, host, port, path):
+        parsed, got_path = Address.parse(f"{host}:{port}/{path}")
+        assert parsed.host == host
+        assert parsed.port == port
+        assert got_path == "/" + path

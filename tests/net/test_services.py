@@ -1,0 +1,343 @@
+"""Tests for HTTP, FTP, POP3/SMTP, quote, KV and registry services."""
+
+import pytest
+
+from repro.net import (
+    Address,
+    FtpServer,
+    HttpServer,
+    KeyValueStore,
+    Network,
+    Pop3Server,
+    QuoteServer,
+    RegistryServer,
+    SmtpServer,
+)
+from repro.net.ftpd import FtpAccount
+from repro.net.pop3 import MailMessage
+from repro.net.smtpd import parse_rfc822
+
+
+@pytest.fixture
+def net():
+    return Network()
+
+
+def bind(net, service, name="svc"):
+    addr = Address(name, 1)
+    net.bind(addr, service)
+    return net.connect(addr)
+
+
+class TestHttp:
+    def test_get_full(self, net):
+        conn = bind(net, HttpServer({"/index.html": b"<html>"}))
+        response = conn.expect("GET", path="/index.html")
+        assert response.payload == b"<html>"
+        assert response.fields["status"] == 200
+
+    def test_get_404(self, net):
+        conn = bind(net, HttpServer())
+        response = conn.call("GET", path="/missing")
+        assert not response.ok and response.fields["status"] == 404
+
+    def test_conditional_get_304(self, net):
+        server = HttpServer({"/d": b"body"})
+        conn = bind(net, server)
+        etag = conn.expect("GET", path="/d").fields["etag"]
+        response = conn.expect("GET", path="/d", if_none_match=etag)
+        assert response.fields["status"] == 304
+        assert response.payload == b""
+        assert server.conditional_hits == 1
+
+    def test_etag_changes_on_put(self, net):
+        server = HttpServer({"/d": b"v1"})
+        conn = bind(net, server)
+        etag = conn.expect("GET", path="/d").fields["etag"]
+        conn.expect("PUT", b"v2", path="/d")
+        response = conn.expect("GET", path="/d", if_none_match=etag)
+        assert response.fields["status"] == 200
+        assert response.payload == b"v2"
+
+    def test_range_request(self, net):
+        conn = bind(net, HttpServer({"/d": b"0123456789"}))
+        response = conn.expect("GET", path="/d", range_start=2, range_end=5)
+        assert response.payload == b"234"
+        assert response.fields["status"] == 206
+
+    def test_head(self, net):
+        conn = bind(net, HttpServer({"/d": b"abcd"}))
+        response = conn.expect("HEAD", path="/d")
+        assert response.fields["length"] == 4
+        assert response.payload == b""
+
+    def test_put_creates_then_updates(self, net):
+        conn = bind(net, HttpServer())
+        assert conn.expect("PUT", b"a", path="/x").fields["status"] == 201
+        assert conn.expect("PUT", b"b", path="/x").fields["status"] == 200
+
+    def test_delete(self, net):
+        conn = bind(net, HttpServer({"/d": b"x"}))
+        assert conn.expect("DELETE", path="/d").fields["status"] == 204
+        assert not conn.call("GET", path="/d").ok
+
+
+class TestFtp:
+    @pytest.fixture
+    def ftp(self, net):
+        accounts = {
+            "alice": FtpAccount(password="pw", read_prefixes=("pub/", "home/alice/"),
+                                write_prefixes=("home/alice/",)),
+        }
+        server = FtpServer(accounts, files={"pub/readme": b"public",
+                                            "home/alice/notes": b"mine",
+                                            "home/bob/secret": b"private"})
+        return bind(net, server), server
+
+    def login(self, conn, user="alice", password="pw"):
+        return conn.expect("LOGIN", user=user, password=password).fields["session"]
+
+    def test_login_bad_password(self, ftp):
+        conn, _ = ftp
+        assert not conn.call("LOGIN", user="alice", password="wrong").ok
+
+    def test_retr_requires_login(self, ftp):
+        conn, _ = ftp
+        assert not conn.call("RETR", path="pub/readme").ok
+
+    def test_retr(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        response = conn.expect("RETR", session=session, path="pub/readme")
+        assert response.payload == b"public"
+
+    def test_retr_range(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        response = conn.expect("RETR", session=session, path="pub/readme",
+                               offset=2, size=3)
+        assert response.payload == b"bli"
+
+    def test_access_control_denies_foreign_home(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        assert not conn.call("RETR", session=session, path="home/bob/secret").ok
+
+    def test_stor_and_append(self, ftp):
+        conn, server = ftp
+        session = self.login(conn)
+        conn.expect("STOR", b"v1", session=session, path="home/alice/out")
+        conn.expect("STOR", b"+2", session=session, path="home/alice/out", append=True)
+        assert server.get_file("home/alice/out") == b"v1+2"
+
+    def test_stor_denied_outside_write_prefix(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        assert not conn.call("STOR", b"x", session=session, path="pub/readme").ok
+
+    def test_size_and_list(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        assert conn.expect("SIZE", session=session, path="pub/readme").fields["size"] == 6
+        names = conn.expect("LIST", session=session, prefix="home/").fields["names"]
+        assert names == ["home/alice/notes"]  # bob's file filtered by ACL
+
+    def test_quit_invalidates_session(self, ftp):
+        conn, _ = ftp
+        session = self.login(conn)
+        conn.expect("QUIT", session=session)
+        assert not conn.call("RETR", session=session, path="pub/readme").ok
+
+
+class TestMail:
+    @pytest.fixture
+    def mail(self, net):
+        pop3 = Pop3Server({"carol": "pw"})
+        smtp = SmtpServer()
+        smtp.register_domain("example.com", pop3)
+        return bind(net, pop3, "pop"), bind(net, smtp, "smtp"), pop3, smtp
+
+    def test_send_delivers_to_local_domain(self, mail):
+        pop_conn, smtp_conn, pop3, _ = mail
+        body = b"From: dave@x\r\nTo: carol@example.com\r\nSubject: hi\r\n\r\nhello"
+        response = smtp_conn.expect("SEND", body, sender="dave@x",
+                                    recipients=["carol@example.com"])
+        assert response.fields["statuses"]["carol@example.com"] == "delivered"
+        assert pop3.message_count("carol") == 1
+
+    def test_send_foreign_domain_relays(self, mail):
+        _, smtp_conn, _, smtp = mail
+        response = smtp_conn.expect("SEND", b"Subject: x\r\n\r\nbody",
+                                    sender="a@b", recipients=["zed@other.org"])
+        assert response.fields["statuses"]["zed@other.org"] == "relayed"
+        assert smtp.sent[-1].recipient == "zed@other.org"
+
+    def test_send_without_recipients_fails(self, mail):
+        _, smtp_conn, _, _ = mail
+        assert not smtp_conn.call("SEND", b"x", sender="a@b", recipients=[]).ok
+
+    def test_pop3_stat_list_retr(self, mail):
+        pop_conn, _, pop3, _ = mail
+        pop3.deliver(MailMessage("a@b", "carol@example.com", "s1", "body1"))
+        pop3.deliver(MailMessage("a@b", "carol@example.com", "s2", "body2"))
+        stat = pop_conn.expect("STAT", user="carol", password="pw").fields
+        assert stat["count"] == 2
+        listing = pop_conn.expect("LIST", user="carol", password="pw").fields["messages"]
+        assert [m["index"] for m in listing] == [0, 1]
+        retr = pop_conn.expect("RETR", user="carol", password="pw", index=1)
+        assert b"Subject: s2" in retr.payload
+
+    def test_pop3_dele_applies_at_quit(self, mail):
+        pop_conn, _, pop3, _ = mail
+        pop3.deliver(MailMessage("a@b", "carol@example.com", "s", "b"))
+        pop_conn.expect("DELE", user="carol", password="pw", index=0)
+        # still present until QUIT, but hidden from STAT
+        assert pop_conn.expect("STAT", user="carol", password="pw").fields["count"] == 0
+        pop_conn.expect("QUIT", user="carol", password="pw")
+        assert pop3.message_count("carol") == 0
+
+    def test_pop3_bad_auth(self, mail):
+        pop_conn, _, _, _ = mail
+        assert not pop_conn.call("STAT", user="carol", password="nope").ok
+
+    def test_parse_rfc822_roundtrip(self):
+        message = MailMessage("a@b.c", "d@e.f", "Subject line", "two\nlines")
+        parsed = parse_rfc822(message.render())
+        assert parsed.sender == "a@b.c"
+        assert parsed.recipient == "d@e.f"
+        assert parsed.subject == "Subject line"
+        assert parsed.body == "two\nlines"
+
+
+class TestQuotes:
+    def test_quote_and_batch(self, net):
+        server = QuoteServer({"ACME": 100.0, "GLOBEX": 50.0})
+        conn = bind(net, server)
+        assert conn.expect("QUOTE", symbol="ACME").fields["price"] == 100.0
+        batch = conn.expect("BATCH", symbols=["ACME", "NOPE"]).fields
+        assert batch["quotes"] == {"ACME": 100.0}
+        assert batch["missing"] == ["NOPE"]
+
+    def test_unknown_symbol_fails(self, net):
+        conn = bind(net, QuoteServer())
+        assert not conn.call("QUOTE", symbol="X").ok
+
+    def test_tick_moves_prices_deterministically(self, net):
+        a = QuoteServer({"ACME": 100.0}, seed=7)
+        b = QuoteServer({"ACME": 100.0}, seed=7)
+        a.tick(5)
+        b.tick(5)
+        conn_a, conn_b = bind(net, a, "a"), bind(net, b, "b")
+        price_a = conn_a.expect("QUOTE", symbol="ACME").fields["price"]
+        price_b = conn_b.expect("QUOTE", symbol="ACME").fields["price"]
+        assert price_a == price_b
+        assert price_a != 100.0
+
+    def test_generation_tracks_changes(self, net):
+        server = QuoteServer({"ACME": 1.0})
+        conn = bind(net, server)
+        g0 = conn.expect("QUOTE", symbol="ACME").fields["generation"]
+        server.tick()
+        g1 = conn.expect("QUOTE", symbol="ACME").fields["generation"]
+        assert g1 == g0 + 1
+
+    def test_symbols(self, net):
+        conn = bind(net, QuoteServer({"B": 1.0, "A": 2.0}))
+        assert conn.expect("SYMBOLS").fields["symbols"] == ["A", "B"]
+
+
+class TestKeyValue:
+    def test_get_put_delete(self, net):
+        conn = bind(net, KeyValueStore({"k": b"v"}))
+        assert conn.expect("get", key="k").payload == b"v"
+        conn.expect("put", b"v2", key="k")
+        assert conn.expect("get", key="k").payload == b"v2"
+        conn.expect("delete", key="k")
+        assert not conn.call("get", key="k").ok
+
+    def test_cas_succeeds_on_match(self, net):
+        conn = bind(net, KeyValueStore({"k": b"v"}))
+        version = conn.expect("get", key="k").fields["version"]
+        response = conn.expect("cas", b"v2", key="k", expected_version=version)
+        assert response.fields["version"] == version + 1
+
+    def test_cas_conflict(self, net):
+        conn = bind(net, KeyValueStore({"k": b"v"}))
+        response = conn.call("cas", b"v2", key="k", expected_version=99)
+        assert not response.ok
+        assert response.fields["current_version"] == 1
+
+    def test_scan_and_store_version(self, net):
+        store = KeyValueStore({"user:1": b"a", "user:2": b"b", "post:1": b"c"})
+        conn = bind(net, store)
+        scan = conn.expect("scan", pattern="user:*").fields
+        assert sorted(scan["keys"]) == ["user:1", "user:2"]
+        before = scan["store_version"]
+        store.put("user:3", b"d")
+        assert conn.expect("scan", pattern="*").fields["store_version"] > before
+
+    def test_mget(self, net):
+        conn = bind(net, KeyValueStore({"a": b"1", "b": b"2"}))
+        response = conn.expect("mget", keys=["a", "missing", "b"])
+        assert response.payload == b"1\n2"
+        assert set(response.fields["found"]) == {"a", "b"}
+
+
+class TestRegistry:
+    @pytest.fixture
+    def reg(self, net):
+        server = RegistryServer()
+        server.set_value(r"HKLM\Software\App", "Version", "1.2", "REG_SZ")
+        server.set_value(r"HKLM\Software\App", "Port", 8080, "REG_DWORD")
+        return bind(net, server), server
+
+    def test_get_set(self, reg):
+        conn, _ = reg
+        assert conn.expect("get", key=r"HKLM\Software\App",
+                           name="Version").fields["data"] == "1.2"
+        conn.expect("set", key=r"HKLM\Software\App", name="Version",
+                    type="REG_SZ", data="2.0")
+        assert conn.expect("get", key=r"HKLM\Software\App",
+                           name="Version").fields["data"] == "2.0"
+
+    def test_get_missing_fails(self, reg):
+        conn, _ = reg
+        assert not conn.call("get", key=r"HKLM\Nope", name="X").ok
+
+    def test_bad_type_rejected(self, reg):
+        conn, _ = reg
+        assert not conn.call("set", key="HKLM", name="n",
+                             type="REG_MAGIC", data=1).ok
+
+    def test_dword_coerced_to_int(self, reg):
+        _, server = reg
+        server.set_value("HKLM", "n", "42", "REG_DWORD")
+        assert server.get_value("HKLM", "n") == ("REG_DWORD", 42)
+
+    def test_enum(self, reg):
+        conn, _ = reg
+        fields = conn.expect("enum", key=r"HKLM\Software").fields
+        assert fields["subkeys"] == ["App"]
+        fields = conn.expect("enum", key=r"HKLM\Software\App").fields
+        assert set(fields["values"]) == {"Version", "Port"}
+
+    def test_delete_value_and_key(self, reg):
+        conn, _ = reg
+        conn.expect("delete_value", key=r"HKLM\Software\App", name="Port")
+        assert not conn.call("get", key=r"HKLM\Software\App", name="Port").ok
+        conn.expect("delete_key", key=r"HKLM\Software\App")
+        assert not conn.call("enum", key=r"HKLM\Software\App").ok
+
+    def test_delete_root_rejected(self, reg):
+        conn, _ = reg
+        assert not conn.call("delete_key", key="").ok
+
+    def test_dump_subtree(self, reg):
+        conn, _ = reg
+        tree = conn.expect("dump", key=r"HKLM\Software").fields["tree"]
+        assert tree["subkeys"]["App"]["values"]["Port"]["data"] == 8080
+
+    def test_forward_slashes_accepted(self, reg):
+        conn, _ = reg
+        assert conn.expect("get", key="HKLM/Software/App",
+                           name="Version").ok

@@ -1,0 +1,269 @@
+"""Tests for the virtual-time kernel's scheduling invariants."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.ntos import CostModel, Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestBasics:
+    def test_run_single_thread(self, kernel):
+        trace = []
+        kernel.run_program(lambda: trace.append("ran"))
+        assert trace == ["ran"]
+
+    def test_empty_kernel_runs_to_zero(self, kernel):
+        assert kernel.run() == 0.0
+
+    def test_charge_advances_clock(self, kernel):
+        kernel.run_program(lambda: kernel.charge(125.5))
+        assert kernel.now == 125.5
+
+    def test_charge_negative_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            kernel.run_program(lambda: kernel.charge(-1))
+
+    def test_syscall_charges_model_cost(self):
+        kernel = Kernel(CostModel(syscall_us=7.0))
+        kernel.run_program(lambda: kernel.syscall())
+        assert kernel.now == 7.0
+        assert kernel.syscalls == 1
+
+    def test_cannot_run_twice(self, kernel):
+        kernel.run_program(lambda: None)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+    def test_exception_in_thread_propagates_to_host(self, kernel):
+        def boom():
+            raise RuntimeError("sim thread exploded")
+
+        process = kernel.create_process("p")
+        kernel.create_thread(process, boom)
+        with pytest.raises(RuntimeError, match="exploded"):
+            kernel.run()
+
+
+class TestScheduling:
+    def test_threads_run_fifo(self, kernel):
+        trace = []
+        process = kernel.create_process("p")
+        for tag in ("a", "b", "c"):
+            kernel.create_thread(process, lambda t=tag: trace.append(t))
+        kernel.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_yield_interleaves(self, kernel):
+        trace = []
+        process = kernel.create_process("p")
+
+        def worker(tag):
+            for i in range(3):
+                trace.append(f"{tag}{i}")
+                kernel.yield_cpu()
+
+        kernel.create_thread(process, lambda: worker("a"))
+        kernel.create_thread(process, lambda: worker("b"))
+        kernel.run()
+        assert trace == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_single_runnable_no_parallelism(self, kernel):
+        """At most one simulated thread executes between handoffs."""
+        in_critical = [0]
+        violations = []
+        process = kernel.create_process("p")
+
+        def worker():
+            for _ in range(50):
+                in_critical[0] += 1
+                if in_critical[0] > 1:
+                    violations.append(True)
+                # no handoff here: nothing else may run
+                in_critical[0] -= 1
+                kernel.yield_cpu()
+
+        for _ in range(4):
+            kernel.create_thread(process, worker)
+        kernel.run()
+        assert not violations
+
+    def test_context_switch_costs_differ_by_process(self):
+        costs = CostModel(thread_switch_us=5.0, process_switch_us=50.0)
+        # same-process pair
+        k1 = Kernel(costs)
+        p1 = k1.create_process("p")
+        k1.create_thread(p1, k1.yield_cpu)
+        k1.create_thread(p1, lambda: None)
+        same = k1.run()
+        # cross-process pair
+        k2 = Kernel(costs)
+        k2.create_thread(k2.create_process("a"), k2.yield_cpu)
+        k2.create_thread(k2.create_process("b"), lambda: None)
+        cross = k2.run()
+        assert cross > same
+        assert k2.process_switches >= 1
+
+    def test_thread_created_mid_run_is_scheduled(self, kernel):
+        trace = []
+        process = kernel.create_process("p")
+
+        def parent():
+            trace.append("parent")
+            kernel.create_thread(process, lambda: trace.append("child"))
+
+        kernel.create_thread(process, parent)
+        kernel.run()
+        assert trace == ["parent", "child"]
+
+
+class TestTimersAndSleep:
+    def test_sleep_advances_clock(self, kernel):
+        kernel.run_program(lambda: kernel.sleep(500.0))
+        assert kernel.now >= 500.0
+
+    def test_clock_jumps_when_all_blocked(self, kernel):
+        marks = []
+        process = kernel.create_process("p")
+
+        def sleeper(duration):
+            kernel.sleep(duration)
+            marks.append((duration, kernel.now))
+
+        kernel.create_thread(process, lambda: sleeper(100))
+        kernel.create_thread(process, lambda: sleeper(50))
+        kernel.run()
+        # 50 finishes first despite being created second
+        assert marks[0][0] == 50
+        assert marks[0][1] >= 50
+        assert marks[1][1] >= 100
+
+    def test_timer_ordering_is_deterministic(self, kernel):
+        fired = []
+        process = kernel.create_process("p")
+
+        def main():
+            kernel.at(10.0, lambda: fired.append("x"))
+            kernel.at(10.0, lambda: fired.append("y"))
+            kernel.at(5.0, lambda: fired.append("z"))
+            kernel.sleep(20.0)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        assert fired == ["z", "x", "y"]
+
+    def test_clock_monotonic_through_timers(self, kernel):
+        seen = []
+        process = kernel.create_process("p")
+
+        def main():
+            kernel.charge(7.0)
+            seen.append(kernel.now)
+            kernel.sleep(1.0)
+            seen.append(kernel.now)
+            kernel.sleep(0.0)
+            seen.append(kernel.now)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        assert seen == sorted(seen)
+
+
+class TestDeadlock:
+    def test_block_without_waker_is_deadlock(self, kernel):
+        process = kernel.create_process("p")
+        kernel.create_thread(process, lambda: kernel.block("nothing"))
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_mutual_wait_is_deadlock(self, kernel):
+        from repro.ntos import KEvent
+
+        a_done = KEvent(kernel, name="a")
+        b_done = KEvent(kernel, name="b")
+        process = kernel.create_process("p")
+
+        def thread_a():
+            b_done.wait()
+            a_done.set()
+
+        def thread_b():
+            a_done.wait()
+            b_done.set()
+
+        kernel.create_thread(process, thread_a)
+        kernel.create_thread(process, thread_b)
+        with pytest.raises(DeadlockError):
+            kernel.run()
+
+    def test_pending_timer_is_not_deadlock(self, kernel):
+        kernel.run_program(lambda: kernel.sleep(10_000.0))
+        assert kernel.now >= 10_000.0
+
+    def test_wake_finished_thread_rejected(self, kernel):
+        process = kernel.create_process("p")
+        worker = kernel.create_thread(process, lambda: None)
+
+        def main():
+            kernel.yield_cpu()  # let worker finish
+            kernel.wake(worker)
+
+        # worker was created first so it runs first and finishes
+        kernel.create_thread(process, main)
+        with pytest.raises(SimulationError):
+            kernel.run()
+
+
+class TestDeterminism:
+    @staticmethod
+    def _workload(kernel):
+        from repro.ntos import KPipe
+
+        process_a = kernel.create_process("a")
+        process_b = kernel.create_process("b")
+        pipe = KPipe(kernel, capacity=128)
+
+        def producer():
+            for i in range(20):
+                pipe.write(bytes([i]) * 50)
+            pipe.close_write()
+
+        def consumer():
+            while pipe.read(64):
+                kernel.charge(1.0)
+
+        kernel.create_thread(process_a, producer)
+        kernel.create_thread(process_b, consumer)
+        return kernel.run()
+
+    def test_identical_runs_identical_clocks(self):
+        runs = [self._workload(Kernel()) for _ in range(3)]
+        assert runs[0] == runs[1] == runs[2]
+        assert runs[0] > 0
+
+
+class TestFairness:
+    def test_round_robin_no_starvation(self):
+        """Every yielding thread makes progress at a uniform rate."""
+        kernel = Kernel()
+        process = kernel.create_process("p")
+        progress = {i: 0 for i in range(5)}
+        order_violations = []
+
+        def worker(index):
+            for _ in range(20):
+                progress[index] += 1
+                counts = list(progress.values())
+                if max(counts) - min(counts) > 1:
+                    order_violations.append(dict(progress))
+                kernel.yield_cpu()
+
+        for i in range(5):
+            kernel.create_thread(process, lambda i=i: worker(i))
+        kernel.run()
+        assert not order_violations
+        assert all(count == 20 for count in progress.values())

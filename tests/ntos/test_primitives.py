@@ -1,0 +1,552 @@
+"""Tests for kernel objects, pipes, shared memory, fs, NIC, IAT."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.ntos import (
+    CostModel,
+    ImportAddressTable,
+    KEvent,
+    KMutex,
+    KPipe,
+    KSemaphore,
+    Kernel,
+    NTFileSystem,
+    NetDevice,
+    RemoteHost,
+    SharedSection,
+    Win32,
+)
+from repro.ntos.iat import inject_dll, mediate
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestEvents:
+    def test_set_then_wait_does_not_block(self, kernel):
+        event = KEvent(kernel)
+        trace = []
+
+        def main():
+            event.set()
+            event.wait()
+            trace.append("through")
+
+        kernel.run_program(main)
+        assert trace == ["through"]
+
+    def test_auto_reset_consumes_signal(self, kernel):
+        event = KEvent(kernel)
+
+        def main():
+            event.set()
+            event.wait()
+            assert not event.signaled
+
+        kernel.run_program(main)
+
+    def test_wait_then_set_wakes(self, kernel):
+        event = KEvent(kernel)
+        trace = []
+        process = kernel.create_process("p")
+
+        def waiter():
+            event.wait()
+            trace.append("woken")
+
+        def setter():
+            trace.append("setting")
+            event.set()
+
+        kernel.create_thread(process, waiter)
+        kernel.create_thread(process, setter)
+        kernel.run()
+        assert trace == ["setting", "woken"]
+
+    def test_manual_reset_wakes_all(self, kernel):
+        event = KEvent(kernel, manual_reset=True)
+        woken = []
+        process = kernel.create_process("p")
+        for i in range(3):
+            kernel.create_thread(process,
+                                 lambda i=i: (event.wait(), woken.append(i)))
+        kernel.create_thread(process, event.set)
+        kernel.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_signal_charges_time(self):
+        kernel = Kernel(CostModel(syscall_us=0.0, event_signal_us=9.0))
+        event = KEvent(kernel)
+        kernel.run_program(event.set)
+        assert kernel.now == 9.0
+
+
+class TestSemaphoreAndMutex:
+    def test_semaphore_counts(self, kernel):
+        sem = KSemaphore(kernel, initial=2)
+
+        def main():
+            sem.acquire()
+            sem.acquire()
+            sem.release()
+            sem.acquire()
+
+        kernel.run_program(main)
+
+    def test_semaphore_blocks_at_zero(self, kernel):
+        sem = KSemaphore(kernel)
+        trace = []
+        process = kernel.create_process("p")
+
+        def taker():
+            sem.acquire()
+            trace.append("acquired")
+
+        kernel.create_thread(process, taker)
+        kernel.create_thread(process, lambda: (trace.append("releasing"),
+                                               sem.release()))
+        kernel.run()
+        assert trace == ["releasing", "acquired"]
+
+    def test_negative_initial_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            KSemaphore(kernel, initial=-1)
+
+    def test_mutex_exclusion_and_handover(self, kernel):
+        mutex = KMutex(kernel)
+        trace = []
+        process = kernel.create_process("p")
+
+        def worker(tag):
+            with mutex:
+                trace.append(f"{tag}-in")
+                kernel.yield_cpu()
+                trace.append(f"{tag}-out")
+
+        kernel.create_thread(process, lambda: worker("a"))
+        kernel.create_thread(process, lambda: worker("b"))
+        kernel.run()
+        assert trace == ["a-in", "a-out", "b-in", "b-out"]
+
+    def test_mutex_foreign_release_rejected(self, kernel):
+        mutex = KMutex(kernel)
+        process = kernel.create_process("p")
+        errors = []
+
+        def owner():
+            mutex.acquire()
+            kernel.yield_cpu()
+            mutex.release()
+
+        def intruder():
+            try:
+                mutex.release()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        kernel.create_thread(process, owner)
+        kernel.create_thread(process, intruder)
+        kernel.run()
+        assert len(errors) == 1
+
+    def test_mutex_recursive_acquire_rejected(self, kernel):
+        mutex = KMutex(kernel)
+
+        def main():
+            mutex.acquire()
+            mutex.acquire()
+
+        with pytest.raises(SimulationError):
+            kernel.run_program(main)
+
+
+class TestPipes:
+    def test_write_read_roundtrip(self, kernel):
+        pipe = KPipe(kernel)
+        out = []
+
+        def main():
+            pipe.write(b"hello pipe")
+            out.append(pipe.read(10))
+
+        kernel.run_program(main)
+        assert out == [b"hello pipe"]
+
+    def test_read_blocks_until_write(self, kernel):
+        pipe = KPipe(kernel)
+        trace = []
+        process = kernel.create_process("p")
+
+        def reader():
+            trace.append(("got", pipe.read(5)))
+
+        def writer():
+            trace.append(("writing",))
+            pipe.write(b"datum")
+
+        kernel.create_thread(process, reader)
+        kernel.create_thread(process, writer)
+        kernel.run()
+        assert trace == [("writing",), ("got", b"datum")]
+
+    def test_bounded_capacity_blocks_writer(self, kernel):
+        pipe = KPipe(kernel, capacity=8)
+        trace = []
+        process = kernel.create_process("p")
+
+        def writer():
+            pipe.write(b"x" * 20)  # must block twice
+            trace.append("write-done")
+            pipe.close_write()
+
+        def reader():
+            while True:
+                chunk = pipe.read(8)
+                if not chunk:
+                    return
+                trace.append(len(chunk))
+
+        kernel.create_thread(process, writer)
+        kernel.create_thread(process, reader)
+        kernel.run()
+        assert trace[-1] == "write-done" or "write-done" in trace
+        assert sum(x for x in trace if isinstance(x, int)) == 20
+
+    def test_eof_after_close(self, kernel):
+        pipe = KPipe(kernel)
+
+        def main():
+            pipe.write(b"tail")
+            pipe.close_write()
+            assert pipe.read(10) == b"tail"
+            assert pipe.read(10) == b""
+
+        kernel.run_program(main)
+
+    def test_write_to_closed_read_end_fails(self, kernel):
+        pipe = KPipe(kernel)
+
+        def main():
+            pipe.close_read()
+            pipe.write(b"x")
+
+        with pytest.raises(SimulationError):
+            kernel.run_program(main)
+
+    def test_read_exact(self, kernel):
+        pipe = KPipe(kernel)
+        out = []
+
+        def main():
+            pipe.write(b"abcdef")
+            out.append(pipe.read_exact(4))
+
+        kernel.run_program(main)
+        assert out == [b"abcd"]
+
+    def test_read_exact_eof_fails(self, kernel):
+        pipe = KPipe(kernel)
+
+        def main():
+            pipe.write(b"ab")
+            pipe.close_write()
+            pipe.read_exact(5)
+
+        with pytest.raises(SimulationError):
+            kernel.run_program(main)
+
+    def test_per_byte_cost_scales(self):
+        def run(n):
+            kernel = Kernel(CostModel(syscall_us=0, pipe_op_us=0,
+                                      kernel_copy_us_per_byte=0.01))
+            pipe = KPipe(kernel)
+
+            def main():
+                pipe.write(b"x" * n)
+                pipe.read(n)
+
+            kernel.run_program(main)
+            return kernel.now
+
+        assert run(2000) == pytest.approx(2 * run(1000))
+
+
+class TestSharedMemory:
+    def test_copy_roundtrip(self, kernel):
+        section = SharedSection(kernel, 64)
+        out = []
+
+        def main():
+            section.copy_in(b"shared bytes")
+            out.append(section.copy_out(12))
+
+        kernel.run_program(main)
+        assert out == [b"shared bytes"]
+
+    def test_single_copy_cheaper_than_pipe(self):
+        costs = CostModel()
+        k1 = Kernel(costs)
+        section = SharedSection(k1, 4096)
+        k1.run_program(lambda: (section.copy_in(b"x" * 2048),
+                                section.copy_out(2048)))
+        shared_cost = k1.now
+
+        k2 = Kernel(costs)
+        pipe = KPipe(k2)
+        k2.run_program(lambda: (pipe.write(b"x" * 2048), pipe.read(2048)))
+        pipe_cost = k2.now
+        assert shared_cost < pipe_cost
+
+    def test_bounds_checked(self, kernel):
+        section = SharedSection(kernel, 8)
+        with pytest.raises(SimulationError):
+            kernel.run_program(lambda: section.copy_in(b"x" * 9))
+
+    def test_bad_size_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            SharedSection(kernel, 0)
+
+
+class TestFileSystem:
+    def test_create_read_write(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("report.txt", b"0123456789")
+        out = []
+
+        def main():
+            handle = fs.open("report.txt")
+            out.append(handle.read(4))
+            handle.write(b"XY")
+            handle.seek(0)
+            out.append(handle.read(10))
+
+        kernel.run_program(main)
+        assert out == [b"0123", b"0123XY6789"]
+
+    def test_named_streams(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("thing.af", b"data part")
+        fs.create("thing.af:active", b"sentinel.exe")
+        assert fs.streams_of("thing.af") == ["", "active"]
+
+        def main():
+            assert fs.open("thing.af:active").read(100) == b"sentinel.exe"
+            assert fs.open("thing.af").read(100) == b"data part"
+
+        kernel.run_program(main)
+
+    def test_copy_carries_streams(self, kernel):
+        """Appendix A: streams make directory ops atomic over both parts."""
+        fs = NTFileSystem(kernel)
+        fs.create("orig.af", b"data")
+        fs.create("orig.af:active", b"exe")
+
+        def main():
+            fs.copy("orig.af", "copy.af")
+
+        kernel.run_program(main)
+        assert fs.streams_of("copy.af") == ["", "active"]
+
+    def test_rename_and_delete(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("a", b"1")
+
+        def main():
+            fs.rename("a", "b")
+            assert fs.exists("b") and not fs.exists("a")
+            fs.delete("b")
+
+        kernel.run_program(main)
+        assert fs.listdir() == []
+
+    def test_missing_file_rejected(self, kernel):
+        fs = NTFileSystem(kernel)
+        with pytest.raises(SimulationError):
+            kernel.run_program(lambda: fs.open("ghost"))
+
+    def test_disk_costs_scale_with_size(self):
+        def run(n):
+            kernel = Kernel()
+            fs = NTFileSystem(kernel)
+            fs.create("f", b"z" * n)
+            kernel.run_program(lambda: fs.open("f").read(n))
+            return kernel.now
+
+        assert run(4096) > run(64)
+
+
+class TestNetwork:
+    def test_rpc_blocks_for_round_trip(self, kernel):
+        nic = NetDevice(kernel)
+        host = RemoteHost(kernel, nic)
+        kernel.run_program(lambda: host.request(100, 100))
+        # at least two latencies
+        assert kernel.now >= 2 * kernel.costs.net_latency_us
+
+    def test_response_size_dominates_large_reads(self, kernel):
+        def run(n):
+            k = Kernel()
+            host = RemoteHost(k, NetDevice(k))
+            k.run_program(lambda: host.request(64, n))
+            return k.now
+
+        assert run(8192) > run(64) + 0.07 * 8000
+
+    def test_one_way_send_is_cheap(self, kernel):
+        nic = NetDevice(kernel)
+        host = RemoteHost(kernel, nic)
+        kernel.run_program(lambda: host.send(2048))
+        # far less than a round trip
+        assert kernel.now < kernel.costs.net_latency_us
+
+    def test_queue_limit_throttles_sender(self):
+        kernel = Kernel()
+        nic = NetDevice(kernel, queue_limit=2)
+        host = RemoteHost(kernel, nic)
+
+        def main():
+            for _ in range(20):
+                host.send(10_000)
+
+        kernel.run_program(main)
+        # with only 2 queue slots the sender must wait for the wire:
+        # 20 messages x 10KB at 0.08us/B = 16000us of wire time, and the
+        # sender cannot finish much before ~90% of it has drained.
+        assert kernel.now > 10_000
+
+    def test_drain_waits_for_wire(self, kernel):
+        nic = NetDevice(kernel)
+        host = RemoteHost(kernel, nic)
+
+        def main():
+            host.send(5000)
+            host.drain()
+            assert nic._in_flight == 0
+
+        kernel.run_program(main)
+        assert kernel.now >= kernel.costs.net_latency_us
+
+
+class TestIatAndWin32:
+    def test_application_calls_go_through_iat(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("f", b"hello")
+        process = kernel.create_process("app")
+        win32 = Win32(kernel, process, fs)
+        seen = []
+
+        def spy_factory(original):
+            def spy(path, create=False):
+                seen.append(path)
+                return original(path, create)
+            return spy
+
+        mediate(process.iat, "CreateFile", spy_factory)
+
+        def main():
+            handle = win32.CreateFile("f")
+            assert win32.ReadFile(handle, 5) == b"hello"
+            win32.CloseHandle(handle)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        assert seen == ["f"]
+        assert "CreateFile" in process.iat.mediated
+
+    def test_inject_dll_rebinds_many(self, kernel):
+        fs = NTFileSystem(kernel)
+        process = kernel.create_process("app")
+        Win32(kernel, process, fs)
+        inject_dll(process.iat, {
+            "ReadFile": lambda orig: lambda h, n: b"faked",
+            "WriteFile": lambda orig: lambda h, d: 0,
+        })
+        assert process.iat.mediated == {"ReadFile", "WriteFile"}
+        assert process.iat.call("ReadFile", 1, 2) == b"faked"
+
+    def test_unresolved_import_rejected(self):
+        table = ImportAddressTable()
+        with pytest.raises(SimulationError):
+            table.lookup("NoSuchApi")
+
+    def test_win32_handles(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("f", b"x")
+        process = kernel.create_process("app")
+        win32 = Win32(kernel, process, fs)
+
+        def main():
+            handle = win32.CreateFile("f")
+            assert handle % 4 == 0
+            win32.CloseHandle(handle)
+            try:
+                win32.ReadFile(handle, 1)
+            except SimulationError:
+                return
+            raise AssertionError("stale handle accepted")
+
+        kernel.create_thread(process, main)
+        kernel.run()
+
+    def test_get_file_size_and_seek(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("f", b"0123456789")
+        process = kernel.create_process("app")
+        win32 = Win32(kernel, process, fs)
+
+        def main():
+            handle = win32.CreateFile("f")
+            assert win32.GetFileSize(handle) == 10
+            win32.SetFilePointer(handle, 6)
+            assert win32.ReadFile(handle, 4) == b"6789"
+            win32.CloseHandle(handle)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+
+
+class TestDuplicateHandle:
+    def test_duplicate_shares_object(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("f", b"shared")
+        process = kernel.create_process("app")
+        win32 = Win32(kernel, process, fs)
+
+        def main():
+            original = win32.CreateFile("f")
+            duplicate = win32.DuplicateHandle(original)
+            assert duplicate != original
+            win32.SetFilePointer(original, 3)
+            # same open file object: position shared, like NT duplicates
+            assert win32.ReadFile(duplicate, 3) == b"red"
+            win32.CloseHandle(original)
+            # the duplicate still works: object closes with LAST handle
+            win32.SetFilePointer(duplicate, 0)
+            assert win32.ReadFile(duplicate, 2) == b"sh"
+            win32.CloseHandle(duplicate)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+
+    def test_object_closed_after_last_handle(self, kernel):
+        fs = NTFileSystem(kernel)
+        fs.create("f", b"x")
+        process = kernel.create_process("app")
+        win32 = Win32(kernel, process, fs)
+        observed = {}
+
+        def main():
+            original = win32.CreateFile("f")
+            duplicate = win32.DuplicateHandle(original)
+            stream = win32.handle_object(original)
+            win32.CloseHandle(original)
+            observed["after_first"] = stream.closed
+            win32.CloseHandle(duplicate)
+            observed["after_last"] = stream.closed
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        assert observed == {"after_first": False, "after_last": True}

@@ -1,0 +1,161 @@
+"""Property-based tests on the simulated kernel's invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ntos import CostModel, KEvent, KPipe, Kernel, SharedSection
+
+
+# hypothesis op vocabularies --------------------------------------------------
+
+pipe_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.binary(min_size=1, max_size=300)),
+        st.tuples(st.just("read"), st.integers(1, 400)),
+    ),
+    max_size=25,
+)
+
+
+class TestPipeFifoProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=200), max_size=15),
+           capacity=st.sampled_from([16, 64, 4096]))
+    def test_bytes_arrive_in_order_and_complete(self, chunks, capacity):
+        """Whatever the chunking and capacity, the reader sees exactly
+        the concatenation of what the writer sent."""
+        kernel = Kernel()
+        pipe = KPipe(kernel, capacity=capacity)
+        received = []
+        process = kernel.create_process("p")
+
+        def writer():
+            for chunk in chunks:
+                pipe.write(chunk)
+            pipe.close_write()
+
+        def reader():
+            while True:
+                piece = pipe.read(37)
+                if not piece:
+                    return
+                received.append(piece)
+
+        kernel.create_thread(process, writer)
+        kernel.create_thread(process, reader)
+        kernel.run()
+        assert b"".join(received) == b"".join(chunks)
+
+    @settings(max_examples=40, deadline=None)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=100),
+                           min_size=1, max_size=10))
+    def test_charged_time_proportional_to_volume(self, chunks):
+        costs = CostModel(syscall_us=0.0, pipe_op_us=0.0,
+                          kernel_copy_us_per_byte=0.01,
+                          thread_switch_us=0.0, process_switch_us=0.0)
+        kernel = Kernel(costs)
+        pipe = KPipe(kernel)
+        process = kernel.create_process("p")
+        total = sum(len(c) for c in chunks)
+
+        def main():
+            for chunk in chunks:
+                pipe.write(chunk)
+            pipe.close_write()
+            while pipe.read(4096):
+                pass
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        # one charge on write + one on read, both at 0.01 us/B
+        assert kernel.now == pytest.approx(2 * total * 0.01)
+
+
+class TestSchedulerDeterminismProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(plan=st.lists(st.tuples(st.integers(0, 3),
+                                   st.sampled_from(["charge", "yield",
+                                                    "sleep", "signal",
+                                                    "wait"])),
+                         max_size=30))
+    def test_any_program_runs_identically_twice(self, plan):
+        """Arbitrary interleavings of primitives are reproducible."""
+
+        def run_once():
+            kernel = Kernel()
+            process = kernel.create_process("p")
+            events = [KEvent(kernel, manual_reset=True) for _ in range(4)]
+            trace = []
+
+            def worker(index):
+                for target, action in plan:
+                    if target % 4 != index % 4:
+                        continue
+                    trace.append((index, action, round(kernel.now, 3)))
+                    if action == "charge":
+                        kernel.charge(1.5)
+                    elif action == "yield":
+                        kernel.yield_cpu()
+                    elif action == "sleep":
+                        kernel.sleep(3.0)
+                    elif action == "signal":
+                        events[index % 4].set()
+                    elif action == "wait":
+                        # manual-reset + prior signal check avoids deadlock
+                        if events[(index + 1) % 4].signaled:
+                            events[(index + 1) % 4].wait()
+                trace.append((index, "done", round(kernel.now, 3)))
+
+            for i in range(4):
+                kernel.create_thread(process, lambda i=i: worker(i))
+            kernel.run()
+            return trace, kernel.now
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+
+class TestSharedSectionProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(payload=st.binary(max_size=512), offset=st.integers(0, 128))
+    def test_copy_roundtrip(self, payload, offset):
+        kernel = Kernel()
+        section = SharedSection(kernel, 1024)
+        out = {}
+
+        def main():
+            section.copy_in(payload, offset)
+            out["data"] = section.copy_out(len(payload), offset)
+
+        kernel.run_program(main)
+        assert out["data"] == payload
+
+    @settings(max_examples=30, deadline=None)
+    @given(size=st.integers(1, 4096))
+    def test_charge_scales_linearly(self, size):
+        costs = CostModel(memcpy_us_per_byte=0.01)
+        kernel = Kernel(costs)
+        section = SharedSection(kernel, 8192)
+        kernel.run_program(lambda: section.copy_in(b"x" * size))
+        assert kernel.now == pytest.approx(size * 0.01)
+
+
+class TestClockMonotonicityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(durations=st.lists(st.floats(0.0, 50.0), max_size=12))
+    def test_sleeps_never_move_clock_backwards(self, durations):
+        kernel = Kernel()
+        samples = []
+        process = kernel.create_process("p")
+
+        def main():
+            for duration in durations:
+                samples.append(kernel.now)
+                kernel.sleep(duration)
+            samples.append(kernel.now)
+
+        kernel.create_thread(process, main)
+        kernel.run()
+        assert samples == sorted(samples)
+        assert kernel.now >= sum(durations) - 1e-9

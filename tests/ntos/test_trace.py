@@ -1,0 +1,97 @@
+"""Tests for the kernel tracer."""
+
+import pytest
+
+from repro.ntos import KPipe, Kernel
+from repro.ntos.trace import Tracer
+
+
+def traced_pipe_run():
+    kernel = Kernel()
+    tracer = Tracer.attach(kernel)
+    pipe = KPipe(kernel, capacity=64)
+    process = kernel.create_process("p")
+
+    def writer():
+        pipe.write(b"x" * 200)  # forces blocking on the tiny pipe
+        pipe.close_write()
+
+    def reader():
+        while pipe.read(64):
+            pass
+
+    kernel.create_thread(process, writer, "writer")
+    kernel.create_thread(process, reader, "reader")
+    kernel.run()
+    return tracer
+
+
+class TestTracer:
+    def test_records_spawns_switches_exits(self):
+        tracer = traced_pipe_run()
+        assert tracer.count("spawn") == 2
+        assert tracer.count("exit") == 2
+        assert tracer.count("switch") >= 2
+
+    def test_block_reasons_aggregated(self):
+        tracer = traced_pipe_run()
+        reasons = tracer.blocks_by_reason()
+        assert "pipe-full" in reasons
+        assert reasons["pipe-full"] >= 1
+
+    def test_timestamps_monotone(self):
+        tracer = traced_pipe_run()
+        stamps = [event.at_us for event in tracer.events]
+        assert stamps == sorted(stamps)
+
+    def test_timeline_renders(self):
+        tracer = traced_pipe_run()
+        text = tracer.render_timeline(limit=10)
+        assert "writer" in text
+        assert "t (µs)" in text
+
+    def test_bounded_recording(self):
+        kernel = Kernel()
+        tracer = Tracer.attach(kernel, max_events=5)
+        process = kernel.create_process("p")
+
+        def spinner():
+            for _ in range(50):
+                kernel.yield_cpu()
+
+        kernel.create_thread(process, spinner, "a")
+        kernel.create_thread(process, spinner, "b")
+        kernel.run()
+        assert len(tracer.events) == 5
+        assert tracer.dropped > 0
+
+    def test_detach_restores_kernel(self):
+        kernel = Kernel()
+        original_block = kernel.block
+        tracer = Tracer.attach(kernel)
+        assert kernel.block is not original_block
+        tracer.detach()
+        assert kernel.block == original_block
+
+    def test_trace_explains_figure6_critical_path(self):
+        """The §6 narrative: a process-strategy read context-switches
+        into the sentinel process and back."""
+        from repro.afsim.backings import MemoryBacking
+        from repro.afsim.sessions import open_session
+
+        kernel = Kernel()
+        tracer = Tracer.attach(kernel)
+        app = kernel.create_process("app")
+
+        def main():
+            session = open_session("process-control", kernel, app,
+                                   MemoryBacking(kernel))
+            session.read(512)
+            session.close()
+
+        kernel.create_thread(app, main, "app:main")
+        kernel.run()
+        switch_targets = [event.thread for event in tracer.events
+                          if event.kind == "switch"]
+        assert any("sentinel" in name for name in switch_targets)
+        assert any("app" in name for name in switch_targets)

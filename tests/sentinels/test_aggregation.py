@@ -1,0 +1,279 @@
+"""Tests for aggregation-family sentinels: aggregate, quotes, registry view."""
+
+import pytest
+
+from repro.core import open_active
+from repro.errors import UnsupportedOperationError
+from repro.net import Address, HttpServer, KeyValueStore, Network, QuoteServer, RegistryServer
+
+AGGREGATE = "repro.sentinels.aggregate:AggregateSentinel"
+QUOTES = "repro.sentinels.quotes:StockQuoteSentinel"
+REGISTRY = "repro.sentinels.registryfs:RegistryFileSentinel"
+
+
+class TestAggregate:
+    def test_literal_sources(self, network, make_active):
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "literal", "text": "alpha\n"},
+            {"kind": "literal", "text": "beta\n"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"alpha\nbeta\n"
+
+    def test_separator(self, network, make_active):
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "literal", "text": "a"},
+            {"kind": "literal", "text": "b"},
+        ], "separator": "--"}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"a--b"
+
+    def test_headers(self, network, make_active):
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "literal", "text": "x\n"},
+        ], "headers": True}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"== literal ==\nx\n"
+
+    def test_mixed_remote_sources(self, network, fileserver, make_active,
+                                  tmp_path):
+        fileserver.put_file("part1", b"from fileserver|")
+        network.bind(Address("web", 80), HttpServer({"/part2": b"from http|"}))
+        network.bind(Address("db", 5432),
+                     KeyValueStore({"row1": b"from db"}))
+        local = tmp_path / "part0.txt"
+        local.write_bytes(b"from local|")
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "local", "path": str(local)},
+            {"kind": "fileserver", "address": "files.test:7000", "path": "part1"},
+            {"kind": "http", "address": "web:80", "path": "/part2"},
+            {"kind": "kv", "address": "db:5432", "keys": ["row1"]},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"from local|from fileserver|from http|from db"
+
+    def test_reopen_sees_source_changes(self, network, fileserver, make_active):
+        """The anti-intermediary property: no decoupling from sources."""
+        fileserver.put_file("live", b"version 1")
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "fileserver", "address": "files.test:7000", "path": "live"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"version 1"
+        fileserver.put_file("live", b"version 2")
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"version 2"
+
+    def test_refresh_control_op(self, network, fileserver, make_active):
+        fileserver.put_file("live", b"old")
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "fileserver", "address": "files.test:7000", "path": "live"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"old"
+            fileserver.put_file("live", b"new!")
+            stream.control("refresh")
+            stream.seek(0)
+            assert stream.read() == b"new!"
+
+    def test_read_only(self, network, make_active):
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "literal", "text": "x"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            with pytest.raises(UnsupportedOperationError):
+                stream.write(b"nope")
+
+    def test_no_sources_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(AGGREGATE, params={"sources": []})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    def test_unknown_kind_fails_at_open(self, network, make_active):
+        from repro.errors import SentinelError
+
+        path = make_active(AGGREGATE, params={"sources": [
+            {"kind": "telepathy"},
+        ]}, meta={"data": "memory"})
+        with pytest.raises(SentinelError):
+            open_active(path, "rb", strategy="inproc", network=network)
+
+
+class TestQuotes:
+    @pytest.fixture
+    def quoted(self, network, make_active):
+        server = network.bind(Address("quotes", 7),
+                              QuoteServer({"ACME": 101.5, "GLOBEX": 42.0}))
+        path = make_active(QUOTES, params={"address": "quotes:7"},
+                           meta={"data": "memory"})
+        return network, server, path
+
+    def test_snapshot_on_open(self, quoted):
+        network, _, path = quoted
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"ACME\t101.5\nGLOBEX\t42.0\n"
+
+    def test_reopen_reflects_latest(self, quoted):
+        """Paper: latest quotes every time the file is opened."""
+        network, server, path = quoted
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            first = stream.read()
+        server.tick(3)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() != first
+
+    def test_symbol_filter(self, network, make_active):
+        network.bind(Address("q2", 7), QuoteServer({"A": 1.0, "B": 2.0}))
+        path = make_active(QUOTES, params={"address": "q2:7",
+                                           "symbols": ["B"]},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"B\t2.0\n"
+
+    def test_csv_format(self, network, make_active):
+        network.bind(Address("q3", 7), QuoteServer({"A": 1.0}))
+        path = make_active(QUOTES, params={"address": "q3:7",
+                                           "format": "csv"},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"symbol,price\nA,1.0\n"
+
+    def test_refresh_mid_open(self, quoted):
+        network, server, path = quoted
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            g0 = stream.read()
+            server.tick()
+            fields, _ = stream.control("refresh")
+            assert fields["generation"] >= 1
+            stream.seek(0)
+            assert stream.read() != g0
+
+    def test_read_only(self, quoted):
+        network, _, path = quoted
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            with pytest.raises(UnsupportedOperationError):
+                stream.write(b"x")
+
+    def test_bad_format_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(QUOTES, params={"address": "a:1",
+                                           "format": "xml"})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+
+class TestRegistryFile:
+    @pytest.fixture
+    def registry(self, network, make_active):
+        server = network.bind(Address("reg", 1), RegistryServer())
+        server.set_value(r"HKLM\Software\App", "Version", "1.0")
+        server.set_value(r"HKLM\Software\App", "Port", 8080, "REG_DWORD")
+        path = make_active(REGISTRY, params={"registry": "reg:1",
+                                             "key": "HKLM"},
+                           meta={"data": "memory"})
+        return network, server, path
+
+    def test_rendered_view(self, registry):
+        network, _, path = registry
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            text = stream.read().decode()
+        assert "[Software\\App]" in text
+        assert "Port = REG_DWORD:8080" in text
+        assert "Version = REG_SZ:1.0" in text
+
+    def test_edit_writes_back(self, registry):
+        """Paper: modifications parsed and translated into registry ops."""
+        network, server, path = registry
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            text = stream.read().decode()
+            edited = text.replace("REG_DWORD:8080", "REG_DWORD:9090")
+            stream.seek(0)
+            stream.truncate(0)
+            stream.write(edited.encode())
+        assert server.get_value(r"HKLM\Software\App", "Port") == ("REG_DWORD", 9090)
+
+    def test_adding_value(self, registry):
+        network, server, path = registry
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.seek(stream.getsize())
+            stream.write(b"[Software\\App]\nTheme = REG_SZ:dark\n")
+        assert server.get_value(r"HKLM\Software\App", "Theme") == ("REG_SZ", "dark")
+
+    def test_removing_value_deletes(self, registry):
+        network, server, path = registry
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            text = stream.read().decode()
+            edited = "\n".join(line for line in text.splitlines()
+                               if not line.startswith("Version")) + "\n"
+            stream.seek(0)
+            stream.truncate(0)
+            stream.write(edited.encode())
+        with pytest.raises(KeyError):
+            server.get_value(r"HKLM\Software\App", "Version")
+
+    def test_unchanged_close_sends_nothing(self, registry):
+        network, server, path = registry
+        before = server.change_count
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            stream.read()
+        assert server.change_count == before
+
+    def test_read_only_param(self, network, make_active):
+        server = network.bind(Address("reg2", 1), RegistryServer())
+        server.set_value("HKLM", "k", "v")
+        path = make_active(REGISTRY, params={"registry": "reg2:1",
+                                             "key": "", "read_only": True},
+                           meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            with pytest.raises(UnsupportedOperationError):
+                stream.write(b"x")
+
+    def test_malformed_edit_raises_on_close(self, registry):
+        from repro.errors import SentinelError
+
+        network, _, path = registry
+        stream = open_active(path, "r+b", strategy="inproc", network=network)
+        stream.seek(0)
+        stream.truncate(0)
+        stream.write(b"value before any section header\n")
+        with pytest.raises(SentinelError):
+            stream.close()
+
+
+class TestRegistryTextHelpers:
+    def test_parse_render_roundtrip(self):
+        from repro.sentinels.registryfs import parse_registry, render_registry
+
+        tree = {
+            "values": {"Root": {"type": "REG_SZ", "data": "r"}},
+            "subkeys": {
+                "Sub": {"values": {"N": {"type": "REG_DWORD", "data": 5}},
+                        "subkeys": {}},
+            },
+        }
+        text = render_registry(tree)
+        parsed = parse_registry(text)
+        assert parsed[("", "Root")] == ("REG_SZ", "r")
+        assert parsed[("Sub", "N")] == ("REG_DWORD", "5")
+
+    def test_parse_ignores_comments_and_blanks(self):
+        from repro.sentinels.registryfs import parse_registry
+
+        parsed = parse_registry("; comment\n\n[K]\n# another\nA = REG_SZ:1\n")
+        assert parsed == {("K", "A"): ("REG_SZ", "1")}
+
+    def test_parse_default_type(self):
+        from repro.sentinels.registryfs import parse_registry
+
+        parsed = parse_registry("[K]\nA = bare value\n")
+        assert parsed[("K", "A")] == ("REG_SZ", "bare value")
+
+    def test_parse_rejects_valueless_line(self):
+        from repro.errors import SentinelError
+        from repro.sentinels.registryfs import parse_registry
+
+        with pytest.raises(SentinelError):
+            parse_registry("[K]\njust some words\n")

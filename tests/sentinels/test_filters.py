@@ -1,0 +1,291 @@
+"""Tests for filtering sentinels: null, compression, cipher, audit."""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Container, open_active
+from repro.errors import UnsupportedOperationError
+
+COMPRESS = "repro.sentinels.compress:CompressionSentinel"
+CIPHER = "repro.sentinels.cipher:XorCipherSentinel"
+AUDIT = "repro.sentinels.audit:AuditSentinel"
+
+
+class TestCompression:
+    def test_roundtrip(self, make_active):
+        path = make_active(COMPRESS)
+        body = b"compress me " * 100
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(body)
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == body
+
+    def test_data_part_is_actually_compressed(self, make_active):
+        path = make_active(COMPRESS)
+        body = b"A" * 10000
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(body)
+        stored = Container.load(path).data
+        assert len(stored) < len(body) // 10
+        assert stored[:4] == b"AFZ1"
+
+    def test_client_unaware_through_interception(self, make_active):
+        """Paper: 'the client application is completely unaware'."""
+        from repro.core import MediatingConnector
+
+        path = make_active(COMPRESS)
+        with MediatingConnector(strategy="inproc"):
+            with open(path, "w") as stream:
+                stream.write("plain text view\n")
+            with open(path) as stream:
+                assert stream.read() == "plain text view\n"
+
+    def test_random_access_read(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 16})
+        body = bytes(range(256)) * 4
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(body)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.seek(100)
+            assert stream.read(30) == body[100:130]
+            assert stream.getsize() == len(body)
+
+    def test_sparse_write_reads_zeros(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.seek(20)
+            stream.write(b"end")
+            stream.seek(0)
+            assert stream.read() == b"\x00" * 20 + b"end"
+
+    def test_truncate(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"0123456789abcdef")
+            stream.truncate(10)
+            stream.seek(0)
+            assert stream.read() == b"0123456789"
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"0123456789"
+
+    def test_ratio_control_op(self, make_active):
+        path = make_active(COMPRESS)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"z" * 4096)
+            stream.flush()
+            fields, _ = stream.control("ratio")
+            assert fields["raw_size"] == 4096
+            assert fields["stored_size"] < 256
+
+    def test_different_chunk_sizes_interoperate_via_header(self, make_active):
+        # chunk size is persisted in the header; reopening with other
+        # params still reads the stored layout
+        path = make_active(COMPRESS, params={"chunk_size": 4})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"0123456789")
+        # simulate reopening with a different default
+        container = Container.load(path)
+        sentinel = container.spec.instantiate()
+        sentinel.chunk_size = 9999
+        from repro.core.sentinel import SentinelContext
+        from repro.core.datapart import MemoryDataPart
+
+        ctx = SentinelContext(data=MemoryDataPart(container.data))
+        sentinel.on_open(ctx)
+        assert sentinel.chunk_size == 4
+        assert sentinel.on_read(ctx, 0, 10) == b"0123456789"
+
+    def test_corrupt_magic_rejected(self, make_active):
+        from repro.errors import SentinelError
+
+        path = make_active(COMPRESS)
+        Container.load(path).write_data(b"garbage everywhere")
+        with pytest.raises(SentinelError):
+            open_active(path, "rb", strategy="inproc")
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(body=st.binary(max_size=600),
+           chunk_size=st.sampled_from([1, 7, 64]))
+    def test_property_roundtrip(self, tmp_path, body, chunk_size):
+        from repro.core import create_active
+
+        path = tmp_path / f"c{chunk_size}-{len(body)}-{hash(body) % 997}.af"
+        create_active(path, COMPRESS, params={"chunk_size": chunk_size},
+                      exist_ok=True)
+        with open_active(str(path), "w+b", strategy="inproc") as stream:
+            stream.write(body)
+            stream.seek(0)
+            assert stream.read() == body
+
+
+class TestCipher:
+    def test_roundtrip(self, make_active):
+        path = make_active(CIPHER, params={"key": "s3cret"})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"attack at dawn")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"attack at dawn"
+
+    def test_data_part_is_ciphertext(self, make_active):
+        path = make_active(CIPHER, params={"key": "s3cret"})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"attack at dawn")
+        assert Container.load(path).data != b"attack at dawn"
+
+    def test_wrong_key_reads_garbage(self, make_active, tmp_path):
+        path = make_active(CIPHER, params={"key": "right"})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"plaintext!")
+        ciphertext = Container.load(path).data
+        from repro.core import create_active
+
+        other = tmp_path / "wrongkey.af"
+        create_active(other, CIPHER, params={"key": "wrong"}, data=ciphertext)
+        with open_active(str(other), "rb", strategy="inproc") as stream:
+            assert stream.read() != b"plaintext!"
+
+    def test_missing_key_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(CIPHER)
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(body=st.binary(max_size=200), offset=st.integers(0, 64),
+           key=st.text(min_size=1, max_size=12))
+    def test_property_offset_roundtrip(self, tmp_path, body, offset, key):
+        from repro.core import create_active
+
+        path = tmp_path / f"x{offset}-{len(body)}.af"
+        create_active(path, CIPHER, params={"key": key}, exist_ok=True)
+        with open_active(str(path), "w+b", strategy="inproc") as stream:
+            stream.seek(offset)
+            stream.write(body)
+            stream.seek(offset)
+            assert stream.read(len(body)) == body
+
+
+class TestAudit:
+    @pytest.fixture
+    def audited(self, make_active, tmp_path):
+        trail = tmp_path / "audit.jsonl"
+        path = make_active(AUDIT, params={"audit_path": str(trail),
+                                          "identity": "alice"},
+                           data=b"sensitive")
+        return path, trail
+
+    def entries(self, trail):
+        return [json.loads(line) for line in trail.read_text().splitlines()]
+
+    def test_every_access_logged(self, audited):
+        path, trail = audited
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.read(4)
+            stream.write(b"!")
+        events = [entry["event"] for entry in self.entries(trail)]
+        assert events == ["open", "read", "write", "close"]
+
+    def test_identity_recorded(self, audited):
+        path, trail = audited
+        with open_active(path, "rb", strategy="inproc") as stream:
+            stream.read(1)
+        assert all(entry["who"] == "alice" for entry in self.entries(trail))
+
+    def test_deny_writes_policy(self, make_active, tmp_path):
+        trail = tmp_path / "t.jsonl"
+        path = make_active(AUDIT, params={"audit_path": str(trail),
+                                          "deny_writes": True}, data=b"x")
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            assert stream.read(1) == b"x"
+            with pytest.raises(UnsupportedOperationError):
+                stream.write(b"y")
+        events = [entry["event"] for entry in self.entries(trail)]
+        assert "write-denied" in events
+
+    def test_deny_reads_policy(self, make_active, tmp_path):
+        trail = tmp_path / "t.jsonl"
+        path = make_active(AUDIT, params={"audit_path": str(trail),
+                                          "deny_reads": True}, data=b"x")
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            with pytest.raises(UnsupportedOperationError):
+                stream.read(1)
+
+    def test_trail_control_op(self, audited):
+        path, trail = audited
+        with open_active(path, "rb", strategy="inproc") as stream:
+            stream.read(1)
+            _, payload = stream.control("trail")
+            assert b'"event":"read"' in payload
+
+    def test_pass_through_preserves_data(self, audited):
+        path, trail = audited
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            assert stream.read() == b"sensitive"
+
+    def test_missing_audit_path_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(AUDIT)
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    def test_audit_across_strategies(self, make_active, tmp_path):
+        trail = tmp_path / "multi.jsonl"
+        path = make_active(AUDIT, params={"audit_path": str(trail)},
+                           data=b"d")
+        for strategy in ("inproc", "thread", "process-control"):
+            with open_active(path, "rb", strategy=strategy) as stream:
+                stream.read(1)
+        opens = [entry for entry in self.entries(trail)
+                 if entry["event"] == "open"]
+        assert {entry["strategy"] for entry in opens} == \
+            {"inproc", "thread", "process-control"}
+
+
+class TestCompressionTruncateEdges:
+    def test_truncate_to_zero_then_rewrite(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"0123456789abcdef")
+            stream.truncate(0)
+            assert stream.getsize() == 0
+            stream.seek(0)
+            stream.write(b"fresh")
+            stream.seek(0)
+            assert stream.read() == b"fresh"
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"fresh"
+
+    def test_truncate_on_chunk_boundary(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"0123456789abcdef")  # exactly 2 chunks
+            stream.truncate(8)
+            stream.seek(0)
+            assert stream.read() == b"01234567"
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"01234567"
+
+    def test_truncate_then_extend_reads_zeros(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"0123456789")
+            stream.truncate(4)
+            stream.seek(10)
+            stream.write(b"!")
+            stream.seek(0)
+            assert stream.read() == b"0123\x00\x00\x00\x00\x00\x00!"
+
+    def test_grow_via_truncate(self, make_active):
+        path = make_active(COMPRESS, params={"chunk_size": 8})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"ab")
+            stream.truncate(6)
+            assert stream.getsize() == 6
+            stream.seek(0)
+            assert stream.read() == b"ab\x00\x00\x00\x00"

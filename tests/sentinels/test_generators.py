@@ -1,0 +1,130 @@
+"""Tests for data-generation sentinels."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import open_active
+from repro.core.datapart import MemoryDataPart
+from repro.core.sentinel import SentinelContext
+from repro.errors import UnsupportedOperationError
+from repro.sentinels.generate import (
+    CounterSentinel,
+    RandomBytesSentinel,
+    SequenceSentinel,
+    UNBOUNDED_SIZE,
+)
+
+CTX = SentinelContext(data=MemoryDataPart())
+
+
+class TestRandomBytes:
+    def test_deterministic_per_seed(self):
+        a = RandomBytesSentinel({"seed": 7})
+        b = RandomBytesSentinel({"seed": 7})
+        assert a.on_read(CTX, 0, 100) == b.on_read(CTX, 0, 100)
+
+    def test_different_seeds_differ(self):
+        a = RandomBytesSentinel({"seed": 1})
+        b = RandomBytesSentinel({"seed": 2})
+        assert a.on_read(CTX, 0, 64) != b.on_read(CTX, 0, 64)
+
+    def test_offset_consistency(self):
+        sentinel = RandomBytesSentinel({"seed": 3})
+        whole = sentinel.on_read(CTX, 0, 100)
+        assert sentinel.on_read(CTX, 37, 21) == whole[37:58]
+
+    def test_limit(self):
+        sentinel = RandomBytesSentinel({"seed": 1, "limit": 10})
+        assert len(sentinel.on_read(CTX, 0, 100)) == 10
+        assert sentinel.on_read(CTX, 10, 5) == b""
+        assert sentinel.on_size(CTX) == 10
+        assert not sentinel.endless
+
+    def test_unbounded_size(self):
+        assert RandomBytesSentinel().on_size(CTX) == UNBOUNDED_SIZE
+
+    def test_writes_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            RandomBytesSentinel().on_write(CTX, 0, b"x")
+
+    def test_generate_respects_limit(self):
+        sentinel = RandomBytesSentinel({"seed": 1, "limit": 10000})
+        total = sum(len(chunk) for chunk in sentinel.generate(CTX))
+        assert total == 10000
+
+    @given(offset=st.integers(0, 1000), size=st.integers(0, 200))
+    def test_property_slices_consistent(self, offset, size):
+        sentinel = RandomBytesSentinel({"seed": 5})
+        reference = sentinel.on_read(CTX, 0, offset + size)
+        assert sentinel.on_read(CTX, offset, size) == reference[offset:]
+
+
+class TestCounter:
+    def test_lines(self):
+        sentinel = CounterSentinel({"width": 3, "count": 4})
+        assert sentinel.on_read(CTX, 0, 100) == b"000\n001\n002\n003\n"
+
+    def test_start_offset(self):
+        sentinel = CounterSentinel({"width": 2, "start": 7, "count": 2})
+        assert sentinel.on_read(CTX, 0, 100) == b"07\n08\n"
+
+    def test_mid_line_read(self):
+        sentinel = CounterSentinel({"width": 3})
+        assert sentinel.on_read(CTX, 2, 5) == b"0\n001"
+
+    def test_size(self):
+        assert CounterSentinel({"width": 3, "count": 5}).on_size(CTX) == 20
+        assert CounterSentinel().on_size(CTX) == UNBOUNDED_SIZE
+
+    def test_writes_rejected(self):
+        with pytest.raises(UnsupportedOperationError):
+            CounterSentinel().on_write(CTX, 0, b"x")
+
+
+class TestSequence:
+    def test_repeats(self):
+        sentinel = SequenceSentinel({"pattern": "ab", "repeats": 3})
+        assert sentinel.on_read(CTX, 0, 100) == b"ababab"
+        assert sentinel.on_size(CTX) == 6
+
+    def test_partial_period_read(self):
+        sentinel = SequenceSentinel({"pattern": "xyz", "repeats": 4})
+        assert sentinel.on_read(CTX, 2, 5) == b"zxyzx"
+
+    def test_empty_pattern(self):
+        sentinel = SequenceSentinel({"pattern": "", "repeats": 5})
+        assert sentinel.on_read(CTX, 0, 10) == b""
+
+    @given(offset=st.integers(0, 40), size=st.integers(0, 40))
+    def test_property_matches_reference(self, offset, size):
+        sentinel = SequenceSentinel({"pattern": "hello", "repeats": 8})
+        reference = b"hello" * 8
+        assert sentinel.on_read(CTX, offset, size) == reference[offset:offset + size]
+
+
+class TestThroughFileApi:
+    """Generated files behave like real files to applications."""
+
+    def test_endless_file_streams(self, make_active):
+        path = make_active("repro.sentinels.generate:RandomBytesSentinel",
+                           params={"seed": 9}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="thread") as stream:
+            chunk1 = stream.read(1000)
+            chunk2 = stream.read(1000)
+            assert len(chunk1) == len(chunk2) == 1000
+            assert chunk1 != chunk2
+
+    def test_getsize_on_endless_file(self, make_active):
+        path = make_active("repro.sentinels.generate:RandomBytesSentinel",
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.getsize() == UNBOUNDED_SIZE
+
+    def test_finite_counter_readlines(self, make_active):
+        path = make_active("repro.sentinels.generate:CounterSentinel",
+                           params={"width": 2, "count": 3},
+                           meta={"data": "memory"})
+        import io
+
+        with io.BufferedReader(open_active(path, "rb", strategy="inproc")) as b:
+            assert list(b) == [b"00\n", b"01\n", b"02\n"]

@@ -1,0 +1,226 @@
+"""Tests for the mailbox and distribution sentinels."""
+
+import pytest
+
+from repro.core import Container, open_active
+from repro.net import (
+    Address,
+    KeyValueStore,
+    Network,
+    Pop3Server,
+    SmtpServer,
+)
+from repro.net.pop3 import MailMessage
+
+INBOX = "repro.sentinels.mailbox:InboxSentinel"
+OUTBOX = "repro.sentinels.mailbox:OutboxSentinel"
+DISTRIBUTE = "repro.sentinels.distribute:DistributionSentinel"
+
+
+@pytest.fixture
+def mail_world(network):
+    pop_a = network.bind(Address("pop.one", 110), Pop3Server({"carol": "pw1"}))
+    pop_b = network.bind(Address("pop.two", 110), Pop3Server({"carol": "pw2"}))
+    smtp = network.bind(Address("smtp.out", 25), SmtpServer())
+    smtp.register_domain("one.example", pop_a)
+    return network, pop_a, pop_b, smtp
+
+
+class TestInbox:
+    def test_aggregates_multiple_pop_servers(self, mail_world, make_active):
+        network, pop_a, pop_b, _ = mail_world
+        pop_a.deliver(MailMessage("x@y", "carol@one.example", "first", "b1"))
+        pop_b.deliver(MailMessage("z@w", "carol@two.example", "second", "b2"))
+        path = make_active(INBOX, params={"accounts": [
+            {"address": "pop.one:110", "user": "carol", "password": "pw1"},
+            {"address": "pop.two:110", "user": "carol", "password": "pw2"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            text = stream.read().decode()
+        assert "Subject: first" in text
+        assert "Subject: second" in text
+        assert text.count("From carol@") == 2
+
+    def test_reopen_fetches_new_mail(self, mail_world, make_active):
+        network, pop_a, _, _ = mail_world
+        path = make_active(INBOX, params={"accounts": [
+            {"address": "pop.one:110", "user": "carol", "password": "pw1"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b""
+        pop_a.deliver(MailMessage("a@b", "carol@one.example", "late", "body"))
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert b"Subject: late" in stream.read()
+
+    def test_delete_after_fetch(self, mail_world, make_active):
+        network, pop_a, _, _ = mail_world
+        pop_a.deliver(MailMessage("a@b", "carol@one.example", "s", "b"))
+        path = make_active(INBOX, params={
+            "accounts": [{"address": "pop.one:110", "user": "carol",
+                          "password": "pw1"}],
+            "delete_after_fetch": True,
+        }, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert b"Subject: s" in stream.read()
+        assert pop_a.message_count("carol") == 0
+
+    def test_fetch_control_op(self, mail_world, make_active):
+        network, pop_a, _, _ = mail_world
+        path = make_active(INBOX, params={"accounts": [
+            {"address": "pop.one:110", "user": "carol", "password": "pw1"},
+        ]}, meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            pop_a.deliver(MailMessage("a@b", "carol@one.example", "mid", "b"))
+            fields, _ = stream.control("fetch")
+            assert fields["fetched"] == 1
+
+    def test_no_accounts_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(INBOX, params={"accounts": []})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+
+class TestOutbox:
+    def test_send_on_close_with_to_header(self, mail_world, make_active):
+        network, pop_a, _, smtp = mail_world
+        path = make_active(OUTBOX, params={"smtp": "smtp.out:25",
+                                           "sender": "me@laptop"},
+                           meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"To: carol@one.example\n"
+                         b"Subject: via outbox\n\nhello carol\n")
+        assert pop_a.message_count("carol") == 1
+        assert smtp.sent[-1].subject == "via outbox"
+
+    def test_multiple_recipients_parsed(self, mail_world, make_active):
+        network, pop_a, _, smtp = mail_world
+        path = make_active(OUTBOX, params={"smtp": "smtp.out:25",
+                                           "sender": "me@x"},
+                           meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"To: carol@one.example, other@far.away\n"
+                         b"Subject: multi\n\nbody")
+        assert pop_a.message_count("carol") == 1
+        assert {m.recipient for m in smtp.sent} == \
+            {"carol@one.example", "other@far.away"}
+
+    def test_default_recipients(self, mail_world, make_active):
+        network, pop_a, _, _ = mail_world
+        path = make_active(OUTBOX, params={
+            "smtp": "smtp.out:25", "sender": "me@x",
+            "recipients": ["carol@one.example"],
+        }, meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"Subject: no to header\n\nbody")
+        assert pop_a.message_count("carol") == 1
+
+    def test_empty_outbox_sends_nothing(self, mail_world, make_active):
+        network, _, _, smtp = mail_world
+        path = make_active(OUTBOX, params={"smtp": "smtp.out:25"},
+                           meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network):
+            pass
+        assert smtp.sent == []
+
+    def test_flush_sends_and_clears(self, mail_world, make_active):
+        network, pop_a, _, _ = mail_world
+        path = make_active(OUTBOX, params={
+            "smtp": "smtp.out:25", "recipients": ["carol@one.example"],
+        }, meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"Subject: one\n\nfirst")
+            stream.flush()
+            assert pop_a.message_count("carol") == 1
+            assert stream.getsize() == 0  # buffer cleared after send
+
+    def test_no_recipients_anywhere_raises(self, mail_world, make_active):
+        from repro.errors import SentinelError
+
+        network, _, _, _ = mail_world
+        path = make_active(OUTBOX, params={"smtp": "smtp.out:25"},
+                           meta={"data": "memory"})
+        stream = open_active(path, "r+b", strategy="inproc", network=network)
+        stream.write(b"Subject: orphan\n\nbody")
+        with pytest.raises(SentinelError):
+            stream.close()
+
+    def test_legacy_mail_client_via_interception(self, mail_world,
+                                                 make_active):
+        """An unmodified 'mail client' that just writes a text file."""
+        from repro.core import MediatingConnector
+
+        network, pop_a, _, _ = mail_world
+        path = make_active(OUTBOX, params={"smtp": "smtp.out:25",
+                                           "sender": "legacy@app"},
+                           meta={"data": "memory"})
+        with MediatingConnector(network=network, strategy="inproc"):
+            with open(path, "w") as stream:  # plain text file API
+                stream.write("To: carol@one.example\nSubject: legacy\n\nhi")
+        assert pop_a.message_count("carol") == 1
+
+
+class TestDistribution:
+    def test_tee_to_fileserver_and_local(self, network, fileserver,
+                                         make_active, tmp_path):
+        local = tmp_path / "copy.log"
+        path = make_active(DISTRIBUTE, params={"targets": [
+            {"kind": "fileserver", "address": "files.test:7000",
+             "path": "mirror.log"},
+            {"kind": "local", "path": str(local)},
+        ]})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"event-1\n")
+            stream.write(b"event-2\n")
+        assert fileserver.get_file("mirror.log") == b"event-1\nevent-2\n"
+        assert local.read_bytes() == b"event-1\nevent-2\n"
+        assert Container.load(path).data == b"event-1\nevent-2\n"
+
+    def test_kv_target_stores_latest(self, network, make_active):
+        store = network.bind(Address("db", 1), KeyValueStore())
+        path = make_active(DISTRIBUTE, params={"targets": [
+            {"kind": "kv", "address": "db:1", "key": "latest"},
+        ]})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"v1")
+            stream.write(b"v2")
+        from repro.net.message import Request
+
+        assert store.op_get(Request(op="get",
+                                    fields={"key": "latest"})).payload == b"v2"
+
+    def test_reads_serve_local_record(self, network, fileserver, make_active):
+        path = make_active(DISTRIBUTE, params={"targets": [
+            {"kind": "fileserver", "address": "files.test:7000", "path": "m"},
+        ]})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"logged")
+            stream.seek(0)
+            assert stream.read() == b"logged"
+
+    def test_stats_control(self, network, fileserver, make_active):
+        path = make_active(DISTRIBUTE, params={"targets": [
+            {"kind": "fileserver", "address": "files.test:7000", "path": "m"},
+        ]})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"a")
+            stream.write(b"b")
+            fields, _ = stream.control("stats")
+            assert fields == {"distributed_writes": 2, "targets": 1}
+
+    def test_unknown_target_kind_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(DISTRIBUTE, params={"targets": [
+            {"kind": "pigeon"},
+        ]})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    def test_no_targets_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(DISTRIBUTE, params={"targets": []})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")

@@ -1,0 +1,234 @@
+"""Tests for the remote-file proxy sentinel and its caching paths."""
+
+import pytest
+
+from repro.core import open_active
+from repro.net import Address, FtpServer, HttpServer, Network
+from repro.net.ftpd import FtpAccount
+
+REMOTE = "repro.sentinels.remotefile:RemoteFileSentinel"
+
+
+@pytest.fixture
+def remote_setup(network, fileserver, make_active):
+    fileserver.put_file("data/report.txt", b"remote report contents")
+
+    def make(cache="none", **extra):
+        params = {"address": "files.test:7000", "path": "data/report.txt",
+                  "cache": cache, **extra}
+        return make_active(REMOTE, params=params, meta={"data": "memory"})
+
+    return network, fileserver, make
+
+
+@pytest.mark.parametrize("cache", ["none", "disk", "memory"])
+class TestCachePaths:
+    """All three Figure 5 paths serve identical bytes."""
+
+    def test_read(self, remote_setup, cache):
+        network, _, make = remote_setup
+        path = make(cache)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"remote report contents"
+
+    def test_write_reaches_origin(self, remote_setup, cache):
+        network, server, make = remote_setup
+        path = make(cache)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"REMOTE")
+        assert server.get_file("data/report.txt") == b"REMOTE report contents"
+
+    def test_getsize_is_remote_size(self, remote_setup, cache):
+        network, _, make = remote_setup
+        path = make(cache)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.getsize() == 22
+
+
+class TestCacheBehaviour:
+    def test_no_cache_hits_origin_every_read(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("none")
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            before = network.stats.requests
+            stream.read(4)
+            stream.seek(0)
+            stream.read(4)
+            assert network.stats.requests - before == 2
+
+    def test_memory_cache_absorbs_repeat_reads(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("memory", block_size=64)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            stream.read(4)
+            before = network.stats.requests
+            stream.seek(0)
+            stream.read(4)
+            assert network.stats.requests == before
+
+    def test_cache_stats_control_op(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("memory", block_size=8)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            stream.read(16)
+            stream.seek(0)
+            stream.read(16)
+            fields, _ = stream.control("cache_stats")
+            assert fields["cache"] == "memory"
+            assert fields["hits"] >= 2
+            assert fields["blocks"] == 2
+
+    def test_disk_cache_lands_in_data_part(self, remote_setup, make_active):
+        from repro.core import Container, create_active
+
+        network, _, _ = remote_setup
+        # disk cache needs a container-backed data part
+        import tempfile, os
+
+        d = tempfile.mkdtemp()
+        path = os.path.join(d, "cached.af")
+        create_active(path, REMOTE,
+                      params={"address": "files.test:7000",
+                              "path": "data/report.txt", "cache": "disk"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.read(10)
+        # the fetched blocks persisted into the container's data segment
+        assert b"remote rep" in Container.load(path).data
+
+    def test_validate_invalidation_on_remote_change(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", validate=True)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read(6) == b"remote"
+            server.put_file("data/report.txt", b"UPDATE report contents")
+            stream.seek(0)
+            assert stream.read(6) == b"UPDATE"
+
+    def test_stale_without_validation(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", validate=False)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read(6) == b"remote"
+            server.put_file("data/report.txt", b"UPDATE report contents")
+            stream.seek(0)
+            assert stream.read(6) == b"remote"  # cache is stale, as configured
+            stream.control("invalidate")
+            stream.seek(0)
+            assert stream.read(6) == b"UPDATE"
+
+    def test_truncate_propagates(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory")
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.truncate(6)
+        assert server.get_file("data/report.txt") == b"remote"
+
+
+class TestProtocols:
+    def test_http_origin(self, network, make_active):
+        network.bind(Address("web", 80),
+                     HttpServer({"/doc.html": b"<p>hello</p>"}))
+        path = make_active(REMOTE, params={"address": "web:80",
+                                           "path": "/doc.html",
+                                           "protocol": "http"},
+                           meta={"data": "memory"})
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"<p>hello</p>"
+            stream.seek(3)
+            stream.write(b"HELLO")
+        server = network._services[Address("web", 80)].service
+        assert server.op_GET(__import__("repro.net.message", fromlist=["Request"])
+                             .Request(op="GET", fields={"path": "/doc.html"})
+                             ).payload == b"<p>HELLO</p>"
+
+    def test_ftp_origin_with_auth(self, network, make_active):
+        accounts = {"bob": FtpAccount(password="pw", read_prefixes=("pub/",),
+                                      write_prefixes=("pub/",))}
+        network.bind(Address("ftp.host", 21),
+                     FtpServer(accounts, files={"pub/f.txt": b"ftp body"}))
+        path = make_active(REMOTE, params={"address": "ftp.host:21",
+                                           "path": "pub/f.txt",
+                                           "protocol": "ftp",
+                                           "user": "bob", "password": "pw"},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            assert stream.read() == b"ftp body"
+            assert stream.getsize() == 8
+
+    def test_ftp_bad_credentials(self, network, make_active):
+        from repro.errors import NetworkError, SentinelError
+
+        network.bind(Address("ftp.host", 21),
+                     FtpServer({"bob": FtpAccount(password="pw")}))
+        path = make_active(REMOTE, params={"address": "ftp.host:21",
+                                           "path": "x", "protocol": "ftp",
+                                           "user": "bob",
+                                           "password": "WRONG"},
+                           meta={"data": "memory"})
+        with pytest.raises((NetworkError, SentinelError)):
+            open_active(path, "rb", strategy="inproc", network=network)
+
+    def test_missing_remote_file(self, network, fileserver, make_active):
+        from repro.errors import RemoteFileNotFound
+
+        path = make_active(REMOTE, params={"address": "files.test:7000",
+                                           "path": "ghost.txt"},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            with pytest.raises(RemoteFileNotFound):
+                stream.getsize()
+
+    def test_unknown_protocol_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(REMOTE, params={"address": "a:1", "path": "p",
+                                           "protocol": "gopher"})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    def test_unknown_cache_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(REMOTE, params={"address": "a:1", "path": "p",
+                                           "cache": "quantum"})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+    def test_missing_params_rejected(self, make_active):
+        from repro.errors import SpecError
+
+        path = make_active(REMOTE, params={"path": "p"})
+        with pytest.raises(SpecError):
+            open_active(path, "rb", strategy="inproc")
+
+
+class TestAcrossProcessBoundary:
+    """The sentinel child reaches origin services through the bridge."""
+
+    def test_remote_read_via_child_process(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("none")
+        with open_active(path, "rb", strategy="process-control",
+                         network=network) as stream:
+            assert stream.read() == b"remote report contents"
+
+    def test_remote_write_via_child_process(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("none")
+        with open_active(path, "r+b", strategy="process-control",
+                         network=network) as stream:
+            stream.write(b"CHILD!")
+        assert server.get_file("data/report.txt").startswith(b"CHILD!")
+
+    def test_partition_surfaces_as_sentinel_error(self, remote_setup):
+        from repro.errors import SentinelError
+
+        network, _, make = remote_setup
+        path = make("none")
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            network.partition(Address("files.test", 7000))
+            with pytest.raises(Exception):
+                stream.read(4)
+            network.heal(Address("files.test", 7000))
+            stream.seek(0)
+            assert stream.read(6) == b"remote"

@@ -1,0 +1,161 @@
+"""Tests for the embedded-source script sentinel."""
+
+import pytest
+
+from repro.core import Container, create_active, open_active
+from repro.core.sandbox import SandboxPolicy, sandbox_spec
+from repro.errors import SandboxViolation, SentinelError, SpecError
+from repro.sentinels.script import ScriptSentinel, script_spec
+
+UPPERCASE = """
+def on_read(ctx, offset, size):
+    return ctx.data.read_at(offset, size).upper()
+"""
+
+COUNTER = """
+def on_read(ctx, offset, size):
+    state.setdefault('reads', 0)
+    state['reads'] += 1
+    return ctx.data.read_at(offset, size)
+
+def on_control(ctx, op, args, payload):
+    return {'reads': state.get('reads', 0)}, b''
+"""
+
+PARAMETRIC = """
+def on_read(ctx, offset, size):
+    return (params['token'] * size)[:size].encode()
+"""
+
+GENERATOR = """
+def generate(ctx):
+    for i in range(int(params.get('n', 3))):
+        yield ('line %d\\n' % i).encode()
+"""
+
+
+class TestScriptExecution:
+    def test_uppercase_filter(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": UPPERCASE},
+                           data=b"quiet words")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"QUIET WORDS"
+
+    def test_state_persists_across_calls(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": COUNTER}, data=b"abc")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            stream.read(1)
+            stream.read(1)
+            fields, _ = stream.control("anything")
+            assert fields["reads"] == 2
+
+    def test_script_params_visible(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": PARAMETRIC,
+                                   "script_params": {"token": "ab"}},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read(5) == b"ababa"
+
+    def test_generator_script_under_stream_strategy(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": GENERATOR,
+                                   "script_params": {"n": 2}},
+                           meta={"data": "memory"})
+        with open_active(path, "rb", strategy="process") as stream:
+            assert stream.read() == b"line 0\nline 1\n"
+
+    def test_script_travels_with_copy(self, make_active, tmp_path):
+        """The whole point: behaviour moves with the file."""
+        source_path = make_active("repro.sentinels.script:ScriptSentinel",
+                                  params={"source": UPPERCASE},
+                                  data=b"portable")
+        Container.load(source_path).copy_to(tmp_path / "moved.af")
+        with open_active(tmp_path / "moved.af", "rb",
+                         strategy="thread") as stream:
+            assert stream.read() == b"PORTABLE"
+
+    def test_script_spec_helper(self, tmp_path):
+        spec = script_spec(UPPERCASE)
+        create_active(tmp_path / "s.af", spec, data=b"x")
+        with open_active(tmp_path / "s.af", "rb", strategy="inproc") as stream:
+            assert stream.read() == b"X"
+
+    def test_unhandled_ops_fall_back_to_null(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": UPPERCASE}, data=b"abc")
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            assert stream.getsize() == 3      # default on_size
+            stream.write(b"Z")                 # default on_write
+        assert Container.load(path).data == b"Zbc"
+
+
+class TestScriptValidation:
+    def test_missing_source(self):
+        with pytest.raises(SpecError):
+            ScriptSentinel({})
+
+    def test_syntax_error(self):
+        with pytest.raises(SpecError, match="does not parse"):
+            ScriptSentinel({"source": "def on_read(:"})
+
+    def test_no_handlers_defined(self):
+        with pytest.raises(SpecError, match="no handler functions"):
+            ScriptSentinel({"source": "x = 1"})
+
+    def test_handler_exception_wrapped(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": (
+                               "def on_read(ctx, offset, size):\n"
+                               "    raise ValueError('oops')\n")},
+                           data=b"x")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            with pytest.raises(SentinelError, match="oops"):
+                stream.read(1)
+
+    def test_non_bytes_read_result_rejected(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": (
+                               "def on_read(ctx, offset, size):\n"
+                               "    return 42\n")}, data=b"x")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            with pytest.raises(SentinelError, match="not bytes"):
+                stream.read(1)
+
+    def test_imports_unavailable_in_script(self):
+        with pytest.raises((SpecError, SentinelError)):
+            ScriptSentinel({"source": "import os\n"
+                                      "def on_read(c, o, s):\n"
+                                      "    return b''\n"})
+
+    def test_open_unavailable_in_script(self, make_active):
+        path = make_active("repro.sentinels.script:ScriptSentinel",
+                           params={"source": (
+                               "def on_read(ctx, offset, size):\n"
+                               "    open('/etc/passwd')\n"
+                               "    return b''\n")}, data=b"x")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            with pytest.raises(SentinelError):
+                stream.read(1)
+
+
+class TestScriptPlusSandbox:
+    def test_sandboxed_script(self, tmp_path):
+        spec = sandbox_spec(script_spec(UPPERCASE),
+                            SandboxPolicy(max_total_bytes=4))
+        create_active(tmp_path / "boxed.af", spec, data=b"abcdefgh")
+        with open_active(tmp_path / "boxed.af", "rb",
+                         strategy="inproc") as stream:
+            assert stream.read(4) == b"ABCD"
+            with pytest.raises(SandboxViolation):
+                stream.read(4)
+
+    def test_script_through_child_process(self, tmp_path):
+        """The embedded source executes inside the sentinel child."""
+        create_active(tmp_path / "s.af", script_spec(UPPERCASE),
+                      data=b"in the child")
+        with open_active(tmp_path / "s.af", "rb",
+                         strategy="process-control") as stream:
+            assert stream.read() == b"IN THE CHILD"

@@ -1,0 +1,130 @@
+"""Tests for the versioning sentinel."""
+
+import pytest
+
+from repro.core import Container, open_active
+from repro.errors import SentinelError
+
+VERSIONED = "repro.sentinels.versioned:VersioningSentinel"
+
+
+class TestBasicVersioning:
+    def test_snapshot_on_close(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"draft one")
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            fields, _ = stream.control("versions")
+            assert len(fields["versions"]) == 1
+            assert fields["versions"][0]["label"] == "close"
+
+    def test_read_only_open_makes_no_snapshot(self, make_active):
+        path = make_active(VERSIONED, data=b"stable")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"stable"
+        with open_active(path, "rb", strategy="inproc") as stream:
+            fields, _ = stream.control("versions")
+            assert fields["versions"] == []
+
+    def test_restore_old_version(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"version one")
+        with open_active(path, "w+b", strategy="inproc") as stream:
+            stream.write(b"version two, replacing")
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            assert stream.read() == b"version two, replacing"
+            fields, _ = stream.control("restore", {"index": 0})
+            assert fields["size"] == len(b"version one")
+            stream.seek(0)
+            assert stream.read() == b"version one"
+
+    def test_peek_does_not_change_current(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"original")
+        with open_active(path, "w+b", strategy="inproc") as stream:
+            stream.write(b"modified")
+            _, payload = stream.control("peek", {"index": 0})
+            assert payload == b"original"
+            stream.seek(0)
+            assert stream.read() == b"modified"
+
+    def test_manual_snapshot_with_label(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"milestone content")
+            fields, _ = stream.control("snapshot", {"label": "v1.0"})
+            assert fields["version"] == 0
+            fields, _ = stream.control("versions")
+            assert fields["versions"][0]["label"] == "v1.0"
+
+    def test_max_versions_bounds_history(self, make_active):
+        path = make_active(VERSIONED, params={"max_versions": 3})
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            for index in range(6):
+                stream.seek(0)
+                stream.write(f"rev {index}".encode())
+                stream.control("snapshot", {"label": f"s{index}"})
+            fields, _ = stream.control("versions")
+            labels = [entry["label"] for entry in fields["versions"]]
+            assert labels == ["s3", "s4", "s5"]
+
+    def test_bad_restore_index(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            with pytest.raises(SentinelError):
+                stream.control("restore", {"index": 7})
+
+    def test_adopts_plain_data_part(self, make_active):
+        path = make_active(VERSIONED, data=b"pre-existing plain bytes")
+        with open_active(path, "rb", strategy="inproc") as stream:
+            assert stream.read() == b"pre-existing plain bytes"
+
+    def test_history_survives_reopen_and_copy(self, make_active, tmp_path):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="inproc") as stream:
+            stream.write(b"gen 1")
+            stream.control("snapshot", {"label": "one"})
+        Container.load(path).copy_to(tmp_path / "copy.af")
+        with open_active(tmp_path / "copy.af", "r+b",
+                         strategy="thread") as stream:
+            fields, _ = stream.control("versions")
+            assert [entry["label"] for entry in fields["versions"]] \
+                == ["one", "close"]
+
+    def test_works_through_child_process(self, make_active):
+        path = make_active(VERSIONED)
+        with open_active(path, "r+b", strategy="process-control") as stream:
+            stream.write(b"remote child content")
+            stream.control("snapshot", {"label": "from-child"})
+        with open_active(path, "rb", strategy="inproc") as stream:
+            fields, _ = stream.control("versions")
+            labels = [entry["label"] for entry in fields["versions"]]
+            assert "from-child" in labels
+
+
+class TestValidation:
+    def test_bad_max_versions(self):
+        from repro.sentinels.versioned import VersioningSentinel
+
+        with pytest.raises(SentinelError):
+            VersioningSentinel({"max_versions": 0})
+
+    def test_corrupt_header_rejected(self, make_active):
+        path = make_active(VERSIONED)
+        Container.load(path).write_data(b"AFV1" + (5).to_bytes(4, "big")
+                                        + b"nope!")
+        with pytest.raises(SentinelError):
+            open_active(path, "rb", strategy="inproc")
+
+
+class TestLargeReadChunking:
+    def test_read_larger_than_frame_cap_via_child(self, make_active):
+        """process-control reads above the 4 MiB chunk are reassembled."""
+        big = bytes(1024) * (5 * 1024)  # 5 MiB of zeros
+        path = make_active("repro.sentinels.null:NullFilterSentinel",
+                           data=big)
+        with open_active(path, "rb", strategy="process-control") as stream:
+            data = stream.read()
+        assert len(data) == len(big)

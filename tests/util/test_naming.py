@@ -1,0 +1,36 @@
+"""Tests for deterministic name generation."""
+
+import threading
+
+from repro.util.naming import monotonic_name, reset_names
+
+
+class TestMonotonicName:
+    def test_counts_per_prefix(self):
+        reset_names()
+        assert monotonic_name("alpha") == "alpha-0"
+        assert monotonic_name("alpha") == "alpha-1"
+        assert monotonic_name("beta") == "beta-0"
+
+    def test_thread_safe_uniqueness(self):
+        reset_names()
+        names = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [monotonic_name("con") for _ in range(200)]
+            with lock:
+                names.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(names)) == 800
+
+    def test_reset(self):
+        reset_names()
+        monotonic_name("x")
+        reset_names()
+        assert monotonic_name("x") == "x-0"
