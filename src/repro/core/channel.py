@@ -1,0 +1,496 @@
+"""One multiplexed, framed transport for every channel-based strategy.
+
+The paper's §4 strategies all speak the same logical protocol — command
+in, response out — but historically each carried it over its own
+transport in strict lockstep: one in-flight operation, one dedicated fd
+pair per concern.  This module is the single transport they now share:
+
+* every message is tagged with a *request id* (``rid``) and a *logical
+  channel id* (``chan``) — the envelope of
+  :func:`repro.core.control.split_envelope`;
+* a demultiplexer routes replies to per-request futures
+  (:class:`PendingReply`), so callers can pipeline many operations over
+  one connection;
+* inbound requests are dispatched to per-channel handler workers, so
+  distinct logical channels (= distinct opens of a container) execute
+  concurrently while each channel stays strictly ordered;
+* the transport keeps per-operation latency/throughput counters
+  (:class:`ChannelCounters`), so every strategy gets instrumentation
+  for free.
+
+Two concrete transports exist:
+
+* :class:`StreamChannel` — length-prefixed frames over a byte-stream
+  pair (the sentinel-host connection of :mod:`repro.core.runner` and the
+  network bridge of :mod:`repro.core.netproxy` share one of these);
+* :class:`LocalChannel` — an in-memory pair for same-process endpoints
+  (the thread strategy): identical semantics, no serialization, which is
+  exactly why that strategy is cheaper.
+
+Both sides of a channel may originate requests: the application opens
+files and issues file operations; a sentinel child issues network-bridge
+calls back to the application.  Channel 0 is reserved for that
+control/bridge traffic; sessions use channels 1 and up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from queue import SimpleQueue
+from typing import Any, BinaryIO, Callable
+
+from repro.core import control
+from repro.errors import ChannelClosedError, FrameError, ProtocolError
+from repro.util.framing import read_frame, write_frame
+
+__all__ = [
+    "Channel",
+    "StreamChannel",
+    "LocalChannel",
+    "PendingReply",
+    "ChannelCounters",
+    "CONTROL_CHAN",
+    "FIRST_SESSION_CHAN",
+]
+
+#: The reserved channel for connection control and bridge traffic.
+CONTROL_CHAN = 0
+
+#: The first channel id handed to a logical session.
+FIRST_SESSION_CHAN = 1
+
+Handler = Callable[[dict[str, Any], bytes], "tuple[dict[str, Any], bytes]"]
+
+
+def _close_quietly(stream: BinaryIO) -> None:
+    try:
+        stream.close()
+    except (BrokenPipeError, OSError, ValueError):
+        pass
+
+
+class ChannelCounters:
+    """Thread-safe per-connection transport counters.
+
+    ``max_in_flight`` is the high-water mark of concurrently outstanding
+    requests — the direct measure of pipelining: it exceeds 1 only when
+    a second operation was sent before the first one's reply arrived.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_sent = 0
+        self.replies_received = 0
+        self.requests_served = 0
+        self.requests_failed = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.in_flight = 0
+        self.max_in_flight = 0
+        #: op -> [count, bytes_out, bytes_in, total_latency_s, max_latency_s]
+        self._per_op: dict[str, list[float]] = {}
+
+    def request_started(self, op: str, nbytes: int) -> None:
+        with self._lock:
+            self.requests_sent += 1
+            self.bytes_sent += nbytes
+            self.in_flight += 1
+            if self.in_flight > self.max_in_flight:
+                self.max_in_flight = self.in_flight
+
+    def request_settled(self, op: str, nbytes: int, elapsed: float,
+                        ok: bool = True) -> None:
+        with self._lock:
+            self.in_flight -= 1
+            if ok:
+                self.replies_received += 1
+                self.bytes_received += nbytes
+            else:
+                self.requests_failed += 1
+            record = self._per_op.setdefault(op, [0, 0, 0, 0.0, 0.0])
+            record[0] += 1
+            record[2] += nbytes
+            record[3] += elapsed
+            if elapsed > record[4]:
+                record[4] = elapsed
+
+    def request_withdrawn(self, op: str) -> None:
+        """A request was aborted before any reply (send error, timeout)."""
+        with self._lock:
+            self.in_flight -= 1
+            self.requests_failed += 1
+
+    def request_served(self, op: str) -> None:
+        """An inbound request was handled locally (other side of the wire)."""
+        with self._lock:
+            self.requests_served += 1
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-data copy of every counter, for tests and monitoring."""
+        with self._lock:
+            per_op = {}
+            for op, (count, out, in_, total, peak) in self._per_op.items():
+                count = int(count)
+                per_op[op] = {
+                    "count": count,
+                    "bytes_in": int(in_),
+                    "total_latency_s": total,
+                    "mean_latency_s": (total / count) if count else 0.0,
+                    "max_latency_s": peak,
+                }
+            return {
+                "requests_sent": self.requests_sent,
+                "replies_received": self.replies_received,
+                "requests_served": self.requests_served,
+                "requests_failed": self.requests_failed,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+                "in_flight": self.in_flight,
+                "max_in_flight": self.max_in_flight,
+                "per_op": per_op,
+            }
+
+
+class PendingReply:
+    """A per-request future: one in-flight operation awaiting its reply."""
+
+    __slots__ = ("channel", "rid", "op", "started",
+                 "_event", "_fields", "_payload", "_error")
+
+    def __init__(self, channel: "Channel", rid: int, op: str) -> None:
+        self.channel = channel
+        self.rid = rid
+        self.op = op
+        self.started = time.monotonic()
+        self._event = threading.Event()
+        self._fields: dict[str, Any] | None = None
+        self._payload = b""
+        self._error: BaseException | None = None
+
+    def resolve(self, fields: dict[str, Any], payload: bytes) -> None:
+        if self._event.is_set():
+            return
+        self._fields = fields
+        self._payload = payload
+        self.channel.counters.request_settled(
+            self.op, len(payload), time.monotonic() - self.started)
+        self._event.set()
+
+    def fail(self, error: BaseException) -> None:
+        if self._event.is_set():
+            return
+        self._error = error
+        self.channel.counters.request_settled(
+            self.op, 0, time.monotonic() - self.started, ok=False)
+        self._event.set()
+
+    def wait(self, timeout: float | None = None
+             ) -> tuple[dict[str, Any], bytes]:
+        """Block for the reply; raises on channel death or timeout."""
+        if not self._event.wait(timeout):
+            withdrawn = self.channel._withdraw(self.rid) is self
+            if withdrawn:
+                self.channel.counters.request_withdrawn(self.op)
+                raise TimeoutError(
+                    f"no reply to {self.op!r} (rid {self.rid}) "
+                    f"within {timeout}s")
+            self._event.wait()  # resolution was racing; it is imminent
+        if self._error is not None:
+            raise self._error
+        return self._fields or {}, self._payload
+
+
+class _ChanWorker:
+    """Serial executor for one logical channel's inbound requests."""
+
+    def __init__(self, channel: "Channel", chan: int, handler: Handler,
+                 name: str) -> None:
+        self.channel = channel
+        self.chan = chan
+        self.handler = handler
+        self.queue: SimpleQueue = SimpleQueue()
+        self.thread = threading.Thread(target=self._loop, name=name,
+                                       daemon=True)
+        self.thread.start()
+
+    def submit(self, rid: int, fields: dict[str, Any],
+               payload: bytes) -> None:
+        self.queue.put((rid, fields, payload))
+
+    def stop(self) -> None:
+        self.queue.put(None)
+        if threading.current_thread() is not self.thread:
+            self.thread.join(timeout=5.0)
+
+    def _loop(self) -> None:
+        while True:
+            item = self.queue.get()
+            if item is None:
+                return
+            rid, fields, payload = item
+            op = str(fields.get("cmd") or fields.get("op") or "?")
+            try:
+                out_fields, out_payload = self.handler(fields, payload)
+            except Exception as exc:
+                out_fields, out_payload = control.error_fields(exc), b""
+            self.channel.counters.request_served(op)
+            try:
+                self.channel._send_reply(rid, self.chan, out_fields,
+                                         out_payload)
+            except (ChannelClosedError, OSError, ValueError):
+                return  # peer is gone; nothing left to answer to
+
+
+class Channel:
+    """The multiplexed request/reply core, independent of the byte transport.
+
+    Subclasses provide :meth:`_send` (deliver one enveloped message to
+    the peer) and arrange for inbound messages to reach
+    :meth:`_dispatch`.
+    """
+
+    def __init__(self, name: str = "channel") -> None:
+        self.name = name
+        self.counters = ChannelCounters()
+        self.dead = False
+        self.death_reason = ""
+        self._closed_event = threading.Event()
+        self._pending: dict[int, PendingReply] = {}
+        self._pending_lock = threading.Lock()
+        self._next_rid = 0
+        self._rid_lock = threading.Lock()
+        self._handlers: dict[int, _ChanWorker] = {}
+        self._handlers_lock = threading.Lock()
+
+    # -- requester side ----------------------------------------------------------
+
+    def request_async(self, chan: int, fields: dict[str, Any],
+                      payload: bytes = b"") -> PendingReply:
+        """Send one request and return its future without waiting."""
+        self._check_alive()
+        with self._rid_lock:
+            self._next_rid += 1
+            rid = self._next_rid
+        op = str(fields.get("cmd") or fields.get("op") or "?")
+        pending = PendingReply(self, rid, op)
+        with self._pending_lock:
+            self._pending[rid] = pending
+        self.counters.request_started(op, len(payload))
+        try:
+            self._send({**fields, "rid": rid, "chan": int(chan)}, payload)
+        except BaseException:
+            if self._withdraw(rid) is pending:
+                self.counters.request_withdrawn(op)
+            raise
+        if self.dead:
+            # lost the race against kill(): nobody will resolve us
+            pending.fail(ChannelClosedError(
+                f"{self.name}: channel closed ({self.death_reason})"))
+        return pending
+
+    def request(self, chan: int, fields: dict[str, Any],
+                payload: bytes = b"", timeout: float | None = None
+                ) -> tuple[dict[str, Any], bytes]:
+        """One pipelinable command/response round trip."""
+        return self.request_async(chan, fields, payload).wait(timeout)
+
+    # -- responder side ----------------------------------------------------------
+
+    def register(self, chan: int, handler: Handler, *,
+                 name: str | None = None) -> None:
+        """Serve inbound requests on *chan* with *handler*.
+
+        The handler runs on a dedicated worker thread: requests on one
+        channel execute in order; requests on distinct channels execute
+        concurrently.
+        """
+        worker = _ChanWorker(self, int(chan), handler,
+                             name or f"{self.name}-chan{chan}")
+        with self._handlers_lock:
+            old = self._handlers.get(int(chan))
+            self._handlers[int(chan)] = worker
+        if old is not None:
+            old.stop()
+
+    def unregister(self, chan: int) -> None:
+        with self._handlers_lock:
+            worker = self._handlers.pop(int(chan), None)
+        if worker is not None:
+            worker.stop()
+
+    # -- routing ----------------------------------------------------------------
+
+    def _dispatch(self, fields: dict[str, Any], payload: bytes) -> None:
+        """Route one inbound message: reply -> future, request -> worker."""
+        rid, chan, is_reply, rest = control.split_envelope(fields)
+        if is_reply:
+            pending = self._withdraw(rid)
+            if pending is not None:
+                pending.resolve(rest, payload)
+            return
+        with self._handlers_lock:
+            worker = self._handlers.get(chan)
+        if worker is None:
+            try:
+                self._send_reply(rid, chan, control.error_fields(
+                    ProtocolError(f"no handler for channel {chan}")), b"")
+            except (ChannelClosedError, OSError, ValueError):
+                pass
+            return
+        worker.submit(rid, rest, payload)
+
+    def _withdraw(self, rid: int) -> PendingReply | None:
+        with self._pending_lock:
+            return self._pending.pop(rid, None)
+
+    def _send_reply(self, rid: int, chan: int, fields: dict[str, Any],
+                    payload: bytes) -> None:
+        self._send({**fields, "rid": rid, "chan": chan, "re": True}, payload)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise ChannelClosedError(
+                f"{self.name}: channel closed ({self.death_reason})")
+
+    def kill(self, reason: str) -> None:
+        """Mark the channel dead and fail every outstanding request."""
+        with self._pending_lock:
+            if self.dead:
+                return
+            self.dead = True
+            self.death_reason = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+        error = ChannelClosedError(f"{self.name}: {reason}")
+        for future in pending:
+            future.fail(error)
+        with self._handlers_lock:
+            workers = list(self._handlers.values())
+            self._handlers.clear()
+        for worker in workers:
+            worker.stop()
+        self._teardown()
+        self._closed_event.set()
+
+    def close(self) -> None:
+        self.kill("channel closed")
+
+    def wait_closed(self, timeout: float | None = None) -> bool:
+        """Block until the channel dies (peer EOF or local close)."""
+        return self._closed_event.wait(timeout)
+
+    def _teardown(self) -> None:
+        """Subclass hook: release transport resources (idempotent)."""
+
+    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+        raise NotImplementedError
+
+
+class StreamChannel(Channel):
+    """A channel over a byte-stream pair, framed and demultiplexed.
+
+    A background reader thread decodes inbound frames and routes them;
+    writes from any thread are serialized by a lock.
+    """
+
+    def __init__(self, rfile: BinaryIO, wfile: BinaryIO,
+                 name: str = "stream-channel") -> None:
+        super().__init__(name)
+        self._rfile = rfile
+        self._wfile = wfile
+        self._write_lock = threading.Lock()
+        self._reader: threading.Thread | None = None
+
+    def start(self) -> "StreamChannel":
+        """Start the demultiplexer; the channel is unusable before this."""
+        self._reader = threading.Thread(target=self._read_loop,
+                                        name=f"{self.name}-demux",
+                                        daemon=True)
+        self._reader.start()
+        return self
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                try:
+                    fields, payload = control.decode_message(
+                        read_frame(self._rfile))
+                    self._dispatch(fields, payload)
+                except (ChannelClosedError, FrameError, OSError,
+                        ValueError) as exc:
+                    self.kill(f"transport closed: {exc}")
+                    return
+        finally:
+            # The reader owns _rfile's closure (see _teardown).
+            _close_quietly(self._rfile)
+
+    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+        self._check_alive()
+        head = control.encode_message(fields)
+        try:
+            with self._write_lock:
+                write_frame(self._wfile, head, payload)
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            self.kill(f"transport write failed: {exc}")
+            raise ChannelClosedError(f"{self.name}: write failed: {exc}") from exc
+
+    def _teardown(self) -> None:
+        # Serialize with in-flight senders: a thread between _send's
+        # liveness check and the actual write(2) must never observe its
+        # descriptor closed underneath it — the freed fd number can be
+        # recycled by an unrelated pipe, and the straggler would then
+        # write into (or poach bytes from) someone else's transport.  If
+        # the lock cannot be had (a sender blocked on a full pipe is
+        # already inside write(2), where the kernel pins the open file
+        # description), closing is safe anyway.
+        acquired = self._write_lock.acquire(timeout=5.0)
+        try:
+            _close_quietly(self._wfile)
+        finally:
+            if acquired:
+                self._write_lock.release()
+        # Same hazard on the read side: only the reader thread may close
+        # _rfile, since it may be between FileIO's fd check and read(2).
+        # Closing our write end above gives the peer EOF; the peer's
+        # teardown closes its write end, our reader unblocks on EOF and
+        # closes _rfile on the way out (_read_loop's finally).
+        if self._reader is None or threading.current_thread() is self._reader:
+            _close_quietly(self._rfile)
+
+
+class LocalChannel(Channel):
+    """An in-memory channel endpoint: same semantics, no serialization.
+
+    Use :meth:`pair` to create two connected endpoints.  Messages cross
+    by reference — the thread strategy's "only one user-level copy"
+    property (here: zero copies), with the same envelope, demux,
+    pipelining and counters as the wire transport.
+    """
+
+    def __init__(self, name: str = "local-channel") -> None:
+        super().__init__(name)
+        self._peer: LocalChannel | None = None
+
+    @classmethod
+    def pair(cls, name: str = "local") -> "tuple[LocalChannel, LocalChannel]":
+        a = cls(f"{name}:a")
+        b = cls(f"{name}:b")
+        a._peer = b
+        b._peer = a
+        return a, b
+
+    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+        self._check_alive()
+        peer = self._peer
+        if peer is None or peer.dead:
+            raise ChannelClosedError(f"{self.name}: peer is closed")
+        peer._dispatch(fields, payload)
+
+    def kill(self, reason: str) -> None:
+        super().kill(reason)
+        peer = self._peer
+        if peer is not None and not peer.dead:
+            peer.kill(f"peer closed: {reason}")

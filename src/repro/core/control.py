@@ -9,9 +9,13 @@ the command vocabulary shared by every channel-based strategy (process,
 process-plus-control and thread all reuse it; only the transport
 differs).
 
-The same encoding carries the network-proxy frames that let a sentinel
-child process reach the simulated network living in the application
-process (see :mod:`repro.core.netproxy`).
+On top of the bare codec sits the *multiplexing envelope*: every message
+carried by a :class:`~repro.core.channel.Channel` is tagged with a
+request id (``rid``), a logical channel id (``chan``) and a reply flag
+(``re``).  The envelope is what lets one framed connection carry many
+concurrent opens — each open is a ``chan``, each in-flight operation a
+``rid`` — including the network-bridge traffic that rides the same
+connection as channel 0 (see :mod:`repro.core.netproxy`).
 """
 
 from __future__ import annotations
@@ -23,9 +27,8 @@ from typing import Any
 from repro.errors import (
     FrameError,
     ProtocolError,
-    SandboxViolation,
     SentinelError,
-    UnsupportedOperationError,
+    wire_error_registry,
 )
 
 __all__ = [
@@ -34,22 +37,30 @@ __all__ = [
     "command",
     "ok_response",
     "error_response",
+    "error_fields",
     "raise_for_response",
+    "request_envelope",
+    "reply_envelope",
+    "split_envelope",
     "COMMANDS",
+    "ENVELOPE_KEYS",
 ]
 
 _JSON_LEN = struct.Struct(">I")
 
-#: The full command vocabulary of the control channel.
-COMMANDS = ("read", "write", "size", "truncate", "flush", "control", "close")
+#: The full command vocabulary of the control channel.  ``rstream`` and
+#: ``wstream`` are the sequential plane of the simple process strategy
+#: (§4.1) expressed as commands over the multiplexed transport.
+COMMANDS = ("read", "write", "size", "truncate", "flush", "control",
+            "close", "rstream", "wstream", "open", "ping")
 
-#: Exception classes a sentinel failure may round-trip as.
-_ERROR_TYPES: dict[str, type[Exception]] = {
-    "UnsupportedOperationError": UnsupportedOperationError,
-    "SentinelError": SentinelError,
-    "ProtocolError": ProtocolError,
-    "SandboxViolation": SandboxViolation,
-}
+#: Header fields reserved for the multiplexing envelope.
+ENVELOPE_KEYS = ("rid", "chan", "re")
+
+#: Exception classes a sentinel failure may round-trip as.  Built from
+#: :mod:`repro.errors` so every library exception survives the wire;
+#: anything else degrades to :class:`SentinelError`.
+_ERROR_TYPES: dict[str, type[Exception]] = wire_error_registry()
 
 
 def encode_message(fields: dict[str, Any], payload: bytes = b"") -> bytes:
@@ -91,13 +102,18 @@ def ok_response(payload: bytes = b"", **fields: Any) -> bytes:
     return encode_message({"ok": True, **fields}, payload)
 
 
-def error_response(exc: BaseException) -> bytes:
-    """Encode an exception as a failure response."""
-    return encode_message({
+def error_fields(exc: BaseException) -> dict[str, Any]:
+    """The header dict describing *exc* as a failure response."""
+    return {
         "ok": False,
         "error": str(exc),
         "error_type": type(exc).__name__,
-    })
+    }
+
+
+def error_response(exc: BaseException) -> bytes:
+    """Encode an exception as a failure response."""
+    return encode_message(error_fields(exc))
 
 
 def raise_for_response(fields: dict[str, Any]) -> None:
@@ -108,3 +124,37 @@ def raise_for_response(fields: dict[str, Any]) -> None:
     message = fields.get("error", "sentinel reported failure")
     exc_class = _ERROR_TYPES.get(error_type, SentinelError)
     raise exc_class(message)
+
+
+# ---------------------------------------------------------------------------
+# Multiplexing envelope
+# ---------------------------------------------------------------------------
+
+def request_envelope(rid: int, chan: int, fields: dict[str, Any],
+                     payload: bytes = b"") -> bytes:
+    """Encode a request message tagged with its ``rid``/``chan``."""
+    return encode_message({**fields, "rid": int(rid), "chan": int(chan)},
+                          payload)
+
+
+def reply_envelope(rid: int, chan: int, fields: dict[str, Any],
+                   payload: bytes = b"") -> bytes:
+    """Encode a reply to request ``rid`` on channel ``chan``."""
+    return encode_message({**fields, "rid": int(rid), "chan": int(chan),
+                           "re": True}, payload)
+
+
+def split_envelope(fields: dict[str, Any]) -> tuple[int, int, bool,
+                                                    dict[str, Any]]:
+    """Pop the multiplexing envelope off a decoded header.
+
+    Returns ``(rid, chan, is_reply, rest)``; raises :class:`FrameError`
+    if the header carries no valid envelope.
+    """
+    rest = dict(fields)
+    try:
+        rid = int(rest.pop("rid"))
+        chan = int(rest.pop("chan"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FrameError(f"message lacks a valid rid/chan envelope: {exc}") from exc
+    return rid, chan, bool(rest.pop("re", False)), rest

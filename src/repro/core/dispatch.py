@@ -17,7 +17,7 @@ from repro.core import control
 from repro.core.sentinel import Sentinel, SentinelContext
 from repro.errors import ProtocolError
 
-__all__ = ["SentinelDispatcher"]
+__all__ = ["SentinelDispatcher", "StreamDispatcher"]
 
 
 class SentinelDispatcher:
@@ -89,3 +89,74 @@ class SentinelDispatcher:
             self.sentinel.on_close(self.ctx)
         finally:
             self.ctx.data.close()
+
+
+class StreamDispatcher:
+    """The simple process strategy (§4.1) served as channel commands.
+
+    Instead of two free-running pump threads pushing raw bytes through
+    dedicated pipes, the sequential planes become a pull protocol over
+    the multiplexed transport: ``rstream`` pulls the next chunk of the
+    sentinel's generated stream, ``wstream`` feeds the sentinel's
+    consumed stream.  Semantics are unchanged — reads are sequential,
+    writes are sequential, no random access — but the transport is the
+    same framed Channel every other strategy uses.
+    """
+
+    def __init__(self, sentinel: Sentinel, ctx: SentinelContext) -> None:
+        self.sentinel = sentinel
+        self.ctx = ctx
+        self.closed = False
+        self._generator = None
+        self._buffer = bytearray()
+        self._generated_eof = False
+        self._write_offset = 0
+
+    def open(self) -> None:
+        self.sentinel.on_open(self.ctx)
+        self._generator = self.sentinel.generate(self.ctx)
+
+    def execute(self, fields: dict[str, Any],
+                payload: bytes) -> tuple[dict[str, Any], bytes]:
+        cmd = fields.get("cmd", "")
+        try:
+            return self._execute(cmd, fields, payload)
+        except Exception as exc:
+            return ({"ok": False, "error": str(exc),
+                     "error_type": type(exc).__name__}, b"")
+
+    def _execute(self, cmd: str, fields: dict[str, Any],
+                 payload: bytes) -> tuple[dict[str, Any], bytes]:
+        if cmd == "rstream":
+            size = int(fields.get("size", 0))
+            while len(self._buffer) < size and not self._generated_eof:
+                try:
+                    self._buffer += next(self._generator)
+                except StopIteration:
+                    self._generated_eof = True
+            chunk = bytes(self._buffer[:size])
+            del self._buffer[:size]
+            eof = self._generated_eof and not self._buffer
+            return {"ok": True, "eof": eof}, chunk
+        if cmd == "wstream":
+            self._write_offset += self.sentinel.consume(
+                self.ctx, payload, self._write_offset)
+            return {"ok": True, "written": len(payload)}, b""
+        if cmd == "close":
+            self.close()
+            return {"ok": True}, b""
+        raise ProtocolError(f"unknown stream command {cmd!r}")
+
+    def close(self) -> None:
+        """Run close-side lifecycle exactly once."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            if self._generator is not None:
+                self._generator.close()
+        finally:
+            try:
+                self.sentinel.on_close(self.ctx)
+            finally:
+                self.ctx.data.close()

@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.core.strategies.base import Session
 from repro.errors import UnsupportedOperationError
+from repro.util.finalize import defer_close, ensure_reaper
 
 __all__ = ["ActiveFile", "FileStats"]
 
@@ -49,6 +50,7 @@ class ActiveFile(io.RawIOBase):
                  readable: bool = True, writable: bool = True,
                  append: bool = False) -> None:
         super().__init__()
+        ensure_reaper()  # so a leaked open can be closed off the GC path
         self._session = session
         self.name = name
         self._readable = readable
@@ -78,6 +80,17 @@ class ActiveFile(io.RawIOBase):
     @property
     def strategy(self) -> str:
         return self._session.strategy
+
+    def transport_stats(self) -> dict[str, Any] | None:
+        """Transport-level counters, when the strategy is channel-backed.
+
+        A snapshot of the shared connection's
+        :class:`~repro.core.channel.ChannelCounters` — per-op latency,
+        byte totals, and the in-flight high-water mark that evidences
+        pipelining.  ``None`` for inline strategies with no transport.
+        """
+        counters = self._session.counters
+        return None if counters is None else counters.snapshot()
 
     def readinto(self, buffer) -> int:
         self._ensure_open()
@@ -179,6 +192,14 @@ class ActiveFile(io.RawIOBase):
     def _ensure_open(self) -> None:
         if self.closed:
             raise ValueError("I/O operation on closed active file")
+
+    def __del__(self) -> None:
+        # io.IOBase's finalizer would call close() right here, inside the
+        # garbage collector — where the session's transport work can
+        # deadlock against a lock held by the interrupted thread.
+        # Resurrect the leaked file into the reaper thread instead.
+        if not self.closed:
+            defer_close(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self.closed else f"pos={self._pos}"

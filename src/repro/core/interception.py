@@ -26,10 +26,45 @@ import threading
 from repro.core.container import is_active_path, sniff
 from repro.core.opener import DEFAULT_STRATEGY, open_active
 from repro.errors import InterceptionError
+from repro.util.finalize import defer_close
 
 __all__ = ["MediatingConnector", "wrap_for_mode"]
 
 _install_lock = threading.Lock()
+
+
+class _LeakSafeMixin:
+    """Leaked wrappers must not flush/close inside the garbage collector.
+
+    The stdlib wrapper finalizers close (and therefore flush into the
+    active file's transport) from GC context, which can deadlock against
+    a transport or pool lock held by the interrupted thread; hand the
+    wrapper to the reaper thread instead (see :mod:`repro.util.finalize`).
+    """
+
+    def __del__(self):
+        try:
+            leaked = not self.closed
+        except Exception:
+            leaked = False
+        if leaked:
+            defer_close(self)
+
+
+class _LeakSafeBufferedRandom(_LeakSafeMixin, io.BufferedRandom):
+    pass
+
+
+class _LeakSafeBufferedWriter(_LeakSafeMixin, io.BufferedWriter):
+    pass
+
+
+class _LeakSafeBufferedReader(_LeakSafeMixin, io.BufferedReader):
+    pass
+
+
+class _LeakSafeTextIOWrapper(_LeakSafeMixin, io.TextIOWrapper):
+    pass
 
 
 def wrap_for_mode(raw, mode: str, encoding: str | None = None,
@@ -39,16 +74,16 @@ def wrap_for_mode(raw, mode: str, encoding: str | None = None,
     if binary and encoding is not None:
         raise ValueError("binary mode doesn't take an encoding argument")
     if raw.readable() and raw.writable() and raw.seekable():
-        buffered = io.BufferedRandom(raw)
+        buffered = _LeakSafeBufferedRandom(raw)
     elif raw.writable() and not raw.readable():
-        buffered = io.BufferedWriter(raw)
+        buffered = _LeakSafeBufferedWriter(raw)
     else:
-        buffered = io.BufferedReader(raw)
+        buffered = _LeakSafeBufferedReader(raw)
     if binary:
         return buffered
-    return io.TextIOWrapper(buffered, encoding=encoding or "utf-8",
-                            errors=errors, newline=newline,
-                            write_through=True)
+    return _LeakSafeTextIOWrapper(buffered, encoding=encoding or "utf-8",
+                                  errors=errors, newline=newline,
+                                  write_through=True)
 
 
 class MediatingConnector:

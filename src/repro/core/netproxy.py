@@ -5,13 +5,19 @@ the simulated network (and every service bound to it) lives in the
 application process.  This module keeps the paper's picture — the
 sentinel "can directly access both the remote information source(s) and
 the local file" — intact across that boundary by proxying network calls
-over a dedicated pipe pair:
+over the *same* multiplexed channel that carries file operations:
 
-* the application side runs a :class:`NetworkBridgeServer` thread that
-  executes proxied calls against the real :class:`~repro.net.Network`;
+* the application side attaches a :class:`NetworkBridgeServer` as the
+  channel-0 handler of the sentinel-host connection, executing proxied
+  calls against the real :class:`~repro.net.Network`;
 * the child side sees a :class:`ProxyNetwork`, which exposes the same
   ``connect(address) -> connection`` surface sentinels already use, so a
   sentinel cannot tell which side of the boundary it runs on.
+
+Historically the bridge burned a dedicated fd pair per open and
+serialized calls behind a lock; now bridge traffic is ordinary
+channel-0 request/reply traffic — tagged, pipelined, and counted like
+everything else on the connection.
 
 This mirrors reality: the "remote" sources genuinely are in a different
 process from the sentinel.
@@ -19,73 +25,48 @@ process from the sentinel.
 
 from __future__ import annotations
 
-import threading
-from typing import BinaryIO
+from typing import Any
 
-from repro.core.control import decode_message, encode_message
+from repro.core.channel import CONTROL_CHAN, Channel
 from repro.errors import (
-    AddressError,
     ChannelClosedError,
     NetworkError,
+    wire_error_registry,
 )
 from repro.net.address import Address
 from repro.net.message import Request, Response
-from repro.util.framing import read_frame, write_frame
 
-__all__ = ["NetworkBridgeServer", "ProxyNetwork", "ProxyConnection"]
+__all__ = ["NetworkBridgeServer", "ProxyNetwork", "ProxyConnection",
+           "BRIDGE_CHAN"]
 
+#: Bridge traffic shares the connection-control channel.
+BRIDGE_CHAN = CONTROL_CHAN
+
+#: Exception classes a bridge transport failure may round-trip as.
 _TRANSPORT_ERRORS: dict[str, type[Exception]] = {
-    "AddressError": AddressError,
-    "NetworkError": NetworkError,
+    name: cls for name, cls in wire_error_registry().items()
+    if issubclass(cls, NetworkError)
 }
 
 
 class NetworkBridgeServer:
     """Application-side bridge endpoint: serves proxied network calls."""
 
-    def __init__(self, network, rfile: BinaryIO, wfile: BinaryIO) -> None:
+    def __init__(self, network) -> None:
         self.network = network
-        self._rfile = rfile
-        self._wfile = wfile
-        self._thread: threading.Thread | None = None
 
-    def start(self) -> None:
-        self._thread = threading.Thread(target=self._serve,
-                                        name="af-net-bridge", daemon=True)
-        self._thread.start()
-
-    def join(self, timeout: float | None = None) -> None:
-        if self._thread is not None:
-            self._thread.join(timeout)
-
-    def _serve(self) -> None:
-        while True:
-            try:
-                fields, payload = decode_message(read_frame(self._rfile))
-            except (ChannelClosedError, ValueError, OSError):
-                return  # child went away; bridge ends with it
-            try:
-                write_frame(self._wfile, self._handle(fields, payload))
-            except (ValueError, OSError):
-                return
-
-    def _handle(self, fields: dict, payload: bytes) -> bytes:
+    def handle(self, fields: dict[str, Any],
+               payload: bytes) -> tuple[dict[str, Any], bytes]:
+        """Serve one proxied network call (a channel-0 request handler)."""
         address = Address(host=fields.get("host", ""),
                           port=int(fields.get("port", 0)),
                           scheme=fields.get("scheme", ""))
         request = Request(op=fields.get("op", ""),
                           fields=fields.get("fields") or {},
                           payload=payload)
-        try:
-            response = self.network.call(address, request)
-        except Exception as exc:
-            return encode_message({
-                "transport_ok": False,
-                "error": str(exc),
-                "error_type": type(exc).__name__,
-            })
-        return encode_message({
-            "transport_ok": True,
+        response = self.network.call(address, request)
+        return ({
+            "ok": True,
             "resp_ok": response.ok,
             "resp_error": response.error,
             "resp_fields": response.fields,
@@ -124,32 +105,38 @@ class ProxyConnection:
 
 
 class ProxyNetwork:
-    """Child-side bridge endpoint with the Network ``connect``/``call`` surface."""
+    """Child-side bridge endpoint with the Network ``connect``/``call`` surface.
 
-    def __init__(self, rfile: BinaryIO, wfile: BinaryIO) -> None:
-        self._rfile = rfile
-        self._wfile = wfile
-        self._lock = threading.Lock()
+    Calls ride channel 0 of the host connection as ordinary requests, so
+    concurrent sentinels (or one sentinel with concurrent needs) can
+    pipeline network calls rather than queueing behind a pipe lock.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self._channel = channel
 
     def connect(self, address: Address) -> ProxyConnection:
         return ProxyConnection(self, address)
 
     def call(self, address: Address, request: Request) -> Response:
-        message = encode_message({
+        fields = {
+            "cmd": "net",
             "host": address.host,
             "port": address.port,
             "scheme": address.scheme,
             "op": request.op,
             "fields": request.fields,
-        }, request.payload)
-        with self._lock:  # one in-flight exchange at a time over the pipe
-            write_frame(self._wfile, message)
-            fields, payload = decode_message(read_frame(self._rfile))
-        if not fields.get("transport_ok", False):
-            exc_class = _TRANSPORT_ERRORS.get(fields.get("error_type", ""),
+        }
+        try:
+            reply, payload = self._channel.request(BRIDGE_CHAN, fields,
+                                                   request.payload)
+        except ChannelClosedError as exc:
+            raise NetworkError(f"network bridge is gone: {exc}") from exc
+        if not reply.get("ok", False):
+            exc_class = _TRANSPORT_ERRORS.get(reply.get("error_type", ""),
                                               NetworkError)
-            raise exc_class(fields.get("error", "bridge transport failure"))
-        return Response(ok=fields.get("resp_ok", False),
-                        fields=fields.get("resp_fields") or {},
+            raise exc_class(reply.get("error", "bridge transport failure"))
+        return Response(ok=reply.get("resp_ok", False),
+                        fields=reply.get("resp_fields") or {},
                         payload=payload,
-                        error=fields.get("resp_error", ""))
+                        error=reply.get("resp_error", ""))

@@ -33,10 +33,11 @@ def parse_mode(mode: str) -> dict[str, bool]:
     """Parse a binary open mode into capability flags.
 
     Only binary modes are accepted here; text wrapping is the
-    interception layer's job.
+    interception layer's job, so the ``b`` flag is required ("rb",
+    "w+b", ...) and text modes like ``"r"`` are rejected.
     """
     base = mode.replace("b", "")
-    if base not in _VALID_MODES or ("b" in mode and mode.count("b") > 1):
+    if base not in _VALID_MODES or mode.count("b") != 1:
         raise ValueError(f"unsupported active-file mode: {mode!r}")
     plus = "+" in base
     kind = base[0]

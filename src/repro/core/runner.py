@@ -1,233 +1,396 @@
-"""The sentinel child-process driver (``python -m repro.core.runner``).
+"""The sentinel host child process (``python -m repro.core.runner``).
 
-The two process-based strategies really do run the sentinel in a
-separate operating-system process, as the paper's §4.1/§4.2 prescribe:
-"the stub ... first creates a new process for running the executable
-associated with the active file" and "creates two pipes and attaches
-them to the standard input and output of the sentinel process".
+The process-based strategies really do run sentinels in a separate
+operating-system process, as the paper's §4.1/§4.2 prescribe.  What
+changed from the paper's one-process-per-open picture is the transport
+economics: spawning a fresh interpreter for every ``open_active()`` and
+giving every open its own pipe pair (plus a second pair for the network
+bridge) does not scale to many concurrent opens.
 
-This module contains both halves of that arrangement:
+This module therefore implements a pooled **sentinel host**:
 
-* :func:`main` — the child side.  It loads the container, instantiates
-  the sentinel from its spec, wires the data part (and, if granted, a
-  :class:`~repro.core.netproxy.ProxyNetwork` back to the application's
-  simulated network) and runs either the stream pumps (simple process
-  strategy, Figure 2) or the control dispatch loop (process-plus-control).
-* :func:`launch_runner` — the parent-side stub helper that creates the
-  pipes, spawns the child, and starts the network bridge.
+* :func:`main` — the child side.  One child interpreter per container
+  serves *many* concurrent opens.  Its stdin/stdout carry a single
+  multiplexed :class:`~repro.core.channel.StreamChannel`; channel 0 is
+  the host-control plane (``open``/``ping`` from the application,
+  network-bridge calls from the sentinels), and every open lives on its
+  own logical channel with its own dispatcher and its own
+  freshly-loaded container state — exactly the isolation the per-open
+  child gave, minus the per-open fork/exec.
+* :class:`SentinelHost` / :class:`SentinelHostPool` — the parent side.
+  The pool hands out refcounted :class:`HostLease` objects keyed by
+  (container realpath, network); a host lingers briefly after its last
+  lease closes so open/close churn reuses the warm child.
 
 File-descriptor layout in the child:
 
 ====  =========================================================
 fd    purpose
 ====  =========================================================
-0     write pipe (application -> sentinel, raw data)
-1     read pipe (sentinel -> application; raw data in stream
-      mode, response frames in control mode)
+0     multiplexed channel, application -> host (framed)
+1     multiplexed channel, host -> application (framed)
 2     stderr (captured by the parent for crash diagnostics)
-N     control channel (``--control-fd N``; command frames)
-N     network bridge out/in (``--net-out-fd`` / ``--net-in-fd``)
 ====  =========================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
 import os
 import sys
 import threading
 from collections import deque
-from dataclasses import dataclass, field
 from subprocess import PIPE, Popen
+from typing import Any
 
+from repro.core import control
+from repro.core.channel import (
+    CONTROL_CHAN,
+    FIRST_SESSION_CHAN,
+    Channel,
+    StreamChannel,
+)
 from repro.core.container import Container
-from repro.core.control import decode_message
-from repro.core.dispatch import SentinelDispatcher
+from repro.core.dispatch import SentinelDispatcher, StreamDispatcher
 from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.common import make_data_part
-from repro.errors import ChannelClosedError
-from repro.util.framing import read_exact, read_frame, write_frame
+from repro.errors import ProtocolError, SentinelCrashError
 
-__all__ = ["main", "launch_runner", "RunnerHandle"]
+__all__ = [
+    "main",
+    "HostAgent",
+    "SentinelHost",
+    "SentinelHostPool",
+    "HostLease",
+    "HOST_POOL",
+    "HOST_LINGER_S",
+]
+
+#: How long an idle host survives after its last lease closes.
+HOST_LINGER_S = 0.5
+
+_DISPATCHERS = {
+    "process-control": SentinelDispatcher,
+    "process": StreamDispatcher,
+}
 
 
 # ---------------------------------------------------------------------------
 # Child side
 # ---------------------------------------------------------------------------
 
-def _build_context(container: Container, args) -> SentinelContext:
-    network = None
-    if args.net_out_fd >= 0 and args.net_in_fd >= 0:
-        network = ProxyNetwork(
-            rfile=os.fdopen(args.net_in_fd, "rb", buffering=0),
-            wfile=os.fdopen(args.net_out_fd, "wb", buffering=0),
+class HostAgent:
+    """Child-side channel-0 agent: turns ``open`` requests into sessions."""
+
+    def __init__(self, channel: Channel, container_path: str,
+                 use_network: bool) -> None:
+        self.channel = channel
+        self.container_path = container_path
+        self.use_network = use_network
+        self._lock = threading.Lock()
+        self._next_chan = FIRST_SESSION_CHAN
+        self._sessions: dict[int, Any] = {}
+
+    def handle(self, fields: dict[str, Any],
+               payload: bytes) -> tuple[dict[str, Any], bytes]:
+        cmd = fields.get("cmd", "")
+        if cmd == "open":
+            return self._open(str(fields.get("strategy", ""))), b""
+        if cmd == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "sessions": len(self._sessions)}, b""
+        raise ProtocolError(f"unknown host command {cmd!r}")
+
+    def _open(self, strategy: str) -> dict[str, Any]:
+        dispatcher_class = _DISPATCHERS.get(strategy)
+        if dispatcher_class is None:
+            raise ProtocolError(f"host cannot serve strategy {strategy!r}")
+        # Each open re-loads the container so concurrent sessions keep the
+        # independent data-part state per-open children used to have;
+        # cross-open coordination stays on FileLock (shared=None).
+        container = Container.load(self.container_path)
+        sentinel = container.spec.instantiate()
+        ctx = SentinelContext(
+            path=str(container.path),
+            params=dict(container.spec.params),
+            data=make_data_part(container),
+            network=ProxyNetwork(self.channel) if self.use_network else None,
+            shared=None,
+            meta=dict(container.meta),
+            strategy=strategy,
         )
-    return SentinelContext(
-        path=str(container.path),
-        params=dict(container.spec.params),
-        data=make_data_part(container),
-        network=network,
-        shared=None,  # cross-process sentinels coordinate via FileLock/IPC
-        meta=dict(container.meta),
-        strategy=args.strategy_name,
-    )
+        dispatcher = dispatcher_class(sentinel, ctx)
+        dispatcher.open()
+        with self._lock:
+            chan = self._next_chan
+            self._next_chan += 1
+            self._sessions[chan] = dispatcher
+        self.channel.register(chan, self._session_handler(chan, dispatcher),
+                              name=f"af-session-{chan}")
+        # "chan" itself is an envelope key, so the session id travels
+        # under its own name.
+        return {"ok": True, "session_chan": chan, "strategy": strategy}
 
-
-def _run_stream(sentinel, ctx: SentinelContext) -> int:
-    """Figure 2: two pump threads, raw pipes, no control channel."""
-    stdin = os.fdopen(0, "rb", buffering=0)
-    stdout = os.fdopen(1, "wb", buffering=0)
-    sentinel.on_open(ctx)
-
-    def read_pump() -> None:
-        """Sentinel -> application: push the generated stream."""
-        try:
-            for chunk in sentinel.generate(ctx):
-                stdout.write(chunk)
-        except (BrokenPipeError, ValueError):
-            return  # application closed its read end; stop producing
-        finally:
-            try:
-                stdout.close()
-            except (BrokenPipeError, OSError):
-                pass
-
-    def write_pump() -> None:
-        """Application -> sentinel: absorb the written stream."""
-        offset = 0
-        while True:
-            chunk = stdin.read(65536)
-            if not chunk:
-                return
-            offset += sentinel.consume(ctx, chunk, offset)
-
-    threads = [
-        threading.Thread(target=read_pump, name="af-read-pump", daemon=True),
-        threading.Thread(target=write_pump, name="af-write-pump", daemon=True),
-    ]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
-    try:
-        sentinel.on_close(ctx)
-    finally:
-        ctx.data.close()
-    return 0
-
-
-def _run_control(sentinel, ctx: SentinelContext, control_fd: int) -> int:
-    """§4.2: block on the control channel, answer on the read pipe."""
-    stdin = os.fdopen(0, "rb", buffering=0)
-    stdout = os.fdopen(1, "wb", buffering=0)
-    control_pipe = os.fdopen(control_fd, "rb", buffering=0)
-    dispatcher = SentinelDispatcher(sentinel, ctx)
-    dispatcher.open()
-    try:
-        while True:
-            try:
-                fields, _ = decode_message(read_frame(control_pipe))
-            except ChannelClosedError:
-                return 0  # application vanished without a close command
-            payload = b""
-            count = int(fields.get("count", 0))
-            if count:
-                payload = read_exact(stdin, count)
-            write_frame(stdout, dispatcher.handle(fields, payload))
+    def _session_handler(self, chan: int, dispatcher):
+        def handle(fields: dict[str, Any],
+                   payload: bytes) -> tuple[dict[str, Any], bytes]:
+            out = dispatcher.execute(fields, payload)
             if fields.get("cmd") == "close":
-                return 0
-    finally:
-        dispatcher.close()
+                with self._lock:
+                    self._sessions.pop(chan, None)
+                self.channel.unregister(chan)
+            return out
+        return handle
+
+    def close_all(self) -> None:
+        """Flush sessions the application abandoned without a close."""
+        with self._lock:
+            leftovers = list(self._sessions.values())
+            self._sessions.clear()
+        for dispatcher in leftovers:
+            try:
+                dispatcher.close()
+            except Exception:
+                pass  # best-effort flush on the way out
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.core.runner")
     parser.add_argument("--container", required=True)
-    parser.add_argument("--mode", choices=("stream", "control"), required=True)
-    parser.add_argument("--control-fd", type=int, default=-1)
-    parser.add_argument("--net-out-fd", type=int, default=-1)
-    parser.add_argument("--net-in-fd", type=int, default=-1)
-    parser.add_argument("--strategy-name", default="process")
+    parser.add_argument("--net", action="store_true",
+                        help="expose the application's network over chan 0")
     args = parser.parse_args(argv)
 
-    container = Container.load(args.container)
-    sentinel = container.spec.instantiate()
-    ctx = _build_context(container, args)
-    if args.mode == "stream":
-        return _run_stream(sentinel, ctx)
-    if args.control_fd < 0:
-        parser.error("--mode control requires --control-fd")
-    return _run_control(sentinel, ctx, args.control_fd)
+    channel = StreamChannel(os.fdopen(0, "rb", buffering=0),
+                            os.fdopen(1, "wb", buffering=0),
+                            name="af-host-child")
+    agent = HostAgent(channel, args.container, args.net)
+    channel.register(CONTROL_CHAN, agent.handle, name="af-host-control")
+    channel.start()
+    channel.wait_closed()  # parent closed the connection or died
+    agent.close_all()
+    return 0
 
 
 # ---------------------------------------------------------------------------
 # Parent side
 # ---------------------------------------------------------------------------
 
-@dataclass
-class RunnerHandle:
-    """Everything the parent-side stub holds about one sentinel child."""
+class SentinelHost:
+    """One pooled sentinel child and the channel connecting to it."""
 
-    proc: Popen
-    stdin: object          # application's write pipe (raw)
-    stdout: object         # application's read pipe (raw/frames)
-    control: object | None  # control-channel write end, or None
-    bridge: NetworkBridgeServer | None
-    stderr_tail: deque = field(default_factory=lambda: deque(maxlen=50))
+    def __init__(self, container_path: str, network=None) -> None:
+        self.container_path = str(container_path)
+        self.network = network
+        argv = [sys.executable, "-m", "repro.core.runner",
+                "--container", self.container_path]
+        if network is not None:
+            argv.append("--net")
+        self.proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
+                          bufsize=0)
+        self.channel = StreamChannel(
+            self.proc.stdout, self.proc.stdin,
+            name=f"af-host:{os.path.basename(self.container_path)}")
+        if network is not None:
+            bridge = NetworkBridgeServer(network)
+            self.channel.register(CONTROL_CHAN, bridge.handle,
+                                  name="af-net-bridge")
+        self.stderr_tail: deque = deque(maxlen=50)
+        threading.Thread(target=self._drain_stderr, name="af-stderr-drain",
+                         daemon=True).start()
+        self.channel.start()
+
+    def _drain_stderr(self) -> None:
+        for line in self.proc.stderr:
+            self.stderr_tail.append(line.decode("utf-8", errors="replace"))
 
     def stderr_text(self) -> str:
         return "".join(self.stderr_tail).strip()
 
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None and not self.channel.dead
 
-def launch_runner(container_path: str, mode: str,
-                  network=None) -> RunnerHandle:
-    """Spawn the sentinel child and wire its pipes (the OpenFile stub)."""
-    argv = [sys.executable, "-m", "repro.core.runner",
-            "--container", str(container_path), "--mode", mode]
-    pass_fds: list[int] = []
-    to_close: list[int] = []
+    def open(self, strategy: str, timeout: float | None = 30.0) -> int:
+        """Open one logical session; returns its channel id."""
+        fields, _ = self.channel.request(
+            CONTROL_CHAN, {"cmd": "open", "strategy": strategy},
+            timeout=timeout)
+        control.raise_for_response(fields)
+        return int(fields["session_chan"])
 
-    control_write = None
-    if mode == "control":
-        control_read_fd, control_write_fd = os.pipe()
-        argv += ["--control-fd", str(control_read_fd)]
-        pass_fds.append(control_read_fd)
-        to_close.append(control_read_fd)
-        control_write = os.fdopen(control_write_fd, "wb", buffering=0)
+    def ping(self, timeout: float | None = 30.0) -> dict[str, Any]:
+        fields, _ = self.channel.request(CONTROL_CHAN, {"cmd": "ping"},
+                                         timeout=timeout)
+        control.raise_for_response(fields)
+        return fields
 
-    bridge = None
-    if network is not None:
-        req_read_fd, req_write_fd = os.pipe()   # child writes requests
-        resp_read_fd, resp_write_fd = os.pipe()  # child reads responses
-        argv += ["--net-out-fd", str(req_write_fd),
-                 "--net-in-fd", str(resp_read_fd)]
-        pass_fds += [req_write_fd, resp_read_fd]
-        to_close += [req_write_fd, resp_read_fd]
-        bridge = NetworkBridgeServer(
-            network,
-            rfile=os.fdopen(req_read_fd, "rb", buffering=0),
-            wfile=os.fdopen(resp_write_fd, "wb", buffering=0),
-        )
-        bridge.start()
+    def shutdown(self) -> None:
+        """Close the connection; the child exits on EOF."""
+        self.channel.close()
+        try:
+            self.proc.wait(timeout=5.0)
+        except Exception:
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
 
-    strategy_name = "process" if mode == "stream" else "process-control"
-    argv += ["--strategy-name", strategy_name]
-    proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
-                 bufsize=0, pass_fds=pass_fds)
-    for fd in to_close:  # child-side ends stay open in the child only
-        os.close(fd)
 
-    handle = RunnerHandle(proc=proc, stdin=proc.stdin, stdout=proc.stdout,
-                          control=control_write, bridge=bridge)
+class HostLease:
+    """One refcounted session on a pooled (or exclusive) host."""
 
-    def drain_stderr() -> None:
-        for line in proc.stderr:
-            handle.stderr_tail.append(line.decode("utf-8", errors="replace"))
+    def __init__(self, pool: "SentinelHostPool | None", key,
+                 host: SentinelHost, chan: int, strategy: str) -> None:
+        self._pool = pool
+        self._key = key
+        self.host = host
+        self.chan = chan
+        self.strategy = strategy
+        self.released = False
 
-    threading.Thread(target=drain_stderr, name="af-stderr-drain",
-                     daemon=True).start()
-    return handle
+    @property
+    def channel(self) -> StreamChannel:
+        return self.host.channel
+
+    def request(self, fields: dict[str, Any], payload: bytes = b"",
+                timeout: float | None = None) -> tuple[dict[str, Any], bytes]:
+        """One pipelinable operation on this session's channel."""
+        return self.host.channel.request(self.chan, fields, payload,
+                                         timeout=timeout)
+
+    def request_async(self, fields: dict[str, Any], payload: bytes = b""):
+        return self.host.channel.request_async(self.chan, fields, payload)
+
+    def crash_error(self, cause: BaseException) -> SentinelCrashError:
+        """Describe a dead host, folding in its captured stderr."""
+        detail = self.host.stderr_text()
+        message = f"sentinel host died mid-operation: {cause}"
+        if detail:
+            message = f"{message}\n--- sentinel stderr ---\n{detail}"
+        return SentinelCrashError(message)
+
+    def release(self) -> None:
+        """Return the session's slot to the pool (or retire the host)."""
+        if self.released:
+            return
+        self.released = True
+        if self._pool is not None:
+            self._pool._release(self._key, self.host)
+        else:
+            self.host.shutdown()
+
+
+class SentinelHostPool:
+    """Keyed pool of sentinel hosts: one child serves many opens.
+
+    Hosts are keyed by (container realpath, bridged network) so every
+    open of the same container shares one child process and one framed
+    connection.  A host lingers :data:`HOST_LINGER_S` seconds after its
+    last lease closes, letting open/close churn reuse the warm child
+    instead of paying interpreter startup per open.
+    """
+
+    def __init__(self, linger: float = HOST_LINGER_S) -> None:
+        self.linger = linger
+        # Reentrant: leaked sessions are closed off the GC path (see
+        # repro.util.finalize), but if a release ever re-enters on the
+        # same thread anyway it must not deadlock on the pool lock.
+        self._lock = threading.RLock()
+        self._hosts: dict[Any, SentinelHost] = {}
+        self._refs: dict[Any, int] = {}
+        self._reapers: dict[Any, threading.Timer] = {}
+
+    @staticmethod
+    def _key(container_path: str, network) -> tuple:
+        return (os.path.realpath(str(container_path)),
+                id(network) if network is not None else None)
+
+    def lease(self, container_path: str, *, strategy: str,
+              network=None, exclusive: bool = False) -> HostLease:
+        """Open one session, pooling the host unless *exclusive*.
+
+        ``exclusive=True`` spawns a dedicated, unpooled host for this
+        single open — the legacy one-process-per-open arrangement, kept
+        for comparison benchmarks.
+        """
+        if exclusive:
+            host = SentinelHost(container_path, network=network)
+            try:
+                chan = host.open(strategy)
+            except BaseException:
+                host.shutdown()
+                raise
+            return HostLease(None, None, host, chan, strategy)
+
+        key = self._key(container_path, network)
+        with self._lock:
+            host = self._hosts.get(key)
+            if host is not None and not host.alive:
+                self._evict_locked(key)
+                host = None
+            if host is None:
+                host = SentinelHost(container_path, network=network)
+                self._hosts[key] = host
+                self._refs[key] = 0
+            self._refs[key] += 1
+            reaper = self._reapers.pop(key, None)
+        if reaper is not None:
+            reaper.cancel()
+        try:
+            chan = host.open(strategy)
+        except BaseException:
+            self._release(key, host)
+            raise
+        return HostLease(self, key, host, chan, strategy)
+
+    def _release(self, key, host: SentinelHost) -> None:
+        with self._lock:
+            if self._hosts.get(key) is not host:
+                shutdown_now = True  # host was already evicted/replaced
+            else:
+                self._refs[key] -= 1
+                shutdown_now = not host.alive and self._refs[key] <= 0
+                if self._refs[key] <= 0 and not shutdown_now:
+                    timer = threading.Timer(self.linger,
+                                            self._reap, args=(key, host))
+                    timer.daemon = True
+                    self._reapers[key] = timer
+                    timer.start()
+                if shutdown_now:
+                    self._evict_locked(key)
+        if shutdown_now:
+            host.shutdown()
+
+    def _reap(self, key, host: SentinelHost) -> None:
+        with self._lock:
+            if self._hosts.get(key) is not host or self._refs.get(key, 0) > 0:
+                return
+            self._evict_locked(key)
+        host.shutdown()
+
+    def _evict_locked(self, key) -> None:
+        self._hosts.pop(key, None)
+        self._refs.pop(key, None)
+        reaper = self._reapers.pop(key, None)
+        if reaper is not None:
+            reaper.cancel()
+
+    def shutdown_all(self) -> None:
+        with self._lock:
+            hosts = list(self._hosts.values())
+            self._hosts.clear()
+            self._refs.clear()
+            for reaper in self._reapers.values():
+                reaper.cancel()
+            self._reapers.clear()
+        for host in hosts:
+            host.shutdown()
+
+
+#: The process-wide host pool used by the strategies.
+HOST_POOL = SentinelHostPool()
+atexit.register(HOST_POOL.shutdown_all)
 
 
 if __name__ == "__main__":

@@ -34,6 +34,10 @@ class Session:
     #: Whether GetFileSize/truncate/flush/control round-trips exist.
     supports_control = True
 
+    #: Transport counters (:class:`repro.core.channel.ChannelCounters`)
+    #: for channel-backed sessions, ``None`` for inline strategies.
+    counters = None
+
     # -- random-access plane ----------------------------------------------------
 
     def read_at(self, offset: int, size: int) -> bytes:

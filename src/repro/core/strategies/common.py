@@ -1,13 +1,76 @@
-"""Shared helpers for building sentinel contexts from containers."""
+"""Shared helpers for the strategy implementations.
+
+Context construction for every strategy, plus the session base class
+shared by the strategies whose sentinel lives behind a pooled host
+connection (:class:`ChannelSession`).
+"""
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.container import Container
+from repro.core.control import raise_for_response
 from repro.core.datapart import ContainerDataPart, DataPart, MemoryDataPart
 from repro.core.sentinel import SentinelContext
+from repro.core.strategies.base import Session
 from repro.core.sync import shared_state_for
+from repro.errors import ChannelClosedError, SentinelCrashError
 
-__all__ = ["make_data_part", "make_context"]
+__all__ = ["make_data_part", "make_context", "ChannelSession"]
+
+
+class ChannelSession(Session):
+    """Base for sessions that drive one logical channel on a host lease.
+
+    Operations are *pipelinable*: there is deliberately no per-session
+    operation lock.  Ordering within the session is guaranteed by the
+    host's per-channel worker; operations from distinct sessions of the
+    same container interleave freely over the shared connection.
+    """
+
+    def __init__(self, lease) -> None:
+        self._lease = lease
+        self._closed = False
+
+    @property
+    def host(self):
+        """The pooled :class:`~repro.core.runner.SentinelHost` serving us."""
+        return self._lease.host
+
+    @property
+    def channel(self):
+        return self._lease.channel
+
+    @property
+    def counters(self):
+        """Shared transport counters of the host connection."""
+        return self._lease.channel.counters
+
+    def _op(self, fields: dict[str, Any], payload: bytes = b"",
+            timeout: float | None = None) -> tuple[dict[str, Any], bytes]:
+        """One command round trip; host death becomes a crash error."""
+        try:
+            reply, out_payload = self._lease.request(fields, payload,
+                                                     timeout=timeout)
+        except (ChannelClosedError, OSError, ValueError) as exc:
+            raise self._lease.crash_error(exc) from exc
+        raise_for_response(reply)
+        return reply, out_payload
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        crash: SentinelCrashError | None = None
+        try:
+            self._op({"cmd": "close"})
+        except SentinelCrashError as exc:
+            crash = exc
+        finally:
+            self._lease.release()
+        if crash is not None:
+            raise crash
 
 
 def make_data_part(container: Container) -> DataPart:

@@ -1,19 +1,20 @@
 """The simple process-based strategy (paper §4.1).
 
 "The process-based implementation approach is the simple and intuitive
-method, directly reflecting active file semantics": the sentinel runs as
-a real child process, connected to the application by two anonymous
-pipes on its standard input and output.  Reads drain the read pipe,
-writes feed the write pipe, and that is the *entire* vocabulary — "it
-can only support a subset of the file operations.  Operations such as
-ReadFileScatter (or seek in Unix) and GetFileSize cannot be implemented
-as there is no method of passing control information between the user
-process and the sentinel process."
+method, directly reflecting active file semantics": the sentinel runs in
+a real child process, and the application sees only two sequential
+byte streams — "it can only support a subset of the file operations.
+Operations such as ReadFileScatter (or seek in Unix) and GetFileSize
+cannot be implemented as there is no method of passing control
+information between the user process and the sentinel process."
 
 Accordingly :class:`ProcessSession` reports no random access and no
 control support; attempts raise
 :class:`~repro.errors.UnsupportedOperationError` (the paper's "dropped
-with an appropriate return code").
+with an appropriate return code").  The sequential planes now travel as
+``rstream``/``wstream`` commands over the pooled host connection
+(:mod:`repro.core.runner`) instead of dedicated raw pipes; the
+application-visible vocabulary is unchanged.
 """
 
 from __future__ import annotations
@@ -21,23 +22,25 @@ from __future__ import annotations
 import threading
 
 from repro.core.container import Container
-from repro.core.runner import RunnerHandle, launch_runner
-from repro.core.strategies.base import Session
-from repro.errors import SentinelCrashError
+from repro.core.runner import HOST_POOL
+from repro.core.strategies.common import ChannelSession
 
 __all__ = ["ProcessSession", "open_session"]
 
 
-class ProcessSession(Session):
-    """Sequential pipe session to a sentinel child process."""
+class ProcessSession(ChannelSession):
+    """Sequential stream session to a sentinel behind the host channel."""
 
     strategy = "process"
     supports_random_access = False
     supports_control = False
 
-    def __init__(self, handle: RunnerHandle) -> None:
-        self._handle = handle
-        self._closed = False
+    #: Stream transfers are chunked below the 16 MiB frame cap.
+    READ_CHUNK = 4 * 1024 * 1024
+    WRITE_CHUNK = 4 * 1024 * 1024
+
+    def __init__(self, lease) -> None:
+        super().__init__(lease)
         self._read_lock = threading.Lock()
         self._write_lock = threading.Lock()
         self._read_eof = False
@@ -49,67 +52,40 @@ class ProcessSession(Session):
         if size <= 0:
             return b""
         chunks: list[bytes] = []
-        remaining = size
         with self._read_lock:
             if self._read_eof:
                 return b""
+            remaining = size
             while remaining:
-                chunk = self._handle.stdout.read(remaining)
-                if not chunk:
-                    self._read_eof = True
-                    self._check_child_alive_at_eof()
-                    break
+                fields, chunk = self._op({
+                    "cmd": "rstream",
+                    "size": min(remaining, self.READ_CHUNK),
+                })
                 chunks.append(chunk)
                 remaining -= len(chunk)
+                if fields.get("eof", False):
+                    self._read_eof = True
+                    break
+                if not chunk:
+                    break
         return b"".join(chunks)
 
     def write_stream(self, data: bytes) -> int:
+        if not data:
+            return 0
+        view = memoryview(data)
+        total = 0
         with self._write_lock:
-            try:
-                self._handle.stdin.write(data)
-            except (BrokenPipeError, ValueError) as exc:
-                raise SentinelCrashError(
-                    f"sentinel process died during write: "
-                    f"{self._handle.stderr_text() or exc}"
-                ) from exc
-        return len(data)
-
-    def _check_child_alive_at_eof(self) -> None:
-        """EOF is legitimate stream end unless the child crashed."""
-        returncode = self._handle.proc.poll()
-        if returncode not in (None, 0):
-            raise SentinelCrashError(
-                f"sentinel process exited with status {returncode}: "
-                f"{self._handle.stderr_text()}"
-            )
-
-    # -- lifecycle ----------------------------------------------------------------
-
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for stream in (self._handle.stdin, self._handle.stdout):
-            try:
-                stream.close()
-            except (BrokenPipeError, OSError):
-                pass
-        try:
-            self._handle.proc.wait(timeout=10)
-        except Exception:
-            self._handle.proc.kill()
-            self._handle.proc.wait()
-        if self._handle.bridge is not None:
-            self._handle.bridge.join(timeout=1.0)
-        returncode = self._handle.proc.returncode
-        if returncode not in (0, None):
-            raise SentinelCrashError(
-                f"sentinel process exited with status {returncode}: "
-                f"{self._handle.stderr_text()}"
-            )
+            while total < len(data):
+                chunk = bytes(view[total:total + self.WRITE_CHUNK])
+                fields, _ = self._op({"cmd": "wstream"}, chunk)
+                total += int(fields.get("written", len(chunk)))
+        return total
 
 
-def open_session(container: Container, network=None) -> ProcessSession:
+def open_session(container: Container, network=None, *,
+                 pooled: bool = True) -> ProcessSession:
     """Open *container* with the simple process strategy."""
-    handle = launch_runner(str(container.path), mode="stream", network=network)
-    return ProcessSession(handle)
+    lease = HOST_POOL.lease(str(container.path), strategy="process",
+                            network=network, exclusive=not pooled)
+    return ProcessSession(lease)

@@ -4,70 +4,40 @@
 sentinel processes by adding a control channel in addition to the two
 pipes ... all API requests from the application are first transmitted to
 the sentinel process via the control channel and the response of the
-sentinel process is read from the read pipe.  So when the application
-process wants to read 50 bytes, a 'read 50' command is sent to the
-sentinel, and then 50 bytes are read from the read pipe.  When the
-application wants to write 30 bytes, a 'write 30' command is sent on the
-control channel and then 30 bytes are written to the write pipe."
+sentinel process is read from the read pipe."
 
-Every operation therefore costs a command frame on the control pipe, a
-payload transfer on a data pipe, and a response frame back — two
-protection-domain crossings per call, which is exactly the overhead the
-evaluation section attributes to this strategy.
+Every operation still costs a command message to the sentinel process
+and a response message back — the two protection-domain crossings per
+call that the evaluation section attributes to this strategy.  The
+transport, however, is now the pooled multiplexed host connection
+(:mod:`repro.core.runner`): each open is one logical channel on the
+shared framed link, so many opens of the same container share one child
+interpreter and can keep multiple operations in flight concurrently.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
 from repro.core.container import Container
-from repro.core.control import decode_message, encode_message, raise_for_response
-from repro.core.runner import RunnerHandle, launch_runner
-from repro.core.strategies.base import Session
-from repro.errors import ChannelClosedError, SentinelCrashError
-from repro.util.framing import read_frame, write_frame
+from repro.core.runner import HOST_POOL
+from repro.core.strategies.common import ChannelSession
 
 __all__ = ["ProcessControlSession", "open_session"]
 
 
-class ProcessControlSession(Session):
-    """Full-API session to a sentinel child over control + data pipes."""
+class ProcessControlSession(ChannelSession):
+    """Full-API session to a sentinel host over the multiplexed channel."""
 
     strategy = "process-control"
 
-    def __init__(self, handle: RunnerHandle) -> None:
-        self._handle = handle
-        self._closed = False
-        self._op_lock = threading.Lock()
-
-    def _request(self, fields: dict[str, Any],
-                 raw_payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
-        """One command/response round trip."""
-        if raw_payload:
-            fields = {**fields, "count": len(raw_payload)}
-        try:
-            with self._op_lock:
-                write_frame(self._handle.control, encode_message(fields))
-                if raw_payload:
-                    self._handle.stdin.write(raw_payload)
-                response_fields, payload = decode_message(
-                    read_frame(self._handle.stdout)
-                )
-        except (ChannelClosedError, BrokenPipeError, ValueError, OSError) as exc:
-            raise SentinelCrashError(
-                f"sentinel process died mid-operation: "
-                f"{self._handle.stderr_text() or exc}"
-            ) from exc
-        raise_for_response(response_fields)
-        return response_fields, payload
+    #: Transfers larger than this are split into several commands:
+    #: payloads travel one frame each, and the frame codec caps bodies
+    #: at 16 MiB.
+    READ_CHUNK = 4 * 1024 * 1024
+    WRITE_CHUNK = 4 * 1024 * 1024
 
     # -- data plane ---------------------------------------------------------------
-
-    #: Reads larger than this are split into several commands: response
-    #: payloads travel in one frame each, and the frame codec caps
-    #: bodies at 16 MiB.
-    READ_CHUNK = 4 * 1024 * 1024
 
     def read_at(self, offset: int, size: int) -> bytes:
         pieces: list[bytes] = []
@@ -75,8 +45,8 @@ class ProcessControlSession(Session):
         position = offset
         while remaining > 0:
             step = min(remaining, self.READ_CHUNK)
-            _, payload = self._request({"cmd": "read", "offset": position,
-                                        "size": step})
+            _, payload = self._op({"cmd": "read", "offset": position,
+                                   "size": step})
             pieces.append(payload)
             position += len(payload)
             remaining -= step
@@ -85,59 +55,47 @@ class ProcessControlSession(Session):
         return b"".join(pieces)
 
     def write_at(self, offset: int, data: bytes) -> int:
-        fields, _ = self._request({"cmd": "write", "offset": offset}, data)
-        return int(fields["written"])
+        if len(data) <= self.WRITE_CHUNK:
+            fields, _ = self._op({"cmd": "write", "offset": offset}, data)
+            return int(fields["written"])
+        view = memoryview(data)
+        total = 0
+        while total < len(data):
+            chunk = bytes(view[total:total + self.WRITE_CHUNK])
+            fields, _ = self._op({"cmd": "write", "offset": offset + total},
+                                 chunk)
+            written = int(fields["written"])
+            total += written
+            if written < len(chunk):
+                break  # sentinel accepted a partial write
+        return total
 
     def size(self) -> int:
-        fields, _ = self._request({"cmd": "size"})
+        fields, _ = self._op({"cmd": "size"})
         return int(fields["size"])
 
     def truncate(self, size: int) -> None:
-        self._request({"cmd": "truncate", "size": size})
+        self._op({"cmd": "truncate", "size": size})
 
     def flush(self) -> None:
-        self._request({"cmd": "flush"})
+        self._op({"cmd": "flush"})
 
     def control(self, op: str, args: dict[str, Any] | None = None,
                 payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
-        fields, out_payload = self._request(
+        fields, out_payload = self._op(
             {"cmd": "control", "op": op, "args": args or {}}, payload
         )
         fields.pop("ok", None)
         return fields, out_payload
 
-    # -- lifecycle ----------------------------------------------------------------
 
-    def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        try:
-            self._request({"cmd": "close"})
-        except SentinelCrashError:
-            pass  # already gone; fall through to reaping
-        for stream in (self._handle.control, self._handle.stdin,
-                       self._handle.stdout):
-            try:
-                stream.close()
-            except (BrokenPipeError, OSError):
-                pass
-        try:
-            self._handle.proc.wait(timeout=10)
-        except Exception:
-            self._handle.proc.kill()
-            self._handle.proc.wait()
-        if self._handle.bridge is not None:
-            self._handle.bridge.join(timeout=1.0)
-        returncode = self._handle.proc.returncode
-        if returncode not in (0, None):
-            raise SentinelCrashError(
-                f"sentinel process exited with status {returncode}: "
-                f"{self._handle.stderr_text()}"
-            )
+def open_session(container: Container, network=None, *,
+                 pooled: bool = True) -> ProcessControlSession:
+    """Open *container* with the process-plus-control strategy.
 
-
-def open_session(container: Container, network=None) -> ProcessControlSession:
-    """Open *container* with the process-plus-control strategy."""
-    handle = launch_runner(str(container.path), mode="control", network=network)
-    return ProcessControlSession(handle)
+    ``pooled=False`` spawns a dedicated host for this single open (the
+    legacy one-process-per-open arrangement), for comparison benchmarks.
+    """
+    lease = HOST_POOL.lease(str(container.path), strategy="process-control",
+                            network=network, exclusive=not pooled)
+    return ProcessControlSession(lease)

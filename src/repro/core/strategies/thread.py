@@ -2,147 +2,40 @@
 
 The sentinel is "no longer a process running separate from the
 application, but just a thread in the application": opening the active
-file starts a sentinel thread running ``SentinelThrdMain``, and the
+file starts a sentinel thread inside the application process, and the
 application exchanges control messages and data with it through shared
-memory guarded by events — "There is no inter-process context switching
-needed ... File data is not copied from user space to kernel space and
-then to user space (as is the case with pipes), instead using only one
-user-level copy."
+memory — "There is no inter-process context switching needed ... File
+data is not copied from user space to kernel space and then to user
+space (as is the case with pipes), instead using only one user-level
+copy."
 
-:class:`SharedChannel` reproduces the six library routines of Appendix
-A.3 by name: ``AF_SendControl`` / ``AF_GetControl``,
-``AF_SendDataToSentinel`` / ``AF_GetDataFromAppl``, and
-``AF_SendDataToAppl`` / ``AF_GetDataFromSentinel``.  Python objects in
-one address space stand in for NT shared-memory sections; the mailbox
-conditions stand in for NT events.
+The transport is the same :class:`~repro.core.channel.Channel`
+abstraction the process strategies use, in its in-memory form: a
+:class:`~repro.core.channel.LocalChannel` pair whose messages cross by
+reference.  The sentinel thread is the channel's per-session handler
+worker — it blocks on the session channel, wakes per command, and
+answers, exactly the paper's ``SentinelThrdMain`` loop — but commands
+and payloads are never serialized or copied, which is precisely why
+this strategy is the cheap one.
 """
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
+from repro.core.channel import FIRST_SESSION_CHAN, LocalChannel
 from repro.core.container import Container
 from repro.core.control import raise_for_response
 from repro.core.dispatch import SentinelDispatcher
 from repro.core.strategies.base import Session
 from repro.core.strategies.common import make_context
-from repro.errors import SentinelCrashError
+from repro.errors import ChannelClosedError, SentinelCrashError
 from repro.util.naming import monotonic_name
 
-__all__ = ["SharedChannel", "ThreadSession", "open_session", "sentinel_thrd_main"]
+__all__ = ["ThreadSession", "open_session", "SESSION_CHAN"]
 
-
-class _Mailbox:
-    """A one-slot rendezvous: one party deposits, the other collects."""
-
-    def __init__(self, channel: "SharedChannel") -> None:
-        self._channel = channel
-        self._condition = threading.Condition()
-        self._value: Any = None
-        self._full = False
-
-    def put(self, value: Any, timeout: float | None = None) -> None:
-        with self._condition:
-            while self._full and not self._channel.dead:
-                if not self._condition.wait(timeout) and timeout is not None:
-                    raise SentinelCrashError("sentinel thread unresponsive")
-            self._channel.check_alive()
-            self._value = value
-            self._full = True
-            self._condition.notify_all()
-
-    def take(self, timeout: float | None = None) -> Any:
-        with self._condition:
-            while not self._full and not self._channel.dead:
-                if not self._condition.wait(timeout) and timeout is not None:
-                    raise SentinelCrashError("sentinel thread unresponsive")
-            self._channel.check_alive()
-            value, self._value = self._value, None
-            self._full = False
-            self._condition.notify_all()
-            return value
-
-    def poison(self) -> None:
-        with self._condition:
-            self._condition.notify_all()
-
-
-class SharedChannel:
-    """Shared-memory + events transport between application and sentinel thread."""
-
-    def __init__(self) -> None:
-        self.dead = False
-        self._death_reason = ""
-        self._control = _Mailbox(self)          # app -> sentinel: command fields
-        self._data_to_sentinel = _Mailbox(self)  # app -> sentinel: write payloads
-        self._data_to_appl = _Mailbox(self)      # sentinel -> app: (fields, payload)
-
-    def check_alive(self) -> None:
-        if self.dead:
-            raise SentinelCrashError(
-                self._death_reason or "sentinel thread terminated"
-            )
-
-    def kill(self, reason: str = "") -> None:
-        """Mark the channel dead and wake every waiter."""
-        self.dead = True
-        self._death_reason = reason
-        for mailbox in (self._control, self._data_to_sentinel, self._data_to_appl):
-            mailbox.poison()
-
-    # -- the six Appendix A.3 routines -------------------------------------------
-
-    def AF_SendControl(self, fields: dict[str, Any]) -> None:
-        """Application -> sentinel: deposit one control message."""
-        self._control.put(fields)
-
-    def AF_GetControl(self) -> dict[str, Any]:
-        """Sentinel side: block for the next control message."""
-        return self._control.take()
-
-    def AF_SendDataToSentinel(self, data: bytes) -> None:
-        """Application -> sentinel: deposit one write payload."""
-        self._data_to_sentinel.put(data)
-
-    def AF_GetDataFromAppl(self) -> bytes:
-        """Sentinel side: block for the pending write payload."""
-        return self._data_to_sentinel.take()
-
-    def AF_SendDataToAppl(self, fields: dict[str, Any], payload: bytes) -> None:
-        """Sentinel -> application: deposit one response."""
-        self._data_to_appl.put((fields, payload))
-
-    def AF_GetDataFromSentinel(self, timeout: float | None = None
-                               ) -> tuple[dict[str, Any], bytes]:
-        """Application side: block for the sentinel's response."""
-        return self._data_to_appl.take(timeout)
-
-
-def sentinel_thrd_main(channel: SharedChannel,
-                       dispatcher: SentinelDispatcher) -> None:
-    """The paper's ``SentinelThrdMain``: the sentinel thread's dispatch loop."""
-    try:
-        while True:
-            fields = channel.AF_GetControl()
-            payload = b""
-            if fields.get("cmd") == "write":
-                payload = channel.AF_GetDataFromAppl()
-            elif "_payload" in fields:
-                # control payloads ride inside the message itself
-                payload = fields.pop("_payload")
-            out_fields, out_payload = dispatcher.execute(fields, payload)
-            channel.AF_SendDataToAppl(out_fields, out_payload)
-            if fields.get("cmd") == "close":
-                return
-    except SentinelCrashError:
-        return  # application-side close killed the channel under us
-    except BaseException as exc:  # defensive: never leave the app blocked
-        channel.kill(f"sentinel thread crashed: {exc!r}")
-        raise
-    finally:
-        if not channel.dead:
-            channel.kill("sentinel thread exited")
+#: The single logical channel a thread session uses on its private pair.
+SESSION_CHAN = FIRST_SESSION_CHAN
 
 
 class ThreadSession(Session):
@@ -150,19 +43,33 @@ class ThreadSession(Session):
 
     strategy = "thread"
 
-    def __init__(self, channel: SharedChannel, thread: threading.Thread) -> None:
-        self._channel = channel
-        self._thread = thread
+    def __init__(self, app_end: LocalChannel,
+                 sentinel_end: LocalChannel) -> None:
+        self._app_end = app_end
+        self._sentinel_end = sentinel_end
         self._closed = False
-        self._op_lock = threading.Lock()  # one command/response pair at a time
 
-    def _roundtrip(self, fields: dict[str, Any],
-                   payload: bytes | None = None) -> tuple[dict[str, Any], bytes]:
-        with self._op_lock:
-            self._channel.AF_SendControl(fields)
-            if payload is not None:
-                self._channel.AF_SendDataToSentinel(payload)
-            out_fields, out_payload = self._channel.AF_GetDataFromSentinel()
+    @property
+    def channel(self) -> LocalChannel:
+        return self._app_end
+
+    @property
+    def counters(self):
+        """Transport counters — same instrumentation as the wire strategies."""
+        return self._app_end.counters
+
+    def _roundtrip(self, fields: dict[str, Any], payload: bytes = b"",
+                   timeout: float | None = None
+                   ) -> tuple[dict[str, Any], bytes]:
+        try:
+            out_fields, out_payload = self._app_end.request(
+                SESSION_CHAN, fields, payload, timeout=timeout)
+        except ChannelClosedError as exc:
+            raise SentinelCrashError(
+                f"sentinel thread terminated: {exc}") from exc
+        except TimeoutError as exc:
+            raise SentinelCrashError(
+                f"sentinel thread unresponsive: {exc}") from exc
         raise_for_response(out_fields)
         return out_fields, out_payload
 
@@ -189,14 +96,10 @@ class ThreadSession(Session):
 
     def control(self, op: str, args: dict[str, Any] | None = None,
                 payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
-        # control payloads ride in the command itself (no write handshake)
-        with self._op_lock:
-            self._channel.AF_SendControl({"cmd": "control", "op": op,
-                                          "args": args or {},
-                                          "_payload": payload})
-            out_fields, out_payload = self._channel.AF_GetDataFromSentinel()
-        raise_for_response(out_fields)
-        return out_fields, out_payload
+        fields, out_payload = self._roundtrip(
+            {"cmd": "control", "op": op, "args": args or {}}, payload)
+        fields.pop("ok", None)
+        return fields, out_payload
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -205,16 +108,15 @@ class ThreadSession(Session):
             return
         self._closed = True
         try:
-            if self._thread.is_alive():
-                with self._op_lock:
-                    self._channel.AF_SendControl({"cmd": "close"})
-                    # bounded wait: never hang the application (e.g. at
-                    # interpreter shutdown when daemon threads are frozen)
-                    self._channel.AF_GetDataFromSentinel(timeout=5.0)
-        except SentinelCrashError:
+            # bounded wait: never hang the application (e.g. at interpreter
+            # shutdown when daemon threads are frozen); close-side sentinel
+            # failures are reported by the dispatcher but must not prevent
+            # teardown, so the response fields are not re-raised here.
+            self._app_end.request(SESSION_CHAN, {"cmd": "close"},
+                                  timeout=5.0)
+        except (ChannelClosedError, TimeoutError):
             pass  # thread already gone; nothing left to close
-        self._channel.kill("session closed")
-        self._thread.join(timeout=5.0)
+        self._app_end.close()
 
 
 def open_session(container: Container, network=None) -> ThreadSession:
@@ -228,10 +130,12 @@ def open_session(container: Container, network=None) -> ThreadSession:
     ctx = make_context(container, network, strategy="thread")
     dispatcher = SentinelDispatcher(sentinel, ctx)
     dispatcher.open()
-    channel = SharedChannel()
-    thread = threading.Thread(
-        target=sentinel_thrd_main, args=(channel, dispatcher),
-        name=monotonic_name("af-sentinel-thread"), daemon=True,
-    )
-    thread.start()
-    return ThreadSession(channel, thread)
+    app_end, sentinel_end = LocalChannel.pair(monotonic_name("af-thread"))
+
+    def serve(fields: dict[str, Any],
+              payload: bytes) -> tuple[dict[str, Any], bytes]:
+        return dispatcher.execute(fields, payload)
+
+    sentinel_end.register(SESSION_CHAN, serve,
+                          name=monotonic_name("af-sentinel-thread"))
+    return ThreadSession(app_end, sentinel_end)

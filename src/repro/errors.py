@@ -34,6 +34,7 @@ __all__ = [
     "NTOSError",
     "DeadlockError",
     "SimulationError",
+    "wire_error_registry",
 ]
 
 
@@ -152,3 +153,24 @@ class DeadlockError(NTOSError):
 
 class SimulationError(NTOSError):
     """The simulation harness was misused or reached an impossible state."""
+
+
+# --------------------------------------------------------------------------
+# Wire round-tripping
+# --------------------------------------------------------------------------
+
+def wire_error_registry() -> dict[str, type[Exception]]:
+    """Map exception-class name -> class for every public library error.
+
+    The control channel round-trips failures by class name
+    (:mod:`repro.core.control`); building the registry from this module's
+    ``__all__`` means a sentinel raising *any* library exception
+    re-raises as the same type on the application side instead of
+    silently degrading to :class:`SentinelError`.
+    """
+    registry: dict[str, type[Exception]] = {}
+    for name in __all__:
+        obj = globals().get(name)
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            registry[name] = obj
+    return registry

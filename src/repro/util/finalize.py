@@ -1,0 +1,55 @@
+"""Deferred closing for file objects that reach the garbage collector.
+
+A leaked channel-backed file must not be closed *inside* the collector:
+closing does transport work (a "close" round trip, a pool-lease
+release), and GC can interrupt the very thread that currently holds a
+transport or pool lock — a finalizer that then re-acquires one of those
+locks deadlocks the process on its own stack.
+
+Finalizers therefore resurrect the leaked object onto a queue, and a
+background reaper thread closes it in ordinary context.
+``SimpleQueue.put`` is reentrant (implemented without locks), so it is
+safe to call from ``__del__`` no matter where the collection fired.
+
+The reaper thread is started lazily from *ordinary* context
+(:func:`ensure_reaper` — creating a thread from a finalizer would
+itself risk re-entering :mod:`threading`'s internal locks).
+"""
+
+from __future__ import annotations
+
+import threading
+from queue import SimpleQueue
+from typing import Any
+
+__all__ = ["defer_close", "ensure_reaper"]
+
+_QUEUE: SimpleQueue = SimpleQueue()
+_started = False
+_start_lock = threading.Lock()
+
+
+def _drain() -> None:
+    while True:
+        obj = _QUEUE.get()
+        try:
+            obj.close()
+        except Exception:
+            pass  # it was leaked; best-effort cleanup only
+
+
+def ensure_reaper() -> None:
+    """Start the reaper thread.  Call from ordinary (non-GC) context."""
+    global _started
+    if _started:
+        return
+    with _start_lock:
+        if not _started:
+            threading.Thread(target=_drain, name="af-finalizer-reaper",
+                             daemon=True).start()
+            _started = True
+
+
+def defer_close(obj: Any) -> None:
+    """Hand *obj* to the reaper thread; safe to call from ``__del__``."""
+    _QUEUE.put(obj)

@@ -22,6 +22,10 @@ _LEN = struct.Struct(">I")
 #: chunked well below this by the strategies.
 MAX_FRAME = 16 * 1024 * 1024
 
+#: Frame bodies at or below this size are joined with the length prefix
+#: and written in one call.
+_COALESCE_LIMIT = 64 * 1024
+
 
 def read_exact(stream: BinaryIO, size: int) -> bytes:
     """Read exactly *size* bytes from *stream* or raise.
@@ -42,12 +46,26 @@ def read_exact(stream: BinaryIO, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def write_frame(stream: BinaryIO, payload: bytes) -> None:
-    """Write one length-prefixed frame and flush it."""
-    if len(payload) > MAX_FRAME:
-        raise FrameError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
-    stream.write(_LEN.pack(len(payload)))
-    stream.write(payload)
+def write_frame(stream: BinaryIO, payload: bytes, *extra: bytes) -> None:
+    """Write one length-prefixed frame and flush it.
+
+    The frame body may be passed as several parts; they are written
+    back-to-back under one length prefix.  This lets callers prepend a
+    small header to a large payload without concatenating (and therefore
+    copying) the payload first.  Small frames are coalesced into a
+    single write so a frame costs one syscall on an unbuffered pipe.
+    """
+    total = len(payload) + sum(len(part) for part in extra)
+    if total > MAX_FRAME:
+        raise FrameError(f"frame of {total} bytes exceeds MAX_FRAME")
+    if total <= _COALESCE_LIMIT:
+        stream.write(b"".join((_LEN.pack(total), payload, *extra)))
+    else:
+        stream.write(_LEN.pack(total))
+        stream.write(payload)
+        for part in extra:
+            if part:
+                stream.write(part)
     stream.flush()
 
 

@@ -1,0 +1,259 @@
+"""Tests for the multiplexed Channel transport.
+
+Covers the extended codec (the ``rid``/``chan`` envelope) with
+hypothesis property tests, and the demultiplexer's routing of
+interleaved responses under concurrent requests.
+"""
+
+import os
+import threading
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import control
+from repro.core.channel import (
+    CONTROL_CHAN,
+    FIRST_SESSION_CHAN,
+    LocalChannel,
+    StreamChannel,
+)
+from repro.errors import ChannelClosedError, FrameError, ProtocolError
+
+# JSON-representable header values (what the codec actually carries)
+_scalars = (st.none() | st.booleans() | st.integers()
+            | st.text(max_size=16))
+_fields = st.dictionaries(
+    st.text(min_size=1, max_size=8).filter(
+        lambda k: k not in control.ENVELOPE_KEYS),
+    _scalars, max_size=6)
+
+
+class TestEnvelopeCodec:
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=0, max_value=2**16),
+           _fields, st.binary(max_size=256))
+    def test_request_envelope_roundtrip(self, rid, chan, fields, payload):
+        blob = control.request_envelope(rid, chan, fields, payload)
+        decoded_fields, decoded_payload = control.decode_message(blob)
+        out_rid, out_chan, is_reply, rest = control.split_envelope(
+            decoded_fields)
+        assert (out_rid, out_chan, is_reply) == (rid, chan, False)
+        assert rest == fields
+        assert decoded_payload == payload
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.integers(min_value=0, max_value=2**16),
+           _fields, st.binary(max_size=256))
+    def test_reply_envelope_roundtrip(self, rid, chan, fields, payload):
+        blob = control.reply_envelope(rid, chan, fields, payload)
+        decoded_fields, decoded_payload = control.decode_message(blob)
+        out_rid, out_chan, is_reply, rest = control.split_envelope(
+            decoded_fields)
+        assert (out_rid, out_chan, is_reply) == (rid, chan, True)
+        assert rest == fields
+        assert decoded_payload == payload
+
+    @given(_fields)
+    def test_missing_envelope_rejected(self, fields):
+        with pytest.raises(FrameError):
+            control.split_envelope(fields)
+
+    def test_invalid_envelope_values_rejected(self):
+        with pytest.raises(FrameError):
+            control.split_envelope({"rid": "not-a-number", "chan": 0})
+
+
+def make_stream_pair():
+    """Two connected StreamChannels over OS pipes, plus a cleanup."""
+    a_read, b_write = os.pipe()
+    b_read, a_write = os.pipe()
+    a = StreamChannel(os.fdopen(a_read, "rb", buffering=0),
+                      os.fdopen(a_write, "wb", buffering=0), name="a")
+    b = StreamChannel(os.fdopen(b_read, "rb", buffering=0),
+                      os.fdopen(b_write, "wb", buffering=0), name="b")
+    return a, b
+
+
+class TestDemux:
+    def test_basic_request_reply(self):
+        a, b = make_stream_pair()
+        b.register(CONTROL_CHAN, lambda f, p: ({"ok": True, "echo": f["x"]},
+                                               p.upper()))
+        a.start()
+        b.start()
+        try:
+            fields, payload = a.request(CONTROL_CHAN, {"x": 42}, b"abc")
+            assert fields == {"ok": True, "echo": 42}
+            assert payload == b"ABC"
+        finally:
+            a.close()
+
+    def test_interleaved_responses_route_to_their_requests(self):
+        """Replies arriving out of request order reach the right caller."""
+        a, b = make_stream_pair()
+        gate = threading.Event()
+
+        def handler(fields, payload):
+            if fields["x"] == 0:
+                gate.wait(5.0)  # first request replies LAST
+            else:
+                gate.set()
+            return {"ok": True, "echo": fields["x"]}, b""
+
+        b.register(FIRST_SESSION_CHAN, handler)
+        b.register(FIRST_SESSION_CHAN + 1, handler)
+        a.start()
+        b.start()
+        try:
+            slow = a.request_async(FIRST_SESSION_CHAN, {"x": 0})
+            fast = a.request_async(FIRST_SESSION_CHAN + 1, {"x": 1})
+            fast_fields, _ = fast.wait(5.0)
+            slow_fields, _ = slow.wait(5.0)
+            assert fast_fields["echo"] == 1
+            assert slow_fields["echo"] == 0
+        finally:
+            a.close()
+
+    def test_concurrent_requests_all_get_their_own_reply(self):
+        a, b = make_stream_pair()
+        b.register(CONTROL_CHAN, lambda f, p: ({"ok": True, "echo": f["x"]},
+                                               p))
+        a.start()
+        b.start()
+        errors = []
+
+        def caller(x):
+            try:
+                for i in range(20):
+                    fields, payload = a.request(
+                        CONTROL_CHAN, {"x": x * 1000 + i},
+                        str(x * 1000 + i).encode())
+                    assert fields["echo"] == x * 1000 + i
+                    assert payload == str(x * 1000 + i).encode()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller, args=(x,))
+                   for x in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        a.close()
+        assert not errors
+
+    def test_per_channel_ordering_is_preserved(self):
+        a, b = make_stream_pair()
+        seen = []
+        b.register(CONTROL_CHAN,
+                   lambda f, p: (seen.append(f["n"]), ({"ok": True}, b""))[1])
+        a.start()
+        b.start()
+        try:
+            pendings = [a.request_async(CONTROL_CHAN, {"n": n})
+                        for n in range(50)]
+            for pending in pendings:
+                pending.wait(5.0)
+            assert seen == list(range(50))
+        finally:
+            a.close()
+
+    def test_handler_exception_becomes_error_reply(self):
+        a, b = make_stream_pair()
+
+        def handler(fields, payload):
+            raise ProtocolError("handler exploded")
+
+        b.register(CONTROL_CHAN, handler)
+        a.start()
+        b.start()
+        try:
+            fields, _ = a.request(CONTROL_CHAN, {"cmd": "ping"})
+            assert fields["ok"] is False
+            assert fields["error_type"] == "ProtocolError"
+        finally:
+            a.close()
+
+    def test_request_to_unhandled_channel_is_error_reply(self):
+        a, b = make_stream_pair()
+        a.start()
+        b.start()
+        try:
+            fields, _ = a.request(99, {"cmd": "ping"}, timeout=5.0)
+            assert fields["ok"] is False
+            assert fields["error_type"] == "ProtocolError"
+        finally:
+            a.close()
+
+    def test_peer_death_fails_outstanding_requests(self):
+        a, b = make_stream_pair()
+        hold = threading.Event()
+        b.register(CONTROL_CHAN, lambda f, p: (hold.wait(5.0),
+                                               ({"ok": True}, b""))[1])
+        a.start()
+        b.start()
+        pending = a.request_async(CONTROL_CHAN, {"cmd": "ping"})
+        b.kill("simulated peer crash")
+        with pytest.raises(ChannelClosedError):
+            pending.wait(5.0)
+        hold.set()
+        assert a.dead
+
+    def test_request_after_close_raises(self):
+        a, b = make_stream_pair()
+        a.start()
+        b.start()
+        a.close()
+        with pytest.raises(ChannelClosedError):
+            a.request(CONTROL_CHAN, {"cmd": "ping"})
+        b.wait_closed(timeout=5.0)
+
+    def test_counters_track_pipelining(self):
+        a, b = make_stream_pair()
+        gate = threading.Event()
+        b.register(CONTROL_CHAN, lambda f, p: (gate.wait(5.0),
+                                               ({"ok": True}, b""))[1])
+        a.start()
+        b.start()
+        try:
+            first = a.request_async(CONTROL_CHAN, {"cmd": "ping"})
+            second = a.request_async(CONTROL_CHAN, {"cmd": "ping"})
+            assert a.counters.in_flight == 2
+            gate.set()
+            first.wait(5.0)
+            second.wait(5.0)
+            snap = a.counters.snapshot()
+            assert snap["max_in_flight"] >= 2
+            assert snap["replies_received"] == 2
+            assert snap["per_op"]["ping"]["count"] == 2
+        finally:
+            a.close()
+
+
+class TestLocalChannel:
+    def test_pair_round_trip_no_serialization(self):
+        app, sentinel = LocalChannel.pair()
+        marker = object()  # deliberately not JSON-encodable
+        sentinel.register(FIRST_SESSION_CHAN,
+                          lambda f, p: ({"ok": True, "obj": f["obj"]}, p))
+        fields, payload = app.request(FIRST_SESSION_CHAN,
+                                      {"obj": marker}, b"raw")
+        assert fields["obj"] is marker  # crossed by reference, no copy
+        assert payload == b"raw"
+        app.close()
+
+    def test_kill_propagates_to_peer(self):
+        app, sentinel = LocalChannel.pair()
+        app.close()
+        assert sentinel.dead
+
+    def test_local_counters(self):
+        app, sentinel = LocalChannel.pair()
+        sentinel.register(FIRST_SESSION_CHAN,
+                          lambda f, p: ({"ok": True}, b"xy"))
+        app.request(FIRST_SESSION_CHAN, {"cmd": "read"})
+        snap = app.counters.snapshot()
+        assert snap["requests_sent"] == 1
+        assert snap["per_op"]["read"]["count"] == 1
+        app.close()

@@ -88,6 +88,22 @@ class TestResponses:
             control.raise_for_response({"ok": False, "error": "weird",
                                         "error_type": "ValueError"})
 
+    def test_every_library_error_survives_the_wire(self):
+        # regression: the registry used to be a hand-written subset, so
+        # e.g. ChannelClosedError degraded to SentinelError on round-trip
+        from repro.errors import wire_error_registry
+
+        registry = wire_error_registry()
+        assert "ChannelClosedError" in registry
+        assert "StrategyError" in registry
+        assert "FrameError" in registry
+        for name, exc_class in registry.items():
+            fields, _ = control.decode_message(
+                control.error_response(exc_class(f"boom via {name}"))
+            )
+            with pytest.raises(exc_class, match=f"boom via {name}"):
+                control.raise_for_response(fields)
+
 
 class CountingSentinel(Sentinel):
     def __init__(self, params=None):

@@ -1,7 +1,7 @@
 """Tests for the network bridge between application and sentinel child.
 
-These tests exercise the bridge in-process over socketpairs; the
-integration tests exercise it across a real child interpreter.
+These tests exercise the bridge in-process over a pipe-backed channel
+pair; the integration tests exercise it across a real child interpreter.
 """
 
 import os
@@ -9,7 +9,8 @@ import threading
 
 import pytest
 
-from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
+from repro.core.channel import StreamChannel
+from repro.core.netproxy import BRIDGE_CHAN, NetworkBridgeServer, ProxyNetwork
 from repro.errors import AddressError, NetworkError
 from repro.net import Address, FileServer, Network
 
@@ -22,21 +23,25 @@ def bridged():
 
     req_read, req_write = os.pipe()
     resp_read, resp_write = os.pipe()
-    server = NetworkBridgeServer(
-        network,
-        rfile=os.fdopen(req_read, "rb", buffering=0),
-        wfile=os.fdopen(resp_write, "wb", buffering=0),
+    app_end = StreamChannel(
+        os.fdopen(req_read, "rb", buffering=0),
+        os.fdopen(resp_write, "wb", buffering=0),
+        name="test-bridge-app",
     )
-    server.start()
-    proxy = ProxyNetwork(
-        rfile=os.fdopen(resp_read, "rb", buffering=0),
-        wfile=os.fdopen(req_write, "wb", buffering=0),
+    app_end.register(BRIDGE_CHAN, NetworkBridgeServer(network).handle)
+    app_end.start()
+
+    child_end = StreamChannel(
+        os.fdopen(resp_read, "rb", buffering=0),
+        os.fdopen(req_write, "wb", buffering=0),
+        name="test-bridge-child",
     )
+    child_end.start()
+    proxy = ProxyNetwork(child_end)
 
     def cleanup():
-        proxy._wfile.close()
-        proxy._rfile.close()
-        server.join(timeout=2.0)
+        child_end.close()
+        app_end.wait_closed(timeout=2.0)
 
     yield network, proxy, cleanup
     cleanup()
@@ -89,7 +94,7 @@ class TestProxyCalls:
         with pytest.raises(NetworkError):
             connection.call("read")
 
-    def test_concurrent_callers_serialize_safely(self, bridged):
+    def test_concurrent_callers_pipeline_safely(self, bridged):
         _, proxy, _ = bridged
         connection = proxy.connect(Address("files", 1))
         errors = []
@@ -110,6 +115,9 @@ class TestProxyCalls:
             thread.join()
         assert not errors
 
-    def test_bridge_exits_on_child_close(self, bridged):
+    def test_bridge_dies_with_channel(self, bridged):
         _, proxy, cleanup = bridged
-        cleanup()  # closing the child side must end the server thread
+        cleanup()  # closing the child side must end the bridge endpoint
+        connection = proxy.connect(Address("files", 1))
+        with pytest.raises(NetworkError):
+            connection.call("read", path="f.txt", offset=0, size=1)

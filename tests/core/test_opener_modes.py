@@ -25,9 +25,12 @@ class TestParseMode:
     def test_flag_matrix(self, mode, expected):
         assert parse_mode(mode) == expected
 
-    def test_mode_without_b_accepted(self):
-        # the opener layer is binary; the b is conventional
-        assert parse_mode("r")["readable"]
+    @pytest.mark.parametrize("mode", ["r", "r+", "w", "w+", "a", "a+"])
+    def test_text_modes_rejected(self, mode):
+        # regression: the opener layer is binary-only, so the docstring's
+        # "only binary modes are accepted" must actually be enforced
+        with pytest.raises(ValueError):
+            parse_mode(mode)
 
     @pytest.mark.parametrize("mode", ["x", "rw", "rbb", "", "+", "br+q"])
     def test_bad_modes(self, mode):

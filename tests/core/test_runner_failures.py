@@ -1,4 +1,4 @@
-"""Failure injection for the sentinel child-process runner."""
+"""Failure injection for the sentinel host process."""
 
 import signal
 import time
@@ -6,9 +6,27 @@ import time
 import pytest
 
 from repro.core import create_active, open_active
-from repro.errors import SentinelCrashError
+from repro.errors import SentinelCrashError, SpecError
 
 NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+class NoisyCrash:
+    """Importable sentinel that writes to stderr, then hard-crashes."""
+
+    def __new__(cls, params):
+        from repro.core.sentinel import Sentinel
+
+        class Impl(Sentinel):
+            def on_read(self, ctx, offset, size):
+                import os
+                import sys
+
+                print("LAST WORDS from the sentinel", file=sys.stderr,
+                      flush=True)
+                os._exit(7)
+
+        return Impl(params)
 
 
 class CrashOnNthRead:
@@ -51,7 +69,7 @@ class TestChildCrash:
         create_active(path, NULL, data=b"x" * 64)
         stream = open_active(str(path), "rb", strategy="process-control")
         assert stream.read(4) == b"xxxx"
-        proc = stream.session._handle.proc
+        proc = stream.session.host.proc
         proc.send_signal(signal.SIGKILL)
         proc.wait(timeout=5)
         with pytest.raises(SentinelCrashError):
@@ -59,21 +77,28 @@ class TestChildCrash:
         with pytest.raises(SentinelCrashError):
             stream.close()
 
-    def test_crash_message_includes_stderr(self, tmp_path):
+    def test_bad_spec_fails_at_open(self, tmp_path):
         path = tmp_path / "broken.af"
-        # spec resolves to a module that import-errors in the child
+        # spec resolves to a module that import-errors in the host child;
+        # the failure round-trips as a typed error response at open time
         create_active(path, "definitely.not.a.module:Sentinel")
+        with pytest.raises(SpecError, match="definitely"):
+            open_active(str(path), "rb", strategy="process-control")
+
+    def test_crash_message_includes_stderr(self, tmp_path):
+        path = tmp_path / "noisy.af"
+        create_active(path, f"{__name__}:NoisyCrash", data=b"abc")
         stream = open_active(str(path), "rb", strategy="process-control")
         with pytest.raises(SentinelCrashError) as excinfo:
             stream.read(1)
-        stream_error = str(excinfo.value)
+        message = str(excinfo.value)
         # stderr tail is drained asynchronously; give it a beat if empty
         for _ in range(20):
-            if "definitely" in stream_error:
+            if "LAST WORDS" in message:
                 break
             time.sleep(0.05)
-            stream_error = stream.session._handle.stderr_text()
-        assert "definitely" in stream_error
+            message = stream.session.host.stderr_text()
+        assert "LAST WORDS" in message
         with pytest.raises(SentinelCrashError):
             stream.close()
 
