@@ -101,23 +101,35 @@ class Win32Api:
         self._handles.get(handle).flush()
 
     def ReadFileScatter(self, handle: int, sizes: list[int]) -> list[bytes]:
-        """Scatter read; unsupported without a control channel (§4.1)."""
+        """Scatter read; unsupported without a control channel (§4.1).
+
+        Active files serve the whole batch as one vectored exchange
+        (``readv``) instead of one round trip per buffer.
+        """
         stream = self._handles.get(handle)
-        if isinstance(stream, ActiveFile) and not stream.seekable():
-            raise UnsupportedOperationError(
-                "ReadFileScatter dropped: no control channel in the "
-                "simple process strategy"
-            )
+        if isinstance(stream, ActiveFile):
+            if not stream.seekable():
+                raise UnsupportedOperationError(
+                    "ReadFileScatter dropped: no control channel in the "
+                    "simple process strategy"
+                )
+            return stream.read_scatter(sizes)
         return [stream.read(size) for size in sizes]
 
     def WriteFileGather(self, handle: int, buffers: list[bytes]) -> int:
-        """Gather write; unsupported without a control channel (§4.1)."""
+        """Gather write; unsupported without a control channel (§4.1).
+
+        Active files push the whole batch as one vectored exchange
+        (``writev``).
+        """
         stream = self._handles.get(handle)
-        if isinstance(stream, ActiveFile) and not stream.seekable():
-            raise UnsupportedOperationError(
-                "WriteFileGather dropped: no control channel in the "
-                "simple process strategy"
-            )
+        if isinstance(stream, ActiveFile):
+            if not stream.seekable():
+                raise UnsupportedOperationError(
+                    "WriteFileGather dropped: no control channel in the "
+                    "simple process strategy"
+                )
+            return stream.write_gather(buffers)
         return sum(stream.write(buffer) for buffer in buffers)
 
     # -- introspection -------------------------------------------------------------------

@@ -42,7 +42,7 @@ from typing import Any, BinaryIO, Callable
 
 from repro.core import control
 from repro.errors import ChannelClosedError, FrameError, ProtocolError
-from repro.util.framing import read_frame, write_frame
+from repro.util.framing import write_frame
 
 __all__ = [
     "Channel",
@@ -61,6 +61,18 @@ CONTROL_CHAN = 0
 FIRST_SESSION_CHAN = 1
 
 Handler = Callable[[dict[str, Any], bytes], "tuple[dict[str, Any], bytes]"]
+
+#: What the send path accepts as a payload: one buffer, or a sequence of
+#: buffers gathered under the same frame (scatter-gather, copy-free on
+#: the wire transport).
+Payload = "bytes | bytearray | memoryview | tuple | list"
+
+
+def _payload_parts(payload: Any) -> tuple:
+    """Normalize a payload into a tuple of buffer parts."""
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return (payload,)
+    return tuple(payload)
 
 
 def _close_quietly(stream: BinaryIO) -> None:
@@ -266,8 +278,13 @@ class Channel:
     # -- requester side ----------------------------------------------------------
 
     def request_async(self, chan: int, fields: dict[str, Any],
-                      payload: bytes = b"") -> PendingReply:
-        """Send one request and return its future without waiting."""
+                      payload: Any = b"") -> PendingReply:
+        """Send one request and return its future without waiting.
+
+        *payload* may be a single buffer (``bytes``/``bytearray``/
+        ``memoryview``) or a sequence of buffers to gather under one
+        frame — the scatter-gather path used by the vectored ops.
+        """
         self._check_alive()
         with self._rid_lock:
             self._next_rid += 1
@@ -276,9 +293,10 @@ class Channel:
         pending = PendingReply(self, rid, op)
         with self._pending_lock:
             self._pending[rid] = pending
-        self.counters.request_started(op, len(payload))
+        parts = _payload_parts(payload)
+        self.counters.request_started(op, sum(len(p) for p in parts))
         try:
-            self._send({**fields, "rid": rid, "chan": int(chan)}, payload)
+            self._send({**fields, "rid": rid, "chan": int(chan)}, parts)
         except BaseException:
             if self._withdraw(rid) is pending:
                 self.counters.request_withdrawn(op)
@@ -290,7 +308,7 @@ class Channel:
         return pending
 
     def request(self, chan: int, fields: dict[str, Any],
-                payload: bytes = b"", timeout: float | None = None
+                payload: Any = b"", timeout: float | None = None
                 ) -> tuple[dict[str, Any], bytes]:
         """One pipelinable command/response round trip."""
         return self.request_async(chan, fields, payload).wait(timeout)
@@ -345,8 +363,9 @@ class Channel:
             return self._pending.pop(rid, None)
 
     def _send_reply(self, rid: int, chan: int, fields: dict[str, Any],
-                    payload: bytes) -> None:
-        self._send({**fields, "rid": rid, "chan": chan, "re": True}, payload)
+                    payload: Any) -> None:
+        self._send({**fields, "rid": rid, "chan": chan, "re": True},
+                   _payload_parts(payload))
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -385,7 +404,9 @@ class Channel:
     def _teardown(self) -> None:
         """Subclass hook: release transport resources (idempotent)."""
 
-    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+    def _send(self, fields: dict[str, Any], parts: tuple) -> None:
+        """Deliver one enveloped message; *parts* is a tuple of buffers
+        forming the payload back-to-back."""
         raise NotImplementedError
 
 
@@ -416,8 +437,7 @@ class StreamChannel(Channel):
         try:
             while True:
                 try:
-                    fields, payload = control.decode_message(
-                        read_frame(self._rfile))
+                    fields, payload = control.read_wire_message(self._rfile)
                     self._dispatch(fields, payload)
                 except (ChannelClosedError, FrameError, OSError,
                         ValueError) as exc:
@@ -427,12 +447,14 @@ class StreamChannel(Channel):
             # The reader owns _rfile's closure (see _teardown).
             _close_quietly(self._rfile)
 
-    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+    def _send(self, fields: dict[str, Any], parts: tuple) -> None:
         self._check_alive()
-        head = control.encode_message(fields)
+        head = control.encode_head(fields)
         try:
             with self._write_lock:
-                write_frame(self._wfile, head, payload)
+                # Every part rides the frame as its own write: headers,
+                # blocks, and gathered extents are never concatenated.
+                write_frame(self._wfile, head, *parts)
         except (BrokenPipeError, OSError, ValueError) as exc:
             self.kill(f"transport write failed: {exc}")
             raise ChannelClosedError(f"{self.name}: write failed: {exc}") from exc
@@ -482,11 +504,17 @@ class LocalChannel(Channel):
         b._peer = a
         return a, b
 
-    def _send(self, fields: dict[str, Any], payload: bytes) -> None:
+    def _send(self, fields: dict[str, Any], parts: tuple) -> None:
         self._check_alive()
         peer = self._peer
         if peer is None or peer.dead:
             raise ChannelClosedError(f"{self.name}: peer is closed")
+        if len(parts) == 1 and isinstance(parts[0], bytes):
+            payload = parts[0]  # cross by reference: zero copies
+        else:
+            # Handlers receive immutable bytes; materialize views and
+            # gathered extents so the sender may reuse its buffers.
+            payload = b"".join(parts)
         peer._dispatch(fields, payload)
 
     def kill(self, reason: str) -> None:

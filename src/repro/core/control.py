@@ -25,6 +25,7 @@ import struct
 from typing import Any
 
 from repro.errors import (
+    ChannelClosedError,
     FrameError,
     ProtocolError,
     SentinelError,
@@ -33,7 +34,9 @@ from repro.errors import (
 
 __all__ = [
     "encode_message",
+    "encode_head",
     "decode_message",
+    "read_wire_message",
     "command",
     "ok_response",
     "error_response",
@@ -51,8 +54,12 @@ _JSON_LEN = struct.Struct(">I")
 #: The full command vocabulary of the control channel.  ``rstream`` and
 #: ``wstream`` are the sequential plane of the simple process strategy
 #: (§4.1) expressed as commands over the multiplexed transport.
-COMMANDS = ("read", "write", "size", "truncate", "flush", "control",
-            "close", "rstream", "wstream", "open", "ping")
+#: ``readv``/``writev`` are the vectored (scatter-gather) ops: one round
+#: trip carries many extents, which is what lets the cache pipeline move
+#: whole prefetch windows and coalesced flush batches per exchange.
+COMMANDS = ("read", "write", "readv", "writev", "size", "truncate",
+            "flush", "control", "close", "rstream", "wstream", "open",
+            "ping")
 
 #: Header fields reserved for the multiplexing envelope.
 ENVELOPE_KEYS = ("rid", "chan", "re")
@@ -63,14 +70,63 @@ ENVELOPE_KEYS = ("rid", "chan", "re")
 _ERROR_TYPES: dict[str, type[Exception]] = wire_error_registry()
 
 
-def encode_message(fields: dict[str, Any], payload: bytes = b"") -> bytes:
+def encode_message(fields: dict[str, Any],
+                   payload: bytes | memoryview = b"") -> bytes:
     """Encode a header dict + payload into one frame body."""
+    head = encode_head(fields)
+    if not payload:
+        return head
+    return b"".join((head, payload))
+
+
+def encode_head(fields: dict[str, Any]) -> bytes:
+    """Encode just the length-prefixed JSON header of a message.
+
+    Senders that keep the payload separate (to write it as its own
+    frame part, copy-free) pair this with
+    :func:`repro.util.framing.write_frame`'s multi-part body.
+    """
     try:
         header = json.dumps(fields, separators=(",", ":"),
                             sort_keys=True).encode("utf-8")
     except (TypeError, ValueError) as exc:
         raise FrameError(f"unencodable message fields: {exc}") from exc
-    return _JSON_LEN.pack(len(header)) + header + payload
+    return _JSON_LEN.pack(len(header)) + header
+
+
+def read_wire_message(stream: Any) -> tuple[dict[str, Any], bytes]:
+    """Read one framed message off *stream* as ``(fields, payload)``.
+
+    Equivalent to ``decode_message(read_frame(stream))`` but reads the
+    JSON header and the payload as separate stream reads, so a large
+    payload arrives in exactly one buffer — no frame-sized intermediate
+    blob, no slice copy.  This is the hot inbound path of
+    :class:`~repro.core.channel.StreamChannel`.
+    """
+    from repro.util.framing import MAX_FRAME, read_exact
+    head = stream.read(_JSON_LEN.size)
+    if not head:
+        raise ChannelClosedError("stream closed at frame boundary")
+    if len(head) < _JSON_LEN.size:
+        head += read_exact(stream, _JSON_LEN.size - len(head))
+    (frame_len,) = _JSON_LEN.unpack(head)
+    if frame_len > MAX_FRAME:
+        raise FrameError(f"incoming frame of {frame_len} bytes exceeds MAX_FRAME")
+    if frame_len < _JSON_LEN.size:
+        raise FrameError(f"message of {frame_len} bytes has no header")
+    (header_len,) = _JSON_LEN.unpack(read_exact(stream, _JSON_LEN.size))
+    if header_len > frame_len - _JSON_LEN.size:
+        raise FrameError("message header extends past frame body")
+    header = read_exact(stream, header_len)
+    try:
+        fields = json.loads(header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"message header is not JSON: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise FrameError(
+            f"message header must be an object, got {type(fields).__name__}")
+    payload = read_exact(stream, frame_len - _JSON_LEN.size - header_len)
+    return fields, payload
 
 
 def decode_message(blob: bytes) -> tuple[dict[str, Any], bytes]:

@@ -62,6 +62,31 @@ class SentinelDispatcher:
             written = self.sentinel.on_write(self.ctx,
                                              int(fields["offset"]), payload)
             return {"ok": True, "written": written}, b""
+        if cmd == "readv":
+            # Vectored read: one round trip serves many extents.  The
+            # reply payload is the extents' data back-to-back; "sizes"
+            # tells the caller where each (possibly short) one ends.
+            chunks = []
+            sizes = []
+            for offset, size in fields["extents"]:
+                data = self.sentinel.on_read(self.ctx, int(offset), int(size))
+                chunks.append(data)
+                sizes.append(len(data))
+            return {"ok": True, "sizes": sizes}, b"".join(chunks)
+        if cmd == "writev":
+            # Vectored write: the payload carries the extents' data
+            # back-to-back, split according to the (offset, size) list.
+            view = memoryview(payload)
+            cursor = 0
+            written = []
+            for offset, size in fields["extents"]:
+                size = int(size)
+                chunk = view[cursor:cursor + size]
+                cursor += size
+                written.append(
+                    self.sentinel.on_write(self.ctx, int(offset),
+                                           bytes(chunk)))
+            return {"ok": True, "written": written}, b""
         if cmd == "size":
             return {"ok": True, "size": self.sentinel.on_size(self.ctx)}, b""
         if cmd == "truncate":

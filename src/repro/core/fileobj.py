@@ -41,6 +41,14 @@ class FileStats:
     bytes_written: int = 0
     seeks: int = 0
     controls: int = 0
+    # Sentinel-side cache counters, populated by refresh_cache_stats()
+    # for sentinels that answer the "cache-stats" control op.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    prefetch_issued: int = 0
+    prefetch_used: int = 0
+    coalesced_flushes: int = 0
+    dirty_high_water: int = 0
 
 
 class ActiveFile(io.RawIOBase):
@@ -58,7 +66,12 @@ class ActiveFile(io.RawIOBase):
         self._session_closed = False
         self.stats = FileStats()
         self._pos = 0
-        if append and session.supports_random_access:
+        if append:
+            if not session.supports_random_access:
+                raise UnsupportedOperationError(
+                    f"{session.strategy}: append mode needs the end-of-file "
+                    "position, which requires random access (use the "
+                    "process-control, thread, or inproc strategy)")
             self._pos = session.size()
 
     # -- io.RawIOBase surface ------------------------------------------------------
@@ -98,20 +111,117 @@ class ActiveFile(io.RawIOBase):
             raise UnsupportedOperationError(f"{self.name}: not open for reading")
         view = memoryview(buffer)
         if self._session.supports_random_access:
-            data = self._session.read_at(self._pos, len(view))
+            # Fills the caller's buffer directly — no intermediate bytes.
+            count = self._session.read_at_into(self._pos, view)
         else:
             data = self._session.read_stream(len(view))
-        view[:len(data)] = data
+            count = len(data)
+            view[:count] = data
+        self._pos += count
+        self.stats.reads += 1
+        self.stats.bytes_read += count
+        return count
+
+    def read(self, size: int = -1) -> bytes:
+        """Read up to *size* bytes (all remaining if negative).
+
+        Overrides :class:`io.RawIOBase`'s default, which allocates a
+        bytearray, fills it via :meth:`readinto`, then copies it into
+        the result — the session's bytes are returned as-is instead.
+        """
+        if size is None or size < 0:
+            return self.readall()
+        self._ensure_open()
+        if not self._readable:
+            raise UnsupportedOperationError(f"{self.name}: not open for reading")
+        if self._session.supports_random_access:
+            data = self._session.read_at(self._pos, size)
+        else:
+            data = self._session.read_stream(size)
         self._pos += len(data)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
-        return len(data)
+        return data
+
+    def readall(self) -> bytes:
+        """Read to end of file in progressively larger bounded chunks.
+
+        Starts small so sentinels that meter *requested* bytes (e.g. a
+        sandbox budget) are not overcharged for small files, and grows
+        toward 1 MiB so large files don't pay a round trip per 8 KiB.
+        """
+        chunks = []
+        step = 8 * 1024
+        while True:
+            chunk = self.read(step)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            step = min(step * 2, 1024 * 1024)
+        return b"".join(chunks)
+
+    def read_scatter(self, sizes: list[int]) -> list[bytes]:
+        """ReadFileScatter: fill many buffers from the cursor in one go.
+
+        Equivalent to consecutive reads of each size, but the whole
+        batch travels as one vectored exchange on channel strategies.
+        A short extent ends the sequence (end of file).
+        """
+        self._ensure_open()
+        if not self._readable:
+            raise UnsupportedOperationError(f"{self.name}: not open for reading")
+        if not self._session.supports_random_access:
+            raise UnsupportedOperationError(
+                f"{self._session.strategy}: scatter read requires random access")
+        extents = []
+        position = self._pos
+        for size in sizes:
+            extents.append((position, int(size)))
+            position += int(size)
+        results = self._session.read_multi(extents)
+        out: list[bytes] = []
+        eof = False
+        for (wanted_offset, wanted), data in zip(extents, results):
+            if eof:
+                # Past end of file: consecutive reads would return b""
+                # and leave the cursor parked at the short-read point.
+                data = b""
+            else:
+                self._pos = wanted_offset + len(data)
+            out.append(data)
+            self.stats.reads += 1
+            self.stats.bytes_read += len(data)
+            if len(data) < wanted:
+                eof = True
+        return out
+
+    def write_gather(self, buffers: list[bytes]) -> int:
+        """WriteFileGather: write many buffers from the cursor in one go."""
+        self._ensure_open()
+        if not self._writable:
+            raise UnsupportedOperationError(f"{self.name}: not open for writing")
+        if not self._session.supports_random_access:
+            raise UnsupportedOperationError(
+                f"{self._session.strategy}: gather write requires random access")
+        extents = []
+        position = self._pos
+        for data in buffers:
+            data = data if isinstance(data, (bytes, bytearray)) else bytes(data)
+            extents.append((position, data))
+            position += len(data)
+        written = self._session.write_extents(extents)
+        total = sum(written)
+        self._pos += total
+        self.stats.writes += len(written)
+        self.stats.bytes_written += total
+        return total
 
     def write(self, data) -> int:
         self._ensure_open()
         if not self._writable:
             raise UnsupportedOperationError(f"{self.name}: not open for writing")
-        data = bytes(data)
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(data)
         if self._session.supports_random_access:
             written = self._session.write_at(self._pos, data)
         else:
@@ -176,6 +286,25 @@ class ActiveFile(io.RawIOBase):
         self._ensure_open()
         self.stats.controls += 1
         return self._session.control(op, args, payload)
+
+    def cache_stats(self) -> dict[str, Any]:
+        """The sentinel's cache counters, via the ``cache-stats`` control op.
+
+        Also folds the counters into :attr:`stats`, so one call gives
+        tests and benchmarks hit ratios alongside the operation counts.
+        Raises :class:`UnsupportedOperationError` for sentinels without
+        a cache-stats control handler.
+        """
+        fields, _ = self.control("cache-stats")
+        snapshot = dict(fields)
+        for key, attr in (("hits", "cache_hits"), ("misses", "cache_misses"),
+                          ("prefetch_issued", "prefetch_issued"),
+                          ("prefetch_used", "prefetch_used"),
+                          ("coalesced_flushes", "coalesced_flushes"),
+                          ("dirty_high_water", "dirty_high_water")):
+            if key in snapshot:
+                setattr(self.stats, attr, int(snapshot[key]))
+        return snapshot
 
     # -- lifecycle ---------------------------------------------------------------------
 

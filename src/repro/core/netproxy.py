@@ -25,7 +25,7 @@ process from the sentinel.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.channel import CONTROL_CHAN, Channel
 from repro.errors import (
@@ -88,6 +88,22 @@ class ProxyConnection:
                                 Request(op=op, fields=dict(fields),
                                         payload=payload))
 
+    def call_async(self, op: str, payload: bytes = b"",
+                   **fields) -> Callable[[], Response]:
+        """Start one proxied call; returns a resolver for its response.
+
+        The request is on the wire (pipelined on channel 0) when this
+        returns; calling the resolver blocks for the reply.  All
+        errors — including issue-time transport failures — surface at
+        resolution, so callers can issue a batch before touching any
+        result.
+        """
+        if self._closed:
+            raise NetworkError("connection is closed")
+        return self._proxy.call_async(self.address,
+                                      Request(op=op, fields=dict(fields),
+                                              payload=payload))
+
     def expect(self, op: str, payload: bytes = b"", **fields) -> Response:
         response = self.call(op, payload, **fields)
         if not response.ok:
@@ -119,6 +135,17 @@ class ProxyNetwork:
         return ProxyConnection(self, address)
 
     def call(self, address: Address, request: Request) -> Response:
+        return self.call_async(address, request)()
+
+    def call_async(self, address: Address,
+                   request: Request) -> Callable[[], Response]:
+        """Put one bridge call on the wire; resolve it later.
+
+        This is what lets the cache issue a prefetch window and keep
+        serving the application: the request is in flight on channel 0
+        while the resolver is still unclaimed.  Issue-time failures are
+        captured and re-raised at resolution.
+        """
         fields = {
             "cmd": "net",
             "host": address.host,
@@ -128,15 +155,26 @@ class ProxyNetwork:
             "fields": request.fields,
         }
         try:
-            reply, payload = self._channel.request(BRIDGE_CHAN, fields,
-                                                   request.payload)
+            pending = self._channel.request_async(BRIDGE_CHAN, fields,
+                                                  request.payload)
         except ChannelClosedError as exc:
-            raise NetworkError(f"network bridge is gone: {exc}") from exc
-        if not reply.get("ok", False):
-            exc_class = _TRANSPORT_ERRORS.get(reply.get("error_type", ""),
-                                              NetworkError)
-            raise exc_class(reply.get("error", "bridge transport failure"))
-        return Response(ok=reply.get("resp_ok", False),
-                        fields=reply.get("resp_fields") or {},
-                        payload=payload,
-                        error=reply.get("resp_error", ""))
+            error = NetworkError(f"network bridge is gone: {exc}")
+
+            def failed() -> Response:
+                raise error
+            return failed
+
+        def resolve() -> Response:
+            try:
+                reply, payload = pending.wait()
+            except ChannelClosedError as exc:
+                raise NetworkError(f"network bridge is gone: {exc}") from exc
+            if not reply.get("ok", False):
+                exc_class = _TRANSPORT_ERRORS.get(reply.get("error_type", ""),
+                                                  NetworkError)
+                raise exc_class(reply.get("error", "bridge transport failure"))
+            return Response(ok=reply.get("resp_ok", False),
+                            fields=reply.get("resp_fields") or {},
+                            payload=payload,
+                            error=reply.get("resp_error", ""))
+        return resolve

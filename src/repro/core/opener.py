@@ -20,7 +20,7 @@ from repro.core.container import Container
 from repro.core.fileobj import ActiveFile
 from repro.core.spec import SentinelSpec
 from repro.core.strategies import resolve_strategy
-from repro.errors import StrategyError
+from repro.errors import StrategyError, UnsupportedOperationError
 
 __all__ = ["create_active", "open_active", "parse_mode", "DEFAULT_STRATEGY"]
 
@@ -90,6 +90,15 @@ def open_active(path: str | os.PathLike, mode: str = "r+b", *,
                 "strategy cannot express (no control channel)"
             )
         session.truncate(0)
+    if flags["append"] and not session.supports_random_access:
+        # Fail at open time, before the application writes anything in
+        # the belief it is appending — ActiveFile would raise too, but
+        # the session must be released either way.
+        session.close()
+        raise UnsupportedOperationError(
+            f"mode {mode!r} needs the end-of-file position, which the "
+            f"{canonical!r} strategy cannot provide (no control channel)"
+        )
     return ActiveFile(
         session, name=str(path),
         readable=flags["readable"], writable=flags["writable"],

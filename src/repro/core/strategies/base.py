@@ -50,6 +50,36 @@ class Session:
             f"{self.strategy}: random-access write unsupported"
         )
 
+    def read_at_into(self, offset: int, buffer: memoryview) -> int:
+        """Read up to ``len(buffer)`` bytes at *offset* into *buffer*.
+
+        Returns the byte count.  The default goes through
+        :meth:`read_at`; transports that can land bytes directly in the
+        caller's buffer override this to avoid the intermediate copy.
+        """
+        data = self.read_at(offset, len(buffer))
+        buffer[:len(data)] = data
+        return len(data)
+
+    def read_multi(self, extents: list[tuple[int, int]]) -> list[bytes]:
+        """Read many ``(offset, size)`` extents; returns their bytes.
+
+        The default loops :meth:`read_at` — one round trip per extent.
+        Channel-backed sessions override this with the vectored
+        ``readv`` command so the whole batch rides one exchange.
+        """
+        return [self.read_at(int(offset), int(size))
+                for offset, size in extents]
+
+    def write_extents(self, extents: list[tuple[int, bytes]]) -> list[int]:
+        """Write many ``(offset, data)`` extents; returns written counts.
+
+        Default is a :meth:`write_at` loop; channel-backed sessions
+        override with the vectored ``writev`` command (one exchange for
+        a coalesced write-behind flush).
+        """
+        return [self.write_at(int(offset), data) for offset, data in extents]
+
     def size(self) -> int:
         raise UnsupportedOperationError(f"{self.strategy}: size unsupported")
 

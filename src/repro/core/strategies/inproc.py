@@ -46,6 +46,11 @@ class InprocSession(Session):
         return self._sentinel.on_read(self._ctx, offset, size)
 
     def write_at(self, offset: int, data: bytes) -> int:
+        if not isinstance(data, bytes):
+            # Sentinels are written against bytes payloads (the wire
+            # strategies deliver exactly that); honor the contract here
+            # too instead of leaking caller buffers into sentinel code.
+            data = bytes(data)
         return self._sentinel.on_write(self._ctx, offset, data)
 
     def size(self) -> int:

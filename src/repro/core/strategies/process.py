@@ -77,7 +77,7 @@ class ProcessSession(ChannelSession):
         total = 0
         with self._write_lock:
             while total < len(data):
-                chunk = bytes(view[total:total + self.WRITE_CHUNK])
+                chunk = view[total:total + self.WRITE_CHUNK]
                 fields, _ = self._op({"cmd": "wstream"}, chunk)
                 total += int(fields.get("written", len(chunk)))
         return total

@@ -61,7 +61,7 @@ class ProcessControlSession(ChannelSession):
         view = memoryview(data)
         total = 0
         while total < len(data):
-            chunk = bytes(view[total:total + self.WRITE_CHUNK])
+            chunk = view[total:total + self.WRITE_CHUNK]
             fields, _ = self._op({"cmd": "write", "offset": offset + total},
                                  chunk)
             written = int(fields["written"])

@@ -58,7 +58,7 @@ class ThreadSession(Session):
         """Transport counters — same instrumentation as the wire strategies."""
         return self._app_end.counters
 
-    def _roundtrip(self, fields: dict[str, Any], payload: bytes = b"",
+    def _roundtrip(self, fields: dict[str, Any], payload: Any = b"",
                    timeout: float | None = None
                    ) -> tuple[dict[str, Any], bytes]:
         try:
@@ -83,6 +83,34 @@ class ThreadSession(Session):
     def write_at(self, offset: int, data: bytes) -> int:
         fields, _ = self._roundtrip({"cmd": "write", "offset": offset}, data)
         return int(fields["written"])
+
+    def read_multi(self, extents: list[tuple[int, int]]) -> list[bytes]:
+        """One ``readv`` round trip for the whole batch."""
+        if not extents:
+            return []
+        fields, payload = self._roundtrip(
+            {"cmd": "readv",
+             "extents": [[int(o), int(s)] for o, s in extents]})
+        sizes = fields["sizes"]
+        if len(sizes) == 1:
+            return [payload]
+        view = memoryview(payload)
+        out: list[bytes] = []
+        cursor = 0
+        for n in sizes:
+            out.append(bytes(view[cursor:cursor + int(n)]))
+            cursor += int(n)
+        return out
+
+    def write_extents(self, extents: list[tuple[int, bytes]]) -> list[int]:
+        """One ``writev`` round trip for the whole batch."""
+        if not extents:
+            return []
+        fields, _ = self._roundtrip(
+            {"cmd": "writev",
+             "extents": [[int(o), len(d)] for o, d in extents]},
+            tuple(data for _, data in extents))
+        return [int(n) for n in fields["written"]]
 
     def size(self) -> int:
         fields, _ = self._roundtrip({"cmd": "size"})

@@ -9,7 +9,9 @@ the block the application asked for.
 Operations::
 
     read   path, offset, size          -> payload bytes
+    readv  path, extents               -> concatenated bytes + sizes
     write  path, offset (+payload)     -> written count
+    writev path, extents (+payload)    -> written counts (one version bump)
     append path (+payload)             -> offset written at
     stat   path                        -> size, version
     create path (+payload optional)    -> ok
@@ -100,6 +102,47 @@ class FileServer(Service):
             data = entry.body.read_at(offset, size)
             return Response(payload=data,
                             fields={"version": entry.version, "eof": offset + size >= entry.body.size})
+
+    def op_readv(self, request: Request) -> Response:
+        """Vectored read: many ``(offset, size)`` extents, one exchange.
+
+        The response payload carries the extents' bytes back-to-back;
+        ``sizes`` records each (possibly short) extent's actual length.
+        """
+        path = request.fields.get("path", "")
+        extents = request.fields.get("extents") or []
+        with self._lock:
+            entry = self._entry(path)
+            if entry is None:
+                return Response.failure(f"no such file: {path}")
+            chunks = [entry.body.read_at(int(offset), int(size))
+                      for offset, size in extents]
+            return Response(payload=b"".join(chunks),
+                            fields={"sizes": [len(c) for c in chunks],
+                                    "version": entry.version})
+
+    def op_writev(self, request: Request) -> Response:
+        """Vectored write: the payload is split by the extents list.
+
+        One exchange, one version bump, one watcher notification — this
+        is the landing op for a coalesced write-behind flush.
+        """
+        path = request.fields.get("path", "")
+        extents = request.fields.get("extents") or []
+        view = memoryview(request.payload)
+        cursor = 0
+        with self._lock:
+            entry = self._files.setdefault(path, RemoteFile())
+            written = []
+            for offset, size in extents:
+                size = int(size)
+                written.append(entry.body.write_at(
+                    int(offset), bytes(view[cursor:cursor + size])))
+                cursor += size
+            entry.bump()
+            version = entry.version
+        self._notify(path)
+        return Response(fields={"written": written, "version": version})
 
     def op_write(self, request: Request) -> Response:
         path = request.fields.get("path", "")

@@ -218,6 +218,29 @@ class Connection:
         request = Request(op=op, fields=dict(fields), payload=payload)
         return self.network.call(self.address, request)
 
+    def call_async(self, op: str, payload: bytes = b"", **fields):
+        """Issue *op*; returns a zero-argument resolver for the response.
+
+        The in-process network has no wire to pipeline on, so the
+        exchange runs eagerly — but errors (including transport
+        failures) are deferred to resolution, giving this the same
+        surface as :meth:`ProxyConnection.call_async
+        <repro.core.netproxy.ProxyConnection.call_async>`: callers can
+        issue a batch, then collect.
+        """
+        try:
+            response = self.call(op, payload, **fields)
+        except Exception as exc:
+            error = exc
+
+            def failed() -> Response:
+                raise error
+            return failed
+
+        def resolve() -> Response:
+            return response
+        return resolve
+
     def expect(self, op: str, payload: bytes = b"", **fields) -> Response:
         """Like :meth:`call` but raises :class:`NetworkError` on ``ok=False``."""
         response = self.call(op, payload, **fields)

@@ -44,10 +44,35 @@ class FileServerOrigin:
                                            offset=offset, size=size)
         return response.payload
 
+    def read_window(self, offset: int, size: int):
+        """Start one ranged read; returns a resolver for its bytes.
+
+        On the bridge (sentinel child) the request is genuinely in
+        flight when this returns — the cache's prefetch windows overlap
+        with whatever the application does next.
+        """
+        resolve = self._connection.call_async("read", path=self.path,
+                                              offset=offset, size=size)
+
+        def result() -> bytes:
+            response = resolve()
+            if not response.ok:
+                raise RemoteFileNotFound(response.error)
+            return response.payload
+        return result
+
     def write(self, offset: int, data: bytes) -> int:
         response = self._connection.expect("write", data, path=self.path,
                                            offset=offset)
         return int(response.fields["written"])
+
+    def write_extents(self, extents: list[tuple[int, bytes]]) -> list[int]:
+        """Vectored push: one ``writev`` exchange for the whole batch."""
+        response = self._connection.expect(
+            "writev", b"".join(bytes(data) for _, data in extents),
+            path=self.path,
+            extents=[[int(offset), len(data)] for offset, data in extents])
+        return [int(n) for n in response.fields["written"]]
 
     def stat(self) -> tuple[int, Any]:
         response = self._connection.call("stat", path=self.path)
@@ -163,8 +188,11 @@ class RemoteFileSentinel(Sentinel):
     path), ``protocol`` ("fileserver" | "http" | "ftp", default
     "fileserver"), ``cache`` ("none" | "disk" | "memory", default
     "none"), ``block_size`` (default 4096), ``max_blocks`` (optional
-    LRU bound), ``validate`` (bool: revalidate version before reads),
-    ``user``/``password`` (ftp).
+    LRU bound), ``readahead`` (max prefetch window in blocks, 0 = off),
+    ``writeback`` (buffer writes and push coalesced extents; default
+    False, i.e. paper-faithful write-through), ``writeback_bytes``
+    (dirty-byte auto-flush threshold), ``validate`` (bool: revalidate
+    version before reads), ``user``/``password`` (ftp).
     """
 
     def __init__(self, params=None) -> None:
@@ -185,6 +213,14 @@ class RemoteFileSentinel(Sentinel):
         self.block_size = int(self.params.get("block_size", 4096))
         max_blocks = self.params.get("max_blocks")
         self.max_blocks = None if max_blocks is None else int(max_blocks)
+        self.readahead = int(self.params.get("readahead", 0))
+        self.writeback = bool(self.params.get("writeback", False))
+        self.writeback_bytes = int(self.params.get("writeback_bytes",
+                                                   256 * 1024))
+        if cache == "none" and (self.readahead or self.writeback):
+            raise SentinelError(
+                "readahead/writeback require a cache path "
+                "(cache='disk' or cache='memory', not 'none')")
         self.validate = bool(self.params.get("validate", False))
         self._origin = None
         self._cache: BlockCache | None = None
@@ -198,14 +234,41 @@ class RemoteFileSentinel(Sentinel):
             return
         store = ctx.data if self.cache_path == "disk" else MemoryDataPart()
         self._cache = BlockCache(
-            fetch=self._origin.read, push=self._origin.write,
+            fetch=self._origin.read, push=self._push,
             store=store, block_size=self.block_size,
             max_blocks=self.max_blocks,
+            readahead=self.readahead, writeback=self.writeback,
+            writeback_bytes=self.writeback_bytes,
+            fetch_window=getattr(self._origin, "read_window", None),
+            push_extents=self._push_extents,
         )
+        self._refresh_version()
+
+    def _refresh_version(self) -> None:
         try:
             _, self._last_version = self._origin.stat()
         except RemoteFileNotFound:
             self._last_version = None
+
+    def _push(self, offset: int, data: bytes) -> int:
+        """Write-through push: one origin write, then track its version.
+
+        Refreshing here (not in on_write) keeps the version current for
+        *every* path that touches the origin, including flush-on-evict.
+        """
+        written = self._origin.write(offset, data)
+        self._refresh_version()
+        return written
+
+    def _push_extents(self, extents) -> None:
+        """Coalesced flush: vectored when the origin protocol has one."""
+        vectored = getattr(self._origin, "write_extents", None)
+        if vectored is not None:
+            vectored(extents)
+        else:
+            for offset, data in extents:
+                self._origin.write(offset, data)
+        self._refresh_version()
 
     def _revalidate(self) -> None:
         if not self.validate or self._cache is None:
@@ -229,37 +292,47 @@ class RemoteFileSentinel(Sentinel):
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
         if self._cache is None:
             return self._origin.write(offset, data)
-        written = self._cache.write(offset, data)
-        # our own write moved the origin's version token
-        try:
-            _, self._last_version = self._origin.stat()
-        except RemoteFileNotFound:
-            self._last_version = None
-        return written
+        # Write-through pushes refresh the version via _push; buffered
+        # write-behind writes leave the origin (and version) untouched
+        # until the coalesced flush.
+        return self._cache.write(offset, data)
 
     def on_size(self, ctx: SentinelContext) -> int:
         size, _ = self._origin.stat()
+        if self._cache is not None:
+            # Buffered writes may extend the file past what the origin
+            # has seen; the logical size includes them.
+            size = max(size, self._cache.dirty_end)
         return size
 
     def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        if self._cache is not None:
+            # Flush first: dirty bytes surviving past the truncate would
+            # re-extend the file at the next flush.
+            self._cache.flush()
         self._origin.truncate(size)
         if self._cache is not None:
             self._cache.invalidate()
-            try:
-                _, self._last_version = self._origin.stat()
-            except RemoteFileNotFound:
-                self._last_version = None
+            self._refresh_version()
+
+    def on_flush(self, ctx: SentinelContext) -> None:
+        if self._cache is not None:
+            self._cache.flush()
+        super().on_flush(ctx)
+
+    def on_close(self, ctx: SentinelContext) -> None:
+        # Push any remaining dirty bytes; a failure here propagates as
+        # the close error, reporting exactly the unflushed state.
+        if self._cache is not None:
+            self._cache.flush()
 
     def on_control(self, ctx: SentinelContext, op, args, payload):
         if op == "invalidate":
             if self._cache is not None:
                 self._cache.invalidate()
             return {"invalidated": self._cache is not None}, b""
-        if op == "cache_stats":
+        if op in ("cache-stats", "cache_stats"):
             if self._cache is None:
                 return {"cache": "none"}, b""
-            return {"cache": self.cache_path,
-                    "hits": self._cache.hits,
-                    "misses": self._cache.misses,
-                    "blocks": self._cache.cached_blocks}, b""
+            return {"cache": self.cache_path, **self._cache.stats()}, b""
         return super().on_control(ctx, op, args, payload)

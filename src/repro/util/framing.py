@@ -33,8 +33,16 @@ def read_exact(stream: BinaryIO, size: int) -> bytes:
     Raises :class:`ChannelClosedError` if EOF arrives first — a half
     frame always means the peer died mid-message.
     """
-    chunks = []
-    remaining = size
+    chunk = stream.read(size)
+    if chunk is None:
+        chunk = b""
+    if len(chunk) == size:
+        return chunk  # whole body in one read: no join, no copy
+    if not chunk:
+        raise ChannelClosedError(
+            f"stream closed with {size} of {size} bytes outstanding")
+    chunks = [chunk]
+    remaining = size - len(chunk)
     while remaining:
         chunk = stream.read(remaining)
         if not chunk:
@@ -46,14 +54,17 @@ def read_exact(stream: BinaryIO, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def write_frame(stream: BinaryIO, payload: bytes, *extra: bytes) -> None:
+def write_frame(stream: BinaryIO, payload: bytes | memoryview,
+                *extra: bytes | memoryview) -> None:
     """Write one length-prefixed frame and flush it.
 
-    The frame body may be passed as several parts; they are written
-    back-to-back under one length prefix.  This lets callers prepend a
-    small header to a large payload without concatenating (and therefore
-    copying) the payload first.  Small frames are coalesced into a
-    single write so a frame costs one syscall on an unbuffered pipe.
+    The frame body may be passed as several parts — ``bytes`` or
+    ``memoryview`` alike; they are written back-to-back under one
+    length prefix.  This lets callers prepend a small header to a large
+    payload (or gather many extents) without concatenating, and
+    therefore copying, the payload first.  Small frames are coalesced
+    into a single write so a frame costs one syscall on an unbuffered
+    pipe.
     """
     total = len(payload) + sum(len(part) for part in extra)
     if total > MAX_FRAME:

@@ -16,21 +16,46 @@ class Origin:
         self.body = ByteBuffer(body)
         self.reads = 0
         self.writes = 0
+        self.batches = []
+        self.fail_push = False
 
     def fetch(self, offset, size):
         self.reads += 1
         return self.body.read_at(offset, size)
 
+    def read_window(self, offset, size):
+        """Pipelined fetch: the bytes are captured at *issue* time, the
+        way a request already on the wire sees the origin — resolving
+        later returns this snapshot, not the current contents."""
+        self.reads += 1
+        snapshot = self.body.read_at(offset, size)
+        return lambda: snapshot
+
     def push(self, offset, data):
+        if self.fail_push:
+            raise OSError("origin unreachable")
         self.writes += 1
         return self.body.write_at(offset, data)
 
+    def push_extents(self, extents):
+        if self.fail_push:
+            raise OSError("origin unreachable")
+        self.batches.append([(offset, bytes(data)) for offset, data in extents])
+        for offset, data in extents:
+            self.writes += 1
+            self.body.write_at(offset, data)
 
-def make_cache(body=b"", block_size=8, max_blocks=None):
+
+def make_cache(body=b"", block_size=8, max_blocks=None, *,
+               windowed=False, batched=False, **cache_kw):
     origin = Origin(body)
+    if windowed:
+        cache_kw["fetch_window"] = origin.read_window
+    if batched:
+        cache_kw["push_extents"] = origin.push_extents
     cache = BlockCache(fetch=origin.fetch, push=origin.push,
                        store=MemoryDataPart(), block_size=block_size,
-                       max_blocks=max_blocks)
+                       max_blocks=max_blocks, **cache_kw)
     return cache, origin
 
 
@@ -51,7 +76,8 @@ class TestReads:
     def test_read_spanning_blocks(self):
         cache, origin = make_cache(b"0123456789abcdef", block_size=4)
         assert cache.read(2, 8) == b"23456789"
-        assert origin.reads == 3  # blocks 0,1,2
+        assert origin.reads == 1  # blocks 0,1,2 coalesced into one fetch
+        assert cache.misses == 3
 
     def test_read_past_origin_end_is_short(self):
         cache, _ = make_cache(b"short", block_size=8)
@@ -151,6 +177,182 @@ class TestInvalidation:
         assert origin.reads == fetched_before + 1
 
 
+class TestReadahead:
+    def test_sequential_scan_prefetches(self):
+        body = bytes(range(256))
+        cache, origin = make_cache(body, block_size=8, readahead=8,
+                                   windowed=True)
+        for offset in range(0, 256, 8):
+            assert cache.read(offset, 8) == body[offset:offset + 8]
+        assert cache.prefetch_issued > 0
+        assert cache.prefetch_used > 0
+        assert cache.hits > 0
+        # far fewer origin exchanges than the 32 blocks scanned
+        assert origin.reads < 16
+
+    def test_prefetched_block_needs_no_new_fetch(self):
+        body = bytes(range(64))
+        cache, origin = make_cache(body, block_size=8, readahead=4,
+                                   windowed=True)
+        cache.read(0, 8)
+        cache.read(8, 8)   # sequential: issues read-ahead past block 1
+        assert cache.prefetch_issued > 0
+        misses = cache.misses
+        assert cache.read(16, 8) == body[16:24]
+        assert cache.misses == misses      # no demand fetch needed
+        assert cache.prefetch_used >= 1    # served from the in-flight window
+
+    def test_random_reads_never_prefetch(self):
+        cache, _ = make_cache(bytes(256), block_size=8, readahead=8,
+                              windowed=True)
+        for offset in (0, 128, 64, 192):
+            cache.read(offset, 8)
+        assert cache.prefetch_issued == 0
+
+    def test_seek_resets_window(self):
+        cache, _ = make_cache(bytes(256), block_size=8, readahead=8,
+                              windowed=True)
+        for offset in range(0, 64, 8):
+            cache.read(offset, 8)
+        assert cache.stats()["window"] > 0
+        cache.read(200, 8)  # a seek breaks the sequential run
+        assert cache.stats()["window"] == 0
+
+    def test_readahead_stops_at_known_end(self):
+        cache, origin = make_cache(b"0123456789" * 2, block_size=8,
+                                   readahead=16, windowed=True)
+        for offset in range(0, 32, 8):
+            cache.read(offset, 8)
+        # never more in-flight exchanges than the file has blocks + 1
+        assert origin.reads <= 4
+
+    def test_failed_prefetch_heals_on_demand(self):
+        body = bytes(range(64))
+        origin = Origin(body)
+        link_down = [True]
+
+        def flaky_window(offset, size):
+            # Captured at issue time, like a request already on the wire:
+            # windows issued past block 1 while the link is down die.
+            fails = link_down[0] and offset >= 16
+            data = origin.body.read_at(offset, size)
+
+            def resolve():
+                if fails:
+                    raise OSError("link dropped mid-transfer")
+                return data
+            return resolve
+
+        cache = BlockCache(fetch=origin.fetch, push=origin.push,
+                           store=MemoryDataPart(), block_size=8,
+                           readahead=4, fetch_window=flaky_window)
+        cache.read(0, 8)
+        cache.read(8, 8)       # read-ahead issued now is doomed
+        assert cache.prefetch_issued > 0
+        link_down[0] = False   # link heals before the reader arrives
+        assert cache.read(16, 8) == body[16:24]
+
+
+class TestWriteback:
+    def test_writes_buffered_until_flush(self):
+        cache, origin = make_cache(b"0" * 16, writeback=True, batched=True)
+        cache.write(2, b"XY")
+        assert origin.writes == 0
+        assert cache.read(0, 8) == b"00XY0000"  # reads see buffered bytes
+        cache.flush()
+        assert origin.body.getvalue() == b"00XY00000000000000"[:16]
+        assert cache.coalesced_flushes == 1
+
+    def test_contiguous_writes_coalesce_into_one_extent(self):
+        cache, origin = make_cache(b"0" * 32, writeback=True, batched=True)
+        cache.write(0, b"AAAA")
+        cache.write(4, b"BBBB")
+        cache.write(8, b"CCCC")
+        cache.flush()
+        assert len(origin.batches) == 1
+        assert origin.batches[0] == [(0, b"AAAABBBBCCCC")]
+
+    def test_autoflush_at_threshold(self):
+        cache, origin = make_cache(b"0" * 64, writeback=True, batched=True,
+                                   writeback_bytes=16)
+        cache.write(0, b"A" * 8)
+        assert origin.writes == 0
+        cache.write(8, b"B" * 8)   # crosses the 16-byte threshold
+        assert origin.body.getvalue()[:16] == b"A" * 8 + b"B" * 8
+        assert cache.dirty_high_water == 16
+
+    def test_flush_before_evict(self):
+        cache, origin = make_cache(b"0" * 24, writeback=True, batched=True,
+                                   max_blocks=1)
+        cache.write(0, b"A" * 8)   # block 0 valid and dirty
+        cache.read(8, 8)           # admits block 1, evicting dirty block 0
+        assert origin.body.getvalue()[:8] == b"A" * 8  # flushed, not lost
+        assert cache.read(0, 8) == b"A" * 8
+
+    def test_failed_flush_keeps_dirty(self):
+        cache, origin = make_cache(b"0" * 16, writeback=True, batched=True)
+        cache.write(2, b"XY")
+        origin.fail_push = True
+        with pytest.raises(OSError):
+            cache.flush()
+        assert cache.dirty_bytes == 2      # nothing silently dropped
+        origin.fail_push = False
+        cache.flush()
+        assert origin.body.getvalue()[:8] == b"00XY0000"
+
+    def test_dirty_survives_invalidate(self):
+        cache, origin = make_cache(b"0" * 16, writeback=True, batched=True)
+        cache.write(2, b"XY")
+        cache.invalidate()
+        assert cache.read(0, 8) == b"00XY0000"
+        assert origin.writes == 0   # still buffered
+
+    def test_close_semantics_flush_is_idempotent(self):
+        cache, origin = make_cache(b"0" * 16, writeback=True, batched=True)
+        cache.flush()
+        assert cache.coalesced_flushes == 0  # nothing dirty: no exchange
+        cache.write(0, b"Z")
+        cache.flush()
+        cache.flush()
+        assert cache.coalesced_flushes == 1
+
+
+class TestInflightConsistency:
+    """Regression tests: in-flight prefetches vs invalidate/write/flush."""
+
+    def test_stale_prefetch_discarded_after_invalidate(self):
+        body = b"old-old-old-old-old-old-old-old-"
+        cache, origin = make_cache(body, block_size=8, readahead=4,
+                                   windowed=True)
+        cache.read(0, 8)
+        cache.read(8, 8)   # read-ahead snapshots the *old* body
+        assert cache.prefetch_issued > 0
+        origin.body.setvalue(b"new-new-new-new-new-new-new-new-")
+        cache.invalidate()
+        assert cache.read(16, 8) == b"new-new-"
+
+    def test_stale_prefetch_does_not_clobber_buffered_write(self):
+        body = b"0" * 64
+        cache, origin = make_cache(body, block_size=8, readahead=4,
+                                   windowed=True, batched=True,
+                                   writeback=True)
+        cache.write(25, b"Z")   # block 3 partially dirty, not valid
+        cache.read(0, 8)
+        cache.read(8, 8)        # read-ahead snapshots block 3 without Z
+        assert cache.read(24, 8) == b"0Z000000"
+
+    def test_stale_prefetch_does_not_clobber_flushed_write(self):
+        body = b"0" * 64
+        cache, origin = make_cache(body, block_size=8, readahead=4,
+                                   windowed=True, batched=True,
+                                   writeback=True)
+        cache.write(25, b"Z")   # buffered; origin still all zeros
+        cache.read(0, 8)
+        cache.read(8, 8)        # read-ahead snapshots block 3 pre-flush
+        cache.flush()           # origin now has Z; dirty range cleared
+        assert cache.read(24, 8) == b"0Z000000"
+
+
 class TestValidation:
     def test_bad_block_size(self):
         with pytest.raises(CacheError):
@@ -161,6 +363,17 @@ class TestValidation:
         with pytest.raises(CacheError):
             BlockCache(fetch=lambda o, s: b"", push=lambda o, d: 0,
                        store=MemoryDataPart(), max_blocks=0)
+
+    def test_bad_readahead(self):
+        with pytest.raises(CacheError):
+            BlockCache(fetch=lambda o, s: b"", push=lambda o, d: 0,
+                       store=MemoryDataPart(), readahead=-1)
+
+    def test_bad_writeback_bytes(self):
+        with pytest.raises(CacheError):
+            BlockCache(fetch=lambda o, s: b"", push=lambda o, d: 0,
+                       store=MemoryDataPart(), writeback=True,
+                       writeback_bytes=0)
 
 
 class TestProperties:
@@ -196,3 +409,38 @@ class TestProperties:
                 cache.write(offset, data)
                 reference.write_at(offset, data)
         assert origin.body.getvalue() == reference.getvalue()
+
+    @settings(max_examples=80, deadline=None)
+    @given(block_size=st.sampled_from([2, 4, 8]),
+           readahead=st.sampled_from([0, 2, 4]),
+           writeback_bytes=st.sampled_from([8, 1 << 20]),
+           ops=st.lists(
+               st.one_of(
+                   st.tuples(st.just("r"), st.integers(0, 64), st.integers(0, 24)),
+                   st.tuples(st.just("w"), st.integers(0, 64),
+                             st.binary(min_size=1, max_size=16)),
+                   st.tuples(st.just("f"), st.just(0), st.just(0)),
+               ), max_size=14))
+    def test_writeback_interleavings_match_reference(self, block_size,
+                                                     readahead,
+                                                     writeback_bytes, ops):
+        """Write-behind + read-ahead is observationally a plain file:
+        every read matches, and after the final flush so does the origin."""
+        body = b"0123456789" * 3
+        cache, origin = make_cache(body, block_size=block_size,
+                                   readahead=readahead, windowed=True,
+                                   writeback=True, batched=True,
+                                   writeback_bytes=writeback_bytes)
+        reference = ByteBuffer(body)
+        for kind, offset, arg in ops:
+            if kind == "r":
+                expected = reference.read_at(offset, arg)
+                assert cache.read(offset, arg) == expected
+            elif kind == "w":
+                cache.write(offset, arg)
+                reference.write_at(offset, arg)
+            else:
+                cache.flush()
+        cache.flush()
+        assert origin.body.getvalue() == reference.getvalue()
+        assert cache.dirty_bytes == 0

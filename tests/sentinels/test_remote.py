@@ -232,3 +232,121 @@ class TestAcrossProcessBoundary:
             network.heal(Address("files.test", 7000))
             stream.seek(0)
             assert stream.read(6) == b"remote"
+
+
+class TestPipelinedCache:
+    """Read-ahead and write-behind riding the multiplexed channel."""
+
+    def test_readahead_prefetches_sequential_scan(self, remote_setup):
+        network, server, make = remote_setup
+        server.put_file("data/big.bin", bytes(range(256)) * 16)  # 4 KiB
+        path = make("memory", path="data/big.bin",
+                    block_size=256, readahead=8)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            body = b"".join(stream.read(512) for _ in range(8))
+            assert body == bytes(range(256)) * 16
+            stats = stream.cache_stats()
+            assert stats["prefetch_issued"] > 0
+            assert stats["prefetch_used"] > 0
+            assert stream.stats.prefetch_issued == stats["prefetch_issued"]
+
+    def test_writeback_buffers_until_flush(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", writeback=True)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            before = network.stats.requests
+            stream.write(b"BUFFERED")
+            assert network.stats.requests == before  # no origin exchange
+            assert server.get_file("data/report.txt").startswith(b"remote")
+            stream.seek(0)
+            assert stream.read(8) == b"BUFFERED"     # reads see the buffer
+            stream.flush()
+        assert server.get_file("data/report.txt").startswith(b"BUFFERED")
+
+    def test_close_flushes_writeback(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", writeback=True)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"ATCLOSE!")
+        assert server.get_file("data/report.txt").startswith(b"ATCLOSE!")
+
+    def test_writeback_coalesces_flush(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", writeback=True)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            for i in range(6):
+                stream.write(bytes([65 + i]) * 2)
+            before = network.stats.requests
+            stream.flush()
+            # one writev + one stat refresh, not six write exchanges
+            assert network.stats.requests - before <= 2
+            assert stream.cache_stats()["coalesced_flushes"] == 1
+        assert server.get_file("data/report.txt").startswith(b"AABBCCDDEEFF")
+
+    def test_writeback_size_includes_buffered_tail(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("memory", writeback=True)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.seek(0, 2)
+            stream.write(b"0123456789")
+            assert stream.getsize() == 32  # 22 remote + 10 buffered
+
+    def test_truncate_flushes_first(self, remote_setup):
+        network, server, make = remote_setup
+        path = make("memory", writeback=True)
+        with open_active(path, "r+b", strategy="inproc", network=network) as stream:
+            stream.write(b"KEEP")
+            stream.truncate(4)
+        assert server.get_file("data/report.txt") == b"KEEP"
+
+    def test_cache_stats_dash_name(self, remote_setup):
+        network, _, make = remote_setup
+        path = make("memory", block_size=8)
+        with open_active(path, "rb", strategy="inproc", network=network) as stream:
+            stream.read(16)
+            fields, _ = stream.control("cache-stats")
+            assert fields["cache"] == "memory"
+            assert fields["misses"] >= 1
+
+    def test_pipelining_requires_cache(self, remote_setup):
+        from repro.errors import SpecError
+
+        network, _, make = remote_setup
+        for extra in ({"readahead": 4}, {"writeback": True}):
+            path = make("none", **extra)
+            with pytest.raises(SpecError, match="cache"):
+                open_active(path, "rb", strategy="inproc", network=network)
+
+
+class TestWritebackDurability:
+    """Kill the sentinel host mid-stream: flushed bytes survive at the
+    origin, unflushed bytes are reported via an error — never silently
+    dropped, never silently 'written'."""
+
+    def test_crash_loses_only_unflushed(self, remote_setup):
+        import signal
+
+        from repro.errors import SentinelCrashError
+
+        network, server, make = remote_setup
+        server.put_file("data/report.txt", b"#" * 64)
+        path = make("memory", writeback=True, block_size=16)
+        stream = open_active(path, "r+b", strategy="process-control",
+                             network=network)
+        try:
+            stream.write(b"FLUSHED!")
+            stream.flush()
+            assert server.get_file("data/report.txt").startswith(b"FLUSHED!")
+            stream.seek(32)
+            stream.write(b"UNFLUSHED")
+            proc = stream.session.host.proc
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=5)
+            with pytest.raises(SentinelCrashError):
+                stream.flush()
+            body = server.get_file("data/report.txt")
+            assert body.startswith(b"FLUSHED!")       # durable
+            assert body[32:41] != b"UNFLUSHED"        # lost, but loudly
+        finally:
+            with pytest.raises(SentinelCrashError):
+                stream.close()
