@@ -182,6 +182,7 @@ class BlockCache:
         self.prefetch_used = 0
         self.coalesced_flushes = 0
         self.dirty_high_water = 0
+        self.flush_failures = 0
 
     # -- block bookkeeping ----------------------------------------------------------
 
@@ -507,6 +508,7 @@ class BlockCache:
         except BaseException:
             # The origin may hold a prefix; keep everything buffered so
             # a later flush (or close) retries — no silent loss.
+            self.flush_failures += 1
             for s, e in staged:
                 self._mark_dirty(s, e)
             raise
@@ -555,6 +557,7 @@ class BlockCache:
                 "prefetch_used": self.prefetch_used,
                 "coalesced_flushes": self.coalesced_flushes,
                 "dirty_high_water": self.dirty_high_water,
+                "flush_failures": self.flush_failures,
                 "dirty_bytes": self.dirty_bytes,
                 "blocks": len(self._valid),
                 "inflight_blocks": len(self._inflight),

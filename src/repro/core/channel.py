@@ -41,7 +41,13 @@ from queue import SimpleQueue
 from typing import Any, BinaryIO, Callable
 
 from repro.core import control
-from repro.errors import ChannelClosedError, FrameError, ProtocolError
+from repro.core.policy import JOIN_TIMEOUT, Deadline
+from repro.errors import (
+    ChannelClosedError,
+    DeadlineExceededError,
+    FrameError,
+    ProtocolError,
+)
 from repro.util.framing import write_frame
 
 __all__ = [
@@ -100,6 +106,11 @@ class ChannelCounters:
         self.bytes_received = 0
         self.in_flight = 0
         self.max_in_flight = 0
+        self.close_errors = 0
+        self.last_close_error = ""
+        #: Monotonic time of the last send/settle/serve — what the idle
+        #: heartbeat of :mod:`repro.core.runner` keys off.
+        self.last_activity = time.monotonic()
         #: op -> [count, bytes_out, bytes_in, total_latency_s, max_latency_s]
         self._per_op: dict[str, list[float]] = {}
 
@@ -108,6 +119,7 @@ class ChannelCounters:
             self.requests_sent += 1
             self.bytes_sent += nbytes
             self.in_flight += 1
+            self.last_activity = time.monotonic()
             if self.in_flight > self.max_in_flight:
                 self.max_in_flight = self.in_flight
 
@@ -115,6 +127,7 @@ class ChannelCounters:
                         ok: bool = True) -> None:
         with self._lock:
             self.in_flight -= 1
+            self.last_activity = time.monotonic()
             if ok:
                 self.replies_received += 1
                 self.bytes_received += nbytes
@@ -137,6 +150,13 @@ class ChannelCounters:
         """An inbound request was handled locally (other side of the wire)."""
         with self._lock:
             self.requests_served += 1
+            self.last_activity = time.monotonic()
+
+    def record_close_error(self, reason: str) -> None:
+        """A session teardown failed; keep it observable, not silent."""
+        with self._lock:
+            self.close_errors += 1
+            self.last_close_error = reason
 
     def snapshot(self) -> dict[str, Any]:
         """A plain-data copy of every counter, for tests and monitoring."""
@@ -160,6 +180,8 @@ class ChannelCounters:
                 "bytes_received": self.bytes_received,
                 "in_flight": self.in_flight,
                 "max_in_flight": self.max_in_flight,
+                "close_errors": self.close_errors,
+                "last_close_error": self.last_close_error,
                 "per_op": per_op,
             }
 
@@ -197,16 +219,21 @@ class PendingReply:
             self.op, 0, time.monotonic() - self.started, ok=False)
         self._event.set()
 
-    def wait(self, timeout: float | None = None
+    def wait(self, timeout: "float | Deadline | None" = None
              ) -> tuple[dict[str, Any], bytes]:
-        """Block for the reply; raises on channel death or timeout."""
-        if not self._event.wait(timeout):
+        """Block for the reply; raises on channel death or deadline expiry.
+
+        *timeout* is a :class:`~repro.core.policy.Deadline` or the
+        legacy seconds-from-now float.
+        """
+        deadline = Deadline.coerce(timeout)
+        if not self._event.wait(deadline.timeout()):
             withdrawn = self.channel._withdraw(self.rid) is self
             if withdrawn:
                 self.channel.counters.request_withdrawn(self.op)
-                raise TimeoutError(
+                raise DeadlineExceededError(
                     f"no reply to {self.op!r} (rid {self.rid}) "
-                    f"within {timeout}s")
+                    f"within its deadline")
             self._event.wait()  # resolution was racing; it is imminent
         if self._error is not None:
             raise self._error
@@ -228,24 +255,41 @@ class _ChanWorker:
 
     def submit(self, rid: int, fields: dict[str, Any],
                payload: bytes) -> None:
-        self.queue.put((rid, fields, payload))
+        # Re-anchor the sender's remaining budget (``dl``, milliseconds)
+        # on the local monotonic clock at enqueue time; the queue wait
+        # counts against it.
+        deadline = Deadline.from_ms(fields.pop("dl", None))
+        self.queue.put((rid, fields, payload, deadline))
 
     def stop(self) -> None:
         self.queue.put(None)
         if threading.current_thread() is not self.thread:
-            self.thread.join(timeout=5.0)
+            self.thread.join(timeout=JOIN_TIMEOUT)
 
     def _loop(self) -> None:
         while True:
             item = self.queue.get()
             if item is None:
                 return
-            rid, fields, payload = item
+            rid, fields, payload, deadline = item
             op = str(fields.get("cmd") or fields.get("op") or "?")
-            try:
-                out_fields, out_payload = self.handler(fields, payload)
-            except Exception as exc:
-                out_fields, out_payload = control.error_fields(exc), b""
+            if deadline.expired():
+                # The caller has already given up (and withdrawn the
+                # rid); answer with the typed expiry rather than doing
+                # work nobody is waiting for.
+                out_fields, out_payload = control.error_fields(
+                    DeadlineExceededError(
+                        f"{op!r}: deadline expired before execution")), b""
+            else:
+                remaining_ms = deadline.to_ms()
+                if remaining_ms is not None:
+                    # Nested exchanges (e.g. a dispatcher's bridge calls)
+                    # inherit what is left of the caller's budget.
+                    fields["dl"] = remaining_ms
+                try:
+                    out_fields, out_payload = self.handler(fields, payload)
+                except Exception as exc:
+                    out_fields, out_payload = control.error_fields(exc), b""
             self.channel.counters.request_served(op)
             try:
                 self.channel._send_reply(rid, self.chan, out_fields,
@@ -267,6 +311,11 @@ class Channel:
         self.counters = ChannelCounters()
         self.dead = False
         self.death_reason = ""
+        self.death_error: BaseException | None = None
+        #: Optional ``reason -> exception`` hook; when set, transport
+        #: death fails in-flight futures with the typed error it builds
+        #: (the sentinel host installs a crash-error factory here).
+        self.crash_error_factory: "Callable[[str], BaseException] | None" = None
         self._closed_event = threading.Event()
         self._pending: dict[int, PendingReply] = {}
         self._pending_lock = threading.Lock()
@@ -278,14 +327,20 @@ class Channel:
     # -- requester side ----------------------------------------------------------
 
     def request_async(self, chan: int, fields: dict[str, Any],
-                      payload: Any = b"") -> PendingReply:
+                      payload: Any = b"",
+                      deadline: "Deadline | float | None" = None
+                      ) -> PendingReply:
         """Send one request and return its future without waiting.
 
         *payload* may be a single buffer (``bytes``/``bytearray``/
         ``memoryview``) or a sequence of buffers to gather under one
         frame — the scatter-gather path used by the vectored ops.
+        A bounded *deadline* travels with the request as its remaining
+        millisecond budget (the ``dl`` envelope field), so the peer's
+        worker and any nested exchanges inherit it.
         """
         self._check_alive()
+        deadline = Deadline.coerce(deadline)
         with self._rid_lock:
             self._next_rid += 1
             rid = self._next_rid
@@ -295,23 +350,29 @@ class Channel:
             self._pending[rid] = pending
         parts = _payload_parts(payload)
         self.counters.request_started(op, sum(len(p) for p in parts))
+        envelope = {**fields, "rid": rid, "chan": int(chan)}
+        budget_ms = deadline.to_ms()
+        if budget_ms is not None:
+            envelope["dl"] = budget_ms
         try:
-            self._send({**fields, "rid": rid, "chan": int(chan)}, parts)
+            self._send(envelope, parts)
         except BaseException:
             if self._withdraw(rid) is pending:
                 self.counters.request_withdrawn(op)
             raise
         if self.dead:
             # lost the race against kill(): nobody will resolve us
-            pending.fail(ChannelClosedError(
-                f"{self.name}: channel closed ({self.death_reason})"))
+            pending.fail(self._death_error())
         return pending
 
     def request(self, chan: int, fields: dict[str, Any],
-                payload: Any = b"", timeout: float | None = None
+                payload: Any = b"",
+                timeout: "float | Deadline | None" = None
                 ) -> tuple[dict[str, Any], bytes]:
         """One pipelinable command/response round trip."""
-        return self.request_async(chan, fields, payload).wait(timeout)
+        deadline = Deadline.coerce(timeout)
+        return self.request_async(chan, fields, payload,
+                                  deadline=deadline).wait(deadline)
 
     # -- responder side ----------------------------------------------------------
 
@@ -374,8 +435,22 @@ class Channel:
             raise ChannelClosedError(
                 f"{self.name}: channel closed ({self.death_reason})")
 
-    def kill(self, reason: str) -> None:
-        """Mark the channel dead and fail every outstanding request."""
+    def _death_error(self) -> BaseException:
+        """The error describing this (dead) channel's demise."""
+        error = self.death_error
+        if error is None:
+            error = ChannelClosedError(
+                f"{self.name}: channel closed ({self.death_reason})")
+        return error
+
+    def kill(self, reason: str, error: BaseException | None = None) -> None:
+        """Mark the channel dead and fail every outstanding request.
+
+        *error* (or the installed :attr:`crash_error_factory`) types the
+        failure handed to in-flight futures — a crashed sentinel host
+        surfaces as ``SentinelCrashedError`` rather than a bare closed
+        channel.
+        """
         with self._pending_lock:
             if self.dead:
                 return
@@ -383,7 +458,14 @@ class Channel:
             self.death_reason = reason
             pending = list(self._pending.values())
             self._pending.clear()
-        error = ChannelClosedError(f"{self.name}: {reason}")
+        if error is None and self.crash_error_factory is not None:
+            try:
+                error = self.crash_error_factory(reason)
+            except Exception:
+                error = None
+        if error is None:
+            error = ChannelClosedError(f"{self.name}: {reason}")
+        self.death_error = error
         for future in pending:
             future.fail(error)
         with self._handlers_lock:
@@ -395,7 +477,9 @@ class Channel:
         self._closed_event.set()
 
     def close(self) -> None:
-        self.kill("channel closed")
+        # A deliberate close is not a crash: bypass the factory.
+        self.kill("channel closed",
+                  error=ChannelClosedError(f"{self.name}: channel closed"))
 
     def wait_closed(self, timeout: float | None = None) -> bool:
         """Block until the channel dies (peer EOF or local close)."""
@@ -424,6 +508,12 @@ class StreamChannel(Channel):
         self._wfile = wfile
         self._write_lock = threading.Lock()
         self._reader: threading.Thread | None = None
+        #: Optional :class:`~repro.core.faults.FaultPlane` consulted on
+        #: every send/receive (the framing-layer injection points).
+        self.faults = None
+        #: Callback for the ``kill`` fault action (the sentinel host
+        #: wires this to hard-killing its child process).
+        self.fault_kill: "Callable[[], None] | None" = None
 
     def start(self) -> "StreamChannel":
         """Start the demultiplexer; the channel is unusable before this."""
@@ -438,6 +528,11 @@ class StreamChannel(Channel):
             while True:
                 try:
                     fields, payload = control.read_wire_message(self._rfile)
+                    plane = self.faults
+                    if plane is not None:
+                        rule = plane.on_recv(fields)
+                        if rule is not None and rule.action == "drop":
+                            continue  # inbound message lost after decode
                     self._dispatch(fields, payload)
                 except (ChannelClosedError, FrameError, OSError,
                         ValueError) as exc:
@@ -449,6 +544,11 @@ class StreamChannel(Channel):
 
     def _send(self, fields: dict[str, Any], parts: tuple) -> None:
         self._check_alive()
+        plane = self.faults
+        if plane is not None:
+            rule = plane.on_send(fields)
+            if rule is not None and self._inject_send_fault(rule):
+                return  # the frame never reached the wire
         head = control.encode_head(fields)
         try:
             with self._write_lock:
@@ -459,6 +559,42 @@ class StreamChannel(Channel):
             self.kill(f"transport write failed: {exc}")
             raise ChannelClosedError(f"{self.name}: write failed: {exc}") from exc
 
+    def _inject_send_fault(self, rule) -> bool:
+        """Apply one fired send-point fault; True = swallow the frame."""
+        if rule.action == "drop":
+            return True
+        if rule.action == "delay":
+            time.sleep(rule.seconds)
+            return False
+        if rule.action == "kill":
+            kill = self.fault_kill
+            if kill is not None:
+                kill()
+            # Fall through to the real write: it races the dying peer,
+            # exactly like an organic crash.
+            return False
+        if rule.action == "corrupt":
+            # The peer decodes garbage, raises FrameError, and tears its
+            # end down; the intended frame is lost.
+            try:
+                with self._write_lock:
+                    write_frame(self._wfile, b"\xff" * 16)
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+            return True
+        if rule.action == "eof":
+            # A frame header promising more bytes than will ever come,
+            # then the connection drops: EOF mid-frame on the peer.
+            try:
+                with self._write_lock:
+                    self._wfile.write((1 << 16).to_bytes(4, "big") + b"\x00")
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+            self.kill("fault injected: EOF mid-frame")
+            raise ChannelClosedError(
+                f"{self.name}: fault injected: EOF mid-frame")
+        return False
+
     def _teardown(self) -> None:
         # Serialize with in-flight senders: a thread between _send's
         # liveness check and the actual write(2) must never observe its
@@ -468,7 +604,7 @@ class StreamChannel(Channel):
         # the lock cannot be had (a sender blocked on a full pipe is
         # already inside write(2), where the kernel pins the open file
         # description), closing is safe anyway.
-        acquired = self._write_lock.acquire(timeout=5.0)
+        acquired = self._write_lock.acquire(timeout=JOIN_TIMEOUT)
         try:
             _close_quietly(self._wfile)
         finally:
@@ -517,8 +653,8 @@ class LocalChannel(Channel):
             payload = b"".join(parts)
         peer._dispatch(fields, payload)
 
-    def kill(self, reason: str) -> None:
-        super().kill(reason)
+    def kill(self, reason: str, error: BaseException | None = None) -> None:
+        super().kill(reason, error=error)
         peer = self._peer
         if peer is not None and not peer.dead:
             peer.kill(f"peer closed: {reason}")

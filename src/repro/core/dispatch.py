@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core import control
+from repro.core.policy import Deadline
 from repro.core.sentinel import Sentinel, SentinelContext
 from repro.errors import ProtocolError
 
@@ -37,9 +38,14 @@ class SentinelDispatcher:
 
         Sentinel exceptions become failure responses rather than killing
         the dispatch loop — one bad operation must not tear down the
-        file.
+        file.  The caller's remaining deadline budget (the ``dl``
+        field, when the command travelled a wire) is published on the
+        context so sentinels inherit it for their own remote exchanges.
         """
         cmd = fields.get("cmd", "")
+        budget_ms = fields.get("dl")
+        self.ctx.deadline = Deadline.from_ms(budget_ms) \
+            if budget_ms is not None else None
         try:
             return self._execute(cmd, fields, payload)
         except Exception as exc:

@@ -27,9 +27,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.core import policy
 from repro.core.channel import CONTROL_CHAN, Channel
+from repro.core.policy import Deadline
 from repro.errors import (
     ChannelClosedError,
+    DeadlineExceededError,
     NetworkError,
     wire_error_registry,
 )
@@ -45,7 +48,7 @@ BRIDGE_CHAN = CONTROL_CHAN
 #: Exception classes a bridge transport failure may round-trip as.
 _TRANSPORT_ERRORS: dict[str, type[Exception]] = {
     name: cls for name, cls in wire_error_registry().items()
-    if issubclass(cls, NetworkError)
+    if issubclass(cls, (NetworkError, DeadlineExceededError))
 }
 
 
@@ -64,7 +67,12 @@ class NetworkBridgeServer:
         request = Request(op=fields.get("op", ""),
                           fields=fields.get("fields") or {},
                           payload=payload)
-        response = self.network.call(address, request)
+        # The caller's remaining deadline budget crossed the bridge as a
+        # relative millisecond count; re-anchor it on this side's clock.
+        budget_ms = fields.get("dl")
+        deadline = Deadline.from_ms(budget_ms) if budget_ms is not None \
+            else None
+        response = self.network.call(address, request, deadline=deadline)
         return ({
             "ok": True,
             "resp_ok": response.ok,
@@ -81,12 +89,15 @@ class ProxyConnection:
         self.address = address
         self._closed = False
 
-    def call(self, op: str, payload: bytes = b"", **fields) -> Response:
+    def call(self, op: str, payload: bytes = b"", *,
+             deadline: "Deadline | float | None" = None,
+             **fields) -> Response:
         if self._closed:
             raise NetworkError("connection is closed")
         return self._proxy.call(self.address,
                                 Request(op=op, fields=dict(fields),
-                                        payload=payload))
+                                        payload=payload),
+                                deadline=deadline)
 
     def call_async(self, op: str, payload: bytes = b"",
                    **fields) -> Callable[[], Response]:
@@ -134,18 +145,23 @@ class ProxyNetwork:
     def connect(self, address: Address) -> ProxyConnection:
         return ProxyConnection(self, address)
 
-    def call(self, address: Address, request: Request) -> Response:
-        return self.call_async(address, request)()
+    def call(self, address: Address, request: Request, *,
+             deadline: "Deadline | float | None" = None) -> Response:
+        return self.call_async(address, request, deadline=deadline)()
 
-    def call_async(self, address: Address,
-                   request: Request) -> Callable[[], Response]:
+    def call_async(self, address: Address, request: Request, *,
+                   deadline: "Deadline | float | None" = None
+                   ) -> Callable[[], Response]:
         """Put one bridge call on the wire; resolve it later.
 
         This is what lets the cache issue a prefetch window and keep
         serving the application: the request is in flight on channel 0
         while the resolver is still unclaimed.  Issue-time failures are
-        captured and re-raised at resolution.
+        captured and re-raised at resolution.  The remaining *deadline*
+        budget travels with the request, so the application-side bridge
+        endpoint inherits it instead of inventing its own timeout.
         """
+        deadline = Deadline.coerce(deadline, policy.BRIDGE_TIMEOUT)
         fields = {
             "cmd": "net",
             "host": address.host,
@@ -156,7 +172,8 @@ class ProxyNetwork:
         }
         try:
             pending = self._channel.request_async(BRIDGE_CHAN, fields,
-                                                  request.payload)
+                                                  request.payload,
+                                                  deadline=deadline)
         except ChannelClosedError as exc:
             error = NetworkError(f"network bridge is gone: {exc}")
 
@@ -166,7 +183,7 @@ class ProxyNetwork:
 
         def resolve() -> Response:
             try:
-                reply, payload = pending.wait()
+                reply, payload = pending.wait(deadline)
             except ChannelClosedError as exc:
                 raise NetworkError(f"network bridge is gone: {exc}") from exc
             if not reply.get("ok", False):

@@ -40,11 +40,12 @@ import atexit
 import os
 import sys
 import threading
+import time
 from collections import deque
 from subprocess import PIPE, Popen
 from typing import Any
 
-from repro.core import control
+from repro.core import control, policy
 from repro.core.channel import (
     CONTROL_CHAN,
     FIRST_SESSION_CHAN,
@@ -54,9 +55,10 @@ from repro.core.channel import (
 from repro.core.container import Container
 from repro.core.dispatch import SentinelDispatcher, StreamDispatcher
 from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
+from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.common import make_data_part
-from repro.errors import ProtocolError, SentinelCrashError
+from repro.errors import ProtocolError, SentinelCrashedError
 
 __all__ = [
     "main",
@@ -68,8 +70,9 @@ __all__ = [
     "HOST_LINGER_S",
 ]
 
-#: How long an idle host survives after its last lease closes.
-HOST_LINGER_S = 0.5
+#: How long an idle host survives after its last lease closes
+#: (re-exported from :mod:`repro.core.policy`, where timeouts live).
+HOST_LINGER_S = policy.HOST_LINGER_S
 
 _DISPATCHERS = {
     "process-control": SentinelDispatcher,
@@ -179,9 +182,21 @@ def main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------------
 
 class SentinelHost:
-    """One pooled sentinel child and the channel connecting to it."""
+    """One pooled sentinel child, its channel, and its supervision.
 
-    def __init__(self, container_path: str, network=None) -> None:
+    Supervision is two watchers per host:
+
+    * a **process watcher** blocks in ``waitpid`` and kills the channel
+      the instant the child dies, so in-flight futures fail with a typed
+      :class:`SentinelCrashedError` instead of hanging until a read
+      notices EOF;
+    * an **idle heartbeat** pings the child whenever the connection has
+      been quiet for :data:`~repro.core.policy.HEARTBEAT_IDLE_S`, so a
+      wedged-but-running child is detected even with no traffic.
+    """
+
+    def __init__(self, container_path: str, network=None,
+                 faults=None) -> None:
         self.container_path = str(container_path)
         self.network = network
         argv = [sys.executable, "-m", "repro.core.runner",
@@ -193,6 +208,10 @@ class SentinelHost:
         self.channel = StreamChannel(
             self.proc.stdout, self.proc.stdin,
             name=f"af-host:{os.path.basename(self.container_path)}")
+        self.channel.crash_error_factory = self.crash_error
+        self.channel.fault_kill = self.proc.kill
+        if faults is not None:
+            self.channel.faults = faults
         if network is not None:
             bridge = NetworkBridgeServer(network)
             self.channel.register(CONTROL_CHAN, bridge.handle,
@@ -201,6 +220,10 @@ class SentinelHost:
         threading.Thread(target=self._drain_stderr, name="af-stderr-drain",
                          daemon=True).start()
         self.channel.start()
+        threading.Thread(target=self._watch_proc, name="af-host-watch",
+                         daemon=True).start()
+        threading.Thread(target=self._heartbeat_loop, name="af-host-hb",
+                         daemon=True).start()
 
     def _drain_stderr(self) -> None:
         for line in self.proc.stderr:
@@ -209,21 +232,70 @@ class SentinelHost:
     def stderr_text(self) -> str:
         return "".join(self.stderr_tail).strip()
 
+    # -- supervision ---------------------------------------------------------
+
+    def _watch_proc(self) -> None:
+        """Fail the channel the moment the child process exits."""
+        try:
+            returncode = self.proc.wait()
+        except Exception:  # pragma: no cover - interpreter teardown
+            return
+        if not self.channel.dead:
+            self.mark_crashed(
+                f"host process exited with code {returncode}")
+
+    def _heartbeat_loop(self) -> None:
+        """Probe an idle connection; a failed probe declares the host dead."""
+        while not self.channel.wait_closed(policy.HEARTBEAT_IDLE_S):
+            counters = self.channel.counters
+            if counters.in_flight > 0:
+                continue  # live traffic carries its own deadlines
+            if time.monotonic() - counters.last_activity \
+                    < policy.HEARTBEAT_IDLE_S:
+                continue
+            try:
+                self.ping(timeout=policy.HEARTBEAT_TIMEOUT)
+            except Exception as exc:
+                self.mark_crashed(f"heartbeat failed: {exc}")
+                return
+
+    def mark_crashed(self, reason: str) -> None:
+        """Declare the host dead: typed failure for every in-flight op."""
+        if self.channel.dead:
+            return
+        self.channel.kill(reason, error=self.crash_error(reason))
+        try:
+            self.proc.kill()
+        except Exception:
+            pass
+
+    def crash_error(self, cause) -> SentinelCrashedError:
+        """Describe this host's death, folding in its captured stderr."""
+        detail = self.stderr_text()
+        message = f"sentinel host died: {cause}"
+        if detail:
+            message = f"{message}\n--- sentinel stderr ---\n{detail}"
+        return SentinelCrashedError(message)
+
     @property
     def alive(self) -> bool:
         return self.proc.poll() is None and not self.channel.dead
 
-    def open(self, strategy: str, timeout: float | None = 30.0) -> int:
+    def open(self, strategy: str,
+             timeout: "float | Deadline | None" = None) -> int:
         """Open one logical session; returns its channel id."""
+        deadline = Deadline.coerce(timeout, policy.OPEN_TIMEOUT)
         fields, _ = self.channel.request(
             CONTROL_CHAN, {"cmd": "open", "strategy": strategy},
-            timeout=timeout)
+            timeout=deadline)
         control.raise_for_response(fields)
         return int(fields["session_chan"])
 
-    def ping(self, timeout: float | None = 30.0) -> dict[str, Any]:
+    def ping(self, timeout: "float | Deadline | None" = None
+             ) -> dict[str, Any]:
+        deadline = Deadline.coerce(timeout, policy.HEARTBEAT_TIMEOUT)
         fields, _ = self.channel.request(CONTROL_CHAN, {"cmd": "ping"},
-                                         timeout=timeout)
+                                         timeout=deadline)
         control.raise_for_response(fields)
         return fields
 
@@ -231,30 +303,42 @@ class SentinelHost:
         """Close the connection; the child exits on EOF."""
         self.channel.close()
         try:
-            self.proc.wait(timeout=5.0)
+            self.proc.wait(timeout=policy.SHUTDOWN_TIMEOUT)
         except Exception:
             self.proc.kill()
-            self.proc.wait(timeout=5.0)
+            self.proc.wait(timeout=policy.SHUTDOWN_TIMEOUT)
 
 
 class HostLease:
-    """One refcounted session on a pooled (or exclusive) host."""
+    """One refcounted session on a pooled (or exclusive) host.
+
+    A lease remembers everything needed to re-establish itself on a
+    fresh host (:meth:`respawn`), which is what lets the supervised
+    session layer retry idempotent operations invisibly after a crash.
+    ``supervised`` is consulted by that layer: containers carrying
+    ``meta={"supervise": False}`` opt out of transparent recovery and
+    surface every crash.
+    """
 
     def __init__(self, pool: "SentinelHostPool | None", key,
-                 host: SentinelHost, chan: int, strategy: str) -> None:
+                 host: SentinelHost, chan: int, strategy: str,
+                 supervised: bool = True) -> None:
         self._pool = pool
         self._key = key
         self.host = host
         self.chan = chan
         self.strategy = strategy
+        self.supervised = supervised
         self.released = False
+        self.respawns = 0
 
     @property
     def channel(self) -> StreamChannel:
         return self.host.channel
 
     def request(self, fields: dict[str, Any], payload: bytes = b"",
-                timeout: float | None = None) -> tuple[dict[str, Any], bytes]:
+                timeout: "float | Deadline | None" = None
+                ) -> tuple[dict[str, Any], bytes]:
         """One pipelinable operation on this session's channel."""
         return self.host.channel.request(self.chan, fields, payload,
                                          timeout=timeout)
@@ -262,13 +346,36 @@ class HostLease:
     def request_async(self, fields: dict[str, Any], payload: bytes = b""):
         return self.host.channel.request_async(self.chan, fields, payload)
 
-    def crash_error(self, cause: BaseException) -> SentinelCrashError:
+    def crash_error(self, cause: BaseException) -> SentinelCrashedError:
         """Describe a dead host, folding in its captured stderr."""
-        detail = self.host.stderr_text()
-        message = f"sentinel host died mid-operation: {cause}"
-        if detail:
-            message = f"{message}\n--- sentinel stderr ---\n{detail}"
-        return SentinelCrashError(message)
+        return self.host.crash_error(f"mid-operation: {cause}")
+
+    def respawn(self, deadline: "Deadline | float | None" = None) -> None:
+        """Re-establish this session on a live host after a crash.
+
+        The dead host is evicted; a replacement is pooled (or spawned
+        exclusively) and a fresh logical session opened on it.  The
+        caller replays whatever state the new sentinel instance must
+        observe (see the session-layer write journal).
+        """
+        deadline = Deadline.coerce(deadline, policy.OPEN_TIMEOUT)
+        dead = self.host
+        if self._pool is not None:
+            host, chan = self._pool._respawn(
+                self._key, dead, self.host.container_path,
+                self.host.network, self.strategy, deadline)
+        else:
+            host = SentinelHost(dead.container_path, network=dead.network,
+                                faults=dead.channel.faults)
+            try:
+                chan = host.open(self.strategy, timeout=deadline)
+            except BaseException:
+                host.shutdown()
+                raise
+            dead.shutdown()
+        self.host = host
+        self.chan = chan
+        self.respawns += 1
 
     def release(self) -> None:
         """Return the session's slot to the pool (or retire the host)."""
@@ -293,6 +400,9 @@ class SentinelHostPool:
 
     def __init__(self, linger: float = HOST_LINGER_S) -> None:
         self.linger = linger
+        #: Optional :class:`~repro.core.faults.FaultPlane` armed on every
+        #: host this pool spawns (including respawns after a crash).
+        self.faults = None
         # Reentrant: leaked sessions are closed off the GC path (see
         # repro.util.finalize), but if a release ever re-enters on the
         # same thread anyway it must not deadlock on the pool lock.
@@ -315,7 +425,8 @@ class SentinelHostPool:
         for comparison benchmarks.
         """
         if exclusive:
-            host = SentinelHost(container_path, network=network)
+            host = SentinelHost(container_path, network=network,
+                                faults=self.faults)
             try:
                 chan = host.open(strategy)
             except BaseException:
@@ -324,17 +435,7 @@ class SentinelHostPool:
             return HostLease(None, None, host, chan, strategy)
 
         key = self._key(container_path, network)
-        with self._lock:
-            host = self._hosts.get(key)
-            if host is not None and not host.alive:
-                self._evict_locked(key)
-                host = None
-            if host is None:
-                host = SentinelHost(container_path, network=network)
-                self._hosts[key] = host
-                self._refs[key] = 0
-            self._refs[key] += 1
-            reaper = self._reapers.pop(key, None)
+        host, reaper = self._checkout_locked(key, container_path, network)
         if reaper is not None:
             reaper.cancel()
         try:
@@ -343,6 +444,44 @@ class SentinelHostPool:
             self._release(key, host)
             raise
         return HostLease(self, key, host, chan, strategy)
+
+    def _checkout_locked(self, key, container_path, network):
+        """Take one ref on the live host at *key*, spawning if needed."""
+        with self._lock:
+            host = self._hosts.get(key)
+            if host is not None and not host.alive:
+                self._evict_locked(key)
+                host = None
+            if host is None:
+                host = SentinelHost(container_path, network=network,
+                                    faults=self.faults)
+                self._hosts[key] = host
+                self._refs[key] = 0
+            self._refs[key] += 1
+            reaper = self._reapers.pop(key, None)
+        return host, reaper
+
+    def _respawn(self, key, dead_host: SentinelHost, container_path,
+                 network, strategy: str, deadline):
+        """Replace *dead_host* and open a fresh session for one lease.
+
+        The dead host is evicted (wiping its ref accounting — every
+        surviving lease re-registers via its own respawn, or detects the
+        eviction at release time); the replacement is shared, so many
+        leases crashing together converge on one new child.
+        """
+        with self._lock:
+            if self._hosts.get(key) is dead_host:
+                self._evict_locked(key)
+        host, reaper = self._checkout_locked(key, container_path, network)
+        if reaper is not None:
+            reaper.cancel()
+        try:
+            chan = host.open(strategy, timeout=deadline)
+        except BaseException:
+            self._release(key, host)
+            raise
+        return host, chan
 
     def _release(self, key, host: SentinelHost) -> None:
         with self._lock:

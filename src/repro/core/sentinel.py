@@ -58,6 +58,10 @@ class SentinelContext:
     meta: dict[str, Any] = field(default_factory=dict)
     #: Strategy name serving this open ("process", "thread", ...).
     strategy: str = ""
+    #: Remaining :class:`~repro.core.policy.Deadline` budget of the
+    #: command currently being served (set per-command by the
+    #: dispatcher; ``None`` when the caller imposed no bound).
+    deadline: Any = None
 
     def connect(self, address: "Address | str"):
         """Open a connection to a remote service by Address or URL string."""

@@ -9,15 +9,37 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core import policy
 from repro.core.container import Container
 from repro.core.control import raise_for_response
 from repro.core.datapart import ContainerDataPart, DataPart, MemoryDataPart
+from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.base import Session
 from repro.core.sync import shared_state_for
-from repro.errors import ChannelClosedError, SentinelCrashError
+from repro.errors import (
+    ChannelClosedError,
+    DeadlineExceededError,
+    FlushError,
+    SentinelCrashError,
+)
 
-__all__ = ["make_data_part", "make_context", "ChannelSession"]
+__all__ = ["make_data_part", "make_context", "ChannelSession",
+           "IDEMPOTENT_CMDS"]
+
+#: Commands safe to re-issue after a crash or a lost frame: every one is
+#: expressed in absolute offsets (or touches no state), so executing it
+#: twice — or against a freshly respawned sentinel after the journal is
+#: replayed — is observationally equal to executing it once.  ``rstream``
+#: and ``wstream`` carry implicit cursor state and are excluded;
+#: ``control`` ops have sentinel-defined semantics and are excluded;
+#: ``close`` runs lifecycle hooks and is handled specially.
+IDEMPOTENT_CMDS = frozenset({"read", "readv", "write", "writev", "size",
+                             "truncate", "flush", "ping"})
+
+#: Failures meaning "the transport under this session died".
+_TRANSPORT_FAILURES = (ChannelClosedError, SentinelCrashError, OSError,
+                       ValueError)
 
 
 class ChannelSession(Session):
@@ -27,11 +49,32 @@ class ChannelSession(Session):
     operation lock.  Ordering within the session is guaranteed by the
     host's per-channel worker; operations from distinct sessions of the
     same container interleave freely over the shared connection.
+
+    **Supervision.**  Every operation runs under a
+    :class:`~repro.core.policy.Deadline` split into per-wire attempts:
+    a lost frame is detected after
+    :data:`~repro.core.policy.ATTEMPT_TIMEOUT` and the (idempotent)
+    request re-sent.  A host crash triggers transparent recovery: the
+    lease respawns onto a fresh host, the session's **write journal** —
+    every acknowledged mutation, recorded by reference — is replayed so
+    the new sentinel instance observes the same mutation history, and
+    the failed operation retries.  Sessions whose containers declare
+    ``meta={"supervise": False}``, non-idempotent commands, and sessions
+    whose journal outgrew :data:`~repro.core.policy.JOURNAL_LIMIT_BYTES`
+    surface the crash instead — recovery must never silently lose
+    writes.
     """
+
+    #: Backoff schedule for crash-respawn-retry cycles.
+    RETRY = policy.RetryPolicy()
 
     def __init__(self, lease) -> None:
         self._lease = lease
         self._closed = False
+        #: Acknowledged mutations, for replay against a respawned host.
+        self._journal: list[tuple[dict[str, Any], Any]] = []
+        self._journal_bytes = 0
+        self._journal_poisoned = False
 
     @property
     def host(self):
@@ -52,15 +95,98 @@ class ChannelSession(Session):
     VECTOR_CHUNK = 4 * 1024 * 1024
 
     def _op(self, fields: dict[str, Any], payload: Any = b"",
-            timeout: float | None = None) -> tuple[dict[str, Any], bytes]:
-        """One command round trip; host death becomes a crash error."""
-        try:
-            reply, out_payload = self._lease.request(fields, payload,
-                                                     timeout=timeout)
-        except (ChannelClosedError, OSError, ValueError) as exc:
-            raise self._lease.crash_error(exc) from exc
-        raise_for_response(reply)
-        return reply, out_payload
+            timeout: "float | Deadline | None" = None
+            ) -> tuple[dict[str, Any], bytes]:
+        """One supervised command round trip.
+
+        Retries lost frames and crashed hosts for idempotent commands
+        within the operation's deadline; unrecoverable failures surface
+        as a typed :class:`SentinelCrashError`.
+        """
+        deadline = Deadline.coerce(timeout, policy.DEFAULT_OP_TIMEOUT)
+        cmd = str(fields.get("cmd") or "")
+        recoverable = (cmd in IDEMPOTENT_CMDS and self._lease.supervised
+                       and not self._journal_poisoned)
+        delays = self.RETRY.delays()
+        while True:
+            try:
+                try:
+                    reply, out_payload = self._lease.request(
+                        fields, payload,
+                        timeout=deadline.capped(policy.ATTEMPT_TIMEOUT))
+                except DeadlineExceededError:
+                    # Attempt expired: the rid is withdrawn, so a
+                    # straggler reply is ignored and a re-send is safe.
+                    deadline.check(f"{cmd!r} on {self.strategy} session")
+                    if not recoverable:
+                        raise
+                    continue
+            except _TRANSPORT_FAILURES as exc:
+                crash = exc if isinstance(exc, SentinelCrashError) \
+                    else self._lease.crash_error(exc)
+                if not recoverable:
+                    raise crash from exc
+                if not self._recover(delays, deadline):
+                    raise crash from exc
+                continue
+            raise_for_response(reply)
+            self._journal_record(cmd, fields, payload)
+            return reply, out_payload
+
+    # -- crash recovery ------------------------------------------------------------
+
+    def _recover(self, delays, deadline: Deadline) -> bool:
+        """Backoff, respawn the lease, and replay the journal.
+
+        Consumes delays from the retry schedule; returns ``False`` when
+        the schedule (or the deadline) is exhausted, telling the caller
+        to surface the crash.
+        """
+        while True:
+            delay = next(delays, None)
+            if delay is None or deadline.expired():
+                return False
+            deadline.sleep(delay)
+            try:
+                self._lease.respawn(deadline)
+                self._journal_replay(deadline)
+                return True
+            except (*_TRANSPORT_FAILURES, DeadlineExceededError):
+                continue  # the replacement died too; try again
+
+    def _journal_record(self, cmd: str, fields: dict[str, Any],
+                        payload: Any) -> None:
+        """Remember one acknowledged mutation for post-respawn replay.
+
+        Entries are kept by reference — no copies — and the journal is
+        bounded: past :data:`~repro.core.policy.JOURNAL_LIMIT_BYTES` it
+        poisons itself, which disables transparent respawn (replaying a
+        truncated history would silently lose writes) and frees the
+        buffered memory.
+        """
+        if self._journal_poisoned:
+            return
+        if cmd == "write" or cmd == "writev":
+            nbytes = sum(len(p) for p in payload) \
+                if isinstance(payload, (tuple, list)) else len(payload)
+        elif cmd == "truncate":
+            nbytes = 0
+        else:
+            return
+        self._journal.append((fields, payload))
+        self._journal_bytes += nbytes
+        if self._journal_bytes > policy.JOURNAL_LIMIT_BYTES:
+            self._journal_poisoned = True
+            self._journal.clear()
+            self._journal_bytes = 0
+
+    def _journal_replay(self, deadline: Deadline) -> None:
+        """Re-apply the mutation history to a freshly respawned sentinel."""
+        for fields, payload in self._journal:
+            reply, _ = self._lease.request(
+                fields, payload,
+                timeout=deadline.capped(policy.ATTEMPT_TIMEOUT))
+            raise_for_response(reply)
 
     # -- vectored plane ------------------------------------------------------------
 
@@ -140,18 +266,49 @@ class ChannelSession(Session):
         return out
 
     def close(self) -> None:
+        """Close the session without silently losing writes.
+
+        A crash during the close handshake is recoverable when no
+        mutation is at risk (clean journal: release quietly, recording
+        the close error on the transport counters) or when the journal
+        can be replayed onto a respawned host and closed there.  A
+        poisoned journal means buffered history was discarded, so the
+        failure surfaces as a typed :class:`FlushError`; unsupervised
+        sessions surface the crash directly.
+        """
         if self._closed:
             return
         self._closed = True
-        crash: SentinelCrashError | None = None
         try:
-            self._op({"cmd": "close"})
-        except SentinelCrashError as exc:
-            crash = exc
+            try:
+                self._op({"cmd": "close"})
+                return
+            except SentinelCrashError as exc:
+                if not self._lease.supervised:
+                    raise
+                if self._journal_poisoned:
+                    raise FlushError(
+                        "sentinel crashed at close with an over-limit write "
+                        "journal; buffered mutations could not be replayed"
+                    ) from exc
+                if not self._journal:
+                    # Nothing at risk: a clean-read session losing its
+                    # close handshake is a non-event.  Record it so the
+                    # transport counters keep the evidence.
+                    self.counters.record_close_error(
+                        f"close handshake lost: {exc}")
+                    return
+                # Dirty journal: replay it onto a fresh host, then close
+                # for real so the mutations reach the data part.
+                deadline = Deadline.after(policy.CLOSE_TIMEOUT)
+                if not self._recover(self.RETRY.delays(), deadline):
+                    raise FlushError(
+                        f"sentinel crashed at close with "
+                        f"{self._journal_bytes} journaled bytes and could "
+                        f"not be respawned to replay them") from exc
+                self._op({"cmd": "close"}, timeout=deadline)
         finally:
             self._lease.release()
-        if crash is not None:
-            raise crash
 
 
 def make_data_part(container: Container) -> DataPart:

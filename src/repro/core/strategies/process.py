@@ -88,4 +88,5 @@ def open_session(container: Container, network=None, *,
     """Open *container* with the simple process strategy."""
     lease = HOST_POOL.lease(str(container.path), strategy="process",
                             network=network, exclusive=not pooled)
+    lease.supervised = bool(container.meta.get("supervise", True))
     return ProcessSession(lease)

@@ -98,4 +98,5 @@ def open_session(container: Container, network=None, *,
     """
     lease = HOST_POOL.lease(str(container.path), strategy="process-control",
                             network=network, exclusive=not pooled)
+    lease.supervised = bool(container.meta.get("supervise", True))
     return ProcessControlSession(lease)

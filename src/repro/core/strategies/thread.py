@@ -23,13 +23,15 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.core import policy
 from repro.core.channel import FIRST_SESSION_CHAN, LocalChannel
 from repro.core.container import Container
 from repro.core.control import raise_for_response
 from repro.core.dispatch import SentinelDispatcher
+from repro.core.policy import Deadline
 from repro.core.strategies.base import Session
 from repro.core.strategies.common import make_context
-from repro.errors import ChannelClosedError, SentinelCrashError
+from repro.errors import ChannelClosedError, SentinelCrashError, SessionCloseError
 from repro.util.naming import monotonic_name
 
 __all__ = ["ThreadSession", "open_session", "SESSION_CHAN"]
@@ -59,11 +61,12 @@ class ThreadSession(Session):
         return self._app_end.counters
 
     def _roundtrip(self, fields: dict[str, Any], payload: Any = b"",
-                   timeout: float | None = None
+                   timeout: "float | Deadline | None" = None
                    ) -> tuple[dict[str, Any], bytes]:
+        deadline = Deadline.coerce(timeout, policy.DEFAULT_OP_TIMEOUT)
         try:
             out_fields, out_payload = self._app_end.request(
-                SESSION_CHAN, fields, payload, timeout=timeout)
+                SESSION_CHAN, fields, payload, timeout=deadline)
         except ChannelClosedError as exc:
             raise SentinelCrashError(
                 f"sentinel thread terminated: {exc}") from exc
@@ -141,9 +144,17 @@ class ThreadSession(Session):
             # failures are reported by the dispatcher but must not prevent
             # teardown, so the response fields are not re-raised here.
             self._app_end.request(SESSION_CHAN, {"cmd": "close"},
-                                  timeout=5.0)
-        except (ChannelClosedError, TimeoutError):
-            pass  # thread already gone; nothing left to close
+                                  timeout=Deadline.after(policy.CLOSE_TIMEOUT))
+        except (ChannelClosedError, TimeoutError) as exc:
+            # The sentinel thread vanished or wedged before acking close.
+            # Record the evidence on the transport counters and surface a
+            # typed error — losing the close handshake may mean on_close
+            # side effects (final flushes, lease releases) never ran.
+            self._app_end.counters.record_close_error(
+                f"session close handshake failed: {exc}")
+            self._app_end.close()
+            raise SessionCloseError(
+                f"sentinel thread did not acknowledge close: {exc}") from exc
         self._app_end.close()
 
 

@@ -17,12 +17,16 @@ __all__ = [
     "SpecError",
     "SentinelError",
     "SentinelCrashError",
+    "SentinelCrashedError",
+    "SessionCloseError",
+    "FlushError",
     "StrategyError",
     "UnsupportedOperationError",
     "HandleError",
     "ProtocolError",
     "FrameError",
     "ChannelClosedError",
+    "DeadlineExceededError",
     "CacheError",
     "InterceptionError",
     "SandboxViolation",
@@ -70,6 +74,21 @@ class SentinelCrashError(SentinelError):
     """The sentinel process/thread died while the file was open."""
 
 
+#: Preferred spelling for the supervised-transport crash error; the
+#: supervision layer raises it when a crash could not be recovered
+#: transparently.  One class, two names, so both round-trip the wire.
+SentinelCrashedError = SentinelCrashError
+
+
+class SessionCloseError(SentinelError):
+    """The session's close handshake failed (sentinel gone or wedged)."""
+
+
+class FlushError(SentinelError):
+    """Buffered writes could not be delivered; data did NOT silently
+    vanish — this error reports exactly the unflushed state."""
+
+
 class StrategyError(ActiveFileError):
     """The requested implementation strategy cannot serve this request."""
 
@@ -113,6 +132,14 @@ class FrameError(ProtocolError):
 
 class ChannelClosedError(ProtocolError):
     """The peer closed the channel mid-conversation."""
+
+
+class DeadlineExceededError(ActiveFileError, TimeoutError):
+    """A blocking wait outlived its :class:`~repro.core.policy.Deadline`.
+
+    Subclasses :class:`TimeoutError` so callers guarding waits with the
+    builtin still catch the typed form.
+    """
 
 
 # --------------------------------------------------------------------------

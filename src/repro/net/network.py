@@ -23,6 +23,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from repro.core.policy import Deadline
 from repro.errors import AddressError, NetworkError
 from repro.net.address import Address
 from repro.net.message import Request, Response
@@ -35,6 +36,9 @@ __all__ = [
     "Network",
     "Connection",
 ]
+
+#: Distinguishes "not partitioned" from "partitioned until healed (None)".
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -93,6 +97,11 @@ class NetworkStats:
     bytes_received: int = 0
     charged_us: float = 0.0
     per_service: dict[str, int] = field(default_factory=dict)
+    #: Failure-plane counters: partitions cut, links healed, and calls
+    #: dropped because the destination was partitioned at the time.
+    partitions: int = 0
+    heals: int = 0
+    partition_drops: int = 0
 
     def record(self, address: Address, request_bytes: int,
                response_bytes: int, charged_us: float) -> None:
@@ -115,7 +124,11 @@ class Network:
         self._services: dict[Address, "_Binding"] = {}
         self._links: dict[Address, LinkProfile] = {}
         self._lock = threading.Lock()
-        self._partitioned: set[Address] = set()
+        #: address -> monotonic expiry (``None`` = until healed by hand).
+        self._partitioned: dict[Address, float | None] = {}
+        #: Optional :class:`~repro.core.faults.FaultPlane` consulted on
+        #: every call (set via ``plane.arm_network(network)``).
+        self.faults = None
 
     # -- topology ----------------------------------------------------------
 
@@ -137,7 +150,7 @@ class Network:
                 raise AddressError(f"address not bound: {address}")
             del self._services[address]
             self._links.pop(address, None)
-            self._partitioned.discard(address)
+            self._partitioned.pop(address, None)
 
     def addresses(self) -> list[Address]:
         with self._lock:
@@ -145,14 +158,36 @@ class Network:
 
     # -- failure injection --------------------------------------------------
 
-    def partition(self, address: Address) -> None:
-        """Cut the link to *address*; calls raise :class:`NetworkError`."""
+    def partition(self, address: Address,
+                  duration: float | None = None) -> None:
+        """Cut the link to *address*; calls raise :class:`NetworkError`.
+
+        With a *duration* (seconds of wall time) the partition heals
+        itself lazily: the first call after expiry goes through.
+        Without one, the cut lasts until :meth:`heal`.
+        """
+        expiry = None if duration is None \
+            else time.monotonic() + float(duration)
         with self._lock:
-            self._partitioned.add(address)
+            self._partitioned[address] = expiry
+            self.stats.partitions += 1
 
     def heal(self, address: Address) -> None:
+        """Restore the link to *address* (idempotent)."""
         with self._lock:
-            self._partitioned.discard(address)
+            if self._partitioned.pop(address, _MISSING) is not _MISSING:
+                self.stats.heals += 1
+
+    def _is_partitioned_locked(self, address: Address) -> bool:
+        """Partition check with lazy expiry of timed cuts (lock held)."""
+        expiry = self._partitioned.get(address, _MISSING)
+        if expiry is _MISSING:
+            return False
+        if expiry is not None and time.monotonic() >= expiry:
+            del self._partitioned[address]
+            self.stats.heals += 1
+            return False
+        return True
 
     # -- data path -----------------------------------------------------------
 
@@ -163,16 +198,35 @@ class Network:
                 raise AddressError(f"no service at {address}")
         return Connection(self, address)
 
-    def call(self, address: Address, request: Request) -> Response:
+    def call(self, address: Address, request: Request, *,
+             deadline: "Deadline | float | None" = None) -> Response:
         """One request/response exchange, with transport accounting.
 
         The service handler runs under a per-service lock, so services may
         be written single-threaded even though many sentinels (threads)
-        can call in concurrently.
+        can call in concurrently.  An expired *deadline* fails the call
+        before any transport cost is charged.
         """
+        if deadline is not None:
+            Deadline.coerce(deadline).check(
+                f"network call {request.op!r} to {address}")
+        plane = self.faults
+        if plane is not None:
+            rule = plane.on_network(address, request.op)
+            if rule is not None:
+                if rule.action == "fail":
+                    raise NetworkError(
+                        f"injected network fault: {request.op!r} to "
+                        f"{address}")
+                if rule.action == "delay":
+                    self.clock.charge(rule.seconds * 1e6)
+                elif rule.action == "partition":
+                    self.partition(address, duration=rule.seconds or None)
         with self._lock:
             binding = self._services.get(address)
-            partitioned = address in self._partitioned
+            partitioned = self._is_partitioned_locked(address)
+            if partitioned:
+                self.stats.partition_drops += 1
             profile = self._links.get(address, self.profile)
         if binding is None:
             raise AddressError(f"no service at {address}")
@@ -211,12 +265,14 @@ class Connection:
         self.address = address
         self._closed = False
 
-    def call(self, op: str, payload: bytes = b"", **fields) -> Response:
+    def call(self, op: str, payload: bytes = b"", *,
+             deadline: "Deadline | float | None" = None,
+             **fields) -> Response:
         """Issue *op* and return the response; raises on transport failure."""
         if self._closed:
             raise NetworkError("connection is closed")
         request = Request(op=op, fields=dict(fields), payload=payload)
-        return self.network.call(self.address, request)
+        return self.network.call(self.address, request, deadline=deadline)
 
     def call_async(self, op: str, payload: bytes = b"", **fields):
         """Issue *op*; returns a zero-argument resolver for the response.

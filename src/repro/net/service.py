@@ -20,9 +20,17 @@ class Service:
     #: Set by :meth:`Network.bind`.
     address = None
     network = None
+    #: Optional :class:`~repro.core.faults.FaultPlane`; when set, a
+    #: matching ``service``/``fail`` rule turns the exchange into a
+    #: failure response (a flaky server, as seen by every client).
+    faults = None
 
     def handle(self, request: Request) -> Response:
         """Dispatch *request* to the matching ``op_`` method."""
+        plane = self.faults
+        if plane is not None and plane.on_service(request.op) is not None:
+            return Response.failure(
+                f"injected service fault: {request.op!r}")
         handler = getattr(self, f"op_{request.op}", None)
         if handler is None:
             return Response.failure(f"unknown operation: {request.op!r}")

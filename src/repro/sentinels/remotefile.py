@@ -22,12 +22,22 @@ contents at any of the remote sources."
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
+from repro.core import policy
 from repro.core.cache import CACHE_PATHS, BlockCache
 from repro.core.datapart import MemoryDataPart
+from repro.core.policy import Deadline, RetryPolicy
 from repro.core.sentinel import Sentinel, SentinelContext
-from repro.errors import RemoteFileNotFound, SentinelError
+from repro.errors import (
+    AddressError,
+    FlushError,
+    NetworkError,
+    RemoteFileNotFound,
+    SentinelError,
+    ServiceError,
+)
 
 __all__ = ["RemoteFileSentinel", "FileServerOrigin", "HttpOrigin", "FtpOrigin"]
 
@@ -181,6 +191,17 @@ _ORIGINS = {
 }
 
 
+def _transient(exc: BaseException) -> bool:
+    """Is *exc* a failure that retrying (or waiting out) may fix?
+
+    Transport-level network failures — partitions, injected faults,
+    bridge loss — are transient; a service that *answered* with an error
+    (:class:`ServiceError` and friends) or an unbound address is not.
+    """
+    return isinstance(exc, NetworkError) \
+        and not isinstance(exc, (ServiceError, AddressError))
+
+
 class RemoteFileSentinel(Sentinel):
     """A local file that is a logical proxy for one remote file.
 
@@ -193,6 +214,16 @@ class RemoteFileSentinel(Sentinel):
     False, i.e. paper-faithful write-through), ``writeback_bytes``
     (dirty-byte auto-flush threshold), ``validate`` (bool: revalidate
     version before reads), ``user``/``password`` (ftp).
+
+    Fault-tolerance params: ``op_timeout`` (seconds of deadline budget
+    per origin operation), ``retries`` (attempts per origin exchange for
+    transient network failures), ``retry_seed`` (seeds the backoff
+    jitter — deterministic schedules for tests), ``stale_reads`` (serve
+    already-cached bytes during a partition instead of failing
+    revalidation), ``queue_writes`` (implies ``writeback``; transient
+    flush failures keep the bytes buffered and re-flush with backoff
+    once the origin heals — close still surfaces a typed
+    :class:`FlushError` if they never made it).
     """
 
     def __init__(self, params=None) -> None:
@@ -214,7 +245,9 @@ class RemoteFileSentinel(Sentinel):
         max_blocks = self.params.get("max_blocks")
         self.max_blocks = None if max_blocks is None else int(max_blocks)
         self.readahead = int(self.params.get("readahead", 0))
-        self.writeback = bool(self.params.get("writeback", False))
+        self.queue_writes = bool(self.params.get("queue_writes", False))
+        self.writeback = bool(self.params.get("writeback", False)) \
+            or self.queue_writes
         self.writeback_bytes = int(self.params.get("writeback_bytes",
                                                    256 * 1024))
         if cache == "none" and (self.readahead or self.writeback):
@@ -222,9 +255,21 @@ class RemoteFileSentinel(Sentinel):
                 "readahead/writeback require a cache path "
                 "(cache='disk' or cache='memory', not 'none')")
         self.validate = bool(self.params.get("validate", False))
+        self.op_timeout = float(self.params.get("op_timeout",
+                                                policy.REMOTE_OP_TIMEOUT))
+        self.stale_reads = bool(self.params.get("stale_reads", False))
+        retry_seed = self.params.get("retry_seed")
+        self.retry = RetryPolicy(
+            attempts=int(self.params.get("retries", 3)),
+            seed=None if retry_seed is None else int(retry_seed))
         self._origin = None
         self._cache: BlockCache | None = None
         self._last_version: Any = None
+        self._last_size: int | None = None
+        self._op_deadline: Deadline | None = None
+        #: Next opportunistic re-flush time for queued writes (monotonic).
+        self._queue_retry_at = 0.0
+        self._queue_backoff = self.retry.base_delay
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -234,21 +279,60 @@ class RemoteFileSentinel(Sentinel):
             return
         store = ctx.data if self.cache_path == "disk" else MemoryDataPart()
         self._cache = BlockCache(
-            fetch=self._origin.read, push=self._push,
+            fetch=self._fetch, push=self._push,
             store=store, block_size=self.block_size,
             max_blocks=self.max_blocks,
             readahead=self.readahead, writeback=self.writeback,
             writeback_bytes=self.writeback_bytes,
-            fetch_window=getattr(self._origin, "read_window", None),
+            fetch_window=self._fetch_window
+            if getattr(self._origin, "read_window", None) is not None
+            else None,
             push_extents=self._push_extents,
         )
         self._refresh_version()
 
+    # -- retried origin exchanges -----------------------------------------------------
+
+    def _remote(self, fn):
+        """Run one origin exchange under the retry policy and deadline.
+
+        Transient network failures (partitions, dropped bridges) retry
+        with seeded backoff inside the serving command's remaining
+        deadline budget; service-level rejections surface immediately.
+        """
+        deadline = Deadline.coerce(self._op_deadline, self.op_timeout)
+        return self.retry.run(fn, retryable=_transient, deadline=deadline)
+
+    def _fetch(self, offset: int, size: int) -> bytes:
+        """Cache miss path: a retried ranged origin read."""
+        return self._remote(lambda: self._origin.read(offset, size))
+
+    def _fetch_window(self, offset: int, size: int):
+        """Prefetch path: async origin read, degrading to a retried
+        synchronous one if the in-flight exchange fails transiently."""
+        resolve = self._origin.read_window(offset, size)
+
+        def result() -> bytes:
+            try:
+                return resolve()
+            except NetworkError as exc:
+                if not _transient(exc):
+                    raise
+                return self._fetch(offset, size)
+        return result
+
     def _refresh_version(self) -> None:
         try:
-            _, self._last_version = self._origin.stat()
+            size, self._last_version = self._remote(self._origin.stat)
+            self._last_size = size
         except RemoteFileNotFound:
             self._last_version = None
+        except NetworkError as exc:
+            # A push succeeded but the follow-up stat could not reach the
+            # origin: keep the previous version token rather than failing
+            # an operation whose real work already happened.
+            if not _transient(exc):
+                raise
 
     def _push(self, offset: int, data: bytes) -> int:
         """Write-through push: one origin write, then track its version.
@@ -256,7 +340,7 @@ class RemoteFileSentinel(Sentinel):
         Refreshing here (not in on_write) keeps the version current for
         *every* path that touches the origin, including flush-on-evict.
         """
-        written = self._origin.write(offset, data)
+        written = self._remote(lambda: self._origin.write(offset, data))
         self._refresh_version()
         return written
 
@@ -264,41 +348,101 @@ class RemoteFileSentinel(Sentinel):
         """Coalesced flush: vectored when the origin protocol has one."""
         vectored = getattr(self._origin, "write_extents", None)
         if vectored is not None:
-            vectored(extents)
+            self._remote(lambda: vectored(extents))
         else:
             for offset, data in extents:
-                self._origin.write(offset, data)
+                self._remote(lambda o=offset, d=data: self._origin.write(o, d))
         self._refresh_version()
 
     def _revalidate(self) -> None:
         if not self.validate or self._cache is None:
             return
         try:
-            _, version = self._origin.stat()
+            _, version = self._remote(self._origin.stat)
         except RemoteFileNotFound:
             version = None
+        except NetworkError as exc:
+            if self.stale_reads and _transient(exc):
+                # Partition tolerance, opt-in: the origin is unreachable
+                # but the cached bytes are intact — serve them stale
+                # rather than failing the read.
+                return
+            raise
         if version != self._last_version:
             self._cache.invalidate()
             self._last_version = version
 
+    # -- graceful degradation ----------------------------------------------------------
+
+    def _enter(self, ctx: SentinelContext) -> None:
+        """Per-command entry: inherit the caller's deadline budget and
+        opportunistically re-flush writes queued behind a partition."""
+        self._op_deadline = getattr(ctx, "deadline", None)
+        self._maybe_flush_queued()
+
+    def _queue_flush_failed(self) -> None:
+        """Push the next opportunistic re-flush out with backoff."""
+        self._queue_backoff = min(self._queue_backoff * self.retry.multiplier,
+                                  self.retry.max_delay)
+        self._queue_retry_at = time.monotonic() + self._queue_backoff
+
+    def _maybe_flush_queued(self) -> None:
+        """Retry queued writes once the backoff window has elapsed.
+
+        Called on every command, so a healed partition drains the queue
+        from whatever the application does next — no timer thread.
+        """
+        if not self.queue_writes or self._cache is None:
+            return
+        if self._cache.dirty_bytes == 0 \
+                or time.monotonic() < self._queue_retry_at:
+            return
+        try:
+            self._cache.flush()
+        except NetworkError as exc:
+            if not _transient(exc):
+                raise
+            self._queue_flush_failed()
+        else:
+            self._queue_backoff = self.retry.base_delay
+
     # -- sentinel interface ------------------------------------------------------------
 
     def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        self._enter(ctx)
         if self._cache is None:
-            return self._origin.read(offset, size)
+            return self._fetch(offset, size)
         self._revalidate()
         return self._cache.read(offset, size)
 
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
+        self._enter(ctx)
         if self._cache is None:
-            return self._origin.write(offset, data)
+            return self._push(offset, data)
         # Write-through pushes refresh the version via _push; buffered
         # write-behind writes leave the origin (and version) untouched
         # until the coalesced flush.
-        return self._cache.write(offset, data)
+        try:
+            return self._cache.write(offset, data)
+        except NetworkError as exc:
+            if self.queue_writes and _transient(exc):
+                # The bytes are buffered locally and still marked dirty
+                # (the cache re-marks on flush failure); they will be
+                # re-pushed once the origin heals.
+                self._queue_flush_failed()
+                return len(data)
+            raise
 
     def on_size(self, ctx: SentinelContext) -> int:
-        size, _ = self._origin.stat()
+        self._enter(ctx)
+        try:
+            size, _ = self._remote(self._origin.stat)
+            self._last_size = size
+        except NetworkError as exc:
+            if not (self.stale_reads and _transient(exc)
+                    and self._last_size is not None):
+                raise
+            size = self._last_size  # partition: last-known origin size
         if self._cache is not None:
             # Buffered writes may extend the file past what the origin
             # has seen; the logical size includes them.
@@ -306,25 +450,45 @@ class RemoteFileSentinel(Sentinel):
         return size
 
     def on_truncate(self, ctx: SentinelContext, size: int) -> None:
+        self._enter(ctx)
         if self._cache is not None:
             # Flush first: dirty bytes surviving past the truncate would
             # re-extend the file at the next flush.
             self._cache.flush()
-        self._origin.truncate(size)
+        self._remote(lambda: self._origin.truncate(size))
         if self._cache is not None:
             self._cache.invalidate()
             self._refresh_version()
 
     def on_flush(self, ctx: SentinelContext) -> None:
+        self._enter(ctx)
         if self._cache is not None:
-            self._cache.flush()
+            try:
+                self._cache.flush()
+            except NetworkError as exc:
+                if not (self.queue_writes and _transient(exc)):
+                    raise
+                # Opt-in degradation: the bytes stay buffered (and
+                # dirty); they re-flush with backoff once the origin
+                # heals.  Close still refuses to lose them.
+                self._queue_flush_failed()
         super().on_flush(ctx)
 
     def on_close(self, ctx: SentinelContext) -> None:
-        # Push any remaining dirty bytes; a failure here propagates as
-        # the close error, reporting exactly the unflushed state.
+        # Push any remaining dirty bytes; a failure here propagates as a
+        # typed error reporting exactly the unflushed state — queued or
+        # not, buffered writes never silently vanish.
+        self._enter(ctx)
         if self._cache is not None:
-            self._cache.flush()
+            try:
+                self._cache.flush()
+            except NetworkError as exc:
+                if not _transient(exc):
+                    raise
+                raise FlushError(
+                    f"origin unreachable at close with "
+                    f"{self._cache.dirty_bytes} buffered bytes unflushed"
+                ) from exc
 
     def on_control(self, ctx: SentinelContext, op, args, payload):
         if op == "invalidate":

@@ -1,0 +1,160 @@
+"""Unit tests for the deadline/retry primitives (repro.core.policy)."""
+
+import time
+
+import pytest
+
+from repro.core.policy import Deadline, RetryPolicy
+from repro.errors import DeadlineExceededError, NetworkError, ServiceError
+
+
+class TestDeadline:
+    def test_after_and_remaining(self):
+        d = Deadline.after(10.0)
+        assert d.bounded
+        remaining = d.remaining()
+        assert 9.0 < remaining <= 10.0
+        assert not d.expired()
+
+    def test_never_is_unbounded(self):
+        d = Deadline.never()
+        assert not d.bounded
+        assert d.remaining() is None
+        assert d.timeout() is None
+        assert not d.expired()
+        d.check("anything")  # never raises
+
+    def test_expired_clamps_and_raises(self):
+        d = Deadline.after(0.0)
+        assert d.expired()
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceededError, match="slow thing"):
+            d.check("slow thing")
+
+    def test_deadline_error_is_a_timeout(self):
+        # Callers guarding waits with the builtin must still catch it.
+        with pytest.raises(TimeoutError):
+            Deadline.after(0.0).check()
+
+    def test_coerce_passthrough_number_none(self):
+        d = Deadline.after(5.0)
+        assert Deadline.coerce(d) is d
+        assert Deadline.coerce(2.0).bounded
+        assert not Deadline.coerce(None).bounded
+        assert Deadline.coerce(None, default=1.0).bounded
+
+    def test_wire_roundtrip_reanchors(self):
+        d = Deadline.after(10.0)
+        ms = d.to_ms()
+        assert 9_000 < ms <= 10_000
+        back = Deadline.from_ms(ms)
+        assert 9.0 < back.remaining() <= 10.0
+        assert Deadline.from_ms(None).remaining() is None
+        assert Deadline.never().to_ms() is None
+
+    def test_capped_takes_the_sooner(self):
+        d = Deadline.after(10.0)
+        capped = d.capped(1.0)
+        assert capped.remaining() <= 1.0
+        # capping an already-tighter deadline is a no-op
+        tight = Deadline.after(0.5)
+        assert tight.capped(60.0) is tight
+
+    def test_sleep_clipped_to_budget(self):
+        d = Deadline.after(0.05)
+        start = time.monotonic()
+        d.sleep(5.0)
+        assert time.monotonic() - start < 1.0
+
+
+class TestRetryPolicy:
+    def test_seeded_schedule_is_deterministic(self):
+        a = list(RetryPolicy(attempts=5, seed=42).delays())
+        b = list(RetryPolicy(attempts=5, seed=42).delays())
+        c = list(RetryPolicy(attempts=5, seed=7).delays())
+        assert a == b
+        assert a != c
+        assert len(a) == 4  # one delay per retry
+
+    def test_delays_bounded_by_max(self):
+        policy = RetryPolicy(attempts=10, base_delay=0.1, multiplier=10.0,
+                             max_delay=0.5, jitter=0.0)
+        assert all(d <= 0.5 for d in policy.delays())
+
+    def test_run_retries_until_success(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise NetworkError("transient")
+            return "done"
+
+        policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+        assert policy.run(flaky, retryable=NetworkError) == "done"
+        assert len(calls) == 3
+
+    def test_run_exhausts_and_reraises_last(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+        calls = []
+
+        def always_fails():
+            calls.append(1)
+            raise NetworkError(f"attempt {len(calls)}")
+
+        with pytest.raises(NetworkError, match="attempt 3"):
+            policy.run(always_fails, retryable=NetworkError)
+
+    def test_run_never_retries_non_retryable(self):
+        calls = []
+
+        def rejected():
+            calls.append(1)
+            raise ServiceError("no")
+
+        policy = RetryPolicy(attempts=5, base_delay=0.001)
+
+        def predicate(exc):
+            return isinstance(exc, NetworkError) \
+                and not isinstance(exc, ServiceError)
+
+        with pytest.raises(ServiceError):
+            policy.run(rejected, retryable=predicate)
+        assert len(calls) == 1
+
+    def test_run_never_retries_non_idempotent(self):
+        calls = []
+
+        def fails():
+            calls.append(1)
+            raise NetworkError("boom")
+
+        policy = RetryPolicy(attempts=5, base_delay=0.001)
+        with pytest.raises(NetworkError):
+            policy.run(fails, retryable=NetworkError, idempotent=False)
+        assert len(calls) == 1
+
+    def test_run_respects_deadline(self):
+        policy = RetryPolicy(attempts=50, base_delay=0.02, jitter=0.0)
+        start = time.monotonic()
+        with pytest.raises(NetworkError):
+            policy.run(lambda: (_ for _ in ()).throw(NetworkError("x")),
+                       retryable=NetworkError,
+                       deadline=Deadline.after(0.1))
+        assert time.monotonic() - start < 2.0
+
+    def test_on_retry_observer(self):
+        seen = []
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise NetworkError("once")
+            return "ok"
+
+        policy = RetryPolicy(attempts=3, base_delay=0.001, jitter=0.0)
+        policy.run(flaky, retryable=NetworkError,
+                   on_retry=lambda exc, delay: seen.append((exc, delay)))
+        assert len(seen) == 1
+        assert isinstance(seen[0][0], NetworkError)

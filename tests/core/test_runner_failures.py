@@ -1,4 +1,12 @@
-"""Failure injection for the sentinel host process."""
+"""Failure injection for the sentinel host process.
+
+PR 3 made the host transport *supervised*: a crashed host is detected,
+respawned, and idempotent operations retry transparently after the
+session's write journal is replayed.  These tests cover both faces:
+recovery must be invisible when it is safe, and crashes must still
+surface as typed errors when it is not (``meta={"supervise": False}``,
+non-idempotent streams, retry exhaustion).
+"""
 
 import signal
 import time
@@ -51,11 +59,52 @@ class CrashOnNthRead:
         return Impl(params)
 
 
-class TestChildCrash:
-    def test_hard_crash_mid_read_raises(self, tmp_path):
+class TestTransparentRecovery:
+    def test_crash_mid_read_recovers(self, tmp_path):
+        """A mid-session host crash is invisible to a sequential reader."""
         path = tmp_path / "crashy.af"
         create_active(path, f"{__name__}:CrashOnNthRead",
                       params={"after": 3}, data=b"0123456789")
+        stream = open_active(str(path), "rb", strategy="process-control")
+        out = b""
+        for _ in range(5):
+            out += stream.read(2)
+        assert out == b"0123456789"  # byte-identical despite the crash
+        assert stream.session._lease.respawns >= 1
+        stream.close()
+
+    def test_killed_child_respawns_on_next_op(self, tmp_path):
+        path = tmp_path / "victim.af"
+        create_active(path, NULL, data=b"x" * 64)
+        stream = open_active(str(path), "rb", strategy="process-control")
+        assert stream.read(4) == b"xxxx"
+        proc = stream.session.host.proc
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+        assert stream.read(4) == b"xxxx"  # respawn + retry, no error
+        assert stream.session._lease.respawns == 1
+        stream.close()
+
+    def test_write_journal_replayed_after_crash(self, tmp_path):
+        """Acked writes survive a crash: the journal replays on respawn."""
+        path = tmp_path / "journal.af"
+        create_active(path, NULL, data=b"\x00" * 16)
+        stream = open_active(str(path), "r+b", strategy="process-control")
+        stream.write(b"WRITTEN!")
+        proc = stream.session.host.proc
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+        stream.seek(0)
+        assert stream.read(8) == b"WRITTEN!"
+        assert stream.session._lease.respawns == 1
+        stream.close()
+
+    def test_unsupervised_crash_surfaces(self, tmp_path):
+        """``meta={"supervise": False}`` restores fail-fast semantics."""
+        path = tmp_path / "fragile.af"
+        create_active(path, f"{__name__}:CrashOnNthRead",
+                      params={"after": 3}, data=b"0123456789",
+                      meta={"supervise": False})
         stream = open_active(str(path), "rb", strategy="process-control")
         assert stream.read(2) == b"01"
         assert stream.read(2) == b"23"
@@ -64,19 +113,18 @@ class TestChildCrash:
         with pytest.raises(SentinelCrashError):
             stream.close()
 
-    def test_killed_child_surfaces_on_next_op(self, tmp_path):
-        path = tmp_path / "victim.af"
-        create_active(path, NULL, data=b"x" * 64)
+    def test_retry_exhaustion_surfaces_typed_crash(self, tmp_path):
+        """A sentinel that crashes on every respawn exhausts the schedule."""
+        path = tmp_path / "doomed.af"
+        create_active(path, f"{__name__}:CrashOnNthRead",
+                      params={"after": 1}, data=b"0123456789")
         stream = open_active(str(path), "rb", strategy="process-control")
-        assert stream.read(4) == b"xxxx"
-        proc = stream.session.host.proc
-        proc.send_signal(signal.SIGKILL)
-        proc.wait(timeout=5)
         with pytest.raises(SentinelCrashError):
-            stream.read(4)
-        with pytest.raises(SentinelCrashError):
-            stream.close()
+            stream.read(2)
+        assert stream.session._lease.respawns >= 1
 
+
+class TestChildCrash:
     def test_bad_spec_fails_at_open(self, tmp_path):
         path = tmp_path / "broken.af"
         # spec resolves to a module that import-errors in the host child;
@@ -87,7 +135,8 @@ class TestChildCrash:
 
     def test_crash_message_includes_stderr(self, tmp_path):
         path = tmp_path / "noisy.af"
-        create_active(path, f"{__name__}:NoisyCrash", data=b"abc")
+        create_active(path, f"{__name__}:NoisyCrash", data=b"abc",
+                      meta={"supervise": False})
         stream = open_active(str(path), "rb", strategy="process-control")
         with pytest.raises(SentinelCrashError) as excinfo:
             stream.read(1)
@@ -106,7 +155,7 @@ class TestChildCrash:
         path = tmp_path / "crashy2.af"
         create_active(path, f"{__name__}:CrashOnNthRead",
                       params={"after": 1}, data=b"0123456789",
-                      meta={"data": "memory"})
+                      meta={"data": "memory", "supervise": False})
         stream = open_active(str(path), "rb", strategy="process")
         with pytest.raises(SentinelCrashError):
             # the pump dies before producing; EOF + nonzero exit

@@ -152,6 +152,74 @@ class TestFailures:
         net.heal(addr)
         assert conn.call("echo").ok
 
+    def test_partition_and_heal_are_counted(self, net, addr):
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        net.partition(addr)
+        assert net.stats.partitions == 1
+        for _ in range(3):
+            with pytest.raises(NetworkError):
+                conn.call("echo")
+        assert net.stats.partition_drops == 3
+        net.heal(addr)
+        assert net.stats.heals == 1
+        net.heal(addr)  # idempotent: healing a healthy link counts nothing
+        assert net.stats.heals == 1
+        assert conn.call("echo").ok
+
+    def test_timed_partition_heals_itself(self, net, addr):
+        import time
+
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        net.partition(addr, duration=0.05)
+        with pytest.raises(NetworkError):
+            conn.call("echo")
+        time.sleep(0.08)
+        assert conn.call("echo").ok  # lazily healed on the next call
+        assert net.stats.heals == 1
+
+    def test_expired_deadline_fails_before_transport(self, net, addr):
+        from repro.core.policy import Deadline
+        from repro.errors import DeadlineExceededError
+
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        charged_before = net.stats.charged_us
+        with pytest.raises(DeadlineExceededError):
+            conn.call("echo", deadline=Deadline.after(0.0))
+        assert net.stats.charged_us == charged_before  # nothing was moved
+
+    def test_fault_plane_fail_and_service_rules(self, net, addr):
+        from repro.core.faults import FaultPlane
+
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        FaultPlane(seed=3).fail_network(times=1).arm_network(net)
+        with pytest.raises(NetworkError, match="injected"):
+            conn.call("echo")
+        assert conn.call("echo").ok  # rule exhausted
+
+        service_plane = FaultPlane(seed=4).fail_service(times=1)
+        service_plane.arm_service(net._services[addr].service)
+        response = conn.call("echo")
+        assert not response.ok and "injected service fault" in response.error
+        assert conn.call("echo").ok
+
+    def test_fault_plane_timed_partition_rule(self, net, addr):
+        import time
+
+        from repro.core.faults import FaultPlane
+
+        net.bind(addr, Echo())
+        conn = net.connect(addr)
+        FaultPlane(seed=5).partition(0.05, times=1).arm_network(net)
+        with pytest.raises(NetworkError, match="partition"):
+            conn.call("echo")
+        time.sleep(0.08)
+        assert conn.call("echo").ok
+        assert net.stats.partitions == 1
+
     def test_unknown_op_is_protocol_failure(self, net, addr):
         net.bind(addr, Echo())
         response = net.connect(addr).call("nosuch")

@@ -13,10 +13,11 @@ REMOTE = "repro.sentinels.remotefile:RemoteFileSentinel"
 def remote_setup(network, fileserver, make_active):
     fileserver.put_file("data/report.txt", b"remote report contents")
 
-    def make(cache="none", **extra):
+    def make(cache="none", meta=None, **extra):
         params = {"address": "files.test:7000", "path": "data/report.txt",
                   "cache": cache, **extra}
-        return make_active(REMOTE, params=params, meta={"data": "memory"})
+        return make_active(REMOTE, params=params,
+                           meta={"data": "memory", **(meta or {})})
 
     return network, fileserver, make
 
@@ -320,17 +321,45 @@ class TestPipelinedCache:
 
 class TestWritebackDurability:
     """Kill the sentinel host mid-stream: flushed bytes survive at the
-    origin, unflushed bytes are reported via an error — never silently
-    dropped, never silently 'written'."""
+    origin, and with supervision the buffered ones are *replayed* onto
+    the respawned host — never silently dropped, never silently
+    'written'."""
 
-    def test_crash_loses_only_unflushed(self, remote_setup):
+    def test_crash_replays_unflushed_writes(self, remote_setup):
+        import signal
+
+        network, server, make = remote_setup
+        server.put_file("data/report.txt", b"#" * 64)
+        path = make("memory", writeback=True, block_size=16)
+        stream = open_active(path, "r+b", strategy="process-control",
+                             network=network)
+        stream.write(b"FLUSHED!")
+        stream.flush()
+        assert server.get_file("data/report.txt").startswith(b"FLUSHED!")
+        stream.seek(32)
+        stream.write(b"UNFLUSHED")
+        proc = stream.session.host.proc
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=5)
+        # The session journal replays every acked write (including the
+        # not-yet-flushed one) onto the respawned host before the flush
+        # retries: nothing vanishes.
+        stream.flush()
+        assert stream.session._lease.respawns >= 1
+        stream.close()
+        body = server.get_file("data/report.txt")
+        assert body.startswith(b"FLUSHED!")
+        assert body[32:41] == b"UNFLUSHED"
+
+    def test_unsupervised_crash_loses_only_unflushed(self, remote_setup):
         import signal
 
         from repro.errors import SentinelCrashError
 
         network, server, make = remote_setup
         server.put_file("data/report.txt", b"#" * 64)
-        path = make("memory", writeback=True, block_size=16)
+        path = make("memory", writeback=True, block_size=16,
+                    meta={"supervise": False})
         stream = open_active(path, "r+b", strategy="process-control",
                              network=network)
         try:
