@@ -12,6 +12,47 @@ import pytest
 #: Reduced block-size axis for benchmarks (full axis in the harness).
 BENCH_BLOCKS = (8, 512, 2048)
 
+#: Required top-level keys of every BENCH_*.json artifact.
+BENCH_TOP_KEYS = ("block_size", "total_bytes", "strategy", "results")
+
+#: Required per-section result keys of BENCH_cache.json — downstream
+#: dashboards key on these names; renaming one is a breaking change.
+BENCH_CACHE_RESULT_KEYS = {
+    "read_sync_miss_per_block": ("elapsed_s", "ops", "ops_per_s",
+                                 "p50_us", "p95_us"),
+    "read_pipelined": ("elapsed_s", "ops", "ops_per_s", "p50_us", "p95_us",
+                       "readahead", "prefetch_issued", "prefetch_used",
+                       "speedup"),
+    "write_through": ("elapsed_s", "ops", "ops_per_s", "p50_us", "p95_us"),
+    "write_behind": ("elapsed_s", "ops", "ops_per_s", "p50_us", "p95_us",
+                     "writeback_bytes", "coalesced_flushes"),
+}
+
+#: Required per-section result keys of BENCH_recovery.json.
+BENCH_RECOVERY_RESULT_KEYS = {
+    "kill_to_first_read": ("samples", "min_ms", "p50_ms", "max_ms",
+                           "mean_ms", "kills", "respawns"),
+}
+
+
+def check_bench_schema(doc, result_keys, *, name="benchmark json"):
+    """Assert a BENCH_*.json document keeps its published keys.
+
+    Extra keys are fine (the schema may grow); missing or non-numeric
+    published keys fail loudly with the offending path.
+    """
+    missing = [key for key in BENCH_TOP_KEYS if key not in doc]
+    assert not missing, f"{name}: missing top-level keys {missing}"
+    results = doc["results"]
+    for section, keys in result_keys.items():
+        assert section in results, f"{name}: missing results[{section!r}]"
+        for key in keys:
+            assert key in results[section], \
+                f"{name}: missing results[{section!r}][{key!r}]"
+            value = results[section][key]
+            assert isinstance(value, (int, float)), \
+                f"{name}: results[{section!r}][{key!r}] is {type(value).__name__}"
+
 #: Calls per simulated point (paper: 1000; reduced to keep wall time sane).
 BENCH_CALLS = 200
 

@@ -1,0 +1,52 @@
+"""Telemetry overhead guard: the disabled path must stay free.
+
+Tracing off is the default, and the budget for it is one predicate per
+frame — no spans, no collector traffic, and critically no *retained*
+allocations.  This microbench drives the hottest frame path
+(:class:`LocalChannel` request/reply, the thread-strategy transport)
+in steady state and asserts the interpreter's allocated-block count
+does not grow with the number of frames, then reports the per-frame
+wall cost for the CI log.
+"""
+
+import gc
+import sys
+import time
+
+from repro.core.channel import LocalChannel
+from repro.core.telemetry import TELEMETRY
+
+WARMUP = 500
+FRAMES = 5000
+
+#: Allowed net allocated-block growth across FRAMES steady-state
+#: requests.  Zero per-frame growth is the contract; the slack absorbs
+#: interpreter-internal noise (free-list reshaping, GC bookkeeping).
+ALLOWED_GROWTH = 200
+
+
+def test_disabled_tracing_steady_state_allocations():
+    assert not TELEMETRY.tracing, "tracing must default to off"
+    app, peer = LocalChannel.pair("bench-telemetry")
+    try:
+        peer.register(1, lambda fields, payload: ({"ok": True}, payload))
+        for _ in range(WARMUP):  # populate caches: histograms, counters
+            app.request(1, {"cmd": "read"}, b"x")
+        gc.collect()
+        before = sys.getallocatedblocks()
+        started = time.perf_counter()
+        for _ in range(FRAMES):
+            app.request(1, {"cmd": "read"}, b"x")
+        elapsed = time.perf_counter() - started
+        gc.collect()
+        growth = sys.getallocatedblocks() - before
+    finally:
+        app.close()
+        peer.close()
+    print(f"\ntelemetry-disabled frame path: "
+          f"{elapsed / FRAMES * 1e6:.1f} us/frame, "
+          f"net allocated-block growth {growth} over {FRAMES} frames")
+    assert growth <= ALLOWED_GROWTH, (
+        f"disabled-tracing path retained {growth} blocks over {FRAMES} "
+        f"frames (allowed {ALLOWED_GROWTH}) — a per-frame allocation "
+        f"crept into the hot path")

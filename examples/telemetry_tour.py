@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""One request, one tree: tracing a fault-injected remote read.
+
+The telemetry plane stitches a single span tree per open across both
+processes: app call → channel frame → sentinel dispatch → cache fill →
+network bridge → origin exchange.  This tour injects a host kill under
+a seeded fault plane mid-read, lets the supervisor respawn and retry,
+then prints the resulting timeline, exports it as JSONL, and dumps the
+unified counter snapshot — every counter family the runtime keeps,
+behind one ``TELEMETRY.snapshot()``.
+
+Run:  python examples/telemetry_tour.py [spans.jsonl]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import create_active, open_active
+from repro.core.faults import FaultPlane
+from repro.core.runner import HOST_POOL
+from repro.core.telemetry import (
+    TELEMETRY,
+    render_snapshot,
+    render_timeline,
+)
+from repro.net import Address, FileServer, Network
+
+REMOTE = "repro.sentinels.remotefile:RemoteFileSentinel"
+
+
+def main() -> None:
+    export = Path(sys.argv[1]) if len(sys.argv) > 1 else None
+    workdir = Path(tempfile.mkdtemp(prefix="af-telemetry-"))
+    network = Network()
+
+    # -- a remote origin and a local proxy for it ---------------------------
+    server = network.bind(Address("origin", 9000), FileServer())
+    server.put_file("/data.bin", b"x" * 65536)
+    proxy = workdir / "traced.af"
+    create_active(proxy, REMOTE, params={
+        "address": "origin:9000", "path": "/data.bin",
+        "cache": "memory", "block_size": 4096, "readahead": 4,
+        "retry_seed": 1,
+    })
+
+    # -- a deterministic crash: kill the sentinel host on the first read ----
+    plane = FaultPlane(seed=7)
+    plane.rule("send", "kill", op="read", times=1)
+    HOST_POOL.faults = plane
+
+    TELEMETRY.reset()
+    TELEMETRY.enable_tracing()
+    try:
+        with open_active(proxy, "rb", strategy="process-control",
+                         network=network) as stream:
+            data = stream.read(16384)
+    finally:
+        TELEMETRY.disable_tracing()
+        HOST_POOL.faults = None
+
+    assert data == b"x" * 16384, "recovery must be invisible to the app"
+    assert plane.summary().get("send:kill") == 1, "the kill must have fired"
+
+    # -- the trace: one linked tree covering both processes -----------------
+    spans = TELEMETRY.spans()
+    print(render_timeline(spans, limit=80))
+    assert len({span.trace for span in spans}) == 1, "one open, one trace"
+    assert len({span.pid for span in spans}) == 2, \
+        "sentinel-side spans piggyback home on the reply"
+    names = {span.name for span in spans}
+    for expected in ("file", "app.read", "op.read", "respawn",
+                     "frame.read", "dispatch.read", "cache.fill",
+                     "bridge.read", "net.read"):
+        assert expected in names, f"missing span {expected!r}"
+
+    out = export or (workdir / "trace_spans.jsonl")
+    count = TELEMETRY.export_jsonl(out)
+    print(f"\nexported {count} spans -> {out}")
+
+    # -- the counters: every family, one snapshot ---------------------------
+    print()
+    print(render_snapshot(TELEMETRY.snapshot()))
+
+
+if __name__ == "__main__":
+    main()

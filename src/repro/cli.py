@@ -12,6 +12,8 @@ Subcommands::
     afctl sandbox <path> [...]        wrap the sentinel in a policy (§2.3)
     afctl strategies                  list implementation strategies
     afctl figure6 [...]               run the Figure 6 harness
+    afctl stats <path>                sample workload + telemetry snapshot
+    afctl trace <path> -- <op> [...]  run one op traced; print its timeline
 
 Network-backed sentinels need in-process services and are therefore
 exercised from Python (see ``examples/``); the CLI covers local and
@@ -171,6 +173,68 @@ def cmd_sandbox(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Run a small sample workload, then print the telemetry snapshot."""
+    from repro.core.telemetry import TELEMETRY, render_snapshot
+
+    with open_active(args.path, "rb", strategy=args.strategy) as stream:
+        stream.read(args.bytes)
+        file_view = stream.telemetry()
+    snap = TELEMETRY.snapshot()
+    if args.json:
+        print(json.dumps({"file": file_view, "snapshot": snap},
+                         sort_keys=True, default=str))
+    else:
+        print(render_snapshot(snap))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run one operation under tracing and print the span timeline.
+
+    The op spec follows ``--``: ``cat [limit]``, ``read [offset size]``,
+    ``write [text...]``, or ``size``.
+    """
+    from repro.core.telemetry import TELEMETRY, render_timeline
+
+    op = list(args.op)
+    if op and op[0] == "--":
+        op = op[1:]
+    verb, rest = (op[0], op[1:]) if op else ("cat", [])
+    if verb not in ("cat", "read", "write", "size"):
+        print(f"afctl trace: unknown op {verb!r} "
+              "(use cat|read|write|size)", file=sys.stderr)
+        return 1
+    was_tracing = TELEMETRY.tracing
+    TELEMETRY.enable_tracing()
+    trace_id = None
+    try:
+        mode = "r+b" if verb == "write" else "rb"
+        with open_active(args.path, mode, strategy=args.strategy) as stream:
+            trace_id = stream._trace.id if stream._trace else None
+            if verb == "cat":
+                stream.read(int(rest[0]) if rest else 1 << 20)
+            elif verb == "read":
+                stream.seek(int(rest[0]) if rest else 0)
+                stream.read(int(rest[1]) if len(rest) > 1 else 65536)
+            elif verb == "write":
+                stream.write(" ".join(rest).encode() or b"traced write")
+            else:  # size
+                print(f"size: {stream.seek(0, 2)}", file=sys.stderr)
+    finally:
+        TELEMETRY.tracing = was_tracing
+    spans = TELEMETRY.spans(trace=trace_id)
+    if args.export:
+        count = TELEMETRY.export_jsonl(args.export, trace=trace_id)
+        print(f"exported {count} spans to {args.export}", file=sys.stderr)
+    if args.json:
+        print(json.dumps([span.to_dict() for span in spans],
+                         sort_keys=True, default=str))
+    else:
+        print(render_timeline(spans))
+    return 0
+
+
 def cmd_figure6(args) -> int:
     from repro.afsim.figure6 import main as figure6_main
 
@@ -250,6 +314,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="allowlist a network host (repeatable; "
                                 "omit for unrestricted)")
     p_sandbox.set_defaults(fn=cmd_sandbox)
+
+    p_stats = sub.add_parser(
+        "stats", help="run a sample read and print the telemetry snapshot")
+    p_stats.add_argument("path")
+    p_stats.add_argument("--strategy", default="thread",
+                         type=lambda s: resolve_strategy(s)[0])
+    p_stats.add_argument("--bytes", type=int, default=65536,
+                         help="how much to read for the sample workload")
+    p_stats.add_argument("--json", action="store_true",
+                         help="emit the raw snapshot as JSON")
+    p_stats.set_defaults(fn=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="run one op under tracing and print its span timeline")
+    p_trace.add_argument("path")
+    p_trace.add_argument("--strategy", default="thread",
+                         type=lambda s: resolve_strategy(s)[0])
+    p_trace.add_argument("--export", metavar="FILE",
+                         help="also write the spans as JSONL to FILE")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the spans as JSON instead of a timeline")
+    p_trace.add_argument("op", nargs=argparse.REMAINDER,
+                         help="after --: cat [limit] | read [offset size] | "
+                              "write [text...] | size")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_fig = sub.add_parser("figure6", help="run the Figure 6 harness")
     p_fig.add_argument("--panel", choices=("a", "b", "c", "all"),

@@ -47,6 +47,7 @@ from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.core.datapart import DataPart
+from repro.core.telemetry import TELEMETRY
 from repro.errors import CacheError
 
 __all__ = ["BlockCache", "CACHE_PATHS"]
@@ -183,6 +184,9 @@ class BlockCache:
         self.coalesced_flushes = 0
         self.dirty_high_water = 0
         self.flush_failures = 0
+        # Re-home the counters under telemetry.snapshot() (weakly —
+        # the entry disappears with this cache).
+        TELEMETRY.register_collector("cache", "cache", self, BlockCache.stats)
 
     # -- block bookkeeping ----------------------------------------------------------
 
@@ -198,7 +202,7 @@ class BlockCache:
                 if self._block_dirty(victim):
                     # Never drop buffered writes: a dirty block leaves
                     # the cache only after its bytes reached the origin.
-                    self._flush_locked()
+                    self._flush_locked(cause="evict")
                 self._valid.popitem(last=False)
 
     def _block_dirty(self, block: int) -> bool:
@@ -309,6 +313,17 @@ class BlockCache:
         demand read retries), so a prefetch that died with the link
         cannot poison reads issued after the origin healed.
         """
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            # The cause label tells the trace why these blocks filled:
+            # a demand miss, or a read-ahead window being consumed.
+            with TELEMETRY.span("cache.fill", attrs={
+                    "cause": "prefetch" if used else "demand",
+                    "blocks": fetched.nblocks}):
+                self._resolve_fetch(fetched, used=used)
+            return
+        self._resolve_fetch(fetched, used=used)
+
+    def _resolve_fetch(self, fetched: _WindowFetch, *, used: bool) -> None:
         try:
             data = fetched.result()
         except Exception:
@@ -478,17 +493,28 @@ class BlockCache:
             self._mark_dirty(offset, offset + len(data))
             needs_flush = self.dirty_bytes >= self.writeback_bytes
         if needs_flush:
-            self.flush()
+            with self._lock:
+                self._flush_locked(cause="threshold")
         return len(data)
 
     def flush(self) -> None:
         """Push all buffered dirty extents to the origin (coalesced)."""
         with self._lock:
-            self._flush_locked()
+            self._flush_locked(cause="explicit")
 
-    def _flush_locked(self) -> None:
+    def _flush_locked(self, cause: str = "explicit") -> None:
         if not self._dirty:
             return
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            # cause labels why the buffer drained: an explicit flush,
+            # the write-behind threshold, or a dirty-block eviction.
+            with TELEMETRY.span("cache.flush", attrs={
+                    "cause": cause, "bytes": self.dirty_bytes}):
+                self._flush_extents()
+            return
+        self._flush_extents()
+
+    def _flush_extents(self) -> None:
         extents = [(s, self._store.read_at(s, e - s)) for s, e in self._dirty]
         staged, self._dirty = self._dirty, []
         bs = self.block_size

@@ -42,6 +42,7 @@ from typing import Any, BinaryIO, Callable
 
 from repro.core import control
 from repro.core.policy import JOIN_TIMEOUT, Deadline
+from repro.core.telemetry import TELEMETRY
 from repro.errors import (
     ChannelClosedError,
     DeadlineExceededError,
@@ -113,6 +114,9 @@ class ChannelCounters:
         self.last_activity = time.monotonic()
         #: op -> [count, bytes_out, bytes_in, total_latency_s, max_latency_s]
         self._per_op: dict[str, list[float]] = {}
+        #: op -> shared global latency histogram (cached so the settle
+        #: path never takes the registry lock).
+        self._latency: dict[str, Any] = {}
 
     def request_started(self, op: str, nbytes: int) -> None:
         with self._lock:
@@ -139,6 +143,11 @@ class ChannelCounters:
             record[3] += elapsed
             if elapsed > record[4]:
                 record[4] = elapsed
+        hist = self._latency.get(op)
+        if hist is None:
+            hist = self._latency[op] = TELEMETRY.metrics.histogram(
+                f"transport.latency.{op}")
+        hist.observe(elapsed)
 
     def request_withdrawn(self, op: str) -> None:
         """A request was aborted before any reply (send error, timeout)."""
@@ -189,7 +198,7 @@ class ChannelCounters:
 class PendingReply:
     """A per-request future: one in-flight operation awaiting its reply."""
 
-    __slots__ = ("channel", "rid", "op", "started",
+    __slots__ = ("channel", "rid", "op", "started", "span",
                  "_event", "_fields", "_payload", "_error")
 
     def __init__(self, channel: "Channel", rid: int, op: str) -> None:
@@ -197,6 +206,9 @@ class PendingReply:
         self.rid = rid
         self.op = op
         self.started = time.monotonic()
+        #: The frame span covering this request's wire round trip (only
+        #: set while tracing; finished at settle/withdraw time).
+        self.span = None
         self._event = threading.Event()
         self._fields: dict[str, Any] | None = None
         self._payload = b""
@@ -209,6 +221,8 @@ class PendingReply:
         self._payload = payload
         self.channel.counters.request_settled(
             self.op, len(payload), time.monotonic() - self.started)
+        if self.span is not None:
+            TELEMETRY.finish(self.span)
         self._event.set()
 
     def fail(self, error: BaseException) -> None:
@@ -217,6 +231,9 @@ class PendingReply:
         self._error = error
         self.channel.counters.request_settled(
             self.op, 0, time.monotonic() - self.started, ok=False)
+        if self.span is not None:
+            self.span.set(error=type(error).__name__)
+            TELEMETRY.finish(self.span, status="error")
         self._event.set()
 
     def wait(self, timeout: "float | Deadline | None" = None
@@ -231,6 +248,8 @@ class PendingReply:
             withdrawn = self.channel._withdraw(self.rid) is self
             if withdrawn:
                 self.channel.counters.request_withdrawn(self.op)
+                if self.span is not None:
+                    TELEMETRY.finish(self.span, status="timeout")
                 raise DeadlineExceededError(
                     f"no reply to {self.op!r} (rid {self.rid}) "
                     f"within its deadline")
@@ -257,9 +276,11 @@ class _ChanWorker:
                payload: bytes) -> None:
         # Re-anchor the sender's remaining budget (``dl``, milliseconds)
         # on the local monotonic clock at enqueue time; the queue wait
-        # counts against it.
+        # counts against it.  The trace context (``tc``) rides the same
+        # way: popped here, re-parented by the worker.
         deadline = Deadline.from_ms(fields.pop("dl", None))
-        self.queue.put((rid, fields, payload, deadline))
+        tc = fields.pop("tc", None)
+        self.queue.put((rid, fields, payload, deadline, tc))
 
     def stop(self) -> None:
         self.queue.put(None)
@@ -271,8 +292,18 @@ class _ChanWorker:
             item = self.queue.get()
             if item is None:
                 return
-            rid, fields, payload, deadline = item
+            rid, fields, payload, deadline, tc = item
             op = str(fields.get("cmd") or fields.get("op") or "?")
+            span = collector = None
+            if tc is not None and isinstance(tc, (list, tuple)) \
+                    and len(tc) == 2:
+                # This request is traced: serve it under a dispatch span
+                # parented on the sender's frame span, and (in sentinel
+                # children) capture everything it causes for the reply.
+                if TELEMETRY.piggyback:
+                    collector = TELEMETRY.start_collect()
+                span = TELEMETRY.begin(f"dispatch.{op}", trace=str(tc[0]),
+                                       parent=str(tc[1]), push=True)
             if deadline.expired():
                 # The caller has already given up (and withdrawn the
                 # rid); answer with the typed expiry rather than doing
@@ -290,6 +321,13 @@ class _ChanWorker:
                     out_fields, out_payload = self.handler(fields, payload)
                 except Exception as exc:
                     out_fields, out_payload = control.error_fields(exc), b""
+            if span is not None:
+                TELEMETRY.finish(
+                    span,
+                    status="ok" if out_fields.get("ok", True) else "error")
+                if collector is not None:
+                    out_fields["tsp"] = TELEMETRY.end_collect(
+                        collector, anchor_us=span.start_us)
             self.channel.counters.request_served(op)
             try:
                 self.channel._send_reply(rid, self.chan, out_fields,
@@ -309,6 +347,11 @@ class Channel:
     def __init__(self, name: str = "channel") -> None:
         self.name = name
         self.counters = ChannelCounters()
+        # Re-home this connection's counters under telemetry.snapshot();
+        # the registry holds only a weak reference, so a closed channel's
+        # entry disappears with it.
+        TELEMETRY.register_collector("transport", name, self.counters,
+                                     ChannelCounters.snapshot)
         self.dead = False
         self.death_reason = ""
         self.death_error: BaseException | None = None
@@ -354,11 +397,20 @@ class Channel:
         budget_ms = deadline.to_ms()
         if budget_ms is not None:
             envelope["dl"] = budget_ms
+        if TELEMETRY.tracing:  # one branch per frame when disabled
+            parent = TELEMETRY.current()
+            if parent is not None:
+                span = TELEMETRY.begin(f"frame.{op}", parent=parent,
+                                       attrs={"chan": int(chan)})
+                envelope["tc"] = (span.trace, span.sid)
+                pending.span = span
         try:
             self._send(envelope, parts)
         except BaseException:
             if self._withdraw(rid) is pending:
                 self.counters.request_withdrawn(op)
+                if pending.span is not None:
+                    TELEMETRY.finish(pending.span, status="error")
             raise
         if self.dead:
             # lost the race against kill(): nobody will resolve us
@@ -406,6 +458,8 @@ class Channel:
         if is_reply:
             pending = self._withdraw(rid)
             if pending is not None:
+                if "tsp" in rest:  # spans the peer produced serving us
+                    TELEMETRY.ingest(rest.pop("tsp"), anchor=pending.span)
                 pending.resolve(rest, payload)
             return
         with self._handlers_lock:

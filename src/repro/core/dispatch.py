@@ -18,7 +18,20 @@ from repro.core.policy import Deadline
 from repro.core.sentinel import Sentinel, SentinelContext
 from repro.errors import ProtocolError
 
-__all__ = ["SentinelDispatcher", "StreamDispatcher"]
+__all__ = ["SentinelDispatcher", "StreamDispatcher",
+           "CONTROL_OP_ALIASES", "canonical_control_op"]
+
+#: Historical spellings of control ops, folded to one canonical name
+#: before any sentinel sees them.  Sentinels therefore match a single
+#: spelling; both forms on the wire hit the same handler.
+CONTROL_OP_ALIASES = {
+    "cache_stats": "cache-stats",
+}
+
+
+def canonical_control_op(op: str) -> str:
+    """The canonical spelling of a (possibly aliased) control op name."""
+    return CONTROL_OP_ALIASES.get(op, op)
 
 
 class SentinelDispatcher:
@@ -103,7 +116,8 @@ class SentinelDispatcher:
             return {"ok": True}, b""
         if cmd == "control":
             out_fields, out_payload = self.sentinel.on_control(
-                self.ctx, fields.get("op", ""), fields.get("args") or {}, payload
+                self.ctx, canonical_control_op(str(fields.get("op", ""))),
+                fields.get("args") or {}, payload
             )
             return {"ok": True, **(out_fields or {})}, out_payload
         if cmd == "close":

@@ -98,6 +98,11 @@ class FaultPlane:
         self._rules: list[FaultRule] = []
         #: Chronological log of fired faults (read-only for callers).
         self.fired: list[FaultEvent] = []
+        # Re-home the fired-action histogram under telemetry.snapshot()
+        # (weakly — the entry disappears with this plane).
+        from repro.core.telemetry import TELEMETRY
+        TELEMETRY.register_collector("faults", f"plane-seed-{seed}", self,
+                                     FaultPlane.summary)
 
     # -- schedule construction ---------------------------------------------
 

@@ -16,11 +16,12 @@ plane instead, and ``seekable()`` honestly reports ``False``.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any
 
 from repro.core.strategies.base import Session
-from repro.errors import UnsupportedOperationError
+from repro.core.telemetry import NULL_SPAN, TELEMETRY
+from repro.errors import ActiveFileError, UnsupportedOperationError
 from repro.util.finalize import defer_close, ensure_reaper
 
 __all__ = ["ActiveFile", "FileStats"]
@@ -66,6 +67,18 @@ class ActiveFile(io.RawIOBase):
         self._session_closed = False
         self.stats = FileStats()
         self._pos = 0
+        # Re-home this open's counters under telemetry.snapshot()["files"]
+        # (weakly: the entry vanishes with the file object).
+        TELEMETRY.register_collector("files", name or "<anonymous>",
+                                     self.stats, asdict)
+        # The per-open trace context (tentpole: "a per-open trace context
+        # with trace/span IDs propagated through the framed channel
+        # envelope").  Created only when tracing was on at open time; the
+        # root span stays open until close().
+        self._trace = None
+        if TELEMETRY.tracing:
+            self._trace = TELEMETRY.new_trace(
+                "file", attrs={"path": name, "strategy": session.strategy})
         if append:
             if not session.supports_random_access:
                 raise UnsupportedOperationError(
@@ -105,18 +118,29 @@ class ActiveFile(io.RawIOBase):
         counters = self._session.counters
         return None if counters is None else counters.snapshot()
 
+    def _span(self, name: str, **attrs: Any):
+        """An app-call span in this file's trace (no-op when untraced)."""
+        if self._trace is None or not TELEMETRY.tracing:
+            return NULL_SPAN
+        current = TELEMETRY.current()
+        parent = current if current is not None \
+            and current.trace == self._trace.id else self._trace.root
+        return TELEMETRY.span(f"app.{name}", parent=parent,
+                              attrs=attrs or None)
+
     def readinto(self, buffer) -> int:
         self._ensure_open()
         if not self._readable:
             raise UnsupportedOperationError(f"{self.name}: not open for reading")
         view = memoryview(buffer)
-        if self._session.supports_random_access:
-            # Fills the caller's buffer directly — no intermediate bytes.
-            count = self._session.read_at_into(self._pos, view)
-        else:
-            data = self._session.read_stream(len(view))
-            count = len(data)
-            view[:count] = data
+        with self._span("readinto", offset=self._pos, size=len(view)):
+            if self._session.supports_random_access:
+                # Fills the caller's buffer directly — no intermediate bytes.
+                count = self._session.read_at_into(self._pos, view)
+            else:
+                data = self._session.read_stream(len(view))
+                count = len(data)
+                view[:count] = data
         self._pos += count
         self.stats.reads += 1
         self.stats.bytes_read += count
@@ -134,10 +158,11 @@ class ActiveFile(io.RawIOBase):
         self._ensure_open()
         if not self._readable:
             raise UnsupportedOperationError(f"{self.name}: not open for reading")
-        if self._session.supports_random_access:
-            data = self._session.read_at(self._pos, size)
-        else:
-            data = self._session.read_stream(size)
+        with self._span("read", offset=self._pos, size=size):
+            if self._session.supports_random_access:
+                data = self._session.read_at(self._pos, size)
+            else:
+                data = self._session.read_stream(size)
         self._pos += len(data)
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
@@ -178,7 +203,8 @@ class ActiveFile(io.RawIOBase):
         for size in sizes:
             extents.append((position, int(size)))
             position += int(size)
-        results = self._session.read_multi(extents)
+        with self._span("read_scatter", extents=len(extents)):
+            results = self._session.read_multi(extents)
         out: list[bytes] = []
         eof = False
         for (wanted_offset, wanted), data in zip(extents, results):
@@ -209,7 +235,8 @@ class ActiveFile(io.RawIOBase):
             data = data if isinstance(data, (bytes, bytearray)) else bytes(data)
             extents.append((position, data))
             position += len(data)
-        written = self._session.write_extents(extents)
+        with self._span("write_gather", extents=len(extents)):
+            written = self._session.write_extents(extents)
         total = sum(written)
         self._pos += total
         self.stats.writes += len(written)
@@ -222,10 +249,11 @@ class ActiveFile(io.RawIOBase):
             raise UnsupportedOperationError(f"{self.name}: not open for writing")
         if not isinstance(data, (bytes, bytearray, memoryview)):
             data = bytes(data)
-        if self._session.supports_random_access:
-            written = self._session.write_at(self._pos, data)
-        else:
-            written = self._session.write_stream(data)
+        with self._span("write", offset=self._pos, size=len(data)):
+            if self._session.supports_random_access:
+                written = self._session.write_at(self._pos, data)
+            else:
+                written = self._session.write_stream(data)
         self._pos += written
         self.stats.writes += 1
         self.stats.bytes_written += written
@@ -248,6 +276,9 @@ class ActiveFile(io.RawIOBase):
             raise ValueError(f"bad whence: {whence}")
         if target < 0:
             raise ValueError(f"negative seek target: {target}")
+        if self._trace is not None and TELEMETRY.tracing:
+            with self._span("seek", target=target):
+                pass
         self._pos = target
         self.stats.seeks += 1
         return self._pos
@@ -258,14 +289,16 @@ class ActiveFile(io.RawIOBase):
     def truncate(self, size: int | None = None) -> int:
         self._ensure_open()
         target = self._pos if size is None else size
-        self._session.truncate(target)
+        with self._span("truncate", size=target):
+            self._session.truncate(target)
         return target
 
     def flush(self) -> None:
         if self.closed or self._session_closed:
             return
         if self._session.supports_control:
-            self._session.flush()
+            with self._span("flush"):
+                self._session.flush()
 
     # -- beyond the passive-file surface ---------------------------------------------
 
@@ -285,7 +318,8 @@ class ActiveFile(io.RawIOBase):
         """
         self._ensure_open()
         self.stats.controls += 1
-        return self._session.control(op, args, payload)
+        with self._span("control", op=op):
+            return self._session.control(op, args, payload)
 
     def cache_stats(self) -> dict[str, Any]:
         """The sentinel's cache counters, via the ``cache-stats`` control op.
@@ -306,6 +340,36 @@ class ActiveFile(io.RawIOBase):
                 setattr(self.stats, attr, int(snapshot[key]))
         return snapshot
 
+    def trace(self) -> dict[str, Any] | None:
+        """This open's span tree (nested dicts), or ``None`` when the
+        file was opened with tracing disabled."""
+        if self._trace is None:
+            return None
+        return TELEMETRY.trace_tree(self._trace.id,
+                                    extra=(self._trace.root,))
+
+    def telemetry(self) -> dict[str, Any]:
+        """Everything observable about this open, under one roof.
+
+        ``{"file": FileStats dict, "transport": channel counters or
+        None, "cache": sentinel cache-stats or None, "trace": span tree
+        or None}`` — the unified surface over :attr:`stats`,
+        :meth:`transport_stats`, :meth:`cache_stats` and :meth:`trace`.
+        """
+        cache = None
+        if (not self.closed and not self._session_closed
+                and self._session.supports_control):
+            try:
+                cache = self.cache_stats()
+            except (ActiveFileError, ValueError):
+                pass  # sentinel has no cache-stats handler
+        return {
+            "file": asdict(self.stats),
+            "transport": self.transport_stats(),
+            "cache": cache,
+            "trace": self.trace(),
+        }
+
     # -- lifecycle ---------------------------------------------------------------------
 
     def close(self) -> None:
@@ -313,10 +377,13 @@ class ActiveFile(io.RawIOBase):
             return
         try:
             if not self._session_closed:
-                self._session.close()
+                with self._span("close"):
+                    self._session.close()
                 self._session_closed = True
         finally:
             super().close()
+            if self._trace is not None:
+                TELEMETRY.finish(self._trace.root)
 
     def _ensure_open(self) -> None:
         if self.closed:

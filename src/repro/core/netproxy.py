@@ -30,6 +30,7 @@ from typing import Any, Callable
 from repro.core import policy
 from repro.core.channel import CONTROL_CHAN, Channel
 from repro.core.policy import Deadline
+from repro.core.telemetry import TELEMETRY
 from repro.errors import (
     ChannelClosedError,
     DeadlineExceededError,
@@ -72,7 +73,16 @@ class NetworkBridgeServer:
         budget_ms = fields.get("dl")
         deadline = Deadline.from_ms(budget_ms) if budget_ms is not None \
             else None
-        response = self.network.call(address, request, deadline=deadline)
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            # Name the child→application hop in the span tree: the
+            # origin exchange below nests under this bridge leg.
+            with TELEMETRY.span(f"bridge.{request.op}",
+                                attrs={"address": str(address)}):
+                response = self.network.call(address, request,
+                                             deadline=deadline)
+        else:
+            response = self.network.call(address, request,
+                                         deadline=deadline)
         return ({
             "ok": True,
             "resp_ok": response.ok,

@@ -58,6 +58,7 @@ from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
 from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.common import make_data_part
+from repro.core.telemetry import TELEMETRY
 from repro.errors import ProtocolError, SentinelCrashedError
 
 __all__ = [
@@ -169,6 +170,13 @@ def main(argv: list[str] | None = None) -> int:
     channel = StreamChannel(os.fdopen(0, "rb", buffering=0),
                             os.fdopen(1, "wb", buffering=0),
                             name="af-host-child")
+    # A sentinel child has no local span consumer: everything it records
+    # while serving a traced request ships back on the reply (``tsp``).
+    # Tracing stays armed here — spans only materialize under a request
+    # that actually carried a trace context (there is no current span
+    # otherwise), so untraced traffic still pays just the one branch.
+    TELEMETRY.piggyback = True
+    TELEMETRY.tracing = True
     agent = HostAgent(channel, args.container, args.net)
     channel.register(CONTROL_CHAN, agent.handle, name="af-host-control")
     channel.start()
@@ -203,8 +211,16 @@ class SentinelHost:
                 "--container", self.container_path]
         if network is not None:
             argv.append("--net")
+        # The child must import this package even when the app has
+        # chdir'd away from whatever a relative PYTHONPATH pointed at.
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + [p for p in env.get("PYTHONPATH", "").split(
+                os.pathsep) if p and p != src_root])
         self.proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
-                          bufsize=0)
+                          bufsize=0, env=env)
         self.channel = StreamChannel(
             self.proc.stdout, self.proc.stdin,
             name=f"af-host:{os.path.basename(self.container_path)}")
@@ -457,8 +473,10 @@ class SentinelHostPool:
                                     faults=self.faults)
                 self._hosts[key] = host
                 self._refs[key] = 0
+                TELEMETRY.metrics.counter("hosts.spawned").inc()
             self._refs[key] += 1
             reaper = self._reapers.pop(key, None)
+            TELEMETRY.metrics.gauge("hosts.pooled").set(len(self._hosts))
         return host, reaper
 
     def _respawn(self, key, dead_host: SentinelHost, container_path,
@@ -514,6 +532,7 @@ class SentinelHostPool:
         reaper = self._reapers.pop(key, None)
         if reaper is not None:
             reaper.cancel()
+        TELEMETRY.metrics.gauge("hosts.pooled").set(len(self._hosts))
 
     def shutdown_all(self) -> None:
         with self._lock:

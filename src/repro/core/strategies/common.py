@@ -17,6 +17,7 @@ from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.base import Session
 from repro.core.sync import shared_state_for
+from repro.core.telemetry import TELEMETRY
 from repro.errors import (
     ChannelClosedError,
     DeadlineExceededError,
@@ -108,30 +109,49 @@ class ChannelSession(Session):
         recoverable = (cmd in IDEMPOTENT_CMDS and self._lease.supervised
                        and not self._journal_poisoned)
         delays = self.RETRY.delays()
+        attempt = 0
         while True:
+            attempt += 1
+            span = None
+            if TELEMETRY.tracing and TELEMETRY.current() is not None:
+                attrs: dict[str, Any] = {"attempt": attempt}
+                if attempt > 1:
+                    attrs["cause"] = "retry"
+                span = TELEMETRY.begin(f"op.{cmd}", attrs=attrs, push=True)
+            status = "error"
             try:
                 try:
-                    reply, out_payload = self._lease.request(
-                        fields, payload,
-                        timeout=deadline.capped(policy.ATTEMPT_TIMEOUT))
-                except DeadlineExceededError:
-                    # Attempt expired: the rid is withdrawn, so a
-                    # straggler reply is ignored and a re-send is safe.
-                    deadline.check(f"{cmd!r} on {self.strategy} session")
+                    try:
+                        reply, out_payload = self._lease.request(
+                            fields, payload,
+                            timeout=deadline.capped(policy.ATTEMPT_TIMEOUT))
+                    except DeadlineExceededError:
+                        # Attempt expired: the rid is withdrawn, so a
+                        # straggler reply is ignored and a re-send is safe.
+                        deadline.check(f"{cmd!r} on {self.strategy} session")
+                        if not recoverable:
+                            raise
+                        status = "timeout"
+                        continue
+                except _TRANSPORT_FAILURES as exc:
+                    crash = exc if isinstance(exc, SentinelCrashError) \
+                        else self._lease.crash_error(exc)
                     if not recoverable:
-                        raise
+                        raise crash from exc
+                    status = "crashed"
+                    # Recovery runs inside the failed attempt's span, so
+                    # the respawn (and its journal replay) appear as its
+                    # children in the trace.
+                    if not self._recover(delays, deadline):
+                        raise crash from exc
                     continue
-            except _TRANSPORT_FAILURES as exc:
-                crash = exc if isinstance(exc, SentinelCrashError) \
-                    else self._lease.crash_error(exc)
-                if not recoverable:
-                    raise crash from exc
-                if not self._recover(delays, deadline):
-                    raise crash from exc
-                continue
-            raise_for_response(reply)
-            self._journal_record(cmd, fields, payload)
-            return reply, out_payload
+                raise_for_response(reply)
+                status = "ok"
+                self._journal_record(cmd, fields, payload)
+                return reply, out_payload
+            finally:
+                if span is not None:
+                    TELEMETRY.finish(span, status=status)
 
     # -- crash recovery ------------------------------------------------------------
 
@@ -147,11 +167,21 @@ class ChannelSession(Session):
             if delay is None or deadline.expired():
                 return False
             deadline.sleep(delay)
+            span = None
+            if TELEMETRY.tracing and TELEMETRY.current() is not None:
+                span = TELEMETRY.begin(
+                    "respawn", attrs={"cause": "crash",
+                                      "backoff_s": round(delay, 4)},
+                    push=True)
             try:
                 self._lease.respawn(deadline)
                 self._journal_replay(deadline)
+                if span is not None:
+                    TELEMETRY.finish(span)
                 return True
             except (*_TRANSPORT_FAILURES, DeadlineExceededError):
+                if span is not None:
+                    TELEMETRY.finish(span, status="error")
                 continue  # the replacement died too; try again
 
     def _journal_record(self, cmd: str, fields: dict[str, Any],
@@ -182,6 +212,16 @@ class ChannelSession(Session):
 
     def _journal_replay(self, deadline: Deadline) -> None:
         """Re-apply the mutation history to a freshly respawned sentinel."""
+        if not self._journal:
+            return
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            with TELEMETRY.span("journal.replay",
+                                attrs={"ops": len(self._journal)}):
+                self._replay_journal_ops(deadline)
+        else:
+            self._replay_journal_ops(deadline)
+
+    def _replay_journal_ops(self, deadline: Deadline) -> None:
         for fields, payload in self._journal:
             reply, _ = self._lease.request(
                 fields, payload,

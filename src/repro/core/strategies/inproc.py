@@ -21,9 +21,11 @@ import threading
 from typing import Any
 
 from repro.core.container import Container
+from repro.core.dispatch import canonical_control_op
 from repro.core.sentinel import Sentinel, SentinelContext
 from repro.core.strategies.base import Session
 from repro.core.strategies.common import make_context
+from repro.core.telemetry import TELEMETRY
 
 __all__ = ["InprocSession", "open_session"]
 
@@ -64,7 +66,10 @@ class InprocSession(Session):
 
     def control(self, op: str, args: dict[str, Any] | None = None,
                 payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
-        return self._sentinel.on_control(self._ctx, op, args or {}, payload)
+        # Same alias folding the wire dispatchers apply, so sentinels
+        # see one spelling regardless of strategy.
+        return self._sentinel.on_control(self._ctx, canonical_control_op(op),
+                                         args or {}, payload)
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -83,4 +88,6 @@ def open_session(container: Container, network=None) -> InprocSession:
     """Open *container* with the DLL-only strategy."""
     sentinel = container.spec.instantiate()
     ctx = make_context(container, network, strategy="inproc")
+    TELEMETRY.metrics.counter("sessions.opened.inproc",
+                              scope=str(container.path)).inc()
     return InprocSession(sentinel, ctx)

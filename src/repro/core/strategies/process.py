@@ -24,6 +24,7 @@ import threading
 from repro.core.container import Container
 from repro.core.runner import HOST_POOL
 from repro.core.strategies.common import ChannelSession
+from repro.core.telemetry import TELEMETRY
 
 __all__ = ["ProcessSession", "open_session"]
 
@@ -89,4 +90,6 @@ def open_session(container: Container, network=None, *,
     lease = HOST_POOL.lease(str(container.path), strategy="process",
                             network=network, exclusive=not pooled)
     lease.supervised = bool(container.meta.get("supervise", True))
+    TELEMETRY.metrics.counter("sessions.opened.process",
+                              scope=str(container.path)).inc()
     return ProcessSession(lease)

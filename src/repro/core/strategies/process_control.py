@@ -22,6 +22,7 @@ from typing import Any
 from repro.core.container import Container
 from repro.core.runner import HOST_POOL
 from repro.core.strategies.common import ChannelSession
+from repro.core.telemetry import TELEMETRY
 
 __all__ = ["ProcessControlSession", "open_session"]
 
@@ -99,4 +100,6 @@ def open_session(container: Container, network=None, *,
     lease = HOST_POOL.lease(str(container.path), strategy="process-control",
                             network=network, exclusive=not pooled)
     lease.supervised = bool(container.meta.get("supervise", True))
+    TELEMETRY.metrics.counter("sessions.opened.process-control",
+                              scope=str(container.path)).inc()
     return ProcessControlSession(lease)

@@ -31,6 +31,7 @@ from repro.core.dispatch import SentinelDispatcher
 from repro.core.policy import Deadline
 from repro.core.strategies.base import Session
 from repro.core.strategies.common import make_context
+from repro.core.telemetry import TELEMETRY
 from repro.errors import ChannelClosedError, SentinelCrashError, SessionCloseError
 from repro.util.naming import monotonic_name
 
@@ -177,4 +178,6 @@ def open_session(container: Container, network=None) -> ThreadSession:
 
     sentinel_end.register(SESSION_CHAN, serve,
                           name=monotonic_name("af-sentinel-thread"))
+    TELEMETRY.metrics.counter("sessions.opened.thread",
+                              scope=str(container.path)).inc()
     return ThreadSession(app_end, sentinel_end)

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.core.policy import Deadline
+from repro.core.telemetry import TELEMETRY
 from repro.errors import AddressError, NetworkError
 from repro.net.address import Address
 from repro.net.message import Request, Response
@@ -121,6 +122,9 @@ class Network:
         self.profile = profile or LinkProfile()
         self.clock = clock if clock is not None else AccountingClock()
         self.stats = NetworkStats()
+        # Re-home the traffic counters under telemetry.snapshot()
+        # (weakly — the entry dies with this Network).
+        TELEMETRY.register_collector("network", "network", self.stats, asdict)
         self._services: dict[Address, "_Binding"] = {}
         self._links: dict[Address, LinkProfile] = {}
         self._lock = threading.Lock()
@@ -207,6 +211,15 @@ class Network:
         can call in concurrently.  An expired *deadline* fails the call
         before any transport cost is charged.
         """
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            # The origin-exchange leg of a traced request's span tree.
+            with TELEMETRY.span(f"net.{request.op}",
+                                attrs={"address": str(address)}):
+                return self._call(address, request, deadline=deadline)
+        return self._call(address, request, deadline=deadline)
+
+    def _call(self, address: Address, request: Request, *,
+              deadline: "Deadline | float | None" = None) -> Response:
         if deadline is not None:
             Deadline.coerce(deadline).check(
                 f"network call {request.op!r} to {address}")

@@ -30,6 +30,7 @@ from repro.core.cache import CACHE_PATHS, BlockCache
 from repro.core.datapart import MemoryDataPart
 from repro.core.policy import Deadline, RetryPolicy
 from repro.core.sentinel import Sentinel, SentinelContext
+from repro.core.telemetry import TELEMETRY
 from repro.errors import (
     AddressError,
     FlushError,
@@ -301,7 +302,16 @@ class RemoteFileSentinel(Sentinel):
         deadline budget; service-level rejections surface immediately.
         """
         deadline = Deadline.coerce(self._op_deadline, self.op_timeout)
-        return self.retry.run(fn, retryable=_transient, deadline=deadline)
+        return self.retry.run(fn, retryable=_transient, deadline=deadline,
+                              on_retry=self._note_retry)
+
+    @staticmethod
+    def _note_retry(exc: BaseException, delay: float) -> None:
+        """Stamp a traced command's span tree with each origin retry."""
+        if TELEMETRY.tracing and TELEMETRY.current() is not None:
+            TELEMETRY.event("origin.retry", attrs={
+                "cause": "transient", "error": type(exc).__name__,
+                "backoff_s": round(delay, 4)})
 
     def _fetch(self, offset: int, size: int) -> bytes:
         """Cache miss path: a retried ranged origin read."""
@@ -495,7 +505,9 @@ class RemoteFileSentinel(Sentinel):
             if self._cache is not None:
                 self._cache.invalidate()
             return {"invalidated": self._cache is not None}, b""
-        if op in ("cache-stats", "cache_stats"):
+        # The canonical spelling only: the dispatcher folds the legacy
+        # "cache_stats" alias before this handler ever sees the op.
+        if op == "cache-stats":
             if self._cache is None:
                 return {"cache": "none"}, b""
             return {"cache": self.cache_path, **self._cache.stats()}, b""

@@ -175,3 +175,65 @@ class TestLsCommand:
         (workdir / "broken.af").write_bytes(b"not a container at all")
         main(["ls", "."])
         assert "<unreadable container>" in capsys.readouterr().out
+
+
+class TestStatsTrace:
+    def _make(self, data=b"hello world"):
+        import pathlib
+
+        pathlib.Path("data.txt").write_bytes(data)
+        assert main(["create", "f.af",
+                     "repro.sentinels.null:NullFilterSentinel",
+                     "--data", "data.txt"]) == 0
+
+    def test_stats_renders_every_family(self, workdir, capsys):
+        self._make()
+        assert main(["stats", "f.af"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("transport totals:", "files:", "cache:",
+                        "network:", "faults:", "close errors:"):
+            assert heading in out
+        assert "reads=1" in out
+
+    def test_stats_json_is_machine_readable(self, workdir, capsys):
+        import json
+
+        self._make()
+        capsys.readouterr()  # drop the create banner
+        assert main(["stats", "f.af", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert {"file", "snapshot"} == set(doc)
+        assert doc["snapshot"]["transport"]["totals"]["requests_sent"] >= 1
+
+    def test_trace_cat_prints_timeline(self, workdir, capsys):
+        self._make()
+        assert main(["trace", "f.af", "--", "cat"]) == 0
+        out = capsys.readouterr().out
+        for name in ("file", "app.read", "frame.read", "dispatch.read"):
+            assert name in out
+
+    def test_trace_leaves_tracing_off(self, workdir):
+        from repro.core.telemetry import TELEMETRY
+
+        self._make()
+        assert main(["trace", "f.af", "--", "size"]) == 0
+        assert not TELEMETRY.tracing
+
+    def test_trace_export_writes_one_tree(self, workdir, capsys):
+        import json
+
+        self._make()
+        assert main(["trace", "--export", "t.jsonl", "f.af",
+                     "--", "read", "0", "5"]) == 0
+        lines = [json.loads(line)
+                 for line in open("t.jsonl").read().splitlines()]
+        assert lines
+        assert len({line["trace"] for line in lines}) == 1
+        sids = {line["sid"] for line in lines}
+        roots = [ln for ln in lines if ln["parent"] not in sids]
+        assert [r["name"] for r in roots] == ["file"]
+
+    def test_trace_rejects_unknown_verb(self, workdir, capsys):
+        self._make()
+        assert main(["trace", "f.af", "--", "frobnicate"]) == 1
+        assert "unknown op" in capsys.readouterr().err

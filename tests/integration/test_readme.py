@@ -38,6 +38,21 @@ class TestReadmeCode:
         ctx = SentinelContext(data=MemoryDataPart(b"quiet"))
         assert sentinel_class().on_read(ctx, 0, 5) == b"QUIET"
 
+    def test_observability_block_runs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # the block writes traced.af + jsonl
+        blocks = [b for b in python_blocks() if "enable_tracing" in b]
+        assert blocks, "README lost its observability block"
+        exec(compile(blocks[0], "<README observability>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "respawn" in out, "timeline must show the respawn span"
+        assert "app.read" in out
+        assert (tmp_path / "trace_spans.jsonl").exists()
+
+        from repro.core.telemetry import TELEMETRY
+
+        assert not TELEMETRY.tracing, "README block must restore the default"
+        TELEMETRY.reset()
+
     def test_commands_in_readme_exist(self):
         """Every afctl subcommand the README mentions is real."""
         from repro.cli import build_parser
