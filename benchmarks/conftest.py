@@ -34,6 +34,18 @@ BENCH_RECOVERY_RESULT_KEYS = {
                            "mean_ms", "kills", "respawns"),
 }
 
+#: Workload shapes measured by benchmarks/test_shm_plane.py (MB/s each).
+BENCH_SHM_SHAPES = ("write_sync", "read_sync", "write_seq", "read_seq",
+                    "read_into")
+
+#: Required per-section result keys of BENCH_shm.json: one section per
+#: transport leg per block size, plus a speedup section per block size.
+BENCH_SHM_RESULT_KEYS = {
+    f"{section}_{block}": ("block",) + BENCH_SHM_SHAPES
+    for block in (4096, 65536, 1048576)
+    for section in ("inline", "binhdr", "shm", "speedup")
+}
+
 
 def check_bench_schema(doc, result_keys, *, name="benchmark json"):
     """Assert a BENCH_*.json document keeps its published keys.

@@ -17,6 +17,7 @@ import pytest
 from benchmarks.conftest import (
     BENCH_CACHE_RESULT_KEYS,
     BENCH_RECOVERY_RESULT_KEYS,
+    BENCH_SHM_RESULT_KEYS,
     check_bench_schema,
 )
 
@@ -39,6 +40,11 @@ def test_bench_recovery_schema():
     check_bench_schema(_load("BENCH_recovery.json"),
                        BENCH_RECOVERY_RESULT_KEYS,
                        name="BENCH_recovery.json")
+
+
+def test_bench_shm_schema():
+    check_bench_schema(_load("BENCH_shm.json"), BENCH_SHM_RESULT_KEYS,
+                       name="BENCH_shm.json")
 
 
 def test_schema_checker_rejects_dropped_key():

@@ -409,49 +409,72 @@ class BlockCache:
 
     # -- data plane -------------------------------------------------------------------
 
-    def read(self, offset: int, size: int) -> bytes:
-        """Read through the cache, faulting in whole blocks as needed.
+    def _fault_range(self, offset: int, size: int) -> None:
+        """Make every block covering ``[offset, offset+size)`` resident.
 
-        Sequential access triggers window read-ahead; blocks already in
-        flight are awaited rather than re-fetched.
+        Lock held.  Sequential access triggers window read-ahead;
+        blocks already in flight are awaited rather than re-fetched.
         """
-        if size <= 0 or offset < 0:
-            return b""
         bs = self.block_size
         first = offset // bs
         last = (offset + size - 1) // bs
+        sequential = self._note_access(offset)
+        self._seq_end = offset + size
+        block = first
+        while block <= last:
+            end = self._effective_end()
+            if end is not None and block * bs >= end:
+                break  # past the origin's known end; nothing to fetch
+            if block in self._valid:
+                self.hits += 1
+                self._touch(block)
+                block += 1
+                continue
+            pending = self._inflight.get(block)
+            if pending is not None:
+                self._resolve(pending, used=True)
+                continue  # re-examine: installed, or now missing
+            run = block
+            while (run <= last and run not in self._valid
+                   and run not in self._inflight):
+                run += 1
+            nblocks = run - block
+            self.misses += nblocks
+            self._resolve(self._issue(block, nblocks), used=False)
+            block = run
+        if sequential:
+            self._issue_readahead(last)
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read through the cache, faulting in whole blocks as needed."""
+        if size <= 0 or offset < 0:
+            return b""
         with self._lock:
-            sequential = self._note_access(offset)
-            self._seq_end = offset + size
-            block = first
-            while block <= last:
-                end = self._effective_end()
-                if end is not None and block * bs >= end:
-                    break  # past the origin's known end; nothing to fetch
-                if block in self._valid:
-                    self.hits += 1
-                    self._touch(block)
-                    block += 1
-                    continue
-                pending = self._inflight.get(block)
-                if pending is not None:
-                    self._resolve(pending, used=True)
-                    continue  # re-examine: installed, or now missing
-                run = block
-                while (run <= last and run not in self._valid
-                       and run not in self._inflight):
-                    run += 1
-                nblocks = run - block
-                self.misses += nblocks
-                self._resolve(self._issue(block, nblocks), used=False)
-                block = run
-            if sequential:
-                self._issue_readahead(last)
+            self._fault_range(offset, size)
             data = self._store.read_at(offset, size)
             end = self._effective_end()
             if end is not None and offset + len(data) > end:
                 data = data[:max(0, end - offset)]
             return data
+
+    def read_into(self, offset: int, buffer: memoryview) -> int:
+        """Read through the cache straight into *buffer*.
+
+        The shared-memory data plane's sibling of :meth:`read`: once the
+        covering blocks are resident, the store copies directly into the
+        caller's buffer (typically an shm slot) with no intermediate
+        ``bytes``.  Returns the byte count.
+        """
+        size = len(buffer)
+        if size <= 0 or offset < 0:
+            return 0
+        with self._lock:
+            self._fault_range(offset, size)
+            count = self._store.read_at_into(offset, buffer)
+            end = self._effective_end()
+            if end is not None and offset + count > end:
+                count = max(0, end - offset)
+            return count
 
     def write(self, offset: int, data: bytes) -> int:
         """Write through (default) or buffer for write-behind."""

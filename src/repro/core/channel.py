@@ -69,6 +69,11 @@ FIRST_SESSION_CHAN = 1
 
 Handler = Callable[[dict[str, Any], bytes], "tuple[dict[str, Any], bytes]"]
 
+#: Header-encoding counters, module-cached so the send path never takes
+#: the metrics-registry lock.
+_HDR_BINARY = TELEMETRY.metrics.counter("transport.header.binary")
+_HDR_JSON = TELEMETRY.metrics.counter("transport.header.json")
+
 #: What the send path accepts as a payload: one buffer, or a sequence of
 #: buffers gathered under the same frame (scatter-gather, copy-free on
 #: the wire transport).
@@ -603,7 +608,14 @@ class StreamChannel(Channel):
             rule = plane.on_send(fields)
             if rule is not None and self._inject_send_fault(rule):
                 return  # the frame never reached the wire
-        head = control.encode_head(fields)
+        # Hot-op headers pack to a tagged struct; everything else (and
+        # anything the binary codec does not recognize) stays JSON.
+        head = control.encode_head_wire(fields)
+        if head is None:
+            head = control.encode_head(fields)
+            _HDR_JSON.inc()
+        else:
+            _HDR_BINARY.inc()
         try:
             with self._write_lock:
                 # Every part rides the frame as its own write: headers,

@@ -21,6 +21,7 @@ connection as channel 0 (see :mod:`repro.core.netproxy`).
 from __future__ import annotations
 
 import json
+import os
 import struct
 from typing import Any
 
@@ -35,7 +36,9 @@ from repro.errors import (
 __all__ = [
     "encode_message",
     "encode_head",
+    "encode_head_wire",
     "decode_message",
+    "decode_binary_head",
     "read_wire_message",
     "command",
     "ok_response",
@@ -47,6 +50,7 @@ __all__ = [
     "split_envelope",
     "COMMANDS",
     "ENVELOPE_KEYS",
+    "BINARY_HEADERS",
 ]
 
 _JSON_LEN = struct.Struct(">I")
@@ -98,10 +102,12 @@ def read_wire_message(stream: Any) -> tuple[dict[str, Any], bytes]:
     """Read one framed message off *stream* as ``(fields, payload)``.
 
     Equivalent to ``decode_message(read_frame(stream))`` but reads the
-    JSON header and the payload as separate stream reads, so a large
-    payload arrives in exactly one buffer — no frame-sized intermediate
-    blob, no slice copy.  This is the hot inbound path of
-    :class:`~repro.core.channel.StreamChannel`.
+    header and the payload as separate stream reads, so a large payload
+    arrives in exactly one buffer — no frame-sized intermediate blob, no
+    slice copy.  This is the hot inbound path of
+    :class:`~repro.core.channel.StreamChannel`.  The header-length word
+    carries the binary-header tag in its high bit (see
+    :func:`encode_head_wire`).
     """
     from repro.util.framing import MAX_FRAME, read_exact
     head = stream.read(_JSON_LEN.size)
@@ -114,10 +120,20 @@ def read_wire_message(stream: Any) -> tuple[dict[str, Any], bytes]:
         raise FrameError(f"incoming frame of {frame_len} bytes exceeds MAX_FRAME")
     if frame_len < _JSON_LEN.size:
         raise FrameError(f"message of {frame_len} bytes has no header")
-    (header_len,) = _JSON_LEN.unpack(read_exact(stream, _JSON_LEN.size))
+    (word,) = _JSON_LEN.unpack(read_exact(stream, _JSON_LEN.size))
+    header_len = word & ~_BINARY_TAG
     if header_len > frame_len - _JSON_LEN.size:
         raise FrameError("message header extends past frame body")
     header = read_exact(stream, header_len)
+    if word & _BINARY_TAG:
+        fields = decode_binary_head(header)
+    else:
+        fields = _decode_json_head(header)
+    payload = read_exact(stream, frame_len - _JSON_LEN.size - header_len)
+    return fields, payload
+
+
+def _decode_json_head(header: bytes) -> dict[str, Any]:
     try:
         fields = json.loads(header.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -125,25 +141,240 @@ def read_wire_message(stream: Any) -> tuple[dict[str, Any], bytes]:
     if not isinstance(fields, dict):
         raise FrameError(
             f"message header must be an object, got {type(fields).__name__}")
-    payload = read_exact(stream, frame_len - _JSON_LEN.size - header_len)
-    return fields, payload
+    return fields
 
 
 def decode_message(blob: bytes) -> tuple[dict[str, Any], bytes]:
     """Decode one frame body into (fields, payload)."""
     if len(blob) < _JSON_LEN.size:
         raise FrameError(f"message of {len(blob)} bytes has no header")
-    (header_len,) = _JSON_LEN.unpack_from(blob)
+    (word,) = _JSON_LEN.unpack_from(blob)
+    header_len = word & ~_BINARY_TAG
     header_end = _JSON_LEN.size + header_len
     if len(blob) < header_end:
         raise FrameError("message header extends past frame body")
-    try:
-        fields = json.loads(blob[_JSON_LEN.size:header_end].decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise FrameError(f"message header is not JSON: {exc}") from exc
-    if not isinstance(fields, dict):
-        raise FrameError(f"message header must be an object, got {type(fields).__name__}")
+    if word & _BINARY_TAG:
+        fields = decode_binary_head(bytes(blob[_JSON_LEN.size:header_end]))
+    else:
+        fields = _decode_json_head(blob[_JSON_LEN.size:header_end])
     return fields, blob[header_end:]
+
+
+# ---------------------------------------------------------------------------
+# Binary hot-op headers
+# ---------------------------------------------------------------------------
+#
+# The four data-plane commands (read/write/readv/writev) and their
+# replies dominate the frame stream, and for a cached 4 KiB read the
+# ``json.dumps``/``json.loads`` round trip of the header costs more than
+# the payload copy.  Those — and only those — headers therefore have a
+# struct-packed encoding, tagged by the high bit of the in-body
+# header-length word (legal because MAX_FRAME < 2**31 keeps that bit
+# clear for JSON headers).  Everything else — errors, opens, control
+# ops, traced frames (``tc``), piggybacked spans (``tsp``) — stays JSON,
+# and the decoder accepts both forms forever, so the two encodings can
+# coexist on one connection.
+
+#: Marks a binary header in the header-length word's high bit.
+_BINARY_TAG = 0x80000000
+
+#: Module kill-switch (also honours the ``REPRO_NO_BINHDR`` env var):
+#: when ``False`` every header is JSON, as before this encoding existed.
+BINARY_HEADERS = not os.environ.get("REPRO_NO_BINHDR")
+
+_B_BASE = struct.Struct(">BBIQ")    # kind, flags, chan, rid
+_B_U32 = struct.Struct(">I")
+_B_U64 = struct.Struct(">Q")
+_B_U64x2 = struct.Struct(">QQ")
+_B_F64 = struct.Struct(">d")
+_B_SHM = struct.Struct(">QQQQ")     # slot, length, generation, crc32
+_B_SHMR = struct.Struct(">QQQ")     # slot, capacity, generation
+
+# Header kinds.
+_K_READ, _K_WRITE, _K_READV, _K_WRITEV = 1, 2, 3, 4
+_K_OK, _K_WRITTEN, _K_SIZES, _K_WRITTENV = 5, 6, 7, 8
+
+# Optional-field flag bits.
+_F_DL, _F_SHM, _F_SHMR, _F_SL = 1, 2, 4, 8
+
+
+def _is_uints(value: Any, count: int | None = None) -> bool:
+    if not isinstance(value, (list, tuple)):
+        return False
+    if count is not None and len(value) != count:
+        return False
+    return all(isinstance(x, int) and x >= 0 for x in value)
+
+
+def _pack_u64s(values) -> bytes:
+    return _B_U32.pack(len(values)) + b"".join(
+        _B_U64.pack(v) for v in values)
+
+
+def encode_head_wire(fields: dict[str, Any]) -> bytes | None:
+    """Binary-encode a hot-op header, length word included.
+
+    Returns ``None`` whenever *fields* is not exactly one of the known
+    hot shapes — unknown keys, trace contexts, errors — telling the
+    caller to fall back to :func:`encode_head`.  The fallback is what
+    keeps this codec simple: it never needs to express the general case.
+    """
+    if not BINARY_HEADERS:
+        return None
+    try:
+        head = _encode_binary(fields)
+    except (struct.error, TypeError, ValueError, OverflowError):
+        return None
+    if head is None:
+        return None
+    return _JSON_LEN.pack(len(head) | _BINARY_TAG) + head
+
+
+def _encode_binary(fields: dict[str, Any]) -> bytes | None:
+    rest = dict(fields)
+    rid = rest.pop("rid", None)
+    chan = rest.pop("chan", None)
+    if not isinstance(rid, int) or not isinstance(chan, int) \
+            or rid < 0 or chan < 0:
+        return None
+    is_reply = bool(rest.pop("re", False))
+    flags = 0
+    opt: list[bytes] = []
+    dl = rest.pop("dl", None)
+    if dl is not None:
+        if not isinstance(dl, (int, float)):
+            return None
+        flags |= _F_DL
+        opt.append(_B_F64.pack(float(dl)))
+    shm = rest.pop("shm", None)
+    if shm is not None:
+        if not _is_uints(shm, 4):
+            return None
+        flags |= _F_SHM
+        opt.append(_B_SHM.pack(*shm))
+    shm_r = rest.pop("shm_r", None)
+    if shm_r is not None:
+        if not _is_uints(shm_r, 3):
+            return None
+        flags |= _F_SHMR
+        opt.append(_B_SHMR.pack(*shm_r))
+    sl = rest.pop("sl", None)
+    if sl is not None:
+        if not isinstance(sl, int) or sl < 0:
+            return None
+        flags |= _F_SL
+        opt.append(_B_U32.pack(sl))
+    if is_reply:
+        if rest.pop("ok", None) is not True:
+            return None  # failure replies carry error text: JSON
+        if not rest:
+            kind, tail = _K_OK, b""
+        elif set(rest) == {"written"}:
+            written = rest["written"]
+            if isinstance(written, int) and written >= 0:
+                kind, tail = _K_WRITTEN, _B_U64.pack(written)
+            elif _is_uints(written):
+                kind, tail = _K_WRITTENV, _pack_u64s(written)
+            else:
+                return None
+        elif set(rest) == {"sizes"} and _is_uints(rest["sizes"]):
+            kind, tail = _K_SIZES, _pack_u64s(rest["sizes"])
+        else:
+            return None
+    else:
+        cmd = rest.pop("cmd", None)
+        if cmd == "read" and set(rest) == {"offset", "size"}:
+            kind, tail = _K_READ, _B_U64x2.pack(rest["offset"], rest["size"])
+        elif cmd == "write" and set(rest) == {"offset"}:
+            kind, tail = _K_WRITE, _B_U64.pack(rest["offset"])
+        elif cmd in ("readv", "writev") and set(rest) == {"extents"}:
+            parts = [_B_U32.pack(len(rest["extents"]))]
+            for extent in rest["extents"]:
+                if not _is_uints(extent, 2):
+                    return None
+                parts.append(_B_U64x2.pack(extent[0], extent[1]))
+            kind, tail = (_K_READV if cmd == "readv" else _K_WRITEV), \
+                b"".join(parts)
+        else:
+            return None
+    return _B_BASE.pack(kind, flags, chan, rid) + b"".join(opt) + tail
+
+
+def decode_binary_head(header: bytes) -> dict[str, Any]:
+    """Decode a binary header back into the exact dict that produced it.
+
+    Downstream code (envelope split, dispatch, fault matching) is
+    encoding-blind: it sees the same field dicts either way.  Garbage
+    raises :class:`FrameError`, like a malformed JSON header would.
+    """
+    try:
+        kind, flags, chan, rid = _B_BASE.unpack_from(header, 0)
+        pos = _B_BASE.size
+        fields: dict[str, Any] = {}
+        if kind >= _K_OK:
+            fields["ok"] = True
+        if flags & _F_DL:
+            (fields["dl"],) = _B_F64.unpack_from(header, pos)
+            pos += _B_F64.size
+        if flags & _F_SHM:
+            fields["shm"] = list(_B_SHM.unpack_from(header, pos))
+            pos += _B_SHM.size
+        if flags & _F_SHMR:
+            fields["shm_r"] = list(_B_SHMR.unpack_from(header, pos))
+            pos += _B_SHMR.size
+        if flags & _F_SL:
+            (fields["sl"],) = _B_U32.unpack_from(header, pos)
+            pos += _B_U32.size
+        if kind == _K_READ:
+            fields["cmd"] = "read"
+            fields["offset"], fields["size"] = _B_U64x2.unpack_from(
+                header, pos)
+            pos += _B_U64x2.size
+        elif kind == _K_WRITE:
+            fields["cmd"] = "write"
+            (fields["offset"],) = _B_U64.unpack_from(header, pos)
+            pos += _B_U64.size
+        elif kind in (_K_READV, _K_WRITEV):
+            fields["cmd"] = "readv" if kind == _K_READV else "writev"
+            (count,) = _B_U32.unpack_from(header, pos)
+            pos += _B_U32.size
+            if pos + count * _B_U64x2.size > len(header):
+                raise FrameError("binary header extent list is truncated")
+            extents = []
+            for _ in range(count):
+                pair = _B_U64x2.unpack_from(header, pos)
+                pos += _B_U64x2.size
+                extents.append([pair[0], pair[1]])
+            fields["extents"] = extents
+        elif kind == _K_OK:
+            pass
+        elif kind == _K_WRITTEN:
+            (fields["written"],) = _B_U64.unpack_from(header, pos)
+            pos += _B_U64.size
+        elif kind in (_K_SIZES, _K_WRITTENV):
+            key = "sizes" if kind == _K_SIZES else "written"
+            (count,) = _B_U32.unpack_from(header, pos)
+            pos += _B_U32.size
+            if pos + count * _B_U64.size > len(header):
+                raise FrameError("binary header size list is truncated")
+            values = []
+            for _ in range(count):
+                (value,) = _B_U64.unpack_from(header, pos)
+                pos += _B_U64.size
+                values.append(value)
+            fields[key] = values
+        else:
+            raise FrameError(f"unknown binary header kind {kind}")
+        if pos != len(header):
+            raise FrameError(
+                f"binary header carries {len(header) - pos} trailing bytes")
+        if kind >= _K_OK:
+            fields["re"] = True
+        fields["rid"] = rid
+        fields["chan"] = chan
+        return fields
+    except struct.error as exc:
+        raise FrameError(f"binary header is malformed: {exc}") from exc
 
 
 def command(cmd: str, payload: bytes = b"", **fields: Any) -> bytes:

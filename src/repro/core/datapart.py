@@ -27,6 +27,16 @@ class DataPart:
     def read_at(self, offset: int, size: int) -> bytes:
         raise NotImplementedError
 
+    def read_at_into(self, offset: int, buffer: memoryview) -> int:
+        """Read up to ``len(buffer)`` bytes at *offset* into *buffer*.
+
+        The default routes through :meth:`read_at`; buffer-backed parts
+        override it to copy exactly once.
+        """
+        data = self.read_at(offset, len(buffer))
+        buffer[:len(data)] = data
+        return len(data)
+
     def write_at(self, offset: int, data: bytes) -> int:
         raise NotImplementedError
 
@@ -58,6 +68,9 @@ class MemoryDataPart(DataPart):
 
     def read_at(self, offset: int, size: int) -> bytes:
         return self._buffer.read_at(offset, size)
+
+    def read_at_into(self, offset: int, buffer: memoryview) -> int:
+        return self._buffer.read_at_into(offset, buffer)
 
     def write_at(self, offset: int, data: bytes) -> int:
         return self._buffer.write_at(offset, data)
@@ -93,6 +106,9 @@ class ContainerDataPart(DataPart):
 
     def read_at(self, offset: int, size: int) -> bytes:
         return self._buffer.read_at(offset, size)
+
+    def read_at_into(self, offset: int, buffer: memoryview) -> int:
+        return self._buffer.read_at_into(offset, buffer)
 
     def write_at(self, offset: int, data: bytes) -> int:
         written = self._buffer.write_at(offset, data)

@@ -45,8 +45,9 @@ class SentinelDispatcher:
     def open(self) -> None:
         self.sentinel.on_open(self.ctx)
 
-    def execute(self, fields: dict[str, Any],
-                payload: bytes) -> tuple[dict[str, Any], bytes]:
+    def execute(self, fields: dict[str, Any], payload: bytes,
+                reply_into: memoryview | None = None
+                ) -> tuple[dict[str, Any], bytes]:
         """Serve one command; returns (response fields, response payload).
 
         Sentinel exceptions become failure responses rather than killing
@@ -54,13 +55,17 @@ class SentinelDispatcher:
         file.  The caller's remaining deadline budget (the ``dl``
         field, when the command travelled a wire) is published on the
         context so sentinels inherit it for their own remote exchanges.
+
+        *reply_into* (the shared-memory fast path) offers a buffer the
+        read commands fill directly; when used, the response fields
+        carry ``sl`` (bytes filled) and the returned payload is empty.
         """
         cmd = fields.get("cmd", "")
         budget_ms = fields.get("dl")
         self.ctx.deadline = Deadline.from_ms(budget_ms) \
             if budget_ms is not None else None
         try:
-            return self._execute(cmd, fields, payload)
+            return self._execute(cmd, fields, payload, reply_into)
         except Exception as exc:
             return ({"ok": False, "error": str(exc),
                      "error_type": type(exc).__name__}, b"")
@@ -70,9 +75,17 @@ class SentinelDispatcher:
         out_fields, out_payload = self.execute(fields, payload)
         return control.encode_message(out_fields, out_payload)
 
-    def _execute(self, cmd: str, fields: dict[str, Any],
-                 payload: bytes) -> tuple[dict[str, Any], bytes]:
+    def _execute(self, cmd: str, fields: dict[str, Any], payload: bytes,
+                 reply_into: memoryview | None = None
+                 ) -> tuple[dict[str, Any], bytes]:
         if cmd == "read":
+            size = int(fields["size"])
+            if reply_into is not None and size <= len(reply_into):
+                # Fill the offered (shared-memory) buffer directly: the
+                # bytes never exist as an intermediate payload object.
+                filled = self.sentinel.on_read_into(
+                    self.ctx, int(fields["offset"]), size, reply_into)
+                return {"ok": True, "sl": int(filled)}, b""
             data = self.sentinel.on_read(self.ctx,
                                          int(fields["offset"]),
                                          int(fields["size"]))
@@ -85,6 +98,21 @@ class SentinelDispatcher:
             # Vectored read: one round trip serves many extents.  The
             # reply payload is the extents' data back-to-back; "sizes"
             # tells the caller where each (possibly short) one ends.
+            if reply_into is not None:
+                cursor = 0
+                sizes = []
+                for offset, size in fields["extents"]:
+                    size = int(size)
+                    if cursor + size > len(reply_into):
+                        break  # cannot fit: fall back to inline below
+                    filled = self.sentinel.on_read_into(
+                        self.ctx, int(offset), size,
+                        reply_into[cursor:cursor + size])
+                    cursor += filled
+                    sizes.append(filled)
+                else:
+                    return {"ok": True, "sizes": sizes,
+                            "sl": cursor}, b""
             chunks = []
             sizes = []
             for offset, size in fields["extents"]:
@@ -161,8 +189,12 @@ class StreamDispatcher:
         self.sentinel.on_open(self.ctx)
         self._generator = self.sentinel.generate(self.ctx)
 
-    def execute(self, fields: dict[str, Any],
-                payload: bytes) -> tuple[dict[str, Any], bytes]:
+    def execute(self, fields: dict[str, Any], payload: bytes,
+                reply_into: memoryview | None = None
+                ) -> tuple[dict[str, Any], bytes]:
+        # ``reply_into`` is accepted for interface parity but unused:
+        # the stream commands carry cursor state, so they never travel
+        # the shared-memory fast path (see strategies/process.py).
         cmd = fields.get("cmd", "")
         try:
             return self._execute(cmd, fields, payload)

@@ -22,6 +22,8 @@ network  ``fail`` (exchange raises ``NetworkError``),
          ``delay`` (charge extra transfer time),
          ``partition`` (cut the address for ``seconds``)
 service  ``fail`` (service returns a failure response)
+shm      ``shm-corrupt`` (flip a staged byte after the CRC is taken),
+         ``shm-stale-generation`` (bump the slot's generation word)
 ======== ==========================================================
 
 Rules match on the message's command/op name (``op=``), an address
@@ -45,12 +47,14 @@ _SEND_ACTIONS = ("drop", "delay", "corrupt", "eof", "kill")
 _RECV_ACTIONS = ("drop",)
 _NETWORK_ACTIONS = ("fail", "delay", "partition")
 _SERVICE_ACTIONS = ("fail",)
+_SHM_ACTIONS = ("shm-corrupt", "shm-stale-generation")
 
 _POINTS = {
     "send": _SEND_ACTIONS,
     "recv": _RECV_ACTIONS,
     "network": _NETWORK_ACTIONS,
     "service": _SERVICE_ACTIONS,
+    "shm": _SHM_ACTIONS,
 }
 
 
@@ -171,6 +175,22 @@ class FaultPlane:
         return self.rule("service", "fail", op=op, p=p, after=after,
                          times=times)
 
+    def corrupt_shm_slot(self, *, op: str | None = None, after: int = 0,
+                         times: int | None = 1) -> "FaultPlane":
+        """Flip one byte of a staged shm payload post-checksum.
+
+        The peer's CRC validation rejects the slot and the attempt
+        retries inline — the operation still succeeds.
+        """
+        return self.rule("shm", "shm-corrupt", op=op, after=after,
+                         times=times)
+
+    def stale_shm_generation(self, *, op: str | None = None, after: int = 0,
+                             times: int | None = 1) -> "FaultPlane":
+        """Bump a leased slot's generation so its descriptor goes stale."""
+        return self.rule("shm", "shm-stale-generation", op=op, after=after,
+                         times=times)
+
     # -- arming -------------------------------------------------------------
 
     def arm_channel(self, channel) -> "FaultPlane":
@@ -212,6 +232,11 @@ class FaultPlane:
 
     def on_service(self, op: str) -> FaultRule | None:
         return self._match("service", str(op))
+
+    def on_shm(self, fields: dict[str, Any]) -> FaultRule | None:
+        """Consulted sender-side after a slot is staged/offered."""
+        op = str(fields.get("cmd") or fields.get("op") or "")
+        return self._match("shm", op)
 
     # -- matching -----------------------------------------------------------
 

@@ -57,9 +57,10 @@ from repro.core.dispatch import SentinelDispatcher, StreamDispatcher
 from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
 from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
+from repro.core.shm import AttachedSegment, ShmPlane, shm_enabled
 from repro.core.strategies.common import make_data_part
 from repro.core.telemetry import TELEMETRY
-from repro.errors import ProtocolError, SentinelCrashedError
+from repro.errors import ProtocolError, SentinelCrashedError, ShmError
 
 __all__ = [
     "main",
@@ -96,21 +97,42 @@ class HostAgent:
         self._lock = threading.Lock()
         self._next_chan = FIRST_SESSION_CHAN
         self._sessions: dict[int, Any] = {}
+        #: The host's shared-memory segment, attached at the first
+        #: ``open`` that advertises one (see :mod:`repro.core.shm`).
+        self._segment: AttachedSegment | None = None
 
     def handle(self, fields: dict[str, Any],
                payload: bytes) -> tuple[dict[str, Any], bytes]:
         cmd = fields.get("cmd", "")
         if cmd == "open":
-            return self._open(str(fields.get("strategy", ""))), b""
+            return self._open(str(fields.get("strategy", "")),
+                              fields.get("shm")), b""
         if cmd == "ping":
             return {"ok": True, "pid": os.getpid(),
                     "sessions": len(self._sessions)}, b""
         raise ProtocolError(f"unknown host command {cmd!r}")
 
-    def _open(self, strategy: str) -> dict[str, Any]:
+    def _attach_shm(self, info: dict[str, Any]) -> bool:
+        """Attach the advertised segment (idempotent); False = inline."""
+        with self._lock:
+            if self._segment is not None:
+                return self._segment.name == str(info.get("name"))
+            try:
+                self._segment = AttachedSegment.attach(
+                    str(info["name"]), int(info["slots"]),
+                    int(info["slot_bytes"]), bool(info.get("crc")))
+            except Exception:
+                # Capability negotiation, not an error: the parent falls
+                # back to inline payloads when the ack says no.
+                return False
+            return True
+
+    def _open(self, strategy: str,
+              shm_info: dict[str, Any] | None = None) -> dict[str, Any]:
         dispatcher_class = _DISPATCHERS.get(strategy)
         if dispatcher_class is None:
             raise ProtocolError(f"host cannot serve strategy {strategy!r}")
+        shm_ok = bool(shm_info) and self._attach_shm(shm_info)
         # Each open re-loads the container so concurrent sessions keep the
         # independent data-part state per-open children used to have;
         # cross-open coordination stays on FileLock (shared=None).
@@ -135,12 +157,61 @@ class HostAgent:
                               name=f"af-session-{chan}")
         # "chan" itself is an envelope key, so the session id travels
         # under its own name.
-        return {"ok": True, "session_chan": chan, "strategy": strategy}
+        return {"ok": True, "session_chan": chan, "strategy": strategy,
+                "shm": shm_ok}
 
     def _session_handler(self, chan: int, dispatcher):
         def handle(fields: dict[str, Any],
                    payload: bytes) -> tuple[dict[str, Any], bytes]:
-            out = dispatcher.execute(fields, payload)
+            # Shared-memory substitution: an inbound ``shm`` descriptor
+            # replaces the (empty) frame payload with slot bytes, and an
+            # ``shm_r`` descriptor offers a slot the reply should be
+            # written straight into.  Validation failures come back as
+            # typed ShmErrors; the sender retries the attempt inline.
+            shm_desc = fields.pop("shm", None)
+            reply_desc = fields.pop("shm_r", None)
+            payload_view = reply_view = None
+            segment = self._segment
+            if shm_desc is not None or reply_desc is not None:
+                try:
+                    if segment is None:
+                        raise ShmError("host has no shm segment attached")
+                    if shm_desc is not None:
+                        # Zero-copy: the dispatcher consumes the slot
+                        # bytes in place; the post-execute recheck
+                        # detects a torn read, and the sender's inline
+                        # retry (absolute offsets) rewrites the range.
+                        payload_view = segment.payload_view(shm_desc)
+                        payload = payload_view
+                    if reply_desc is not None:
+                        _, reply_view = segment.fill_view(reply_desc)
+                except ShmError as exc:
+                    return control.error_fields(exc), b""
+            try:
+                if reply_view is not None:
+                    out_fields, out_payload = dispatcher.execute(
+                        fields, payload, reply_into=reply_view)
+                    filled = out_fields.pop("sl", None)
+                    if filled is not None and out_fields.get("ok"):
+                        # The reply body is already in the slot; the
+                        # frame carries only the sealed descriptor.
+                        out_fields["sl"] = int(filled)
+                        out_fields["shm"] = segment.seal(
+                            reply_desc, reply_view[:int(filled)])
+                        out_payload = b""
+                    out = out_fields, out_payload
+                else:
+                    out = dispatcher.execute(fields, payload)
+                if payload_view is not None:
+                    try:
+                        segment.recheck(shm_desc)
+                    except ShmError as exc:
+                        return control.error_fields(exc), b""
+            finally:
+                if payload_view is not None:
+                    payload_view.release()
+                if reply_view is not None:
+                    reply_view.release()
             if fields.get("cmd") == "close":
                 with self._lock:
                     self._sessions.pop(chan, None)
@@ -219,6 +290,17 @@ class SentinelHost:
         env["PYTHONPATH"] = os.pathsep.join(
             [src_root] + [p for p in env.get("PYTHONPATH", "").split(
                 os.pathsep) if p and p != src_root])
+        # The bulk-data plane: one shared-memory slab per host, offered
+        # to the child in the open handshake.  Creation failure (or the
+        # REPRO_NO_SHM kill-switch) just means every payload rides
+        # inline, exactly as before the plane existed.
+        self.shm: ShmPlane | None = None
+        self.shm_ready = False
+        if shm_enabled():
+            try:
+                self.shm = ShmPlane()
+            except Exception:
+                self.shm = None
         self.proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
                           bufsize=0, env=env)
         self.channel = StreamChannel(
@@ -284,6 +366,16 @@ class SentinelHost:
             self.proc.kill()
         except Exception:
             pass
+        # The segment dies with the host: a respawned child gets a fresh
+        # slab, so journal replay (which re-sends inline) can never hand
+        # it a descriptor from this incarnation.
+        self._destroy_shm()
+
+    def _destroy_shm(self) -> None:
+        self.shm_ready = False
+        plane = self.shm
+        if plane is not None:
+            plane.destroy()
 
     def crash_error(self, cause) -> SentinelCrashedError:
         """Describe this host's death, folding in its captured stderr."""
@@ -301,10 +393,14 @@ class SentinelHost:
              timeout: "float | Deadline | None" = None) -> int:
         """Open one logical session; returns its channel id."""
         deadline = Deadline.coerce(timeout, policy.OPEN_TIMEOUT)
-        fields, _ = self.channel.request(
-            CONTROL_CHAN, {"cmd": "open", "strategy": strategy},
-            timeout=deadline)
+        request: dict[str, Any] = {"cmd": "open", "strategy": strategy}
+        if self.shm is not None:
+            request["shm"] = self.shm.handshake_fields()
+        fields, _ = self.channel.request(CONTROL_CHAN, request,
+                                         timeout=deadline)
         control.raise_for_response(fields)
+        if self.shm is not None and fields.get("shm"):
+            self.shm_ready = True
         return int(fields["session_chan"])
 
     def ping(self, timeout: "float | Deadline | None" = None
@@ -323,6 +419,7 @@ class SentinelHost:
         except Exception:
             self.proc.kill()
             self.proc.wait(timeout=policy.SHUTDOWN_TIMEOUT)
+        self._destroy_shm()
 
 
 class HostLease:

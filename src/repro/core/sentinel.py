@@ -105,6 +105,23 @@ class Sentinel:
         """Serve a write; default passes through to the data part."""
         return ctx.data.write_at(offset, data)
 
+    def on_read_into(self, ctx: SentinelContext, offset: int, size: int,
+                     buffer: memoryview) -> int:
+        """Serve a read directly into *buffer*; returns bytes filled.
+
+        The shared-memory fast path offers the reply slot here so the
+        bytes land in it without an intermediate ``bytes`` object.  A
+        null filter (no ``on_read`` override) fills straight from the
+        data part; filtering sentinels route through their ``on_read``
+        so overriding one method keeps both planes consistent.
+        """
+        if type(self).on_read is Sentinel.on_read:
+            return ctx.data.read_at_into(offset, buffer[:size])
+        data = self.on_read(ctx, offset, size)
+        filled = len(data)
+        buffer[:filled] = data
+        return filled
+
     def on_size(self, ctx: SentinelContext) -> int:
         """Serve GetFileSize; default reports the data part's size."""
         return ctx.data.size

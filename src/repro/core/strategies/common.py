@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core import policy
+from repro.core import shm as shmplane
 from repro.core.container import Container
 from repro.core.control import raise_for_response
 from repro.core.datapart import ContainerDataPart, DataPart, MemoryDataPart
@@ -23,6 +24,7 @@ from repro.errors import (
     DeadlineExceededError,
     FlushError,
     SentinelCrashError,
+    ShmError,
 )
 
 __all__ = ["make_data_part", "make_context", "ChannelSession",
@@ -69,6 +71,13 @@ class ChannelSession(Session):
     #: Backoff schedule for crash-respawn-retry cycles.
     RETRY = policy.RetryPolicy()
 
+    #: Commands whose bulk bytes may ride the host's shared-memory
+    #: segment instead of the pipe.  Empty by default: only sessions
+    #: whose commands are expressed in absolute offsets (no cursor
+    #: state) opt in, and only for commands that are idempotent — a
+    #: shm-rejected attempt is retried inline.
+    SHM_CMDS: frozenset = frozenset()
+
     def __init__(self, lease) -> None:
         self._lease = lease
         self._closed = False
@@ -96,13 +105,24 @@ class ChannelSession(Session):
     VECTOR_CHUNK = 4 * 1024 * 1024
 
     def _op(self, fields: dict[str, Any], payload: Any = b"",
-            timeout: "float | Deadline | None" = None
+            timeout: "float | Deadline | None" = None,
+            into: "memoryview | None" = None
             ) -> tuple[dict[str, Any], bytes]:
         """One supervised command round trip.
 
         Retries lost frames and crashed hosts for idempotent commands
         within the operation's deadline; unrecoverable failures surface
         as a typed :class:`SentinelCrashError`.
+
+        Eligible bulk payloads (see :attr:`SHM_CMDS`) travel through
+        the host's shared-memory segment: the wire frame carries a slot
+        descriptor instead of the bytes.  Substitution is per-attempt —
+        the journal records the original inline form, and any shm-layer
+        rejection (stale generation, corrupt slot, unattached peer)
+        falls back to an inline retry, trading speed, never
+        correctness.  With *into*, a reply payload lands directly in
+        the caller's buffer (``reply["sl"]`` carries the byte count and
+        the returned payload is empty).
         """
         deadline = Deadline.coerce(timeout, policy.DEFAULT_OP_TIMEOUT)
         cmd = str(fields.get("cmd") or "")
@@ -110,6 +130,7 @@ class ChannelSession(Session):
                        and not self._journal_poisoned)
         delays = self.RETRY.delays()
         attempt = 0
+        use_shm = cmd in self.SHM_CMDS
         while True:
             attempt += 1
             span = None
@@ -119,21 +140,39 @@ class ChannelSession(Session):
                     attrs["cause"] = "retry"
                 span = TELEMETRY.begin(f"op.{cmd}", attrs=attrs, push=True)
             status = "error"
+            plane = send_lease = reply_lease = None
             try:
+                wire_fields, wire_payload = fields, payload
+                if use_shm:
+                    plane = self._shm_plane()
+                    if plane is not None:
+                        (wire_fields, wire_payload, send_lease,
+                         reply_lease) = self._shm_stage(
+                            plane, cmd, fields, payload, into)
                 try:
                     try:
                         reply, out_payload = self._lease.request(
-                            fields, payload,
+                            wire_fields, wire_payload,
                             timeout=deadline.capped(policy.ATTEMPT_TIMEOUT))
                     except DeadlineExceededError:
                         # Attempt expired: the rid is withdrawn, so a
                         # straggler reply is ignored and a re-send is safe.
+                        # Any slots of the attempt stay parked until a
+                        # later reply on this channel proves (per-chan
+                        # FIFO) the straggler is done with them.
+                        if plane is not None:
+                            plane.park(self._lease.chan,
+                                       send_lease, reply_lease)
+                            send_lease = reply_lease = None
                         deadline.check(f"{cmd!r} on {self.strategy} session")
                         if not recoverable:
                             raise
                         status = "timeout"
                         continue
                 except _TRANSPORT_FAILURES as exc:
+                    # A dead host takes its segment (and every lease on
+                    # it) down with it; nothing to release.
+                    send_lease = reply_lease = None
                     crash = exc if isinstance(exc, SentinelCrashError) \
                         else self._lease.crash_error(exc)
                     if not recoverable:
@@ -145,13 +184,131 @@ class ChannelSession(Session):
                     if not self._recover(delays, deadline):
                         raise crash from exc
                     continue
-                raise_for_response(reply)
+                # A settled reply on this channel proves any parked
+                # straggler slots are finished with (per-chan FIFO).
+                if plane is not None:
+                    plane.settle(self._lease.chan)
+                try:
+                    raise_for_response(reply)
+                    out_payload = self._shm_finish(
+                        reply, reply_lease, into, out_payload)
+                except ShmError:
+                    # The slot exchange was rejected (stale generation,
+                    # corrupt bytes, unattached peer) — the command did
+                    # not take effect.  Retry the attempt inline.
+                    use_shm = False
+                    shmplane.FALLBACK_INLINE.inc()
+                    status = "shm-fallback"
+                    continue
                 status = "ok"
                 self._journal_record(cmd, fields, payload)
                 return reply, out_payload
             finally:
+                # Runs after any return value is computed, so a reply
+                # lease is released only once its bytes are copied out.
+                if plane is not None:
+                    plane.release(send_lease)
+                    plane.release(reply_lease)
                 if span is not None:
                     TELEMETRY.finish(span, status=status)
+
+    # -- shared-memory staging -----------------------------------------------------
+
+    def _shm_plane(self):
+        """The host's armed shm plane, or ``None`` (stay inline)."""
+        host = getattr(self._lease, "host", None)
+        if host is None or not getattr(host, "shm_ready", False):
+            return None
+        plane = host.shm
+        if plane is None or plane.destroyed:
+            return None
+        return plane
+
+    def _shm_stage(self, plane, cmd: str, fields: dict[str, Any],
+                   payload: Any, into: "memoryview | None"):
+        """Swap eligible bulk bytes for slot descriptors.
+
+        Request payloads at or above :data:`~repro.core.shm.SHM_MIN_BYTES`
+        are staged into leased slots (``shm`` descriptor replaces the
+        frame body); bulk replies are offered a pre-leased landing slot
+        (``shm_r``).  Returns the wire form plus the leases the caller
+        must release/park.  An exhausted slab keeps the attempt inline.
+        """
+        send_lease = reply_lease = None
+        wire_fields, wire_payload = fields, payload
+        if cmd in ("write", "writev"):
+            parts = payload if isinstance(payload, (tuple, list)) \
+                else (payload,)
+            nbytes = sum(len(p) for p in parts)
+            if nbytes >= shmplane.SHM_MIN_BYTES:
+                send_lease = plane.lease(nbytes)
+                if send_lease is None:
+                    shmplane.FALLBACK_INLINE.inc()
+                else:
+                    desc = send_lease.stage(parts)
+                    self._shm_inject_faults(fields, send_lease, staged=True)
+                    wire_fields = {**fields, "shm": desc}
+                    wire_payload = b""
+        else:  # read / readv: offer a landing slot for the reply
+            if cmd == "read":
+                expect = int(fields.get("size") or 0)
+            else:
+                expect = sum(int(s) for _, s in (fields.get("extents") or ()))
+            if into is not None:
+                expect = min(expect, len(into)) if expect else len(into)
+            if expect >= shmplane.SHM_MIN_BYTES:
+                reply_lease = plane.lease(expect)
+                if reply_lease is None:
+                    shmplane.FALLBACK_INLINE.inc()
+                else:
+                    desc = reply_lease.reply_desc()
+                    self._shm_inject_faults(fields, reply_lease, staged=False)
+                    wire_fields = {**fields, "shm_r": desc}
+        return wire_fields, wire_payload, send_lease, reply_lease
+
+    def _shm_inject_faults(self, fields: dict[str, Any], lease,
+                           staged: bool) -> None:
+        """Apply a scheduled shm fault to *lease* (deterministic tests).
+
+        ``corrupt`` flips a staged byte after the descriptor's CRC was
+        computed; ``stale-generation`` bumps the slot's generation so
+        the descriptor no longer matches.  Both are applied sender-side
+        so a schedule replays identically regardless of host timing.
+        """
+        faults = getattr(self.channel, "faults", None)
+        if faults is None:
+            return
+        rule = faults.on_shm(fields)
+        if rule is None:
+            return
+        if rule.action == "shm-corrupt" and staged:
+            lease.scribble()
+        elif rule.action == "shm-stale-generation":
+            lease.invalidate()
+
+    def _shm_finish(self, reply: dict[str, Any], reply_lease,
+                    into: "memoryview | None", out_payload: bytes) -> bytes:
+        """Materialise a reply's bulk bytes, whichever way they came.
+
+        A sealed ``shm`` descriptor in the reply is validated (CRC +
+        generation, re-checked after the copy) and drained from the
+        slot; raises :class:`ShmError` on mismatch so the caller can
+        retry inline.  With *into*, bytes land in the caller's buffer
+        and ``reply["sl"]`` reports the count.
+        """
+        desc = reply.pop("shm", None) if reply_lease is not None else None
+        if into is not None:
+            if desc is not None:
+                count = reply_lease.take_into(
+                    into, int(desc[1]), int(desc[3]))
+            else:
+                count = len(out_payload)
+                into[:count] = out_payload
+            reply["sl"] = count
+            return b""
+        if desc is not None:
+            return reply_lease.take(int(desc[1]), int(desc[3]))
+        return out_payload
 
     # -- crash recovery ------------------------------------------------------------
 

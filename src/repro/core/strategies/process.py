@@ -36,6 +36,10 @@ class ProcessSession(ChannelSession):
     supports_random_access = False
     supports_control = False
 
+    # SHM_CMDS stays empty: ``rstream``/``wstream`` carry implicit
+    # cursor state, so a shm-rejected attempt could not be retried
+    # without replaying the cursor.  Stream bodies stay on the frame.
+
     #: Stream transfers are chunked below the 16 MiB frame cap.
     READ_CHUNK = 4 * 1024 * 1024
     WRITE_CHUNK = 4 * 1024 * 1024

@@ -32,6 +32,11 @@ class ProcessControlSession(ChannelSession):
 
     strategy = "process-control"
 
+    #: Bulk command bodies may ride the host's shared-memory segment.
+    #: All four are absolute-offset and idempotent, so a rejected slot
+    #: exchange retries inline without observable difference.
+    SHM_CMDS = frozenset({"read", "write", "readv", "writev"})
+
     #: Transfers larger than this are split into several commands:
     #: payloads travel one frame each, and the frame codec caps bodies
     #: at 16 MiB.
@@ -54,6 +59,23 @@ class ProcessControlSession(ChannelSession):
             if len(payload) < step:
                 break  # sentinel reported EOF
         return b"".join(pieces)
+
+    def read_at_into(self, offset: int, buffer) -> int:
+        """Read straight into *buffer*: with the shm plane armed the
+        sentinel fills the leased slot and the bytes make exactly one
+        validated copy into the caller's memory."""
+        view = memoryview(buffer)
+        filled = 0
+        while filled < len(view):
+            step = min(len(view) - filled, self.READ_CHUNK)
+            reply, _ = self._op({"cmd": "read", "offset": offset + filled,
+                                 "size": step},
+                                into=view[filled:filled + step])
+            count = int(reply.get("sl") or 0)
+            filled += count
+            if count < step:
+                break  # sentinel reported EOF
+        return filled
 
     def write_at(self, offset: int, data: bytes) -> int:
         if len(data) <= self.WRITE_CHUNK:

@@ -27,6 +27,9 @@ __all__ = [
     "FrameError",
     "ChannelClosedError",
     "DeadlineExceededError",
+    "ShmError",
+    "ShmCorruptError",
+    "ShmStaleGenerationError",
     "CacheError",
     "InterceptionError",
     "SandboxViolation",
@@ -140,6 +143,26 @@ class DeadlineExceededError(ActiveFileError, TimeoutError):
     Subclasses :class:`TimeoutError` so callers guarding waits with the
     builtin still catch the typed form.
     """
+
+
+# --------------------------------------------------------------------------
+# Shared-memory data plane
+# --------------------------------------------------------------------------
+
+class ShmError(ProtocolError):
+    """A shared-memory slot exchange could not be completed.
+
+    The sender falls back to an inline payload when it sees one of
+    these, so an shm failure degrades performance, never correctness.
+    """
+
+
+class ShmCorruptError(ShmError):
+    """A slot's bytes failed their checksum — the slab was scribbled on."""
+
+
+class ShmStaleGenerationError(ShmError):
+    """A slot descriptor outlived its lease (generation mismatch)."""
 
 
 # --------------------------------------------------------------------------

@@ -32,9 +32,16 @@ class Request:
     op: str
     fields: dict[str, Any] = field(default_factory=dict)
     payload: bytes = b""
+    #: Memoized :meth:`wire_size` — the fabric asks for it at several
+    #: charge points per exchange and messages are not mutated after
+    #: construction, so the JSON encode runs once.
+    _wire_size: int | None = field(default=None, repr=False, compare=False)
 
     def wire_size(self) -> int:
-        return encoded_size({"op": self.op, **self.fields}, self.payload)
+        if self._wire_size is None:
+            self._wire_size = encoded_size(
+                {"op": self.op, **self.fields}, self.payload)
+        return self._wire_size
 
 
 @dataclass
@@ -49,10 +56,13 @@ class Response:
     fields: dict[str, Any] = field(default_factory=dict)
     payload: bytes = b""
     error: str = ""
+    _wire_size: int | None = field(default=None, repr=False, compare=False)
 
     def wire_size(self) -> int:
-        meta = {"ok": self.ok, "error": self.error, **self.fields}
-        return encoded_size(meta, self.payload)
+        if self._wire_size is None:
+            meta = {"ok": self.ok, "error": self.error, **self.fields}
+            self._wire_size = encoded_size(meta, self.payload)
+        return self._wire_size
 
     @classmethod
     def failure(cls, error: str, **fields: Any) -> "Response":

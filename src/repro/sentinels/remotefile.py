@@ -425,6 +425,17 @@ class RemoteFileSentinel(Sentinel):
         self._revalidate()
         return self._cache.read(offset, size)
 
+    def on_read_into(self, ctx: SentinelContext, offset: int, size: int,
+                     buffer: memoryview) -> int:
+        """Cache-hit reads land straight in the offered (shm) buffer."""
+        self._enter(ctx)
+        if self._cache is None:
+            data = self._fetch(offset, size)
+            buffer[:len(data)] = data
+            return len(data)
+        self._revalidate()
+        return self._cache.read_into(offset, buffer[:size])
+
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
         self._enter(ctx)
         if self._cache is None:

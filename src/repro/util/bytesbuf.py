@@ -53,6 +53,21 @@ class ByteBuffer:
             raise ValueError(f"negative size: {size}")
         return bytes(self._data[offset:offset + size])
 
+    def read_at_into(self, offset: int, buffer: memoryview) -> int:
+        """Copy up to ``len(buffer)`` bytes at *offset* into *buffer*.
+
+        Returns the byte count; the single copy goes straight from the
+        backing store into the caller's buffer (no intermediate bytes).
+        """
+        if offset < 0:
+            raise ValueError(f"negative offset: {offset}")
+        available = len(self._data) - offset
+        if available <= 0:
+            return 0
+        count = min(len(buffer), available)
+        buffer[:count] = memoryview(self._data)[offset:offset + count]
+        return count
+
     def write_at(self, offset: int, data: bytes) -> int:
         """Write *data* at *offset*, zero-filling any gap; return count."""
         if offset < 0:

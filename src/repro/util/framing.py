@@ -9,12 +9,15 @@ memory.
 
 from __future__ import annotations
 
+import io
 import struct
+import threading
 from typing import BinaryIO
 
 from repro.errors import ChannelClosedError, FrameError
 
-__all__ = ["read_exact", "write_frame", "read_frame", "MAX_FRAME"]
+__all__ = ["read_exact", "readinto_exact", "write_frame", "read_frame",
+           "MAX_FRAME"]
 
 _LEN = struct.Struct(">I")
 
@@ -77,7 +80,42 @@ def write_frame(stream: BinaryIO, payload: bytes | memoryview,
         for part in extra:
             if part:
                 stream.write(part)
-    stream.flush()
+    # Only buffered streams need (or benefit from) an explicit flush.
+    # The pipe transports hand over raw fds (buffering=0): every write
+    # above already hit the kernel, and flushing a raw stream would cost
+    # a second no-op method call per frame.
+    if isinstance(stream, io.BufferedIOBase):
+        stream.flush()
+
+
+def readinto_exact(stream: BinaryIO, view: memoryview) -> None:
+    """Fill *view* completely from *stream* or raise.
+
+    The ``readinto`` sibling of :func:`read_exact`: bytes land directly
+    in the caller's buffer, so a frame body costs no chunk list and no
+    join copy.
+    """
+    total = len(view)
+    filled = 0
+    readinto = getattr(stream, "readinto", None)
+    if readinto is None:
+        view[:] = read_exact(stream, total)
+        return
+    while filled < total:
+        got = readinto(view[filled:])
+        if not got:
+            raise ChannelClosedError(
+                f"stream closed with {total - filled} of {total} "
+                f"bytes outstanding")
+        filled += got
+
+
+#: A small pool of reusable frame-body buffers.  Steady-state framed
+#: traffic reads every body into a recycled ``bytearray`` instead of
+#: allocating a fresh one per frame.
+_POOL_LOCK = threading.Lock()
+_BUFFER_POOL: list[bytearray] = []
+_POOL_DEPTH = 4
 
 
 def read_frame(stream: BinaryIO) -> bytes:
@@ -95,4 +133,16 @@ def read_frame(stream: BinaryIO) -> bytes:
     (size,) = _LEN.unpack(header)
     if size > MAX_FRAME:
         raise FrameError(f"incoming frame of {size} bytes exceeds MAX_FRAME")
-    return read_exact(stream, size)
+    with _POOL_LOCK:
+        buffer = _BUFFER_POOL.pop() if _BUFFER_POOL else bytearray()
+    if len(buffer) < size:
+        buffer.extend(bytes(size - len(buffer)))
+    view = memoryview(buffer)
+    try:
+        readinto_exact(stream, view[:size])
+        return bytes(view[:size])
+    finally:
+        view.release()
+        with _POOL_LOCK:
+            if len(_BUFFER_POOL) < _POOL_DEPTH:
+                _BUFFER_POOL.append(buffer)
