@@ -47,6 +47,15 @@ BENCH_SHM_RESULT_KEYS = {
 }
 
 
+#: Required per-section result keys of BENCH_swarm.json — the "heavy
+#: traffic" artifact of benchmarks/test_swarm.py.
+BENCH_SWARM_RESULT_KEYS = {
+    "mixed_swarm": ("channels", "ops", "elapsed_s", "ops_per_s",
+                    "p50_us", "p95_us", "p99_us", "slo_p95_us",
+                    "host_threads", "rejects"),
+}
+
+
 def check_bench_schema(doc, result_keys, *, name="benchmark json"):
     """Assert a BENCH_*.json document keeps its published keys.
 

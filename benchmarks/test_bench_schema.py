@@ -18,6 +18,7 @@ from benchmarks.conftest import (
     BENCH_CACHE_RESULT_KEYS,
     BENCH_RECOVERY_RESULT_KEYS,
     BENCH_SHM_RESULT_KEYS,
+    BENCH_SWARM_RESULT_KEYS,
     check_bench_schema,
 )
 
@@ -45,6 +46,11 @@ def test_bench_recovery_schema():
 def test_bench_shm_schema():
     check_bench_schema(_load("BENCH_shm.json"), BENCH_SHM_RESULT_KEYS,
                        name="BENCH_shm.json")
+
+
+def test_bench_swarm_schema():
+    check_bench_schema(_load("BENCH_swarm.json"), BENCH_SWARM_RESULT_KEYS,
+                       name="BENCH_swarm.json")
 
 
 def test_schema_checker_rejects_dropped_key():

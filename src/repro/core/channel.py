@@ -11,9 +11,13 @@ pair per concern.  This module is the single transport they now share:
 * a demultiplexer routes replies to per-request futures
   (:class:`PendingReply`), so callers can pipeline many operations over
   one connection;
-* inbound requests are dispatched to per-channel handler workers, so
-  distinct logical channels (= distinct opens of a container) execute
-  concurrently while each channel stays strictly ordered;
+* inbound requests are served by the process's event-loop host
+  (:mod:`repro.core.hostloop`): one scheduler and a small fixed
+  executor pool serve *every* registered channel, so distinct logical
+  channels (= distinct opens of a container) execute concurrently
+  while each channel stays strictly ordered — and a thousand channels
+  cost O(1) threads, not a thousand.  ``REPRO_HOST_MODE=threads``
+  restores the legacy worker-thread-per-channel model;
 * the transport keeps per-operation latency/throughput counters
   (:class:`ChannelCounters`), so every strategy gets instrumentation
   for free.
@@ -40,7 +44,7 @@ import time
 from queue import SimpleQueue
 from typing import Any, BinaryIO, Callable
 
-from repro.core import control
+from repro.core import control, hostloop
 from repro.core.policy import JOIN_TIMEOUT, Deadline
 from repro.core.telemetry import TELEMETRY
 from repro.errors import (
@@ -265,7 +269,13 @@ class PendingReply:
 
 
 class _ChanWorker:
-    """Serial executor for one logical channel's inbound requests."""
+    """Serial executor thread for one logical channel's inbound requests.
+
+    The legacy (pre-event-loop) serving model, kept selectable via
+    ``REPRO_HOST_MODE=threads`` for one release.  The serving body is
+    :func:`repro.core.hostloop.serve_one` — shared with the loop's
+    executors, so the two modes cannot drift apart semantically.
+    """
 
     def __init__(self, channel: "Channel", chan: int, handler: Handler,
                  name: str) -> None:
@@ -298,46 +308,8 @@ class _ChanWorker:
             if item is None:
                 return
             rid, fields, payload, deadline, tc = item
-            op = str(fields.get("cmd") or fields.get("op") or "?")
-            span = collector = None
-            if tc is not None and isinstance(tc, (list, tuple)) \
-                    and len(tc) == 2:
-                # This request is traced: serve it under a dispatch span
-                # parented on the sender's frame span, and (in sentinel
-                # children) capture everything it causes for the reply.
-                if TELEMETRY.piggyback:
-                    collector = TELEMETRY.start_collect()
-                span = TELEMETRY.begin(f"dispatch.{op}", trace=str(tc[0]),
-                                       parent=str(tc[1]), push=True)
-            if deadline.expired():
-                # The caller has already given up (and withdrawn the
-                # rid); answer with the typed expiry rather than doing
-                # work nobody is waiting for.
-                out_fields, out_payload = control.error_fields(
-                    DeadlineExceededError(
-                        f"{op!r}: deadline expired before execution")), b""
-            else:
-                remaining_ms = deadline.to_ms()
-                if remaining_ms is not None:
-                    # Nested exchanges (e.g. a dispatcher's bridge calls)
-                    # inherit what is left of the caller's budget.
-                    fields["dl"] = remaining_ms
-                try:
-                    out_fields, out_payload = self.handler(fields, payload)
-                except Exception as exc:
-                    out_fields, out_payload = control.error_fields(exc), b""
-            if span is not None:
-                TELEMETRY.finish(
-                    span,
-                    status="ok" if out_fields.get("ok", True) else "error")
-                if collector is not None:
-                    out_fields["tsp"] = TELEMETRY.end_collect(
-                        collector, anchor_us=span.start_us)
-            self.channel.counters.request_served(op)
-            try:
-                self.channel._send_reply(rid, self.chan, out_fields,
-                                         out_payload)
-            except (ChannelClosedError, OSError, ValueError):
+            if not hostloop.serve_one(self.channel, self.chan, self.handler,
+                                      rid, fields, payload, deadline, tc):
                 return  # peer is gone; nothing left to answer to
 
 
@@ -369,8 +341,18 @@ class Channel:
         self._pending_lock = threading.Lock()
         self._next_rid = 0
         self._rid_lock = threading.Lock()
-        self._handlers: dict[int, _ChanWorker] = {}
+        #: chan -> serving state: a loop :class:`~repro.core.hostloop
+        #: ._ChanState` or a legacy :class:`_ChanWorker`; both expose
+        #: ``submit``/``stop``.
+        self._handlers: dict[int, Any] = {}
         self._handlers_lock = threading.Lock()
+        #: Pin this channel's serving to a specific
+        #: :class:`~repro.core.hostloop.EventLoopServer` (tests);
+        #: defaults to the process-shared loop.
+        self.loop = None
+        #: The loop actually serving this channel's handlers (set by
+        #: the first :meth:`register`; None in threads mode).
+        self.serve_loop = None
 
     # -- requester side ----------------------------------------------------------
 
@@ -434,18 +416,34 @@ class Channel:
     # -- responder side ----------------------------------------------------------
 
     def register(self, chan: int, handler: Handler, *,
-                 name: str | None = None) -> None:
+                 name: str | None = None, blocking: bool = True) -> None:
         """Serve inbound requests on *chan* with *handler*.
 
-        The handler runs on a dedicated worker thread: requests on one
-        channel execute in order; requests on distinct channels execute
-        concurrently.
+        Requests on one channel execute strictly in order; requests on
+        distinct channels execute concurrently.  Serving runs on the
+        process's event-loop host (``blocking=False`` promises the
+        handler never blocks and lets it run inline on the scheduler
+        tick); with ``REPRO_HOST_MODE=threads`` each channel instead
+        gets the legacy dedicated worker thread.
+
+        Session channels are subject to the loop's admission control;
+        channel 0 (the control/bridge plane) is exempt — ``open``,
+        ``ping`` and bridge traffic must never be load-shed.
         """
-        worker = _ChanWorker(self, int(chan), handler,
-                             name or f"{self.name}-chan{chan}")
+        chan = int(chan)
+        label = name or f"{self.name}-chan{chan}"
+        if hostloop.loop_serving_enabled():
+            server = self.loop if self.loop is not None \
+                else hostloop.shared_loop()
+            worker = server.attach(self, chan, handler, name=label,
+                                   blocking=blocking,
+                                   governed=chan != CONTROL_CHAN)
+            self.serve_loop = server
+        else:
+            worker = _ChanWorker(self, chan, handler, label)
         with self._handlers_lock:
-            old = self._handlers.get(int(chan))
-            self._handlers[int(chan)] = worker
+            old = self._handlers.get(chan)
+            self._handlers[chan] = worker
         if old is not None:
             old.stop()
 
@@ -593,6 +591,12 @@ class StreamChannel(Channel):
                         if rule is not None and rule.action == "drop":
                             continue  # inbound message lost after decode
                     self._dispatch(fields, payload)
+                    server = self.serve_loop
+                    if server is not None:
+                        # Backpressure: past the intake high-water mark
+                        # the reader stalls here, leaving the flood in
+                        # the kernel pipe instead of this process.
+                        server.throttle(self)
                 except (ChannelClosedError, FrameError, OSError,
                         ValueError) as exc:
                     self.kill(f"transport closed: {exc}")

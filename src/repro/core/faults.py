@@ -24,6 +24,8 @@ network  ``fail`` (exchange raises ``NetworkError``),
 service  ``fail`` (service returns a failure response)
 shm      ``shm-corrupt`` (flip a staged byte after the CRC is taken),
          ``shm-stale-generation`` (bump the slot's generation word)
+sched    ``delay`` (stall one event-loop scheduling grant),
+         ``kill`` (hard-kill the host at a scheduler tick)
 ======== ==========================================================
 
 Rules match on the message's command/op name (``op=``), an address
@@ -48,6 +50,7 @@ _RECV_ACTIONS = ("drop",)
 _NETWORK_ACTIONS = ("fail", "delay", "partition")
 _SERVICE_ACTIONS = ("fail",)
 _SHM_ACTIONS = ("shm-corrupt", "shm-stale-generation")
+_SCHED_ACTIONS = ("delay", "kill")
 
 _POINTS = {
     "send": _SEND_ACTIONS,
@@ -55,6 +58,7 @@ _POINTS = {
     "network": _NETWORK_ACTIONS,
     "service": _SERVICE_ACTIONS,
     "shm": _SHM_ACTIONS,
+    "sched": _SCHED_ACTIONS,
 }
 
 
@@ -191,6 +195,18 @@ class FaultPlane:
         return self.rule("shm", "shm-stale-generation", op=op, after=after,
                          times=times)
 
+    def delay_sched(self, seconds: float, *, op: str | None = None,
+                    p: float = 1.0, after: int = 0,
+                    times: int | None = None) -> "FaultPlane":
+        """Stall one scheduling grant on the armed event-loop host."""
+        return self.rule("sched", "delay", op=op, p=p, after=after,
+                         times=times, seconds=seconds)
+
+    def kill_at_sched(self, *, after: int = 0,
+                      times: int | None = 1) -> "FaultPlane":
+        """Hard-kill the armed host at a scheduler tick (loop mode)."""
+        return self.rule("sched", "kill", after=after, times=times)
+
     # -- arming -------------------------------------------------------------
 
     def arm_channel(self, channel) -> "FaultPlane":
@@ -237,6 +253,11 @@ class FaultPlane:
         """Consulted sender-side after a slot is staged/offered."""
         op = str(fields.get("cmd") or fields.get("op") or "")
         return self._match("shm", op)
+
+    def on_sched(self, fields: dict[str, Any]) -> FaultRule | None:
+        """Consulted by the event loop before granting one channel a turn."""
+        op = str(fields.get("cmd") or fields.get("op") or "")
+        return self._match("sched", op)
 
     # -- matching -----------------------------------------------------------
 

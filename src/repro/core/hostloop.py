@@ -1,0 +1,553 @@
+"""The event-loop sentinel host: O(1) threads for O(n) logical channels.
+
+The paper's §2 contract — "multiple opens spawn multiple synchronizing
+sentinels" — was historically served by one dedicated worker thread per
+logical channel (``_ChanWorker`` in :mod:`repro.core.channel`).  That
+caps host concurrency at thread overhead long before "millions of
+users": a pooled host with a thousand opens carried a thousand stacks.
+
+:class:`EventLoopServer` replaces the per-channel threads with one
+scheduler and a small fixed executor pool, preserving the two
+properties the worker model guaranteed:
+
+* **serial per channel** — one channel's requests execute strictly in
+  arrival order (that *is* the §2 semantic contract: one open, one
+  synchronizing sentinel);
+* **concurrent across channels** — distinct channels make progress
+  independently, now bounded by the executor pool instead of the
+  thread count.
+
+Scheduling is round-robin over ready channels: a channel finishing an
+op goes to the *tail* of the ready queue, so a saturated channel can
+delay an idle sibling by at most the ops currently ahead of it — never
+starve it.  Admission control bounds the damage of a flood: past the
+global in-flight high-water mark (or a channel's FIFO bound), session
+requests are fast-rejected with a typed
+:class:`~repro.errors.HostOverloadedError` *from the reader thread*,
+so a reject costs no queueing at all.  The control/bridge channel
+(channel 0) is exempt — ``open``/``ping``/bridge traffic must never be
+rejected, or recovery itself would be load-shed.
+
+Backpressure is the transport's reader throttling itself
+(:meth:`throttle`): past the intake high-water mark the reader stops
+decoding frames until the backlog drains below the low-water mark.
+The stall is conditional on the connection having **zero in-flight
+outbound requests**: replies are resolved by the reader thread itself,
+and a sentinel's bridge calls ride the same connection — stalling
+while a reply is owed would deadlock the very handler we are waiting
+for.
+
+Deadline (``dl``) and trace-context (``tc``) re-anchoring is
+byte-identical to the worker model: both are popped at submit time on
+the reader thread, so queue wait counts against the sender's budget,
+and the dispatch span parents on the sender's frame span (see
+:func:`serve_one`, shared with the legacy workers).
+
+The legacy model stays selectable for one release via the
+``REPRO_HOST_MODE=threads`` environment kill switch (read per
+``register()`` call, so tests can flip it with ``monkeypatch``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from queue import SimpleQueue
+from typing import Any, Callable
+
+from repro.core import control, policy
+from repro.core.policy import Deadline
+from repro.core.telemetry import TELEMETRY
+from repro.errors import (
+    ChannelClosedError,
+    DeadlineExceededError,
+    HostOverloadedError,
+)
+
+__all__ = [
+    "EventLoopServer",
+    "TimerHandle",
+    "serve_one",
+    "shared_loop",
+    "loop_serving_enabled",
+    "serving_stats",
+]
+
+#: Admission rejects, module-cached so the reject path (which must stay
+#: cheap — that is its whole point) never takes the registry lock.
+_REJECTS = TELEMETRY.metrics.counter("host.rejects.total")
+_STALLS = TELEMETRY.metrics.counter("host.backpressure.stalls")
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
+
+def loop_serving_enabled() -> bool:
+    """False iff the ``REPRO_HOST_MODE=threads`` kill switch is set."""
+    return os.environ.get("REPRO_HOST_MODE", "").strip().lower() != "threads"
+
+
+def serve_one(channel, chan: int, handler, rid: int,
+              fields: dict[str, Any], payload: bytes,
+              deadline: Deadline, tc) -> bool:
+    """Serve one inbound request and send its reply.
+
+    The single serving body shared by the event loop's executors and
+    the legacy per-channel workers — extracting it is what makes the
+    ``dl``/``tc`` semantics of the two modes identical by construction.
+    Returns False when the peer is gone (callers stop serving the
+    channel).  A handler raising *any* exception — ``BaseException``
+    included — still produces an error reply first: a teardown-grade
+    failure (``SystemExit`` from a dying sentinel, say) must never
+    leave the peer's reply future unresolved.
+    """
+    op = str(fields.get("cmd") or fields.get("op") or "?")
+    span = collector = None
+    if tc is not None and isinstance(tc, (list, tuple)) and len(tc) == 2:
+        # This request is traced: serve it under a dispatch span
+        # parented on the sender's frame span, and (in sentinel
+        # children) capture everything it causes for the reply.
+        if TELEMETRY.piggyback:
+            collector = TELEMETRY.start_collect()
+        span = TELEMETRY.begin(f"dispatch.{op}", trace=str(tc[0]),
+                               parent=str(tc[1]), push=True)
+    if deadline.expired():
+        # The caller has already given up (and withdrawn the rid);
+        # answer with the typed expiry rather than doing work nobody
+        # is waiting for.
+        out_fields, out_payload = control.error_fields(
+            DeadlineExceededError(
+                f"{op!r}: deadline expired before execution")), b""
+    else:
+        remaining_ms = deadline.to_ms()
+        if remaining_ms is not None:
+            # Nested exchanges (e.g. a dispatcher's bridge calls)
+            # inherit what is left of the caller's budget.
+            fields["dl"] = remaining_ms
+        try:
+            out_fields, out_payload = handler(fields, payload)
+        except BaseException as exc:
+            out_fields, out_payload = control.error_fields(exc), b""
+    if span is not None:
+        TELEMETRY.finish(
+            span, status="ok" if out_fields.get("ok", True) else "error")
+        if collector is not None:
+            out_fields["tsp"] = TELEMETRY.end_collect(
+                collector, anchor_us=span.start_us)
+    channel.counters.request_served(op)
+    try:
+        channel._send_reply(rid, chan, out_fields, out_payload)
+    except (ChannelClosedError, OSError, ValueError):
+        return False  # peer is gone; nothing left to answer to
+    return True
+
+
+class TimerHandle:
+    """A cancellable one-shot timer on the scheduler wheel.
+
+    API-compatible with the ``threading.Timer`` objects the host pool's
+    idle reapers used to be, minus the thread per timer.
+    """
+
+    __slots__ = ("fn", "args", "cancelled")
+
+    def __init__(self, fn: Callable[..., Any], args: tuple) -> None:
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class _ChanState:
+    """One registered channel's serving state on the loop.
+
+    Implements the worker interface (:meth:`submit`/:meth:`stop`) so
+    :class:`~repro.core.channel.Channel` treats loop-served and
+    thread-served channels uniformly.
+    """
+
+    __slots__ = ("server", "channel", "chan", "handler", "name",
+                 "blocking", "governed", "fifo", "scheduled", "detached")
+
+    def __init__(self, server: "EventLoopServer", channel, chan: int,
+                 handler, name: str, blocking: bool,
+                 governed: bool) -> None:
+        self.server = server
+        self.channel = channel
+        self.chan = chan
+        self.handler = handler
+        self.name = name
+        self.blocking = blocking
+        self.governed = governed
+        self.fifo: deque = deque()
+        self.scheduled = False
+        self.detached = False
+
+    def submit(self, rid: int, fields: dict[str, Any],
+               payload: bytes) -> None:
+        self.server.submit(self, rid, fields, payload)
+
+    def stop(self) -> None:
+        # Detaching is O(1) and never joins: kill() may run from a
+        # handler currently executing on this very state.
+        self.server.detach(self)
+
+
+class EventLoopServer:
+    """One scheduler + K executors serving every channel of a process.
+
+    The scheduler thread owns the timer wheel and the round-robin ready
+    queue; executors pop exactly one request per scheduling grant, so
+    no channel can hold an executor across ops.  All threads are lazy:
+    a process that never serves a channel (a pure client) starts none.
+    """
+
+    def __init__(self, name: str = "af-loop", *,
+                 executors: int | None = None,
+                 max_inflight: int | None = None,
+                 queue_depth: int | None = None,
+                 intake_high: int | None = None,
+                 intake_low: int | None = None,
+                 publish_gauges: bool = False) -> None:
+        self.name = name
+        self.executors = executors if executors is not None else _env_int(
+            "REPRO_HOST_EXECUTORS", policy.HOST_EXECUTOR_THREADS)
+        self.max_inflight = max_inflight if max_inflight is not None \
+            else _env_int("REPRO_HOST_MAX_INFLIGHT", policy.HOST_MAX_INFLIGHT)
+        self.queue_depth = queue_depth if queue_depth is not None \
+            else _env_int("REPRO_HOST_QUEUE_DEPTH", policy.HOST_QUEUE_DEPTH)
+        self.intake_high = intake_high if intake_high is not None \
+            else min(policy.HOST_INTAKE_HIGH, self.max_inflight)
+        self.intake_low = intake_low if intake_low is not None \
+            else min(policy.HOST_INTAKE_LOW, max(0, self.intake_high - 1))
+        #: When True this server's gauges are published to the global
+        #: metrics registry at snapshot time (only the process's shared
+        #: loop does, so private test servers cannot clobber them).
+        self.publish_gauges = publish_gauges
+        self._cond = threading.Condition()
+        self._ready: deque[_ChanState] = deque()
+        self._timers: list[tuple[float, int, TimerHandle]] = []
+        self._timer_seq = itertools.count()
+        self._exec_q: SimpleQueue = SimpleQueue()
+        self._scheduler: threading.Thread | None = None
+        self._exec_threads: list[threading.Thread] = []
+        self._stopping = False
+        self._channels = 0   # attached states
+        self._queued = 0     # admitted requests waiting in a FIFO
+        self._inflight = 0   # admitted requests not yet replied to
+        self._rejects = 0
+        self._stalls = 0
+        TELEMETRY.register_collector("host", name, self,
+                                     EventLoopServer.stats)
+
+    # -- registration --------------------------------------------------------
+
+    def attach(self, channel, chan: int, handler, *, name: str,
+               blocking: bool = True, governed: bool = True) -> _ChanState:
+        """Serve *chan* of *channel* on this loop; returns the state.
+
+        ``blocking=False`` promises the handler never blocks (no I/O,
+        no nested exchanges): it then runs inline on the scheduler
+        thread, skipping the executor hop.  ``governed=False`` exempts
+        the channel from admission control (the control/bridge plane).
+        """
+        state = _ChanState(self, channel, int(chan), handler, name,
+                           blocking, governed)
+        self._ensure_scheduler()
+        with self._cond:
+            self._channels += 1
+        return state
+
+    def detach(self, state: _ChanState) -> None:
+        """Stop serving *state*: queued (unstarted) requests are dropped.
+
+        The requester's futures are not left hanging — a detach only
+        happens on unregister/kill, where the channel itself fails
+        every outstanding future.
+        """
+        with self._cond:
+            if state.detached:
+                return
+            state.detached = True
+            dropped = len(state.fifo)
+            state.fifo.clear()
+            self._queued -= dropped
+            self._inflight -= dropped
+            self._channels -= 1
+            self._cond.notify_all()
+
+    # -- submission (called on the reader thread) ----------------------------
+
+    def submit(self, state: _ChanState, rid: int, fields: dict[str, Any],
+               payload: bytes) -> None:
+        # Re-anchor the sender's remaining budget (``dl``, milliseconds)
+        # on the local monotonic clock at enqueue time; the queue wait
+        # counts against it.  The trace context (``tc``) rides the same
+        # way: popped here, re-parented at serve time.
+        deadline = Deadline.from_ms(fields.pop("dl", None))
+        tc = fields.pop("tc", None)
+        reject = None
+        with self._cond:
+            if state.detached or self._stopping:
+                return  # channel is tearing down; kill() fails the peer
+            if state.governed and (self._inflight >= self.max_inflight
+                                   or len(state.fifo) >= self.queue_depth):
+                reject = (f"host overloaded: {self._inflight} in flight "
+                          f"(max {self.max_inflight}), channel backlog "
+                          f"{len(state.fifo)}/{self.queue_depth}")
+                self._rejects += 1
+            else:
+                state.fifo.append((rid, fields, payload, deadline, tc))
+                self._queued += 1
+                self._inflight += 1
+                if not state.scheduled:
+                    state.scheduled = True
+                    self._ready.append(state)
+                    self._cond.notify_all()
+        if reject is not None:
+            # Fast-reject straight from the caller (reader) thread: an
+            # overloaded host sheds load without queueing it first.
+            # The reply may overtake queued siblings on the wire; rid
+            # matching makes that harmless.
+            _REJECTS.inc()
+            try:
+                state.channel._send_reply(
+                    rid, state.chan,
+                    control.error_fields(HostOverloadedError(reject)), b"")
+            except (ChannelClosedError, OSError, ValueError):
+                pass
+
+    def throttle(self, channel) -> None:
+        """Backpressure hook for the transport's reader thread.
+
+        Called after each dispatched frame; blocks while the admitted
+        backlog sits above the intake high-water mark, so the kernel
+        pipe (not this process's memory) absorbs a flood.  Never stalls
+        a connection with in-flight *outbound* requests: their replies
+        are resolved by this very reader thread, and stalling it would
+        deadlock any handler awaiting a bridge reply.
+        """
+        if self._queued < self.intake_high or channel.dead:
+            return
+        self._stalls += 1
+        _STALLS.inc()
+        with self._cond:
+            while (self._queued > self.intake_low
+                   and not channel.dead and not self._stopping
+                   and channel.counters.in_flight == 0):
+                self._cond.wait(policy.SCHED_TICK_S)
+
+    # -- timer wheel ---------------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable[..., Any],
+                   *args: Any) -> TimerHandle:
+        """Run ``fn(*args)`` after *delay* seconds; returns a handle.
+
+        One wheel replaces the thread-per-timer ``threading.Timer``
+        idiom; callbacks run on the executor pool (they may block —
+        the host pool's reaper waits on child exit) so a slow callback
+        never stalls the scheduler tick.
+        """
+        handle = TimerHandle(fn, args)
+        when = time.monotonic() + max(0.0, float(delay))
+        self._ensure_scheduler()
+        with self._cond:
+            heapq.heappush(self._timers, (when, next(self._timer_seq),
+                                          handle))
+            self._cond.notify_all()
+        return handle
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """The ``host.*`` gauge family (also the telemetry collector)."""
+        with self._cond:
+            out = {
+                "host.channels.active": self._channels,
+                "host.queue.depth": self._queued,
+                "host.inflight": self._inflight,
+                "host.rejects": self._rejects,
+                "host.backpressure.stalls": self._stalls,
+                "host.executors": len(self._exec_threads),
+                "host.timers": sum(1 for _, _, h in self._timers
+                                   if not h.cancelled),
+            }
+        if self.publish_gauges:
+            metrics = TELEMETRY.metrics
+            for key in ("host.channels.active", "host.queue.depth",
+                        "host.inflight"):
+                metrics.gauge(key).set(out[key])
+        return out
+
+    def shutdown(self) -> None:
+        """Stop the loop's threads (used by tests owning a private loop)."""
+        with self._cond:
+            self._stopping = True
+            started = len(self._exec_threads)
+            self._cond.notify_all()
+        for _ in range(started):
+            self._exec_q.put(None)
+
+    # -- internals -----------------------------------------------------------
+
+    def _ensure_scheduler(self) -> None:
+        with self._cond:
+            if self._scheduler is not None or self._stopping:
+                return
+            self._scheduler = threading.Thread(
+                target=self._scheduler_loop, name=f"{self.name}-sched",
+                daemon=True)
+            self._scheduler.start()
+
+    def _ensure_executors(self) -> None:
+        with self._cond:
+            if self._stopping:
+                return
+            while len(self._exec_threads) < self.executors:
+                thread = threading.Thread(
+                    target=self._executor_loop,
+                    name=f"{self.name}-exec{len(self._exec_threads)}",
+                    daemon=True)
+                self._exec_threads.append(thread)
+                thread.start()
+
+    def _scheduler_loop(self) -> None:
+        while True:
+            fire: TimerHandle | None = None
+            state: _ChanState | None = None
+            with self._cond:
+                if self._stopping:
+                    return
+                now = time.monotonic()
+                while self._timers:
+                    when, _, handle = self._timers[0]
+                    if handle.cancelled:
+                        heapq.heappop(self._timers)
+                        continue
+                    if when <= now:
+                        heapq.heappop(self._timers)
+                        fire = handle
+                    break
+                if fire is None:
+                    if self._ready:
+                        state = self._ready.popleft()
+                    else:
+                        timeout = None
+                        if self._timers:
+                            timeout = max(0.0, self._timers[0][0] - now)
+                        self._cond.wait(timeout)
+                        continue
+            if fire is not None:
+                # Timer callbacks may block; never run them on the tick.
+                self._ensure_executors()
+                self._exec_q.put(fire)
+                continue
+            # The fault plane's scheduler-tick injection point: delay
+            # stalls this grant, kill crashes the armed process — the
+            # loop-mode analogues of the worker-era injection sites.
+            self._sched_faults(state)
+            if state.blocking:
+                self._ensure_executors()
+                self._exec_q.put(state)
+            else:
+                self._run_one(state)
+
+    def _sched_faults(self, state: _ChanState) -> None:
+        plane = getattr(state.channel, "faults", None)
+        if plane is None:
+            return
+        with self._cond:
+            head = state.fifo[0] if state.fifo else None
+        op = str(head[1].get("cmd") or head[1].get("op") or "") \
+            if head is not None else ""
+        rule = plane.on_sched({"cmd": op})
+        if rule is None:
+            return
+        if rule.action == "delay":
+            time.sleep(rule.seconds)
+        elif rule.action == "kill":
+            kill = getattr(state.channel, "fault_kill", None)
+            if kill is not None:
+                kill()
+
+    def _executor_loop(self) -> None:
+        while True:
+            task = self._exec_q.get()
+            if task is None:
+                return
+            if isinstance(task, TimerHandle):
+                if not task.cancelled:
+                    try:
+                        task.fn(*task.args)
+                    except Exception:
+                        pass  # a timer callback must not kill the pool
+                continue
+            self._run_one(task)
+
+    def _run_one(self, state: _ChanState) -> None:
+        """Serve exactly one queued request of *state*, then requeue it.
+
+        Popping a single item per grant (and re-appending the state to
+        the ready *tail*) is the round-robin fairness property: a
+        channel with a deep backlog re-competes after every op.
+        """
+        with self._cond:
+            if not state.fifo or state.detached:
+                state.scheduled = False
+                return
+            item = state.fifo.popleft()
+            self._queued -= 1
+            if self._queued <= self.intake_low:
+                self._cond.notify_all()  # release a throttled reader
+        rid, fields, payload, deadline, tc = item
+        try:
+            serve_one(state.channel, state.chan, state.handler,
+                      rid, fields, payload, deadline, tc)
+        finally:
+            with self._cond:
+                self._inflight -= 1
+                if state.fifo and not state.detached:
+                    self._ready.append(state)
+                else:
+                    state.scheduled = False
+                self._cond.notify_all()
+
+
+_SHARED: EventLoopServer | None = None
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_loop() -> EventLoopServer:
+    """The process-wide loop server (created on first use).
+
+    Shared across every channel of the process — a thousand registered
+    channels still cost one scheduler and one executor pool, which is
+    the whole O(1)-threads claim.
+    """
+    global _SHARED
+    with _SHARED_LOCK:
+        if _SHARED is None:
+            _SHARED = EventLoopServer(publish_gauges=True)
+        return _SHARED
+
+
+def serving_stats(channel) -> dict[str, Any] | None:
+    """The ``host.*`` stats of the loop serving *channel* (None if
+    the channel is served by legacy worker threads)."""
+    server = getattr(channel, "serve_loop", None)
+    if server is None:
+        return None
+    return server.stats()

@@ -43,6 +43,13 @@ __all__ = [
     "REMOTE_OP_TIMEOUT",
     "HOST_LINGER_S",
     "JOURNAL_LIMIT_BYTES",
+    "SCHED_TICK_S",
+    "HOST_EXECUTOR_THREADS",
+    "HOST_MAX_INFLIGHT",
+    "HOST_QUEUE_DEPTH",
+    "HOST_INTAKE_HIGH",
+    "HOST_INTAKE_LOW",
+    "OVERLOAD_RETRY_S",
 ]
 
 # ---------------------------------------------------------------------------
@@ -86,6 +93,34 @@ HOST_LINGER_S = 0.5
 #: Write-journal size bound; a session whose mutation history exceeds
 #: this cannot be transparently respawned (see strategies/common.py).
 JOURNAL_LIMIT_BYTES = 4 * 1024 * 1024
+
+#: Granularity of the event-loop scheduler's bounded waits (throttled
+#: readers and fault-injection ticks re-check at this cadence).
+SCHED_TICK_S = 0.005
+
+#: Executor threads of one :class:`~repro.core.hostloop.EventLoopServer`
+#: (override per process with ``REPRO_HOST_EXECUTORS``).
+HOST_EXECUTOR_THREADS = 4
+
+#: Admission high-water mark: total admitted-but-unfinished operations
+#: one host serves before fast-rejecting session requests
+#: (``REPRO_HOST_MAX_INFLIGHT`` overrides).
+HOST_MAX_INFLIGHT = 1024
+
+#: Per-channel FIFO bound; a channel this far behind is fast-rejected
+#: rather than buffered deeper (``REPRO_HOST_QUEUE_DEPTH`` overrides).
+HOST_QUEUE_DEPTH = 128
+
+#: Reader backpressure: stop decoding frames past this admitted
+#: backlog ...
+HOST_INTAKE_HIGH = 768
+
+#: ... and resume once it drains below this (hysteresis, so the reader
+#: does not flap at the boundary).
+HOST_INTAKE_LOW = 256
+
+#: Session-layer backoff between retries of an admission-rejected op.
+OVERLOAD_RETRY_S = 0.02
 
 
 # ---------------------------------------------------------------------------

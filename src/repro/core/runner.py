@@ -45,7 +45,7 @@ from collections import deque
 from subprocess import PIPE, Popen
 from typing import Any
 
-from repro.core import control, policy
+from repro.core import control, hostloop, policy
 from repro.core.channel import (
     CONTROL_CHAN,
     FIRST_SESSION_CHAN,
@@ -108,8 +108,18 @@ class HostAgent:
             return self._open(str(fields.get("strategy", "")),
                               fields.get("shm")), b""
         if cmd == "ping":
-            return {"ok": True, "pid": os.getpid(),
-                    "sessions": len(self._sessions)}, b""
+            # A ping doubles as the host's introspection probe: thread
+            # count (the O(1)-threads acceptance gauge) and the event
+            # loop's ``host.*`` stats ride every pong.
+            reply: dict[str, Any] = {
+                "ok": True, "pid": os.getpid(),
+                "sessions": len(self._sessions),
+                "threads": threading.active_count(),
+            }
+            stats = hostloop.serving_stats(self.channel)
+            if stats is not None:
+                reply["host"] = stats
+            return reply, b""
         raise ProtocolError(f"unknown host command {cmd!r}")
 
     def _attach_shm(self, info: dict[str, Any]) -> bool:
@@ -154,7 +164,8 @@ class HostAgent:
             self._next_chan += 1
             self._sessions[chan] = dispatcher
         self.channel.register(chan, self._session_handler(chan, dispatcher),
-                              name=f"af-session-{chan}")
+                              name=f"af-session-{chan}",
+                              blocking=dispatcher_class.blocking)
         # "chan" itself is an envelope key, so the session id travels
         # under its own name.
         return {"ok": True, "session_chan": chan, "strategy": strategy,
@@ -522,7 +533,10 @@ class SentinelHostPool:
         self._lock = threading.RLock()
         self._hosts: dict[Any, SentinelHost] = {}
         self._refs: dict[Any, int] = {}
-        self._reapers: dict[Any, threading.Timer] = {}
+        #: key -> pending idle-reap timer on the shared scheduler wheel
+        #: (one wheel for every lingering lease — a timer no longer
+        #: costs a thread).
+        self._reapers: dict[Any, hostloop.TimerHandle] = {}
 
     @staticmethod
     def _key(container_path: str, network) -> tuple:
@@ -606,11 +620,8 @@ class SentinelHostPool:
                 self._refs[key] -= 1
                 shutdown_now = not host.alive and self._refs[key] <= 0
                 if self._refs[key] <= 0 and not shutdown_now:
-                    timer = threading.Timer(self.linger,
-                                            self._reap, args=(key, host))
-                    timer.daemon = True
-                    self._reapers[key] = timer
-                    timer.start()
+                    self._reapers[key] = hostloop.shared_loop().call_later(
+                        self.linger, self._reap, key, host)
                 if shutdown_now:
                     self._evict_locked(key)
         if shutdown_now:

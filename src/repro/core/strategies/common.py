@@ -23,6 +23,7 @@ from repro.errors import (
     ChannelClosedError,
     DeadlineExceededError,
     FlushError,
+    HostOverloadedError,
     SentinelCrashError,
     ShmError,
 )
@@ -192,6 +193,15 @@ class ChannelSession(Session):
                     raise_for_response(reply)
                     out_payload = self._shm_finish(
                         reply, reply_lease, into, out_payload)
+                except HostOverloadedError:
+                    # Admission fast-reject: the host never queued or
+                    # executed the op, so a retry is safe for *every*
+                    # command, not just the idempotent set.  Back off
+                    # briefly and re-submit within the deadline.
+                    status = "overloaded"
+                    deadline.check(f"{cmd!r} on an overloaded host")
+                    deadline.sleep(policy.OVERLOAD_RETRY_S)
+                    continue
                 except ShmError:
                     # The slot exchange was rejected (stale generation,
                     # corrupt bytes, unattached peer) — the command did

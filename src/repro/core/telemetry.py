@@ -611,6 +611,8 @@ class Telemetry:
         * ``network`` — :class:`~repro.net.network.NetworkStats` dicts;
         * ``faults`` — armed :class:`~repro.core.faults.FaultPlane`
           ``summary()`` dicts;
+        * ``host`` — :class:`~repro.core.hostloop.EventLoopServer`
+          ``stats()`` dicts (the ``host.*`` gauges);
         * ``close_errors`` — ``{"count", "last"}`` folded from every
           transport connection;
         * ``metrics`` — the :class:`MetricsRegistry` snapshot
@@ -622,7 +624,8 @@ class Telemetry:
                         for fam, entries in self._families.items()}
         out: dict[str, Any] = {}
         dead: list[tuple[str, str]] = []
-        for family in ("transport", "files", "cache", "network", "faults"):
+        for family in ("transport", "files", "cache", "network", "faults",
+                       "host"):
             rendered: dict[str, Any] = {}
             for key, (ref, fn) in families.get(family, {}).items():
                 owner = ref()
@@ -750,6 +753,7 @@ def render_snapshot(snap: dict[str, Any]) -> str:
     _render_section("cache", snap.get("cache", {}), lines)
     _render_section("network", snap.get("network", {}), lines)
     _render_section("faults", snap.get("faults", {}), lines)
+    _render_section("host", snap.get("host", {}), lines)
     close = snap.get("close_errors", {})
     lines.append(f"close errors: {close.get('count', 0)}"
                  + (f" (last: {close.get('last')})" if close.get("last")

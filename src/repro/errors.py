@@ -27,6 +27,7 @@ __all__ = [
     "FrameError",
     "ChannelClosedError",
     "DeadlineExceededError",
+    "HostOverloadedError",
     "ShmError",
     "ShmCorruptError",
     "ShmStaleGenerationError",
@@ -142,6 +143,17 @@ class DeadlineExceededError(ActiveFileError, TimeoutError):
 
     Subclasses :class:`TimeoutError` so callers guarding waits with the
     builtin still catch the typed form.
+    """
+
+
+class HostOverloadedError(ActiveFileError):
+    """The sentinel host fast-rejected an operation at admission.
+
+    Raised past the host's in-flight high-water mark (or a channel's
+    FIFO bound) *before* the operation is queued or executed — so a
+    retry is always safe, idempotent command or not.  The supervised
+    session layer backs off and retries within the deadline; raw
+    channel users see the typed error round-trip the wire.
     """
 
 

@@ -14,9 +14,24 @@ import time
 import pytest
 
 from repro.core import create_active, open_active
-from repro.errors import SentinelCrashError, SpecError
+from repro.errors import ChannelClosedError, SentinelCrashError, SpecError
 
 NULL = "repro.sentinels.null:NullFilterSentinel"
+
+
+class StallRead:
+    """Importable sentinel whose reads stall long enough to be mid-flight
+    when the host is torn down."""
+
+    def __new__(cls, params):
+        from repro.core.sentinel import Sentinel
+
+        class Impl(Sentinel):
+            def on_read(self, ctx, offset, size):
+                time.sleep(float(self.params.get("delay", 0.3)))
+                return ctx.data.read_at(offset, size)
+
+        return Impl(params)
 
 
 class NoisyCrash:
@@ -171,6 +186,63 @@ class TestChildCrash:
             assert stream.read(10) == b""  # EOF, not an error
 
 
+class TestShutdownOrdering:
+    """Teardown can never leave a pending reply future unresolved."""
+
+    def test_kill_mid_shutdown_leaves_no_hung_futures(self, tmp_path):
+        """Killing a host with a pipeline of mid-flight ops fails every
+        outstanding future promptly and drains the in-flight count."""
+        path = tmp_path / "stall.af"
+        create_active(path, f"{__name__}:StallRead",
+                      params={"delay": 0.5}, data=b"y" * 64,
+                      meta={"data": "memory", "supervise": False})
+        stream = open_active(str(path), "rb", strategy="process-control")
+        lease = stream.session._lease
+        pendings = [lease.request_async(
+            {"cmd": "read", "offset": 0, "size": 1}) for _ in range(8)]
+        stream.session.host.mark_crashed("test: killed mid-shutdown")
+        for pending in pendings:
+            with pytest.raises((SentinelCrashError, ChannelClosedError)):
+                pending.wait(5.0)
+        assert lease.channel.counters.snapshot()["in_flight"] == 0
+        with pytest.raises(SentinelCrashError):
+            stream.close()
+
+    def test_handler_raising_during_teardown_still_replies(self):
+        """A handler dying with a BaseException (a teardown-grade
+        failure like SystemExit) must still resolve the peer's future
+        with an error reply rather than leaving it hanging."""
+        from repro.core.channel import FIRST_SESSION_CHAN, LocalChannel
+
+        app, srv = LocalChannel.pair("teardown")
+
+        def dying_handler(fields, payload):
+            raise SystemExit("sentinel tearing down")
+
+        srv.register(FIRST_SESSION_CHAN, dying_handler)
+        pending = app.request_async(FIRST_SESSION_CHAN, {"cmd": "read"})
+        fields, _ = pending.wait(5.0)  # resolves; never hangs
+        assert fields["ok"] is False
+        assert fields["error_type"] == "SystemExit"
+        assert app.counters.snapshot()["in_flight"] == 0
+        app.close()
+
+    def test_handler_raising_during_teardown_threads_mode(self, monkeypatch):
+        """Same guarantee under the REPRO_HOST_MODE=threads fallback."""
+        from repro.core.channel import FIRST_SESSION_CHAN, LocalChannel
+
+        monkeypatch.setenv("REPRO_HOST_MODE", "threads")
+        app, srv = LocalChannel.pair("teardown-threads")
+        srv.register(FIRST_SESSION_CHAN,
+                     lambda f, p: (_ for _ in ()).throw(
+                         SystemExit("worker teardown")))
+        pending = app.request_async(FIRST_SESSION_CHAN, {"cmd": "read"})
+        fields, _ = pending.wait(5.0)
+        assert fields["ok"] is False
+        assert fields["error_type"] == "SystemExit"
+        app.close()
+
+
 class TestApplicationMisbehaviour:
     def test_close_without_reading_everything(self, tmp_path):
         """Abandoning a stream mid-read must not hang or error."""
@@ -190,13 +262,19 @@ class TestApplicationMisbehaviour:
     def test_many_sequential_opens_no_fd_leak(self, tmp_path):
         import os
 
+        from repro.core.runner import HOST_POOL
+
         path = tmp_path / "f.af"
         create_active(path, NULL, data=b"data")
         fd_dir = f"/proc/{os.getpid()}/fd"
+        # A lingering pooled host holds its pipes/shm by design; drain
+        # the pool at both sample points so only true leaks count.
+        HOST_POOL.shutdown_all()
         before = len(os.listdir(fd_dir))
         for _ in range(10):
             with open_active(str(path), "rb",
                              strategy="process-control") as stream:
                 stream.read(4)
+        HOST_POOL.shutdown_all()
         after = len(os.listdir(fd_dir))
         assert after <= before + 4  # allowance for pytest bookkeeping
