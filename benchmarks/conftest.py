@@ -48,11 +48,27 @@ BENCH_SHM_RESULT_KEYS = {
 
 
 #: Required per-section result keys of BENCH_swarm.json — the "heavy
-#: traffic" artifact of benchmarks/test_swarm.py.
+#: traffic" artifact of benchmarks/test_swarm.py.  The ``queue_wait_*``
+#: / ``service_*`` keys split end-to-end latency into time spent in the
+#: host's admission FIFO vs time actually executing (PR 7).
 BENCH_SWARM_RESULT_KEYS = {
     "mixed_swarm": ("channels", "ops", "elapsed_s", "ops_per_s",
                     "p50_us", "p95_us", "p99_us", "slo_p95_us",
-                    "host_threads", "rejects"),
+                    "host_threads", "rejects",
+                    "queue_wait_p50_us", "queue_wait_p95_us",
+                    "service_p50_us", "service_p95_us"),
+}
+
+#: Required per-section result keys of BENCH_adaptive.json — the
+#: adaptive plane-selection / ring-batching artifact of
+#: benchmarks/test_adaptive.py (PR 7).
+BENCH_ADAPTIVE_RESULT_KEYS = {
+    **{f"{leg}_{size}": ("size", "ops", "p50_us", "p95_us")
+       for leg in ("fixed", "adaptive", "adaptive_batch")
+       for size in (1024, 4096, 65536, 262144)},
+    **{f"stream_{leg}": ("ops", "elapsed_s", "ops_per_s")
+       for leg in ("fixed", "adaptive", "adaptive_batch")},
+    "stream_speedup": ("batched_vs_fixed",),
 }
 
 

@@ -15,6 +15,7 @@ import pathlib
 import pytest
 
 from benchmarks.conftest import (
+    BENCH_ADAPTIVE_RESULT_KEYS,
     BENCH_CACHE_RESULT_KEYS,
     BENCH_RECOVERY_RESULT_KEYS,
     BENCH_SHM_RESULT_KEYS,
@@ -51,6 +52,12 @@ def test_bench_shm_schema():
 def test_bench_swarm_schema():
     check_bench_schema(_load("BENCH_swarm.json"), BENCH_SWARM_RESULT_KEYS,
                        name="BENCH_swarm.json")
+
+
+def test_bench_adaptive_schema():
+    check_bench_schema(_load("BENCH_adaptive.json"),
+                       BENCH_ADAPTIVE_RESULT_KEYS,
+                       name="BENCH_adaptive.json")
 
 
 def test_schema_checker_rejects_dropped_key():

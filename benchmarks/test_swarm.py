@@ -130,6 +130,10 @@ def test_swarm_mixed_load(tmp_path):
         p95_us = _percentile(latencies, 0.95) * 1e6
         p99_us = _percentile(latencies, 0.99) * 1e6
         rejects = int(info.get("host", {}).get("host.rejects", 0))
+        # Where did the tail come from?  The host splits end-to-end
+        # latency into admission-FIFO wait vs handler execution (PR 7);
+        # at full swarm width the wait share is the honest queueing.
+        lat = info.get("lat", {})
 
         doc = {
             "block_size": BLOCK,
@@ -148,6 +152,14 @@ def test_swarm_mixed_load(tmp_path):
                     "slo_p95_us": SLO_P95_US,
                     "host_threads": int(info["threads"]),
                     "rejects": rejects,
+                    "queue_wait_p50_us": round(
+                        float(lat.get("queue_wait_p50_us", 0.0)), 1),
+                    "queue_wait_p95_us": round(
+                        float(lat.get("queue_wait_p95_us", 0.0)), 1),
+                    "service_p50_us": round(
+                        float(lat.get("service_p50_us", 0.0)), 1),
+                    "service_p95_us": round(
+                        float(lat.get("service_p95_us", 0.0)), 1),
                 },
             },
         }
@@ -158,7 +170,9 @@ def test_swarm_mixed_load(tmp_path):
         print(f"\nswarm: {SWARM_CHANNELS} channels x {OPS_PER_CHANNEL} ops "
               f"in {elapsed:.2f}s ({total_ops / elapsed:,.0f} op/s) "
               f"p50={p50_us:.0f}us p95={p95_us:.0f}us p99={p99_us:.0f}us "
-              f"host_threads={info['threads']} rejects={rejects}")
+              f"host_threads={info['threads']} rejects={rejects} "
+              f"qwait_p95={lat.get('queue_wait_p95_us', 0):.0f}us "
+              f"service_p95={lat.get('service_p95_us', 0):.0f}us")
 
         # The acceptance bar: the swarm was sustained (every channel
         # served every round), under SLO, on an O(1)-thread host.

@@ -162,6 +162,10 @@ class BlockCache:
         self._known_end: int | None = None
         #: block -> in-flight fetch covering it (single-flight registry).
         self._inflight: dict[int, _WindowFetch] = {}
+        #: Demand fetches issued ahead of their resolve by _fault_range
+        #: (pipelining, not prefetch): counted as misses, and a failure
+        #: surfaces to the faulting reader instead of being swallowed.
+        self._demand_issued: "set[_WindowFetch]" = set()
         #: Bumped by invalidate(); in-flight fetches from older
         #: generations must never install their bytes.
         self._generation = 0
@@ -420,6 +424,25 @@ class BlockCache:
         last = (offset + size - 1) // bs
         sequential = self._note_access(offset)
         self._seq_end = offset + size
+        # Issue every missing run of the range up-front, before
+        # resolving any of them: a range with several holes (blocks
+        # made resident by scattered writes between them) then has all
+        # its fetches in flight at once — over the batching transport
+        # they coalesce into one multi-op frame and one host wakeup
+        # instead of paying one synchronous round trip per hole.
+        end = self._effective_end()
+        for run_start, run_len in self._missing_runs(first, last):
+            run_end_byte = (run_start + run_len) * bs
+            if end is not None and (run_start * bs >= end
+                                    or run_end_byte > end):
+                # Leave end-straddling runs to the walk below, which
+                # re-checks the (possibly shrinking) origin end per
+                # block — pre-issuing past it would fetch dead bytes.
+                break
+            try:
+                self._demand_issued.add(self._issue(run_start, run_len))
+            except Exception:
+                break  # transport hiccup: the walk retries synchronously
         block = first
         while block <= last:
             end = self._effective_end()
@@ -432,6 +455,18 @@ class BlockCache:
                 continue
             pending = self._inflight.get(block)
             if pending is not None:
+                # A pre-issued demand fetch is still a miss (and its
+                # failure must surface here); only true read-ahead
+                # counts as prefetch.
+                demand = pending in self._demand_issued
+                if demand:
+                    self._demand_issued.discard(pending)
+                    self.misses += pending.nblocks
+                    self._resolve(pending, used=False)
+                    # Advance past the run, exactly like the demand
+                    # fetch below — these blocks are misses, not hits.
+                    block = pending.start + pending.nblocks
+                    continue
                 self._resolve(pending, used=True)
                 continue  # re-examine: installed, or now missing
             run = block
@@ -585,6 +620,7 @@ class BlockCache:
             if offset is None:
                 self._valid.clear()
                 self._inflight.clear()
+                self._demand_issued.clear()
                 self._known_end = None
                 self._prefetch_end = 0
                 return

@@ -1,0 +1,231 @@
+"""Online cost-model data-plane selection (adaptive shm/inline cutover).
+
+PR 5's shared-memory plane used one fixed rule — payloads at or above
+``SHM_MIN_BYTES`` ride the slab — but ``BENCH_shm.json`` shows the real
+crossover is workload- and machine-dependent: small synchronous ops are
+*slower* through shm (lease + copy + descriptor beats a pipe write only
+once the payload spans several pipe capacity units), and the break-even
+moves with CRC mode, pipe buffering, and host load.
+
+:class:`PlaneCostModel` replaces the constant with measurement.  One
+model lives on each :class:`~repro.core.runner.SentinelHost` and learns,
+per **op family** (read-like / write-like) and per **log2 size bucket**,
+an EWMA of the measured wall-clock cost of each data plane:
+
+* ``inline``  — payload on the pipe, JSON headers;
+* ``binhdr``  — payload on the pipe, struct-packed hot-op headers
+  (the inline variant actually in effect when binary headers are on);
+* ``shm``     — payload through the host's shared-memory slab.
+
+Selection picks the cheaper plane once both sides of a bucket are warm
+(:data:`MIN_SAMPLES` observations each); until then the static
+threshold — :data:`repro.core.shm.SHM_MIN_BYTES`, operator-tunable via
+``REPRO_SHM_MIN`` — decides.  A deterministic exploration tick (every
+:data:`EXPLORE_EVERY`-th decision per family/bucket, phase-offset by the
+model's seed) routes one op to the *non*-preferred plane, so both cost
+estimates keep fresh samples and the model can notice the crossover
+moving.  ``REPRO_NO_ADAPTIVE=1`` pins selection to the static threshold.
+
+Observability: the model is a telemetry collector (family ``plane`` in
+:meth:`Telemetry.snapshot`, rendered by ``afctl stats``), publishes the
+global ``plane.selected.{inline,binhdr,shm}`` counters and the live
+``plane.crossover_bytes`` gauge, and its :meth:`stats` dict is folded
+into ``ActiveFile.cache_stats()``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+
+from repro.core import control
+from repro.core import shm as shmplane
+from repro.core.telemetry import TELEMETRY
+
+__all__ = ["PlaneCostModel", "inline_plane", "adaptive_enabled",
+           "PLANES", "FAMILIES", "MIN_SAMPLES", "EXPLORE_EVERY"]
+
+#: Environment kill-switch: set ``REPRO_NO_ADAPTIVE=1`` to pin plane
+#: selection to the static ``SHM_MIN_BYTES`` threshold (read per
+#: decision, so tests can flip it with ``monkeypatch``).
+ENV_KILL_SWITCH = "REPRO_NO_ADAPTIVE"
+
+#: The data planes whose cost is tracked.
+PLANES = ("inline", "binhdr", "shm")
+
+#: Op families: reads and writes cross the transport asymmetrically
+#: (a read's bulk rides the reply, a write's the request), so their
+#: crossover points differ and are modelled independently.
+FAMILIES = ("read", "write")
+
+_FAMILY_OF = {"read": "read", "readv": "read",
+              "write": "write", "writev": "write"}
+
+#: Observations of *each* competing plane a bucket needs before the
+#: model trusts its EWMAs over the static threshold.
+MIN_SAMPLES = 3
+
+#: One decision in this many (per family/bucket) goes to the
+#: non-preferred plane, keeping the losing plane's cost estimate fresh.
+EXPLORE_EVERY = 16
+
+#: EWMA smoothing factor: ~the last dozen ops dominate the estimate.
+ALPHA = 0.25
+
+#: Log2 size buckets: index 0 holds payloads up to 512 B, each next
+#: bucket doubles, the last is an overflow (>= 2 MiB).
+N_BUCKETS = 14
+
+# Global selection counters, module-cached so the per-op path never
+# takes the metrics-registry lock.
+_SELECTED = {plane: TELEMETRY.metrics.counter(f"plane.selected.{plane}")
+             for plane in PLANES}
+_EXPLORED = TELEMETRY.metrics.counter("plane.explore")
+_CROSSOVER = TELEMETRY.metrics.gauge("plane.crossover_bytes")
+
+
+def adaptive_enabled() -> bool:
+    """Whether cost-model selection is allowed at all."""
+    return not os.environ.get(ENV_KILL_SWITCH)
+
+
+def inline_plane() -> str:
+    """The inline variant currently in effect (``binhdr`` or ``inline``)."""
+    if control.BINARY_HEADERS and not os.environ.get("REPRO_NO_BINHDR"):
+        return "binhdr"
+    return "inline"
+
+
+def _bucket(nbytes: int) -> int:
+    """Log2 bucket index of a payload size (0 covers 0..512 B)."""
+    if nbytes <= 512:
+        return 0
+    return min(N_BUCKETS - 1, (int(nbytes) - 1).bit_length() - 9)
+
+
+def _bucket_floor(index: int) -> int:
+    """Smallest payload size landing in bucket *index*."""
+    if index <= 0:
+        return 0
+    return (1 << (8 + index)) + 1
+
+
+class PlaneCostModel:
+    """Per-host EWMA cost model choosing shm vs inline per operation.
+
+    Thread-safe; every method is O(1).  The *seed* only offsets the
+    deterministic exploration phase, so two models with different seeds
+    explore on different ticks while each remains reproducible.
+    """
+
+    def __init__(self, *, static_min: int | None = None,
+                 alpha: float = ALPHA, explore_every: int = EXPLORE_EVERY,
+                 min_samples: int = MIN_SAMPLES, seed: int = 0) -> None:
+        self.static_min = int(static_min) if static_min is not None \
+            else shmplane.SHM_MIN_BYTES
+        self.alpha = float(alpha)
+        self.explore_every = max(2, int(explore_every))
+        self.min_samples = max(1, int(min_samples))
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        #: (family, plane, bucket) -> EWMA of measured latency (seconds).
+        self._cost: dict[tuple[str, str, int], float] = {}
+        #: (family, plane, bucket) -> observation count.
+        self._samples: dict[tuple[str, str, int], int] = {}
+        #: (family, bucket) -> decision count (drives exploration).
+        self._decisions: dict[tuple[str, int], int] = {}
+        self._selected = dict.fromkeys(PLANES, 0)
+        self._explored = 0
+
+    # -- selection -----------------------------------------------------------
+
+    def use_shm(self, cmd: str, nbytes: int) -> bool:
+        """Should *cmd* moving *nbytes* ride the shared-memory plane?
+
+        Falls back to the static ``SHM_MIN_BYTES`` threshold while the
+        op's bucket is cold or when ``REPRO_NO_ADAPTIVE`` is set.
+        """
+        if nbytes <= 0:
+            return False
+        if not adaptive_enabled():
+            return nbytes >= self.static_min
+        family = _FAMILY_OF.get(cmd, "read")
+        bucket = _bucket(nbytes)
+        inline = inline_plane()
+        with self._lock:
+            key = (family, bucket)
+            count = self._decisions.get(key, 0) + 1
+            self._decisions[key] = count
+            shm_cost = self._cost.get((family, "shm", bucket))
+            inline_cost = self._cost.get((family, inline, bucket))
+            warm = (self._samples.get((family, "shm", bucket), 0)
+                    >= self.min_samples
+                    and self._samples.get((family, inline, bucket), 0)
+                    >= self.min_samples)
+            if warm:
+                prefer = shm_cost < inline_cost
+            else:
+                prefer = nbytes >= self.static_min
+            if (count + self.seed) % self.explore_every == 0:
+                # Deterministic exploration: the losing plane gets one
+                # fresh sample so its estimate cannot fossilize.
+                self._explored += 1
+                _EXPLORED.inc()
+                return not prefer
+            return prefer
+
+    def record(self, cmd: str, nbytes: int, plane: str,
+               elapsed: float) -> None:
+        """Feed one successful op's measured round-trip cost."""
+        if plane not in _SELECTED or nbytes < 0 or elapsed < 0:
+            return
+        family = _FAMILY_OF.get(cmd, "read")
+        key = (family, plane, _bucket(nbytes))
+        with self._lock:
+            previous = self._cost.get(key)
+            self._cost[key] = elapsed if previous is None \
+                else previous + self.alpha * (elapsed - previous)
+            self._samples[key] = self._samples.get(key, 0) + 1
+            self._selected[plane] += 1
+        _SELECTED[plane].inc()
+
+    # -- introspection -------------------------------------------------------
+
+    def crossover(self, family: str) -> int:
+        """Smallest payload size at which *family* prefers shm.
+
+        The floor of the first warm bucket where the shm EWMA beats the
+        inline EWMA; the static threshold while the model is cold (or
+        when shm never wins).
+        """
+        inline = inline_plane()
+        with self._lock:
+            for bucket in range(N_BUCKETS):
+                shm_key = (family, "shm", bucket)
+                inline_key = (family, inline, bucket)
+                if (self._samples.get(shm_key, 0) >= self.min_samples
+                        and self._samples.get(inline_key, 0)
+                        >= self.min_samples
+                        and self._cost[shm_key] < self._cost[inline_key]):
+                    return max(1, _bucket_floor(bucket))
+        return self.static_min
+
+    def stats(self) -> dict[str, Any]:
+        """The ``plane.*`` counter family (also the telemetry collector)."""
+        crossovers = {family: self.crossover(family) for family in FAMILIES}
+        effective = min(crossovers.values())
+        _CROSSOVER.set(effective)
+        with self._lock:
+            out: dict[str, Any] = {
+                f"plane.selected.{plane}": self._selected[plane]
+                for plane in PLANES
+            }
+            out["plane.explore"] = self._explored
+            out["plane.samples"] = sum(self._samples.values())
+        out["plane.adaptive"] = int(adaptive_enabled())
+        out["plane.static_min_bytes"] = self.static_min
+        out["plane.crossover_bytes"] = effective
+        for family, value in crossovers.items():
+            out[f"plane.crossover.{family}"] = value
+        return out

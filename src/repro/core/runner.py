@@ -57,6 +57,7 @@ from repro.core.dispatch import SentinelDispatcher, StreamDispatcher
 from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
 from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
+from repro.core.planesel import PlaneCostModel
 from repro.core.shm import AttachedSegment, ShmPlane, shm_enabled
 from repro.core.strategies.common import make_data_part
 from repro.core.telemetry import TELEMETRY
@@ -119,6 +120,10 @@ class HostAgent:
             stats = hostloop.serving_stats(self.channel)
             if stats is not None:
                 reply["host"] = stats
+            # Queue-wait vs service-time split of everything this host
+            # has served — the latency attribution BENCH_swarm.json
+            # reports (waiting and working are different problems).
+            reply["lat"] = hostloop.latency_split_stats()
             return reply, b""
         raise ProtocolError(f"unknown host command {cmd!r}")
 
@@ -312,6 +317,13 @@ class SentinelHost:
                 self.shm = ShmPlane()
             except Exception:
                 self.shm = None
+        # Adaptive data-plane selection: one cost model per host learns
+        # the measured shm-vs-inline crossover for this connection's
+        # workload (sessions consult it in _shm_stage, feed it per op).
+        self.plane_model = PlaneCostModel()
+        TELEMETRY.register_collector(
+            "plane", f"host:{os.path.basename(self.container_path)}",
+            self.plane_model, PlaneCostModel.stats)
         self.proc = Popen(argv, stdin=PIPE, stdout=PIPE, stderr=PIPE,
                           bufsize=0, env=env)
         self.channel = StreamChannel(

@@ -63,10 +63,38 @@ __all__ = [
     "SEGMENT_SLOTS",
 ]
 
+#: Default static shm cutover when ``REPRO_SHM_MIN`` is unset.
+DEFAULT_SHM_MIN_BYTES = 32 * 1024
+
+#: Operator override of the static shm cutover (positive integer bytes).
+ENV_SHM_MIN = "REPRO_SHM_MIN"
+
+
+def _env_min_bytes() -> int:
+    """The static shm cutover, honouring ``REPRO_SHM_MIN``.
+
+    Invalid values (non-integer, zero, negative) fall back to the
+    default rather than failing import: a bad tuning knob must not make
+    every host unspawnable.
+    """
+    raw = os.environ.get(ENV_SHM_MIN)
+    if not raw:
+        return DEFAULT_SHM_MIN_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_SHM_MIN_BYTES
+    return value if value > 0 else DEFAULT_SHM_MIN_BYTES
+
+
 #: Payloads below this ride inline on the frame: the fixed cost of a
 #: lease + descriptor + checksum only pays for itself once the payload
 #: would otherwise cross the pipe in several 64 KiB capacity units.
-SHM_MIN_BYTES = 32 * 1024
+#: This static threshold is the cold-start/fallback rule — the adaptive
+#: cost model (:mod:`repro.core.planesel`) overrides it once warm — and
+#: is operator-tunable via ``REPRO_SHM_MIN`` (validated positive int,
+#: read at import).
+SHM_MIN_BYTES = _env_min_bytes()
 
 #: Slot granularity.  One slot holds the common large block; bigger
 #: payloads lease a contiguous run of slots.

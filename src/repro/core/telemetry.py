@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import math
 import os
 import threading
 import time
@@ -276,6 +277,27 @@ class Histogram:
             self._counts = [0] * (len(HISTOGRAM_BOUNDS) + 1)
             self.count = 0
             self.total = 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate the *q*-quantile (``0 < q <= 1``) in seconds.
+
+        Resolution is one log-scale bucket: the returned value is the
+        upper bound of the bucket holding the q-th observation (the
+        last finite bound for overflow observations), 0.0 when empty.
+        """
+        with self._lock:
+            count = self.count
+            counts = list(self._counts)
+        if count <= 0:
+            return 0.0
+        rank = max(1, math.ceil(min(max(q, 0.0), 1.0) * count))
+        seen = 0
+        for index, tally in enumerate(counts):
+            seen += tally
+            if seen >= rank:
+                return HISTOGRAM_BOUNDS[min(index,
+                                            len(HISTOGRAM_BOUNDS) - 1)]
+        return HISTOGRAM_BOUNDS[-1]
 
     def snap(self) -> dict[str, Any]:
         with self._lock:
@@ -613,6 +635,9 @@ class Telemetry:
           ``summary()`` dicts;
         * ``host`` — :class:`~repro.core.hostloop.EventLoopServer`
           ``stats()`` dicts (the ``host.*`` gauges);
+        * ``plane`` — :class:`~repro.core.planesel.PlaneCostModel`
+          ``stats()`` dicts (``plane.selected.*``,
+          ``plane.crossover_bytes``);
         * ``close_errors`` — ``{"count", "last"}`` folded from every
           transport connection;
         * ``metrics`` — the :class:`MetricsRegistry` snapshot
@@ -625,7 +650,7 @@ class Telemetry:
         out: dict[str, Any] = {}
         dead: list[tuple[str, str]] = []
         for family in ("transport", "files", "cache", "network", "faults",
-                       "host"):
+                       "host", "plane"):
             rendered: dict[str, Any] = {}
             for key, (ref, fn) in families.get(family, {}).items():
                 owner = ref()
@@ -754,6 +779,7 @@ def render_snapshot(snap: dict[str, Any]) -> str:
     _render_section("network", snap.get("network", {}), lines)
     _render_section("faults", snap.get("faults", {}), lines)
     _render_section("host", snap.get("host", {}), lines)
+    _render_section("plane", snap.get("plane", {}), lines)
     close = snap.get("close_errors", {})
     lines.append(f"close errors: {close.get('count', 0)}"
                  + (f" (last: {close.get('last')})" if close.get("last")
