@@ -14,6 +14,7 @@ Subcommands::
     afctl figure6 [...]               run the Figure 6 harness
     afctl stats <path>                sample workload + telemetry snapshot
     afctl trace <path> -- <op> [...]  run one op traced; print its timeline
+    afctl chaos run|dry-run|lint <scenario.yaml>   declarative chaos engine
 
 Network-backed sentinels need in-process services and are therefore
 exercised from Python (see ``examples/``); the CLI covers local and
@@ -235,6 +236,52 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run, dry-run, or lint a declarative chaos scenario file.
+
+    ``run`` executes the scenario (workload + seeded injections) and
+    exits 0/1 on pass/fail; ``dry-run`` lints and prints the resolved
+    timeline without building a workload or performing any injection;
+    ``lint`` just validates.  The CLI never relaxes the safety rails:
+    unbounded destructive rules are a lint failure here, always.
+    """
+    from repro.core.scenario import (
+        ScenarioRunner,
+        lint_scenario,
+        load_scenario_file,
+        render_report,
+    )
+
+    scenario = load_scenario_file(args.scenario)
+    if args.verb == "lint":
+        problems = lint_scenario(scenario)
+        if args.json:
+            print(json.dumps({"scenario": scenario.name,
+                              "problems": problems,
+                              "ok": not problems}, sort_keys=True))
+        elif problems:
+            for problem in problems:
+                print(f"afctl chaos lint: {problem}", file=sys.stderr)
+        else:
+            print(f"scenario {scenario.name}: ok "
+                  f"({len(scenario.timeline)} injections, "
+                  f"{len(scenario.invariants)} invariants)")
+        return 1 if problems else 0
+
+    runner = ScenarioRunner(scenario, seed=args.seed,
+                            dry_run=args.verb == "dry-run")
+    report = runner.run()
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, default=str)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, sort_keys=True, default=str))
+    else:
+        print(render_report(report))
+    return 0 if report["passed"] else 1
+
+
 def cmd_figure6(args) -> int:
     from repro.afsim.figure6 import main as figure6_main
 
@@ -339,6 +386,25 @@ def build_parser() -> argparse.ArgumentParser:
                          help="after --: cat [limit] | read [offset size] | "
                               "write [text...] | size")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run declarative chaos scenarios with safety rails")
+    chaos_sub = p_chaos.add_subparsers(dest="verb", required=True)
+    for verb, blurb in (("run", "execute the scenario; exit 0/1 on "
+                                "pass/fail"),
+                        ("dry-run", "resolve and print the timeline "
+                                    "without injecting anything"),
+                        ("lint", "validate the scenario file")):
+        p_verb = chaos_sub.add_parser(verb, help=blurb)
+        p_verb.add_argument("scenario", help="scenario file (.yaml or .json)")
+        p_verb.add_argument("--json", action="store_true",
+                            help="emit the structured report as JSON")
+        if verb != "lint":
+            p_verb.add_argument("--seed", type=int, default=None,
+                                help="override the scenario's seed")
+            p_verb.add_argument("--report", metavar="FILE",
+                                help="also write the JSON report to FILE")
+        p_verb.set_defaults(fn=cmd_chaos, verb=verb)
 
     p_fig = sub.add_parser("figure6", help="run the Figure 6 harness")
     p_fig.add_argument("--panel", choices=("a", "b", "c", "all"),

@@ -15,6 +15,7 @@ regardless of strategy:
 from __future__ import annotations
 
 from repro.core.container import Container
+from repro.core.resourcefaults import charge_disk_write
 from repro.core.sync import FileLock
 from repro.util.bytesbuf import ByteBuffer
 
@@ -139,8 +140,14 @@ class ContainerDataPart(DataPart):
     def flush(self) -> None:
         if not self._dirty:
             return
+        data = self._buffer.getvalue()
+        # The disk-full chaos hook: an armed quota (resourcefaults's
+        # ``disk-full`` fault) raises typed ENOSPC *before* any bytes
+        # hit the disk — the buffer stays dirty, so a retry after the
+        # fault reverts persists everything, like a real full disk.
+        charge_disk_write(len(data))
         with self._lock:
-            self._container.write_data(self._buffer.getvalue())
+            self._container.write_data(data)
         self._dirty = False
 
     def close(self) -> None:

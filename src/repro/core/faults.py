@@ -46,6 +46,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core.telemetry import TELEMETRY
+
 __all__ = ["FaultPlane", "FaultRule"]
 
 #: Actions whose firing the send path must handle.
@@ -114,7 +116,6 @@ class FaultPlane:
         self.fired: list[FaultEvent] = []
         # Re-home the fired-action histogram under telemetry.snapshot()
         # (weakly — the entry disappears with this plane).
-        from repro.core.telemetry import TELEMETRY
         TELEMETRY.register_collector("faults", f"plane-seed-{seed}", self,
                                      FaultPlane.summary)
 
@@ -327,6 +328,11 @@ class FaultPlane:
                     detail["address"] = address
                 self.fired.append(FaultEvent(point=point, action=rule.action,
                                              op=op, detail=detail))
+                # Every firing leaves a durable counter behind — planes
+                # are per-test objects, but faults.injected.* survives
+                # them, so `afctl stats` shows chaos the process saw.
+                TELEMETRY.metrics.counter(
+                    f"faults.injected.{point}.{rule.action}").inc()
                 return rule
         return None
 

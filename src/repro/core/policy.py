@@ -50,6 +50,12 @@ __all__ = [
     "HOST_INTAKE_HIGH",
     "HOST_INTAKE_LOW",
     "OVERLOAD_RETRY_S",
+    "CHAOS_MAX_FAULT_S",
+    "CHAOS_MAX_TOTAL_INJECTION_S",
+    "CHAOS_OP_TIMEOUT",
+    "CHAOS_RETRY_S",
+    "CHAOS_RECOVERS_DEFAULT_S",
+    "CHAOS_WORKLOAD_TIMEOUT",
 ]
 
 # ---------------------------------------------------------------------------
@@ -121,6 +127,34 @@ HOST_INTAKE_LOW = 256
 
 #: Session-layer backoff between retries of an admission-rejected op.
 OVERLOAD_RETRY_S = 0.02
+
+#: Hard wall-clock bound on any single resource fault: a resource
+#: injection (cpu-hog, memory-pressure, fd-exhaustion, disk-full) whose
+#: requested duration exceeds this is clamped, and every fault carries
+#: its own in-host watchdog so it reverts by this bound even if the
+#: injecting process died mid-injection.
+CHAOS_MAX_FAULT_S = 30.0
+
+#: Blast-radius cap on one scenario's *total* scheduled injection
+#: duration (the sum of every timed fault's ``seconds``); the linter
+#: refuses scenarios over this.
+CHAOS_MAX_TOTAL_INJECTION_S = 120.0
+
+#: Budget for one ``chaos`` control-op exchange with a sentinel host.
+CHAOS_OP_TIMEOUT = 10.0
+
+#: Workload-side backoff between retries of an operation refused by an
+#: active resource fault (e.g. an ENOSPC flush under ``disk-full``).
+CHAOS_RETRY_S = 0.05
+
+#: Default bound for the ``recovers-within`` scenario invariant when a
+#: scenario names the invariant without a value.
+CHAOS_RECOVERS_DEFAULT_S = 30.0
+
+#: Overall budget for one scenario workload; a workload still running
+#: past this is declared hung (the runner fails the scenario rather
+#: than waiting forever).
+CHAOS_WORKLOAD_TIMEOUT = 120.0
 
 
 # ---------------------------------------------------------------------------

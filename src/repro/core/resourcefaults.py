@@ -1,0 +1,366 @@
+"""Resource-exhaustion faults for live sentinel hosts.
+
+:mod:`repro.core.faults` makes *transport* failures schedulable; this
+module adds the other half of production chaos — **resource** failures
+inside the sentinel host process itself:
+
+======================= ====================================================
+action                  effect inside the host
+======================= ====================================================
+``cpu-hog``             spin ``threads`` busy threads for ``seconds``
+``memory-pressure``     allocate and hold ``bytes`` of heap for ``seconds``
+``fd-exhaustion``       consume up to ``count`` descriptors for ``seconds``,
+                        always leaving :data:`FD_RESERVE` descriptors free
+``disk-full``           charge container data-part flushes against a
+                        ``bytes`` quota; an exhausted quota raises a typed
+                        :class:`~repro.errors.DiskFullError` (``ENOSPC``)
+======================= ====================================================
+
+Faults are delivered to a live host via the ``chaos`` control op on
+channel 0 (:class:`~repro.core.runner.HostAgent`) and executed here by
+the process-global :data:`CONTROLLER`.
+
+**Safety rails are structural, not advisory.**  Every fault is clamped
+to :data:`~repro.core.policy.CHAOS_MAX_FAULT_S` and carries its own
+in-process watchdog thread, so it reverts within its bound even if the
+injecting scenario runner was killed mid-injection.  ``fd-exhaustion``
+never consumes past the process's soft descriptor limit minus
+:data:`FD_RESERVE`.  ``memory-pressure`` is capped at
+:data:`MEMORY_PRESSURE_CAP`.  :func:`guarded_kill` is the only signal
+path the scenario runner owns, and it refuses any pid that is not a
+live :class:`~repro.core.runner.SentinelHost` child.
+
+Every injection increments ``faults.injected.resource.<action>`` in the
+telemetry registry, mirroring the ``faults.injected.<point>.<action>``
+counters the transport fault plane records — a firing that leaves no
+counter behind did not happen.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from typing import Any
+
+from repro.core import policy
+from repro.core.telemetry import TELEMETRY
+from repro.errors import ChaosError, ChaosSafetyError, DiskFullError
+
+__all__ = [
+    "RESOURCE_ACTIONS",
+    "ResourceFaultController",
+    "CONTROLLER",
+    "charge_disk_write",
+    "guarded_kill",
+    "assert_sentinel_pid",
+    "FD_RESERVE",
+    "MEMORY_PRESSURE_CAP",
+    "CPU_HOG_MAX_THREADS",
+]
+
+#: The resource fault actions a host's ``chaos`` control op accepts.
+RESOURCE_ACTIONS = ("cpu-hog", "memory-pressure", "fd-exhaustion",
+                    "disk-full")
+
+#: Descriptors ``fd-exhaustion`` always leaves free below the soft
+#: RLIMIT_NOFILE, so the host keeps serving (pipes, containers, shm)
+#: while starved.
+FD_RESERVE = 64
+
+#: Hard cap on one ``memory-pressure`` allocation (bytes).
+MEMORY_PRESSURE_CAP = 256 * 1024 * 1024
+
+#: Hard cap on ``cpu-hog`` spinner threads.
+CPU_HOG_MAX_THREADS = 8
+
+
+def _counter(action: str):
+    return TELEMETRY.metrics.counter(f"faults.injected.resource.{action}")
+
+
+class _ActiveFault:
+    """One live resource fault: identity, bound, and its revert hook."""
+
+    __slots__ = ("fault_id", "action", "params", "started", "until",
+                 "_revert", "_lock", "reverted")
+
+    def __init__(self, fault_id: int, action: str, params: dict[str, Any],
+                 until: float, revert) -> None:
+        self.fault_id = fault_id
+        self.action = action
+        self.params = params
+        self.started = time.monotonic()
+        self.until = until
+        self._revert = revert
+        self._lock = threading.Lock()
+        self.reverted = False
+
+    def revert(self) -> bool:
+        """Undo the fault exactly once; True if this call did the undo."""
+        with self._lock:
+            if self.reverted:
+                return False
+            self.reverted = True
+        self._revert()
+        return True
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "fault_id": self.fault_id,
+            "action": self.action,
+            "params": dict(self.params),
+            "remaining_s": max(0.0, self.until - time.monotonic()),
+        }
+
+
+class ResourceFaultController:
+    """Execute bounded resource faults inside this process.
+
+    One controller per process (:data:`CONTROLLER`); sentinel hosts
+    route their ``chaos`` control ops here.  Tests may instantiate
+    private controllers — faults are tracked per instance, except the
+    disk-full quota, which is process-global by design (the data-part
+    flush hook must stay a module function).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._active: dict[int, _ActiveFault] = {}
+        self._seq = 0
+
+    # -- injection -----------------------------------------------------------
+
+    def inject(self, action: str, params: dict[str, Any] | None = None
+               ) -> dict[str, Any]:
+        """Apply *action* with *params*; returns the (clamped) receipt.
+
+        The receipt carries ``fault_id`` (for early revert), the applied
+        ``seconds`` after clamping, and action-specific fields.  Raises
+        :class:`ChaosError` for unknown actions and
+        :class:`ChaosSafetyError` when a guard refuses the request.
+        """
+        params = dict(params or {})
+        if action not in RESOURCE_ACTIONS:
+            raise ChaosError(f"unknown resource fault {action!r} "
+                             f"(expected one of {RESOURCE_ACTIONS})")
+        seconds = float(params.get("seconds", 1.0))
+        if seconds <= 0:
+            raise ChaosSafetyError(
+                f"{action}: seconds must be positive, got {seconds}")
+        seconds = min(seconds, policy.CHAOS_MAX_FAULT_S)
+        params["seconds"] = seconds
+        with self._lock:
+            self._seq += 1
+            fault_id = self._seq
+        if action == "cpu-hog":
+            extra, revert, arm = self._cpu_hog(params)
+        elif action == "memory-pressure":
+            extra, revert, arm = self._memory_pressure(params)
+        elif action == "fd-exhaustion":
+            extra, revert, arm = self._fd_exhaustion(params)
+        else:  # disk-full
+            extra, revert, arm = self._disk_full(params)
+        # The clock starts when the fault is *applied* — a slow apply
+        # (a big allocation on a loaded box) must not eat the duration,
+        # or the fault could be reverted before it ever existed.
+        until = time.monotonic() + seconds
+        arm(until)
+        fault = _ActiveFault(fault_id, action, params, until, revert)
+        with self._lock:
+            self._active[fault_id] = fault
+        self._watchdog(fault)
+        _counter(action).inc()
+        return {"fault_id": fault_id, "action": action,
+                "seconds": seconds, **extra}
+
+    def _watchdog(self, fault: _ActiveFault) -> None:
+        """The automatic-revert guarantee: one daemon timer per fault.
+
+        Runs in *this* process, so the fault reverts at its bound even
+        when the injecting peer (the scenario runner, an operator's
+        afctl) died mid-injection and never sends the revert op.
+        """
+        def expire() -> None:
+            delay = fault.until - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            fault.revert()
+            with self._lock:
+                self._active.pop(fault.fault_id, None)
+
+        threading.Thread(target=expire, name=f"af-chaos-{fault.fault_id}",
+                         daemon=True).start()
+
+    # -- the four fault bodies -----------------------------------------------
+
+    def _cpu_hog(self, params: dict[str, Any]):
+        threads = max(1, min(int(params.get("threads", 2)),
+                             CPU_HOG_MAX_THREADS))
+        stop = threading.Event()
+        deadline = [float("inf")]  # armed once the clock starts
+
+        def spin() -> None:
+            x = 0
+            while not stop.is_set() and time.monotonic() < deadline[0]:
+                # Pure arithmetic: burns the GIL-holding slices the host's
+                # executors compete for, which is exactly the contention
+                # being modelled.
+                x = (x * 1103515245 + 12345) & 0x7FFFFFFF
+
+        for i in range(threads):
+            threading.Thread(target=spin, name=f"af-cpu-hog-{i}",
+                             daemon=True).start()
+        return ({"threads": threads}, stop.set,
+                lambda until: deadline.__setitem__(0, until))
+
+    def _memory_pressure(self, params: dict[str, Any]):
+        nbytes = max(1, min(int(params.get("bytes", 64 * 1024 * 1024)),
+                            MEMORY_PRESSURE_CAP))
+        holder: dict[str, Any] = {"buf": bytearray(nbytes)}
+        # Touch every page so the pressure is resident, not just virtual.
+        page = b"\xa5"
+        holder["buf"][::4096] = page * len(range(0, nbytes, 4096))
+        return ({"bytes": nbytes}, lambda: holder.pop("buf", None),
+                lambda until: None)
+
+    def _fd_exhaustion(self, params: dict[str, Any]):
+        requested = max(1, int(params.get("count", 128)))
+        ceiling = self._fd_ceiling()
+        held: list[int] = []
+        try:
+            while len(held) < min(requested, ceiling):
+                r, w = os.pipe()
+                held.extend((r, w))
+        except OSError:
+            # The real limit arrived early; give two pairs back so the
+            # reserve promise holds even under a mis-reported rlimit.
+            for _ in range(2):
+                for _ in range(2):
+                    if held:
+                        os.close(held.pop())
+
+        def release() -> None:
+            while held:
+                try:
+                    os.close(held.pop())
+                except OSError:
+                    pass
+
+        return {"count": len(held)}, release, lambda until: None
+
+    @staticmethod
+    def _fd_ceiling() -> int:
+        """Most descriptors a fault may consume: soft limit - reserve."""
+        try:
+            import resource
+            soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+        except Exception:  # pragma: no cover - non-POSIX fallback
+            soft = 1024
+        return max(0, int(soft) - FD_RESERVE)
+
+    def _disk_full(self, params: dict[str, Any]):
+        quota = max(0, int(params.get("bytes", 0)))
+        return ({"bytes": quota}, _clear_disk_quota,
+                lambda until: _set_disk_quota(quota, until))
+
+    # -- revert / introspection ----------------------------------------------
+
+    def revert(self, fault_id: int) -> bool:
+        with self._lock:
+            fault = self._active.pop(int(fault_id), None)
+        return fault.revert() if fault is not None else False
+
+    def revert_all(self) -> int:
+        with self._lock:
+            faults = list(self._active.values())
+            self._active.clear()
+        return sum(1 for fault in faults if fault.revert())
+
+    def active(self) -> list[dict[str, Any]]:
+        with self._lock:
+            return [fault.describe() for fault in self._active.values()]
+
+
+#: The process-global controller sentinel hosts route ``chaos`` ops to.
+CONTROLLER = ResourceFaultController()
+
+
+# ---------------------------------------------------------------------------
+# disk-full quota (module-global: the data-part flush hook lives here)
+# ---------------------------------------------------------------------------
+
+_disk_lock = threading.Lock()
+#: ``None`` when no quota is armed (the fast path), else
+#: ``{"remaining": int, "until": float}``.
+_disk_quota: dict[str, Any] | None = None
+
+
+def _set_disk_quota(nbytes: int, until: float) -> None:
+    global _disk_quota
+    with _disk_lock:
+        _disk_quota = {"remaining": int(nbytes), "until": until}
+
+
+def _clear_disk_quota() -> None:
+    global _disk_quota
+    with _disk_lock:
+        _disk_quota = None
+
+
+def charge_disk_write(nbytes: int) -> None:
+    """Charge a data-part flush against the armed quota (if any).
+
+    Called by :class:`~repro.core.datapart.ContainerDataPart` before its
+    container rewrite.  With no quota armed this is one global read.  An
+    exhausted quota raises :class:`~repro.errors.DiskFullError`
+    (``errno == ENOSPC``) *before* any bytes hit the disk, exactly like
+    a full filesystem refusing the write — and like the real thing, the
+    data stays buffered so a retry after the fault reverts succeeds.
+    """
+    global _disk_quota
+    if _disk_quota is None:
+        return
+    with _disk_lock:
+        quota = _disk_quota
+        if quota is None:
+            return
+        if time.monotonic() >= quota["until"]:
+            _disk_quota = None  # the watchdog races us; either clear wins
+            return
+        if nbytes > quota["remaining"]:
+            raise DiskFullError(
+                f"injected disk-full: {nbytes} bytes over the remaining "
+                f"{quota['remaining']}-byte quota")
+        quota["remaining"] -= nbytes
+
+
+# ---------------------------------------------------------------------------
+# blast-radius guard: the only signal path the chaos engine owns
+# ---------------------------------------------------------------------------
+
+def assert_sentinel_pid(pid: int, hosts) -> None:
+    """Refuse *pid* unless a live :class:`SentinelHost` in *hosts* owns it.
+
+    Raises :class:`ChaosSafetyError` otherwise.  The guard is the
+    scenario runner's no-stray-signals rail: no matter what a scenario
+    file says, nothing outside the rig's own sentinel children can be
+    signalled through the chaos engine.
+    """
+    pid = int(pid)
+    owned = set()
+    for host in hosts:
+        proc = getattr(host, "proc", None)
+        if proc is not None and proc.poll() is None:
+            owned.add(proc.pid)
+    if pid not in owned:
+        raise ChaosSafetyError(
+            f"refusing to signal pid {pid}: not a live sentinel host "
+            f"(owned pids: {sorted(owned) or 'none'})")
+
+
+def guarded_kill(pid: int, hosts) -> None:
+    """SIGKILL *pid* after :func:`assert_sentinel_pid` clears it."""
+    assert_sentinel_pid(pid, hosts)
+    os.kill(int(pid), signal.SIGKILL)

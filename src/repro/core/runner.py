@@ -125,7 +125,37 @@ class HostAgent:
             # reports (waiting and working are different problems).
             reply["lat"] = hostloop.latency_split_stats()
             return reply, b""
+        if cmd == "chaos":
+            return self._chaos(fields), b""
         raise ProtocolError(f"unknown host command {cmd!r}")
+
+    @staticmethod
+    def _chaos(fields: dict[str, Any]) -> dict[str, Any]:
+        """Execute one resource-fault op inside this host.
+
+        ``action`` selects a resource fault (cpu-hog, memory-pressure,
+        fd-exhaustion, disk-full — executed here, in the process the
+        sessions actually run in) or the control verbs ``revert``,
+        ``revert-all`` and ``status``.  Faults are clamped and
+        watchdogged by :mod:`repro.core.resourcefaults`, so a host keeps
+        its revert-within-bound guarantee even if the injecting parent
+        dies right after this reply.
+        """
+        from repro.core import resourcefaults
+        action = str(fields.get("action", ""))
+        if action == "revert-all":
+            return {"ok": True,
+                    "reverted": resourcefaults.CONTROLLER.revert_all()}
+        if action == "revert":
+            done = resourcefaults.CONTROLLER.revert(
+                int(fields.get("fault_id", 0)))
+            return {"ok": True, "reverted": 1 if done else 0}
+        if action == "status":
+            return {"ok": True,
+                    "active": resourcefaults.CONTROLLER.active()}
+        info = resourcefaults.CONTROLLER.inject(
+            action, fields.get("params") or {})
+        return {"ok": True, **info}
 
     def _attach_shm(self, info: dict[str, Any]) -> bool:
         """Attach the advertised segment (idempotent); False = inline."""
@@ -432,6 +462,33 @@ class SentinelHost:
         fields, _ = self.channel.request(CONTROL_CHAN, {"cmd": "ping"},
                                          timeout=deadline)
         control.raise_for_response(fields)
+        return fields
+
+    def inject_chaos(self, action: str,
+                     params: dict[str, Any] | None = None,
+                     timeout: "float | Deadline | None" = None
+                     ) -> dict[str, Any]:
+        """Run one resource-fault op inside this host's child process.
+
+        *action* is a resource fault from
+        :data:`~repro.core.resourcefaults.RESOURCE_ACTIONS` or one of
+        the control verbs ``revert``/``revert-all``/``status``.  Typed
+        failures (:class:`~repro.errors.ChaosError`,
+        :class:`~repro.errors.ChaosSafetyError`) round-trip the wire.
+        A real injection also increments the parent-side
+        ``faults.injected.resource.<action>`` counter, so the process
+        that *ordered* the chaos shows it in ``afctl stats`` too.
+        """
+        deadline = Deadline.coerce(timeout, policy.CHAOS_OP_TIMEOUT)
+        request: dict[str, Any] = {"cmd": "chaos", "action": str(action)}
+        if params:
+            request["params"] = dict(params)
+        fields, _ = self.channel.request(CONTROL_CHAN, request,
+                                         timeout=deadline)
+        control.raise_for_response(fields)
+        if action not in ("revert", "revert-all", "status"):
+            TELEMETRY.metrics.counter(
+                f"faults.injected.resource.{action}").inc()
         return fields
 
     def shutdown(self) -> None:

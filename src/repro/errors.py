@@ -42,6 +42,10 @@ __all__ = [
     "NTOSError",
     "DeadlockError",
     "SimulationError",
+    "ChaosError",
+    "ChaosSafetyError",
+    "ScenarioError",
+    "DiskFullError",
     "wire_error_registry",
 ]
 
@@ -215,6 +219,43 @@ class DeadlockError(NTOSError):
 
 class SimulationError(NTOSError):
     """The simulation harness was misused or reached an impossible state."""
+
+
+# --------------------------------------------------------------------------
+# Chaos engine
+# --------------------------------------------------------------------------
+
+class ChaosError(ActiveFileError):
+    """Base class for chaos-engine failures (injection and scenarios)."""
+
+
+class ChaosSafetyError(ChaosError):
+    """A blast-radius guard refused an injection.
+
+    Raised *instead of* performing the requested action: signalling a
+    pid no live :class:`~repro.core.runner.SentinelHost` owns, exceeding
+    the per-fault or total injection-duration caps, or arming an
+    unbounded destructive rule outside of tests.
+    """
+
+
+class ScenarioError(ChaosError):
+    """A chaos scenario file is malformed or failed validation."""
+
+
+class DiskFullError(ActiveFileError, OSError):
+    """The ``disk-full`` resource fault's quota is exhausted.
+
+    Subclasses :class:`OSError` with ``errno`` set to ``ENOSPC`` so
+    application code guarding writes with the builtin still catches the
+    injected form exactly like a real full disk.
+    """
+
+    def __init__(self, message: str = "injected disk-full quota exhausted"
+                 ) -> None:
+        import errno
+        super().__init__(message)
+        self.errno = errno.ENOSPC
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,226 @@
+"""Resource faults and their safety rails.
+
+The contract under test is structural: every fault carries its own
+in-process watchdog (it reverts within its bound even when nobody sends
+the revert), caps and ceilings clamp requests rather than trusting
+them, and the only signal path the chaos engine owns refuses pids that
+no live sentinel host holds.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core import create_active, policy
+from repro.core.resourcefaults import (
+    FD_RESERVE,
+    MEMORY_PRESSURE_CAP,
+    RESOURCE_ACTIONS,
+    ResourceFaultController,
+    assert_sentinel_pid,
+    charge_disk_write,
+)
+from repro.core.runner import SentinelHost
+from repro.core.telemetry import TELEMETRY
+from repro.errors import ChaosError, ChaosSafetyError, DiskFullError
+
+
+def _counter(action):
+    return TELEMETRY.metrics.counter(
+        f"faults.injected.resource.{action}").value
+
+
+class TestControllerBounds:
+    """Every fault is clamped, watchdogged, and revertible."""
+
+    def test_unknown_action_is_typed(self):
+        with pytest.raises(ChaosError):
+            ResourceFaultController().inject("chaos-monkey", {})
+
+    def test_non_positive_duration_refused(self):
+        with pytest.raises(ChaosSafetyError):
+            ResourceFaultController().inject("cpu-hog", {"seconds": 0})
+
+    def test_duration_clamped_to_policy_cap(self):
+        controller = ResourceFaultController()
+        info = controller.inject("cpu-hog", {"seconds": 9999, "threads": 1})
+        try:
+            assert info["seconds"] == policy.CHAOS_MAX_FAULT_S
+        finally:
+            controller.revert_all()
+
+    def test_cpu_hog_auto_reverts_without_revert_call(self):
+        # The injector never reverts — the fault's own watchdog must.
+        # This is the "runner killed mid-injection" guarantee: the
+        # watchdog lives in the faulted process, not the injecting one.
+        controller = ResourceFaultController()
+        controller.inject("cpu-hog", {"seconds": 0.2, "threads": 1})
+        assert len(controller.active()) == 1
+        deadline = time.monotonic() + 5.0
+        while controller.active() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert controller.active() == []
+
+    def test_memory_pressure_capped_and_released(self):
+        controller = ResourceFaultController()
+        info = controller.inject(
+            "memory-pressure",
+            {"seconds": 5.0, "bytes": MEMORY_PRESSURE_CAP * 10})
+        assert info["bytes"] == MEMORY_PRESSURE_CAP
+        assert controller.revert_all() == 1
+        assert controller.active() == []
+
+    def test_fd_exhaustion_leaves_the_reserve(self):
+        import resource
+        soft, _ = resource.getrlimit(resource.RLIMIT_NOFILE)
+        controller = ResourceFaultController()
+        info = controller.inject("fd-exhaustion",
+                                 {"seconds": 5.0, "count": 10 ** 9})
+        try:
+            assert info["count"] <= soft - FD_RESERVE
+            # The reserve promise holds: this process can still open.
+            r, w = os.pipe()
+            os.close(r)
+            os.close(w)
+        finally:
+            controller.revert_all()
+        r, w = os.pipe()
+        os.close(r)
+        os.close(w)
+
+    def test_every_action_counts_an_injection(self):
+        controller = ResourceFaultController()
+        before = {action: _counter(action) for action in RESOURCE_ACTIONS}
+        try:
+            for action in RESOURCE_ACTIONS:
+                controller.inject(action, {"seconds": 5.0, "threads": 1,
+                                           "bytes": 1024, "count": 2})
+        finally:
+            controller.revert_all()
+        for action in RESOURCE_ACTIONS:
+            assert _counter(action) == before[action] + 1
+
+    def test_revert_by_id_is_exact(self):
+        controller = ResourceFaultController()
+        first = controller.inject("memory-pressure",
+                                  {"seconds": 5.0, "bytes": 1024})
+        second = controller.inject("memory-pressure",
+                                   {"seconds": 5.0, "bytes": 1024})
+        assert controller.revert(first["fault_id"]) is True
+        assert controller.revert(first["fault_id"]) is False
+        remaining = controller.active()
+        assert [f["fault_id"] for f in remaining] == [second["fault_id"]]
+        controller.revert_all()
+
+
+class TestDiskFullQuota:
+    """The ENOSPC quota: typed, bounded, and clear-on-revert."""
+
+    def test_exhausted_quota_raises_enospc(self):
+        import errno
+        controller = ResourceFaultController()
+        controller.inject("disk-full", {"seconds": 5.0, "bytes": 100})
+        try:
+            charge_disk_write(60)  # within quota: charged, no raise
+            with pytest.raises(DiskFullError) as excinfo:
+                charge_disk_write(60)  # 60 > 40 remaining
+            assert excinfo.value.errno == errno.ENOSPC
+            assert isinstance(excinfo.value, OSError)
+        finally:
+            controller.revert_all()
+        charge_disk_write(10 ** 9)  # quota gone: unlimited again
+
+    def test_quota_expires_on_its_own(self):
+        controller = ResourceFaultController()
+        controller.inject("disk-full", {"seconds": 0.15, "bytes": 0})
+        with pytest.raises(DiskFullError):
+            charge_disk_write(1)
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                charge_disk_write(1)
+                break
+            except DiskFullError:
+                time.sleep(0.02)
+        else:
+            pytest.fail("disk-full quota never expired")
+        controller.revert_all()
+
+
+class _FakeProc:
+    def __init__(self, pid, alive=True):
+        self.pid = pid
+        self._alive = alive
+
+    def poll(self):
+        return None if self._alive else 0
+
+
+class _FakeHost:
+    def __init__(self, pid, alive=True):
+        self.proc = _FakeProc(pid, alive)
+
+
+class TestBlastRadiusGuard:
+    """Only pids owned by live sentinel hosts may be signalled."""
+
+    def test_refuses_foreign_pid(self):
+        with pytest.raises(ChaosSafetyError):
+            assert_sentinel_pid(os.getpid(), [_FakeHost(12345)])
+
+    def test_refuses_dead_hosts_pid(self):
+        with pytest.raises(ChaosSafetyError):
+            assert_sentinel_pid(4242, [_FakeHost(4242, alive=False)])
+
+    def test_refuses_with_no_hosts_at_all(self):
+        with pytest.raises(ChaosSafetyError):
+            assert_sentinel_pid(1, [])
+
+    def test_accepts_live_sentinel_pid(self):
+        assert_sentinel_pid(4242, [_FakeHost(4242)])  # no raise
+
+
+class TestChaosControlOp:
+    """The ``chaos`` op on channel 0 of a real sentinel host."""
+
+    @pytest.fixture
+    def host(self, tmp_path):
+        path = str(tmp_path / "chaos.af")
+        create_active(path, "repro.sentinels.null:NullFilterSentinel",
+                      data=b"x" * 64)
+        host = SentinelHost(path)
+        yield host
+        host.shutdown()
+
+    def test_inject_status_revert_round_trip(self, host):
+        info = host.inject_chaos("cpu-hog", {"seconds": 5.0, "threads": 1})
+        assert info["fault_id"] >= 1
+        assert info["seconds"] == 5.0
+        status = host.inject_chaos("status")
+        assert [f["action"] for f in status["active"]] == ["cpu-hog"]
+        assert host.inject_chaos("revert-all")["reverted"] == 1
+        assert host.inject_chaos("status")["active"] == []
+
+    def test_parent_counter_tracks_delivery(self, host):
+        before = _counter("memory-pressure")
+        host.inject_chaos("memory-pressure", {"seconds": 5.0, "bytes": 4096})
+        assert _counter("memory-pressure") == before + 1
+        host.inject_chaos("revert-all")
+        assert _counter("memory-pressure") == before + 1  # verbs don't count
+
+    def test_unknown_action_round_trips_typed(self, host):
+        with pytest.raises(ChaosError):
+            host.inject_chaos("format-c-drive")
+        assert host.alive  # a refused injection never harms the host
+
+    def test_host_reverts_after_injector_abandons_it(self, host):
+        # The parent injects and walks away; the *child's* watchdog must
+        # clear the fault within its bound.
+        host.inject_chaos("fd-exhaustion", {"seconds": 0.2, "count": 8})
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if host.inject_chaos("status")["active"] == []:
+                return
+            time.sleep(0.05)
+        pytest.fail("host-side fault outlived its bound")

@@ -237,3 +237,74 @@ class TestStatsTrace:
         self._make()
         assert main(["trace", "f.af", "--", "frobnicate"]) == 1
         assert "unknown op" in capsys.readouterr().err
+
+
+class TestChaos:
+    """The ``afctl chaos`` subcommands (run / dry-run / lint)."""
+
+    SCENARIO = """\
+name: cli-smoke
+seed: 11
+workload:
+  kind: swarm-read
+  sessions: 2
+  bytes: 2048
+timeline:
+  - at: 0.02
+    point: resource
+    action: cpu-hog
+    params:
+      seconds: 0.1
+      threads: 1
+invariants:
+  - data-identical
+  - no-hung-futures
+"""
+
+    def _write(self, workdir, text=None):
+        path = workdir / "scenario.yaml"
+        path.write_text(text or self.SCENARIO)
+        return str(path)
+
+    def test_lint_ok(self, workdir, capsys):
+        assert main(["chaos", "lint", self._write(workdir)]) == 0
+        assert "cli-smoke: ok" in capsys.readouterr().out
+
+    def test_lint_failure_exits_nonzero(self, workdir, capsys):
+        bad = self.SCENARIO.replace("action: cpu-hog", "action: warp-core")
+        assert main(["chaos", "lint", self._write(workdir, bad)]) == 1
+        assert "warp-core" in capsys.readouterr().err
+
+    def test_dry_run_json_reports_zero_injections(self, workdir, capsys):
+        import json
+
+        assert main(["chaos", "dry-run", self._write(workdir),
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["injections_performed"] == 0
+        assert report["plan"][0]["action"] == "cpu-hog"
+
+    def test_run_writes_report_and_respects_seed(self, workdir, capsys):
+        import json
+
+        path = self._write(workdir)
+        assert main(["chaos", "run", path, "--seed", "77",
+                     "--report", "report.json", "--json"]) == 0
+        stdout_report = json.loads(capsys.readouterr().out)
+        file_report = json.loads((workdir / "report.json").read_text())
+        assert stdout_report["seed"] == 77
+        assert stdout_report["passed"] is True
+        assert file_report["fingerprint"] == stdout_report["fingerprint"]
+
+    def test_run_fails_on_unsatisfied_invariant(self, workdir, capsys):
+        impossible = self.SCENARIO + "  - faults.injected.send.kill >= 99\n"
+        assert main(["chaos", "run",
+                     self._write(workdir, impossible)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_scenario_error_is_reported_not_raised(self, workdir, capsys):
+        path = workdir / "broken.yaml"
+        path.write_text("just a string\n")
+        assert main(["chaos", "lint", str(path)]) == 1
+        assert "afctl:" in capsys.readouterr().err

@@ -292,6 +292,15 @@ class TestSnapshotSchema:
 
         assert any(key.startswith("plane-seed-3") for key in snap["faults"])
 
+        # Fault-plane firings leave durable faults.injected.* counters
+        # behind (the per-plane "faults" family dies with its plane;
+        # the counters are the stable chaos audit trail).
+        plane.drop_frame(op="chaos-probe")
+        plane.on_send({"cmd": "chaos-probe"})
+        refreshed = TELEMETRY.snapshot()
+        assert refreshed["metrics"]["global"].get(
+            "faults.injected.send.drop", 0) >= 1
+
         assert set(snap["close_errors"]) == {"count", "last"}
         assert snap["close_errors"]["count"] >= 1
         assert set(snap["metrics"]) == {"global", "scopes"}

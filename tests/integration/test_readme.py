@@ -53,6 +53,21 @@ class TestReadmeCode:
         assert not TELEMETRY.tracing, "README block must restore the default"
         TELEMETRY.reset()
 
+    def test_chaos_scenario_block_lints_clean(self):
+        text = README.read_text()
+        blocks = re.findall(r"```yaml\n(.*?)```", text, flags=re.DOTALL)
+        assert blocks, "README lost its chaos scenario block"
+
+        from repro.core.scenario import (
+            lint_scenario,
+            load_scenario,
+            parse_scenario,
+        )
+
+        scenario = parse_scenario(load_scenario(blocks[0]))
+        assert scenario.name == "kill-under-write-behind"
+        assert lint_scenario(scenario) == []
+
     def test_commands_in_readme_exist(self):
         """Every afctl subcommand the README mentions is real."""
         from repro.cli import build_parser
