@@ -1,0 +1,131 @@
+"""Doctor tour: a clean bill of health, then a deliberately sick system.
+
+Usage::
+
+    python examples/doctor_tour.py OUTDIR
+
+Phase 1 captures an evidence bundle from a healthy container via
+``afctl stats --export`` and requires ``afctl doctor`` to exit 0.
+
+Phase 2 manufactures real pathologies in-process — a chaos-scenario
+replay (kill mid write-behind), a write-behind cache flushing into a
+flaky origin, and a sentinel respawn storm (three SIGKILLs of one
+container's host) — exports the aftermath as a second bundle, and
+requires the doctor to exit 1 *and* to name the respawn-storm and
+write-behind findings specifically.
+
+Exits 0 only if both verdicts match; CI runs this as the doctor-smoke
+job and uploads OUTDIR (bundles + JSON reports) as the artifact.
+"""
+
+import json
+import os
+import signal
+import sys
+import tempfile
+
+from repro.cli import main
+from repro.core import create_active, open_active
+from repro.core.cache import BlockCache
+from repro.core.datapart import MemoryDataPart
+from repro.core.scenario import ScenarioRunner, load_scenario_file
+from repro.core.telemetry import TELEMETRY
+from repro.errors import ServiceError
+
+NULL = "repro.sentinels.null:NullFilterSentinel"
+SCENARIO = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "tests", "chaos", "scenarios",
+    "kill-under-write-behind.yaml")
+
+
+def phase_clean(outdir: str, workdir: str) -> None:
+    path = os.path.join(workdir, "healthy.af")
+    create_active(path, NULL, data=b"steady state " * 4096)
+    bundle = os.path.join(outdir, "clean")
+    rc = main(["stats", path, "--export", bundle])
+    assert rc == 0, f"stats --export failed ({rc})"
+    rc = main(["doctor", "--bundle", bundle, "--report",
+               os.path.join(outdir, "clean-report.json")])
+    assert rc == 0, f"doctor on a healthy system must exit 0, got {rc}"
+    print("phase 1: clean bundle -> doctor exit 0")
+
+
+def break_write_behind() -> None:
+    """Flush a write-behind cache into an origin that keeps failing."""
+    failures = {"left": 2}
+
+    def flaky_push(offset: int, data: bytes) -> int:
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise ServiceError("origin rejected the flush (injected)")
+        return len(data)
+
+    origin = b"0" * 65536
+    cache = BlockCache(fetch=lambda off, size: origin[off:off + size],
+                       push=flaky_push, store=MemoryDataPart(b""),
+                       writeback=True)
+    cache.write(0, b"dirty bytes that must not be lost")
+    for _ in range(2):
+        try:
+            cache.flush()
+        except ServiceError:
+            pass
+    cache.flush()  # third attempt lands; no data was lost
+    assert cache.flush_failures == 2
+
+
+def break_respawns(workdir: str) -> None:
+    """SIGKILL one container's sentinel three times; supervision hides
+    every crash behind plain reads, but the storm counter remembers."""
+    path = os.path.join(workdir, "victim.af")
+    create_active(path, NULL, data=b"v" * 4096)
+    with open_active(path, "rb", strategy="process-control") as stream:
+        assert stream.read(16)
+        for _ in range(3):
+            proc = stream.session.host.proc
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=10)
+            stream.seek(0)
+            assert stream.read(16)  # respawn + transparent retry
+
+
+def phase_pathological(outdir: str, workdir: str) -> None:
+    baseline = TELEMETRY.snapshot()
+    was_tracing = TELEMETRY.tracing
+    TELEMETRY.enable_tracing()
+    try:
+        scenario = load_scenario_file(SCENARIO)
+        chaos_report = ScenarioRunner(scenario, seed=1).run()
+        break_write_behind()
+        break_respawns(workdir)
+    finally:
+        TELEMETRY.tracing = was_tracing
+    bundle = os.path.join(outdir, "pathological")
+    TELEMETRY.export_bundle(bundle, before=baseline,
+                            chaos_report=chaos_report,
+                            meta={"scenario": scenario.name})
+    report_path = os.path.join(outdir, "pathological-report.json")
+    rc = main(["doctor", "--bundle", bundle, "--report", report_path])
+    assert rc == 1, f"doctor on a sick system must exit 1, got {rc}"
+    with open(report_path, "r", encoding="utf-8") as fh:
+        report = json.load(fh)
+    fired = {finding["check"] for finding in report["findings"]}
+    for expected in ("respawn-storm", "write-behind-failing",
+                     "write-behind-degrading"):
+        assert expected in fired, \
+            f"{expected} must fire on this bundle (got {sorted(fired)})"
+    print(f"phase 2: pathological bundle -> doctor exit 1, "
+          f"findings {sorted(fired)}")
+
+
+def run(outdir: str) -> int:
+    os.makedirs(outdir, exist_ok=True)
+    with tempfile.TemporaryDirectory(prefix="af-doctor-tour-") as workdir:
+        phase_clean(outdir, workdir)
+        phase_pathological(outdir, workdir)
+    print("doctor tour: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(sys.argv[1] if len(sys.argv) > 1 else "doctor-artifacts"))

@@ -15,6 +15,7 @@ Subcommands::
     afctl stats <path>                sample workload + telemetry snapshot
     afctl trace <path> -- <op> [...]  run one op traced; print its timeline
     afctl chaos run|dry-run|lint <scenario.yaml>   declarative chaos engine
+    afctl doctor --bundle DIR|--live PATH          diagnose telemetry evidence
 
 Network-backed sentinels need in-process services and are therefore
 exercised from Python (see ``examples/``); the CLI covers local and
@@ -175,18 +176,58 @@ def cmd_sandbox(args) -> int:
 
 
 def cmd_stats(args) -> int:
-    """Run a small sample workload, then print the telemetry snapshot."""
+    """Run a small sample workload, then print the telemetry snapshot.
+
+    ``--export DIR`` additionally writes a self-contained evidence
+    bundle (before/after snapshots, sample-workload spans, the host's
+    ping reply when one serves this path) for ``afctl doctor``.
+    """
     from repro.core.telemetry import TELEMETRY, render_snapshot
 
-    with open_active(args.path, "rb", strategy=args.strategy) as stream:
-        stream.read(args.bytes)
-        file_view = stream.telemetry()
+    before = TELEMETRY.snapshot() if args.export else None
+    was_tracing = TELEMETRY.tracing
+    if args.export:
+        # Trace the sample workload so the bundle carries a span tree
+        # for the doctor's structural analyzers, not just counters.
+        TELEMETRY.enable_tracing()
+    ping = None
+    try:
+        with open_active(args.path, "rb", strategy=args.strategy) as stream:
+            stream.read(args.bytes)
+            file_view = stream.telemetry()
+            host = getattr(getattr(stream, "session", None), "host", None)
+            if host is not None and getattr(host, "alive", False):
+                try:
+                    ping = host.ping()
+                except ActiveFileError:
+                    ping = None
+    finally:
+        TELEMETRY.tracing = was_tracing
     snap = TELEMETRY.snapshot()
+    if args.export:
+        written = TELEMETRY.export_bundle(args.export, before=before,
+                                          ping=ping,
+                                          meta={"container": args.path})
+        print(f"exported evidence bundle ({len(written)} files) "
+              f"to {args.export}", file=sys.stderr)
     if args.json:
         print(json.dumps({"file": file_view, "snapshot": snap},
                          sort_keys=True, default=str))
+        return 0
+    print(render_snapshot(snap))
+    lat = (ping or {}).get("lat") or {}
+    if lat.get("queue_wait_ops") or lat.get("service_ops"):
+        # Where did this path's time go: waiting in the host's queue,
+        # or actually executing?  (Only pooled hosts can answer.)
+        print("latency split (host):")
+        for side, label in (("queue_wait", "queue-wait"),
+                            ("service", "service")):
+            print(f"  {label:<10} ops={lat.get(f'{side}_ops', 0):<6} "
+                  f"mean={lat.get(f'{side}_mean_us', 0):.0f}us "
+                  f"p50={lat.get(f'{side}_p50_us', 0):.0f}us "
+                  f"p95={lat.get(f'{side}_p95_us', 0):.0f}us")
     else:
-        print(render_snapshot(snap))
+        print("latency split: unavailable (no pooled host on this path)")
     return 0
 
 
@@ -282,6 +323,38 @@ def cmd_chaos(args) -> int:
     return 0 if report["passed"] else 1
 
 
+def cmd_doctor(args) -> int:
+    """Diagnose a telemetry evidence bundle (or a live open).
+
+    Exit-code contract: ``0`` clean, ``1`` findings, ``2`` the doctor
+    itself could not run (missing/malformed bundle, checks that fail
+    lint, bad usage).  Scripts can therefore gate on "no findings"
+    without parsing anything.
+    """
+    from repro.doctor import Evidence, render_report, run_doctor
+    from repro.errors import DoctorError
+
+    try:
+        if args.bundle:
+            evidence = Evidence.from_bundle(args.bundle)
+        else:
+            evidence = Evidence.capture_live(args.live,
+                                             strategy=args.strategy)
+        report = run_doctor(evidence, checks_dir=args.checks)
+    except DoctorError as exc:
+        print(f"afctl doctor: {exc}", file=sys.stderr)
+        return 2
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, sort_keys=True, default=str)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(report, sort_keys=True, default=str))
+    else:
+        print(render_report(report))
+    return 0 if report["clean"] else 1
+
+
 def cmd_figure6(args) -> int:
     from repro.afsim.figure6 import main as figure6_main
 
@@ -371,6 +444,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="how much to read for the sample workload")
     p_stats.add_argument("--json", action="store_true",
                          help="emit the raw snapshot as JSON")
+    p_stats.add_argument("--export", metavar="DIR",
+                         help="also write a self-contained evidence "
+                              "bundle for afctl doctor")
     p_stats.set_defaults(fn=cmd_stats)
 
     p_trace = sub.add_parser(
@@ -405,6 +481,25 @@ def build_parser() -> argparse.ArgumentParser:
             p_verb.add_argument("--report", metavar="FILE",
                                 help="also write the JSON report to FILE")
         p_verb.set_defaults(fn=cmd_chaos, verb=verb)
+
+    p_doctor = sub.add_parser(
+        "doctor", help="diagnose telemetry evidence "
+                       "(exit 0 clean / 1 findings / 2 error)")
+    source = p_doctor.add_mutually_exclusive_group(required=True)
+    source.add_argument("--bundle", metavar="DIR",
+                        help="evidence bundle from afctl stats --export")
+    source.add_argument("--live", metavar="PATH",
+                        help="capture evidence live from this active file")
+    p_doctor.add_argument("--strategy", default="process-control",
+                          type=lambda s: resolve_strategy(s)[0],
+                          help="strategy for --live capture")
+    p_doctor.add_argument("--checks", metavar="DIR",
+                          help="replace the shipped checks directory")
+    p_doctor.add_argument("--json", action="store_true",
+                          help="emit the structured report as JSON")
+    p_doctor.add_argument("--report", metavar="FILE",
+                          help="also write the JSON report to FILE")
+    p_doctor.set_defaults(fn=cmd_doctor)
 
     p_fig = sub.add_parser("figure6", help="run the Figure 6 harness")
     p_fig.add_argument("--panel", choices=("a", "b", "c", "all"),

@@ -591,8 +591,11 @@ class BlockCache:
                     self._push(extent_offset, extent_data)
         except BaseException:
             # The origin may hold a prefix; keep everything buffered so
-            # a later flush (or close) retries — no silent loss.
+            # a later flush (or close) retries — no silent loss.  The
+            # registry counter outlives this cache object, so evidence
+            # bundles exported after close still carry the failure.
             self.flush_failures += 1
+            TELEMETRY.metrics.counter("cache.flush_failures").inc()
             for s, e in staged:
                 self._mark_dirty(s, e)
             raise

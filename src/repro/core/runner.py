@@ -569,6 +569,12 @@ class HostLease:
         self.host = host
         self.chan = chan
         self.respawns += 1
+        # Durable respawn accounting: the global tally plus a
+        # per-container scope, so `afctl doctor` can tell "one crash"
+        # from "this container's host is in a respawn storm".
+        TELEMETRY.metrics.counter("host.respawns").inc()
+        TELEMETRY.metrics.counter("host.respawns",
+                                  scope=host.container_path).inc()
 
     def release(self) -> None:
         """Return the session's slot to the pool (or retire the host)."""

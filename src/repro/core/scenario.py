@@ -15,11 +15,12 @@ experiments *declarative*.  A scenario file describes, without code:
   against the telemetry snapshot delta (e.g.
   ``"faults.injected.send.kill >= 1"``).
 
-Scenario files are a small YAML subset parsed by a dependency-free
-loader (:func:`load_scenario`); JSON documents are accepted as-is.
-The subset: two-space indentation, ``key: value`` mappings, ``- item``
-sequences (including sequences of mappings), scalars
-(int/float/bool/null/quoted strings), and ``#`` comments.
+Scenario files are a small YAML subset parsed by the dependency-free
+:mod:`repro.util.yamlite` loader (shared with the doctor's declarative
+checks); JSON documents are accepted as-is.  The subset: two-space
+indentation, ``key: value`` mappings, ``- item`` sequences (including
+sequences of mappings), scalars (int/float/bool/null/quoted strings),
+and ``#`` comments.
 
 Safety rails are built into the runner, not bolted on:
 
@@ -45,7 +46,6 @@ comparison of fingerprints.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import re
@@ -58,8 +58,9 @@ from typing import Any, Callable
 
 from repro.core import policy
 from repro.core.faults import FaultPlane, _POINTS
-from repro.core.telemetry import TELEMETRY
+from repro.core.telemetry import TELEMETRY, MetricsRegistry
 from repro.errors import DiskFullError, ScenarioError
+from repro.util import yamlite
 
 __all__ = [
     "Injection",
@@ -103,141 +104,15 @@ _COMPARATORS: dict[str, Callable[[float, float], bool]] = {
 
 
 # ---------------------------------------------------------------------------
-# YAML-subset loader (dependency-free; JSON accepted as-is)
+# Loading (the YAML-subset parser itself lives in repro.util.yamlite)
 # ---------------------------------------------------------------------------
-
-def _strip_comment(line: str) -> str:
-    """Drop a ``#`` comment, respecting single/double quotes."""
-    quote = None
-    for i, ch in enumerate(line):
-        if quote is not None:
-            if ch == quote:
-                quote = None
-        elif ch in "'\"":
-            quote = ch
-        elif ch == "#":
-            return line[:i]
-    return line
-
-
-def _scan(text: str) -> list[tuple[int, str]]:
-    out: list[tuple[int, str]] = []
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = _strip_comment(raw).rstrip()
-        if not line.strip():
-            continue
-        if "\t" in line[:len(line) - len(line.lstrip())]:
-            raise ScenarioError(f"line {lineno}: tabs are not allowed "
-                                "in scenario indentation")
-        out.append((len(line) - len(line.lstrip(" ")), line.strip()))
-    return out
-
-
-def _scalar(token: str) -> Any:
-    token = token.strip()
-    if token in ("", "null", "~"):
-        return None
-    if token == "true":
-        return True
-    if token == "false":
-        return False
-    if len(token) >= 2 and token[0] in "'\"" and token[-1] == token[0]:
-        return token[1:-1]
-    try:
-        return int(token)
-    except ValueError:
-        pass
-    try:
-        return float(token)
-    except ValueError:
-        pass
-    return token
-
-
-_MAP_KEY = re.compile(r"^[\w.\-]+:(\s|$)")
-
-
-def _parse_block(lines: list[tuple[int, str]], pos: int,
-                 indent: int) -> tuple[Any, int]:
-    if lines[pos][1].startswith("- ") or lines[pos][1] == "-":
-        return _parse_list(lines, pos, indent)
-    return _parse_map(lines, pos, indent)
-
-
-def _parse_map(lines: list[tuple[int, str]], pos: int,
-               indent: int) -> tuple[dict[str, Any], int]:
-    out: dict[str, Any] = {}
-    while pos < len(lines):
-        ind, text = lines[pos]
-        if ind < indent:
-            break
-        if ind > indent:
-            raise ScenarioError(f"unexpected indent at {text!r}")
-        if text.startswith("- "):
-            raise ScenarioError(f"sequence item {text!r} where a mapping "
-                                "entry was expected")
-        key, sep, rest = text.partition(":")
-        if not sep:
-            raise ScenarioError(f"expected 'key: value', got {text!r}")
-        key = key.strip()
-        rest = rest.strip()
-        pos += 1
-        if rest:
-            out[key] = _scalar(rest)
-        elif pos < len(lines) and lines[pos][0] > ind:
-            out[key], pos = _parse_block(lines, pos, lines[pos][0])
-        else:
-            out[key] = None
-    return out, pos
-
-
-def _parse_list(lines: list[tuple[int, str]], pos: int,
-                indent: int) -> tuple[list[Any], int]:
-    out: list[Any] = []
-    while pos < len(lines):
-        ind, text = lines[pos]
-        if ind < indent:
-            break
-        if ind > indent or not (text == "-" or text.startswith("- ")):
-            raise ScenarioError(f"inconsistent sequence item {text!r}")
-        rest = text[1:].strip()
-        pos += 1
-        if not rest:
-            if pos < len(lines) and lines[pos][0] > ind:
-                value, pos = _parse_block(lines, pos, lines[pos][0])
-            else:
-                value = None
-            out.append(value)
-        elif _MAP_KEY.match(rest):
-            # `- key: value` opens an inline mapping whose further keys
-            # sit two columns in (under the item's first key).
-            sub = [(ind + 2, rest)]
-            while pos < len(lines) and lines[pos][0] > ind:
-                sub.append(lines[pos])
-                pos += 1
-            value, _ = _parse_map(sub, 0, ind + 2)
-            out.append(value)
-        else:
-            out.append(_scalar(rest))
-    return out, pos
-
 
 def load_scenario(text: str) -> dict[str, Any]:
     """Parse scenario *text* (YAML subset, or JSON if it starts ``{``)."""
-    stripped = text.lstrip()
-    if stripped.startswith("{"):
-        try:
-            doc = json.loads(text)
-        except ValueError as exc:
-            raise ScenarioError(f"invalid JSON scenario: {exc}") from None
-    else:
-        lines = _scan(text)
-        if not lines:
-            raise ScenarioError("empty scenario document")
-        doc, pos = _parse_block(lines, 0, lines[0][0])
-        if pos != len(lines):
-            raise ScenarioError(
-                f"trailing content at {lines[pos][1]!r} (bad indentation?)")
+    try:
+        doc = yamlite.loads(text)
+    except yamlite.YamliteError as exc:
+        raise ScenarioError(str(exc)) from None
     if not isinstance(doc, dict):
         raise ScenarioError("scenario document must be a mapping")
     return doc
@@ -775,7 +650,7 @@ class ScenarioRunner:
         plane = FaultPlane(self.seed)
         plan = self._plan()
         deliveries: list[dict[str, Any]] = []
-        baseline = dict(TELEMETRY.metrics.snapshot()["global"])
+        baseline = TELEMETRY.metrics.snapshot()
 
         ordered = sorted(enumerate(self.scenario.timeline),
                          key=lambda pair: (pair[1].at, pair[0]))
@@ -844,8 +719,8 @@ class ScenarioRunner:
                     "workload_s": round(end - t0, 4),
                     "deliveries": deliveries,
                     "fired": plane.summary(),
-                    "counters": _metric_deltas(
-                        baseline, TELEMETRY.metrics.snapshot()["global"]),
+                    "counters": MetricsRegistry.diff(
+                        baseline, TELEMETRY.metrics.snapshot())["global"],
                 },
             }
             report["fingerprint"] = self._fingerprint(
@@ -899,8 +774,8 @@ class ScenarioRunner:
     def _judge(self, workload: Workload, baseline: dict[str, Any], *,
                hung: bool, workload_error: BaseException | None,
                recovery_gap: float) -> list[dict[str, Any]]:
-        deltas = _metric_deltas(baseline,
-                                TELEMETRY.metrics.snapshot()["global"])
+        deltas = MetricsRegistry.diff(
+            baseline, TELEMETRY.metrics.snapshot())["global"]
         out: list[dict[str, Any]] = []
         for inv in self.scenario.invariants:
             if inv.name == "data-identical":
@@ -938,20 +813,6 @@ class ScenarioRunner:
         if hung:
             return "workload still running at timeout"
         return f"workload raised {type(error).__name__}: {error}"
-
-
-def _metric_deltas(before: dict[str, Any],
-                   after: dict[str, Any]) -> dict[str, float]:
-    """Numeric counter movement between two metric snapshots."""
-    out: dict[str, float] = {}
-    for key, value in after.items():
-        if not isinstance(value, (int, float)):
-            continue
-        prev = before.get(key, 0)
-        delta = value - (prev if isinstance(prev, (int, float)) else 0)
-        if delta:
-            out[key] = delta
-    return out
 
 
 # ---------------------------------------------------------------------------

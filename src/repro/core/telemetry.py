@@ -63,10 +63,15 @@ __all__ = [
     "render_snapshot",
     "SPAN_BUFFER_LIMIT",
     "HISTOGRAM_BOUNDS",
+    "BUNDLE_SCHEMA",
 ]
 
 #: Default bound on the in-memory span buffer (oldest spans drop first).
 SPAN_BUFFER_LIMIT = 4096
+
+#: Version of the evidence-bundle layout written by
+#: :meth:`Telemetry.export_bundle` and consumed by ``afctl doctor``.
+BUNDLE_SCHEMA = 1
 
 #: Fixed log-scale histogram bucket upper bounds, in seconds: powers of
 #: two from 1 µs to ~134 s, plus an implicit overflow bucket.  Fixed
@@ -368,6 +373,61 @@ class MetricsRegistry:
                 out["scopes"][key] = rendered
         return out
 
+    @staticmethod
+    def _flat(metrics: dict[str, Any]) -> dict[str, float]:
+        """One scope's metrics as flat numbers (histograms contribute
+        ``<name>.count`` and ``<name>.sum``; non-numeric values drop)."""
+        flat: dict[str, float] = {}
+        for name, value in metrics.items():
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                flat[name] = value
+            elif isinstance(value, dict) and "count" in value \
+                    and "sum" in value:
+                flat[f"{name}.count"] = value.get("count", 0)
+                flat[f"{name}.sum"] = value.get("sum", 0.0)
+        return flat
+
+    @staticmethod
+    def diff(before: dict[str, Any],
+             after: dict[str, Any]) -> dict[str, Any]:
+        """Numeric metric movement between two :meth:`snapshot` documents.
+
+        Accepts either full snapshots (``{"global": ..., "scopes":
+        ...}``) — returning the same shape, with scopes whose metrics
+        did not move omitted — or two flat single-scope dicts,
+        returning a flat delta dict.  Histograms contribute
+        ``<name>.count`` / ``<name>.sum`` deltas; zero deltas are
+        omitted, so an empty result means "nothing moved".
+        """
+        def one(b: dict[str, Any], a: dict[str, Any]) -> dict[str, float]:
+            b_flat = MetricsRegistry._flat(b or {})
+            a_flat = MetricsRegistry._flat(a or {})
+            out: dict[str, float] = {}
+            for key, value in a_flat.items():
+                delta = value - b_flat.get(key, 0)
+                if delta:
+                    out[key] = delta
+            return out
+
+        before = before or {}
+        after = after or {}
+        if isinstance(after.get("global"), dict) \
+                or isinstance(before.get("global"), dict):
+            before_scopes = before.get("scopes") or {}
+            after_scopes = after.get("scopes") or {}
+            scopes: dict[str, dict[str, float]] = {}
+            for scope in sorted(set(before_scopes) | set(after_scopes)):
+                delta = one(before_scopes.get(scope, {}),
+                            after_scopes.get(scope, {}))
+                if delta:
+                    scopes[scope] = delta
+            return {"global": one(before.get("global") or {},
+                                  after.get("global") or {}),
+                    "scopes": scopes}
+        return one(before, after)
+
 
 #: The ChannelCounters keys summed across live connections for
 #: ``snapshot()["transport"]["totals"]`` — the cross-connection view.
@@ -568,6 +628,53 @@ class Telemetry:
             for span in spans:
                 fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
         return len(spans)
+
+    def export_bundle(self, dirname: Any, *,
+                      before: dict[str, Any] | None = None,
+                      ping: dict[str, Any] | None = None,
+                      chaos_report: dict[str, Any] | None = None,
+                      meta: dict[str, Any] | None = None) -> dict[str, str]:
+        """Write a self-contained evidence bundle into *dirname*.
+
+        The bundle is the file-shaped hand-off between the telemetry
+        plane and ``afctl doctor``: a directory of plain JSON/JSONL
+        documents (schema :data:`BUNDLE_SCHEMA`, recorded in
+        ``meta.json``) that diagnostics consume offline —
+
+        * ``snapshot.json`` — the full :meth:`snapshot` (always);
+        * ``snapshot_before.json`` — an earlier snapshot, enabling
+          trend checks (optional);
+        * ``spans.jsonl`` — the buffered spans, if any (optional);
+        * ``ping.json`` — a live host's channel-0 ``ping`` reply
+          (``host.*`` gauges + queue-wait/service split) (optional);
+        * ``chaos_report.json`` — a chaos scenario report (optional).
+
+        Returns ``{logical name: file path}`` for what was written.
+        """
+        os.makedirs(dirname, exist_ok=True)
+        written: dict[str, str] = {}
+
+        def emit(name: str, doc: dict[str, Any]) -> None:
+            path = os.path.join(dirname, name)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True, default=str)
+                fh.write("\n")
+            written[name] = path
+
+        emit("snapshot.json", self.snapshot())
+        if before is not None:
+            emit("snapshot_before.json", before)
+        if len(self._buffer):
+            path = os.path.join(dirname, "spans.jsonl")
+            self.export_jsonl(path)
+            written["spans.jsonl"] = path
+        if ping is not None:
+            emit("ping.json", ping)
+        if chaos_report is not None:
+            emit("chaos_report.json", chaos_report)
+        emit("meta.json", {"kind": "af-evidence", "schema": BUNDLE_SCHEMA,
+                           "files": sorted(written), **(meta or {})})
+        return written
 
     def trace_tree(self, trace: str,
                    extra: Iterable[Span] = ()) -> dict[str, Any] | None:

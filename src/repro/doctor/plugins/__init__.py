@@ -1,0 +1,8 @@
+"""Doctor analyzer plugins (entry-point style discovery).
+
+Every module in this package is imported by
+:func:`repro.doctor.engine.build_analyzers`; a module registers its
+analyzer factory with :func:`repro.doctor.engine.register` at import
+time.  Dropping a new module here is the entire registration ceremony
+— no central list to edit.
+"""

@@ -1,0 +1,18 @@
+"""Plugin: the declarative YAML checks under ``doctor/checks/``."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.doctor.checks import (
+    DeclarativeCheck,
+    default_checks_dir,
+    load_checks,
+)
+from repro.doctor.engine import Analyzer, register
+
+
+@register("declarative")
+def _build(config: dict[str, Any]) -> list[Analyzer]:
+    checks_dir = config.get("checks_dir") or default_checks_dir()
+    return [DeclarativeCheck(doc) for doc in load_checks(checks_dir)]

@@ -1,0 +1,17 @@
+"""Plugin: the span-tree analyzers over the bundle's spans.jsonl."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.doctor.engine import Analyzer, register
+from repro.doctor.spans import (
+    QueueWaitSkew,
+    ReadaheadCollapse,
+    RetryDominatedOpens,
+)
+
+
+@register("spantree")
+def _build(config: dict[str, Any]) -> list[Analyzer]:
+    return [RetryDominatedOpens(), QueueWaitSkew(), ReadaheadCollapse()]

@@ -1,0 +1,160 @@
+"""Span-tree analyzers: diagnoses only visible in trace structure.
+
+Counters say *how much*; span trees say *where the time went and why*.
+These analyzers walk the bundle's ``spans.jsonl`` (the
+:meth:`Span.to_dict` shape: trace / sid / parent / name / start_us /
+end_us / attrs) and flag pathologies a snapshot cannot express:
+
+* **retry-dominated-opens** — traces whose ``op.*`` spans are mostly
+  crash-retry replays (``attrs.cause == "retry"``): the work succeeded
+  but only by brute force, and the respawn path is carrying load the
+  happy path should;
+* **queue-wait-skew** — ``frame.*`` spans whose child ``dispatch.*``
+  span (the actual service time, re-parented from the host loop) is a
+  sliver of the frame's wall time: requests spend their budget waiting
+  in the host's queue, not executing;
+* **readahead-collapse** — ``cache.fill`` spans mostly carrying
+  ``cause == "demand"`` even though prefetching is active: the
+  read-ahead window stopped covering the access pattern.
+
+Each analyzer abstains (returns nothing) below a minimum sample count
+— a two-span trace proves nothing either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.doctor.engine import Analyzer, Evidence, Finding
+
+__all__ = ["RetryDominatedOpens", "QueueWaitSkew", "ReadaheadCollapse"]
+
+
+def _duration(span: dict[str, Any]) -> float | None:
+    start, end = span.get("start_us"), span.get("end_us")
+    if isinstance(start, (int, float)) and isinstance(end, (int, float)):
+        return float(end) - float(start)
+    return None
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class RetryDominatedOpens(Analyzer):
+    """Flag traces where crash-retry replays dominate the op stream."""
+
+    name = "retry-dominated-opens"
+    subsystem = "transport"
+
+    MIN_RETRIES = 2       #: fewer replays than this is routine recovery
+    RETRY_FRACTION = 0.25  #: replays / ops at which retries "dominate"
+
+    def analyze(self, evidence: Evidence) -> list[Finding]:
+        per_trace: dict[str, list[int]] = {}
+        for span in evidence.spans:
+            name = str(span.get("name") or "")
+            if not name.startswith("op."):
+                continue
+            tally = per_trace.setdefault(str(span.get("trace") or "?"),
+                                         [0, 0])
+            tally[0] += 1
+            if (span.get("attrs") or {}).get("cause") == "retry":
+                tally[1] += 1
+        findings = []
+        for trace in sorted(per_trace):
+            ops, retries = per_trace[trace]
+            if retries >= self.MIN_RETRIES and \
+                    retries / ops >= self.RETRY_FRACTION:
+                findings.append(Finding(
+                    check=self.name, severity="warning",
+                    subsystem=self.subsystem,
+                    message=f"{retries} of {ops} ops in this trace are "
+                            "crash-retry replays — the respawn path is "
+                            "carrying the load",
+                    action="check host.respawns per container; a flapping "
+                           "sentinel wants a spec or resource fix, not "
+                           "more retries",
+                    evidence={"ops": float(ops), "retries": float(retries),
+                              "retry_fraction": retries / ops},
+                    scope=trace))
+        return findings
+
+
+class QueueWaitSkew(Analyzer):
+    """Flag frames whose service time is a sliver of their wall time."""
+
+    name = "queue-wait-skew"
+    subsystem = "host"
+
+    MIN_SAMPLES = 8        #: frame/dispatch pairs needed for a verdict
+    SERVICE_FRACTION = 0.2  #: median service/frame ratio below this fires
+    MIN_FRAME_US = 1000.0  #: sub-ms frames carry sub-ms waits — noise
+
+    def analyze(self, evidence: Evidence) -> list[Finding]:
+        dispatch_by_parent: dict[str, float] = {}
+        for span in evidence.spans:
+            if str(span.get("name") or "").startswith("dispatch."):
+                duration = _duration(span)
+                parent = span.get("parent")
+                if duration is not None and parent:
+                    dispatch_by_parent[str(parent)] = duration
+        ratios: list[float] = []
+        for span in evidence.spans:
+            if not str(span.get("name") or "").startswith("frame."):
+                continue
+            frame_duration = _duration(span)
+            service = dispatch_by_parent.get(str(span.get("sid")))
+            if frame_duration and frame_duration >= self.MIN_FRAME_US \
+                    and service is not None:
+                ratios.append(service / frame_duration)
+        if len(ratios) < self.MIN_SAMPLES:
+            return []
+        median = _median(ratios)
+        if median >= self.SERVICE_FRACTION:
+            return []
+        return [Finding(
+            check=self.name, severity="warning", subsystem=self.subsystem,
+            message=f"median service time is {median:.0%} of frame wall "
+                    "time — requests queue far longer than they execute",
+            action="raise the host's executor count or in-flight "
+                   "high-water mark, or spread containers across hosts",
+            evidence={"samples": float(len(ratios)),
+                      "median_service_fraction": median})]
+
+
+class ReadaheadCollapse(Analyzer):
+    """Flag fills going demand-miss although prefetching is active."""
+
+    name = "readahead-collapse"
+    subsystem = "cache"
+
+    MIN_FILLS = 8          #: cache.fill spans needed for a verdict
+    DEMAND_FRACTION = 0.6  #: demand share at which the window "collapsed"
+
+    def analyze(self, evidence: Evidence) -> list[Finding]:
+        fills = demand = 0
+        for span in evidence.spans:
+            if str(span.get("name") or "") != "cache.fill":
+                continue
+            fills += 1
+            if (span.get("attrs") or {}).get("cause") == "demand":
+                demand += 1
+        # No prefetch fills at all means read-ahead is off, not broken.
+        if fills < self.MIN_FILLS or demand == fills:
+            return []
+        if demand / fills < self.DEMAND_FRACTION:
+            return []
+        return [Finding(
+            check=self.name, severity="info", subsystem=self.subsystem,
+            message=f"{demand} of {fills} cache fills are demand misses "
+                    "despite active prefetching — the read-ahead window "
+                    "collapsed against this access pattern",
+            action="widen the cache's read-ahead window, or check for a "
+                   "seek-heavy workload defeating sequential detection",
+            evidence={"fills": float(fills), "demand": float(demand),
+                      "demand_fraction": demand / fills})]

@@ -45,6 +45,7 @@ __all__ = [
     "ChaosError",
     "ChaosSafetyError",
     "ScenarioError",
+    "DoctorError",
     "DiskFullError",
     "wire_error_registry",
 ]
@@ -241,6 +242,15 @@ class ChaosSafetyError(ChaosError):
 
 class ScenarioError(ChaosError):
     """A chaos scenario file is malformed or failed validation."""
+
+
+# --------------------------------------------------------------------------
+# Diagnostics engine
+# --------------------------------------------------------------------------
+
+class DoctorError(ActiveFileError):
+    """The diagnostics engine could not run: a missing or malformed
+    evidence bundle, or a declarative check file that failed lint."""
 
 
 class DiskFullError(ActiveFileError, OSError):

@@ -1,0 +1,167 @@
+"""A dependency-free YAML-subset parser (JSON accepted as-is).
+
+Both the chaos scenario format (:mod:`repro.core.scenario`) and the
+doctor's declarative checks (:mod:`repro.doctor.checks`) are plain
+files a human edits; neither wants a PyYAML dependency for the tiny
+slice of YAML they actually use.  The subset:
+
+* two-space indentation (tabs in indentation are rejected);
+* ``key: value`` mappings and ``- item`` sequences, nesting freely
+  (including sequences of mappings via ``- key: value``);
+* scalars: int, float, ``true``/``false``, ``null``/``~``, and single-
+  or double-quoted strings (anything else is a bare string);
+* ``#`` comments, quote-aware.
+
+Documents whose first non-blank character is ``{`` are parsed as JSON,
+so machine-generated files compose with the same loaders.
+
+Errors raise :class:`YamliteError` (a ``ValueError``); callers wrap it
+into their own domain error (``ScenarioError``, ``DoctorError``) so
+the extraction of this module stays behavior-invisible to them.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any
+
+__all__ = ["YamliteError", "loads"]
+
+
+class YamliteError(ValueError):
+    """A document that does not fit the YAML subset (or bad JSON)."""
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a ``#`` comment, respecting single/double quotes."""
+    quote = None
+    for i, ch in enumerate(line):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+        elif ch == "#":
+            return line[:i]
+    return line
+
+
+def _scan(text: str) -> list[tuple[int, str]]:
+    out: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).rstrip()
+        if not line.strip():
+            continue
+        if "\t" in line[:len(line) - len(line.lstrip())]:
+            raise YamliteError(f"line {lineno}: tabs are not allowed "
+                               "in indentation")
+        out.append((len(line) - len(line.lstrip(" ")), line.strip()))
+    return out
+
+
+def _scalar(token: str) -> Any:
+    token = token.strip()
+    if token in ("", "null", "~"):
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if len(token) >= 2 and token[0] in "'\"" and token[-1] == token[0]:
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+_MAP_KEY = re.compile(r"^[\w.\-]+:(\s|$)")
+
+
+def _parse_block(lines: list[tuple[int, str]], pos: int,
+                 indent: int) -> tuple[Any, int]:
+    if lines[pos][1].startswith("- ") or lines[pos][1] == "-":
+        return _parse_list(lines, pos, indent)
+    return _parse_map(lines, pos, indent)
+
+
+def _parse_map(lines: list[tuple[int, str]], pos: int,
+               indent: int) -> tuple[dict[str, Any], int]:
+    out: dict[str, Any] = {}
+    while pos < len(lines):
+        ind, text = lines[pos]
+        if ind < indent:
+            break
+        if ind > indent:
+            raise YamliteError(f"unexpected indent at {text!r}")
+        if text.startswith("- "):
+            raise YamliteError(f"sequence item {text!r} where a mapping "
+                               "entry was expected")
+        key, sep, rest = text.partition(":")
+        if not sep:
+            raise YamliteError(f"expected 'key: value', got {text!r}")
+        key = key.strip()
+        rest = rest.strip()
+        pos += 1
+        if rest:
+            out[key] = _scalar(rest)
+        elif pos < len(lines) and lines[pos][0] > ind:
+            out[key], pos = _parse_block(lines, pos, lines[pos][0])
+        else:
+            out[key] = None
+    return out, pos
+
+
+def _parse_list(lines: list[tuple[int, str]], pos: int,
+                indent: int) -> tuple[list[Any], int]:
+    out: list[Any] = []
+    while pos < len(lines):
+        ind, text = lines[pos]
+        if ind < indent:
+            break
+        if ind > indent or not (text == "-" or text.startswith("- ")):
+            raise YamliteError(f"inconsistent sequence item {text!r}")
+        rest = text[1:].strip()
+        pos += 1
+        if not rest:
+            if pos < len(lines) and lines[pos][0] > ind:
+                value, pos = _parse_block(lines, pos, lines[pos][0])
+            else:
+                value = None
+            out.append(value)
+        elif _MAP_KEY.match(rest):
+            # `- key: value` opens an inline mapping whose further keys
+            # sit two columns in (under the item's first key).
+            sub = [(ind + 2, rest)]
+            while pos < len(lines) and lines[pos][0] > ind:
+                sub.append(lines[pos])
+                pos += 1
+            value, _ = _parse_map(sub, 0, ind + 2)
+            out.append(value)
+        else:
+            out.append(_scalar(rest))
+    return out, pos
+
+
+def loads(text: str) -> Any:
+    """Parse *text* (YAML subset, or JSON if it starts with ``{``)."""
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            return json.loads(text)
+        except ValueError as exc:
+            raise YamliteError(f"invalid JSON document: {exc}") from None
+    lines = _scan(text)
+    if not lines:
+        raise YamliteError("empty document")
+    doc, pos = _parse_block(lines, 0, lines[0][0])
+    if pos != len(lines):
+        raise YamliteError(
+            f"trailing content at {lines[pos][1]!r} (bad indentation?)")
+    return doc

@@ -1,0 +1,70 @@
+"""Unit tests for ``MetricsRegistry.diff`` (snapshot delta arithmetic)."""
+
+from repro.core.telemetry import MetricsRegistry
+
+
+def _snap(global_=None, scopes=None):
+    return {"global": global_ or {}, "scopes": scopes or {}}
+
+
+class TestFlatDiff:
+    def test_counter_movement(self):
+        delta = MetricsRegistry.diff({"reqs": 3}, {"reqs": 10})
+        assert delta == {"reqs": 7}
+
+    def test_zero_deltas_omitted(self):
+        delta = MetricsRegistry.diff({"a": 5, "b": 1}, {"a": 5, "b": 2})
+        assert delta == {"b": 1}
+
+    def test_new_metric_counts_from_zero(self):
+        assert MetricsRegistry.diff({}, {"fresh": 4}) == {"fresh": 4}
+
+    def test_histograms_contribute_count_and_sum(self):
+        before = {"lat": {"count": 1, "sum": 0.5, "buckets": {}}}
+        after = {"lat": {"count": 4, "sum": 2.0, "buckets": {}}}
+        delta = MetricsRegistry.diff(before, after)
+        assert delta == {"lat.count": 3, "lat.sum": 1.5}
+
+    def test_non_numeric_values_drop(self):
+        delta = MetricsRegistry.diff({}, {"flag": True, "name": "x",
+                                          "n": 1})
+        assert delta == {"n": 1}
+
+
+class TestSnapshotDiff:
+    def test_full_document_shape(self):
+        before = _snap({"reqs": 1}, {"a.af": {"reads": 2}})
+        after = _snap({"reqs": 5}, {"a.af": {"reads": 7}})
+        delta = MetricsRegistry.diff(before, after)
+        assert delta == {"global": {"reqs": 4},
+                         "scopes": {"a.af": {"reads": 5}}}
+
+    def test_unmoved_scopes_omitted(self):
+        before = _snap({}, {"a.af": {"reads": 2}, "b.af": {"reads": 1}})
+        after = _snap({}, {"a.af": {"reads": 2}, "b.af": {"reads": 3}})
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["scopes"] == {"b.af": {"reads": 2}}
+
+    def test_scope_appearing_after_baseline(self):
+        delta = MetricsRegistry.diff(
+            _snap(), _snap(scopes={"new.af": {"opens": 1}}))
+        assert delta["scopes"] == {"new.af": {"opens": 1}}
+
+    def test_empty_diff_means_nothing_moved(self):
+        snap = _snap({"reqs": 9}, {"a.af": {"reads": 3}})
+        assert MetricsRegistry.diff(snap, snap) == \
+            {"global": {}, "scopes": {}}
+
+
+class TestLiveRegistry:
+    def test_diff_over_real_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(2)
+        before = registry.snapshot()
+        registry.counter("ops").inc(3)
+        registry.counter("other", scope="c.af").inc()
+        registry.histogram("lat").observe(0.25)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta["global"]["ops"] == 3
+        assert delta["global"]["lat.count"] == 1
+        assert delta["scopes"]["c.af"]["other"] == 1

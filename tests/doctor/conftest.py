@@ -1,0 +1,38 @@
+"""Shared builders for doctor tests: synthetic snapshots + evidence."""
+
+import json
+import os
+
+import pytest
+
+from repro.doctor.engine import Evidence
+
+
+def make_snapshot(metrics=None, scopes=None, **sections):
+    """A minimal :meth:`Telemetry.snapshot`-shaped document."""
+    doc = {"metrics": {"global": metrics or {}, "scopes": scopes or {}}}
+    doc.update(sections)
+    return doc
+
+
+def make_evidence(metrics=None, scopes=None, *, before=None, spans=None,
+                  ping=None, chaos_report=None, **sections):
+    return Evidence(make_snapshot(metrics, scopes, **sections),
+                    before=before, spans=spans, ping=ping,
+                    chaos_report=chaos_report, source="test")
+
+
+@pytest.fixture
+def clean_evidence():
+    """Evidence over an all-zeroes snapshot: every check stays silent."""
+    return make_evidence({})
+
+
+@pytest.fixture
+def fixture_spans():
+    """The recorded pathological trace (retry storm + queue-wait skew +
+    read-ahead collapse) as parsed span dicts."""
+    path = os.path.join(os.path.dirname(__file__), "fixtures",
+                        "pathological_spans.jsonl")
+    with open(path, "r", encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh if line.strip()]

@@ -1,0 +1,94 @@
+"""Span-tree analyzer tests over the recorded JSONL fixture."""
+
+from repro.doctor.spans import (
+    QueueWaitSkew,
+    ReadaheadCollapse,
+    RetryDominatedOpens,
+)
+
+from tests.doctor.conftest import make_evidence
+
+
+def span(name, sid="s", parent=None, trace="t", start=0.0, end=100.0,
+         **attrs):
+    return {"trace": trace, "sid": sid, "parent": parent, "name": name,
+            "start_us": start, "end_us": end, "status": "ok",
+            "attrs": attrs}
+
+
+class TestRetryDominatedOpens:
+    def test_fires_on_fixture(self, fixture_spans):
+        found = RetryDominatedOpens().analyze(
+            make_evidence(spans=fixture_spans))
+        assert len(found) == 1
+        assert found[0].scope == "trace-retry"
+        assert found[0].evidence["retries"] == 3
+        assert found[0].severity == "warning"
+
+    def test_silent_below_min_retries(self):
+        spans = [span("op.read", sid=f"o{i}", trace="t",
+                      **({"cause": "retry"} if i == 0 else {}))
+                 for i in range(4)]
+        assert not RetryDominatedOpens().analyze(
+            make_evidence(spans=spans))
+
+    def test_silent_when_retries_are_a_small_fraction(self):
+        spans = [span("op.read", sid=f"o{i}", trace="t",
+                      **({"cause": "retry"} if i < 2 else {}))
+                 for i in range(20)]  # 2/20 = 10% < 25%
+        assert not RetryDominatedOpens().analyze(
+            make_evidence(spans=spans))
+
+
+class TestQueueWaitSkew:
+    def test_fires_on_fixture(self, fixture_spans):
+        found = QueueWaitSkew().analyze(make_evidence(spans=fixture_spans))
+        assert len(found) == 1
+        assert found[0].subsystem == "host"
+        assert found[0].evidence["median_service_fraction"] < 0.2
+
+    def _pairs(self, count, frame_us, service_us):
+        spans = []
+        for i in range(count):
+            base = i * 10000.0
+            spans.append(span("frame.read", sid=f"f{i}", start=base,
+                              end=base + frame_us))
+            spans.append(span("dispatch.read", sid=f"d{i}",
+                              parent=f"f{i}", start=base,
+                              end=base + service_us))
+        return spans
+
+    def test_silent_when_service_dominates(self):
+        spans = self._pairs(10, frame_us=1000.0, service_us=900.0)
+        assert not QueueWaitSkew().analyze(make_evidence(spans=spans))
+
+    def test_silent_below_sample_floor(self):
+        spans = self._pairs(3, frame_us=1000.0, service_us=10.0)
+        assert not QueueWaitSkew().analyze(make_evidence(spans=spans))
+
+
+class TestReadaheadCollapse:
+    def test_fires_on_fixture(self, fixture_spans):
+        found = ReadaheadCollapse().analyze(
+            make_evidence(spans=fixture_spans))
+        assert len(found) == 1
+        assert found[0].evidence["demand_fraction"] == 0.7
+
+    def _fills(self, total, demand):
+        return [span("cache.fill", sid=f"c{i}",
+                     cause="demand" if i < demand else "prefetch")
+                for i in range(total)]
+
+    def test_silent_when_prefetch_covers_reads(self):
+        assert not ReadaheadCollapse().analyze(
+            make_evidence(spans=self._fills(10, demand=2)))
+
+    def test_silent_when_prefetch_is_simply_off(self):
+        # all-demand fills mean read-ahead never engaged: a workload
+        # choice, not a collapse
+        assert not ReadaheadCollapse().analyze(
+            make_evidence(spans=self._fills(10, demand=10)))
+
+    def test_silent_below_sample_floor(self):
+        assert not ReadaheadCollapse().analyze(
+            make_evidence(spans=self._fills(4, demand=4)))

@@ -53,6 +53,17 @@ class TestReadmeCode:
         assert not TELEMETRY.tracing, "README block must restore the default"
         TELEMETRY.reset()
 
+    def test_doctor_block_runs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # the block writes diag.af + evidence/
+        blocks = [b for b in python_blocks() if "doctor" in b]
+        assert blocks, "README lost its doctor block"
+        exec(compile(blocks[0], "<README doctor>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "doctor:" in out, "doctor must print its verdict line"
+        assert "doctor exit code: 0" in out
+        assert (tmp_path / "evidence" / "snapshot.json").exists()
+        assert (tmp_path / "evidence" / "meta.json").exists()
+
     def test_chaos_scenario_block_lints_clean(self):
         text = README.read_text()
         blocks = re.findall(r"```yaml\n(.*?)```", text, flags=re.DOTALL)

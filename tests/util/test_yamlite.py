@@ -1,0 +1,92 @@
+"""Unit tests for the extracted YAML-subset parser."""
+
+import pytest
+
+from repro.util import yamlite
+from repro.util.yamlite import YamliteError
+
+
+class TestScalars:
+    @pytest.mark.parametrize("token,expected", [
+        ("42", 42),
+        ("-3", -3),
+        ("2.5", 2.5),
+        ("true", True),
+        ("false", False),
+        ("null", None),
+        ("~", None),
+        ("'quoted'", "quoted"),
+        ('"double"', "double"),
+        ("bare string", "bare string"),
+        ("1.2.3", "1.2.3"),
+    ])
+    def test_scalar_coercion(self, token, expected):
+        assert yamlite.loads(f"key: {token}")["key"] == expected
+
+    def test_empty_value_is_null(self):
+        assert yamlite.loads("key:")["key"] is None
+
+
+class TestStructure:
+    def test_nested_maps(self):
+        doc = yamlite.loads(
+            "outer:\n"
+            "  inner:\n"
+            "    leaf: 1\n"
+            "  sibling: 2\n")
+        assert doc == {"outer": {"inner": {"leaf": 1}, "sibling": 2}}
+
+    def test_list_of_scalars(self):
+        doc = yamlite.loads("items:\n  - a\n  - 2\n  - true\n")
+        assert doc == {"items": ["a", 2, True]}
+
+    def test_list_of_mappings_inline_key(self):
+        doc = yamlite.loads(
+            "rules:\n"
+            "  - name: first\n"
+            "    weight: 1\n"
+            "  - name: second\n"
+            "    weight: 2\n")
+        assert doc["rules"] == [{"name": "first", "weight": 1},
+                                {"name": "second", "weight": 2}]
+
+    def test_comments_and_blank_lines_skipped(self):
+        doc = yamlite.loads(
+            "# leading comment\n"
+            "\n"
+            "key: value  # trailing comment\n")
+        assert doc == {"key": "value"}
+
+    def test_hash_inside_quotes_is_not_a_comment(self):
+        doc = yamlite.loads("key: 'a # b'\n")
+        assert doc["key"] == "a # b"
+
+    def test_json_document_passthrough(self):
+        assert yamlite.loads('{"a": [1, 2], "b": null}') == \
+            {"a": [1, 2], "b": None}
+
+
+class TestErrors:
+    def test_empty_document(self):
+        with pytest.raises(YamliteError, match="empty document"):
+            yamlite.loads("   \n# only a comment\n")
+
+    def test_tab_indentation_rejected(self):
+        with pytest.raises(YamliteError, match="tabs"):
+            yamlite.loads("outer:\n\tinner: 1\n")
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(YamliteError, match="invalid JSON"):
+            yamlite.loads('{"unterminated": ')
+
+    def test_missing_colon(self):
+        with pytest.raises(YamliteError):
+            yamlite.loads("just a bare line\n")
+
+    def test_inconsistent_dedent_is_trailing_content(self):
+        with pytest.raises(YamliteError, match="trailing content"):
+            yamlite.loads("  indented: 1\nouter: 2\n")
+
+    def test_sequence_item_in_mapping(self):
+        with pytest.raises(YamliteError, match="sequence item"):
+            yamlite.loads("key: 1\n- stray\n")
