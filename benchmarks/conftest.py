@@ -72,6 +72,22 @@ BENCH_ADAPTIVE_RESULT_KEYS = {
 }
 
 
+#: Per-leg measurement keys shared by both legs of BENCH_fanout.json.
+_BENCH_FANOUT_LEG_KEYS = ("subscribers", "rounds", "reads", "bytes_read",
+                          "elapsed_s", "reads_per_s", "read_mbps",
+                          "origin_requests", "p50_us", "p95_us")
+
+#: Required per-section result keys of BENCH_fanout.json — the
+#: coherence/fan-out artifact of benchmarks/test_fanout.py (PR 10).
+BENCH_FANOUT_RESULT_KEYS = {
+    "independent_caches": _BENCH_FANOUT_LEG_KEYS,
+    "coherent_fanout": _BENCH_FANOUT_LEG_KEYS + (
+        "fresh_read_p50_ms", "fresh_read_p95_ms", "fresh_read_slo_ms",
+        "published", "delivered", "lease_invalidated"),
+    "speedup": ("aggregate_read_throughput", "origin_request_reduction"),
+}
+
+
 def check_bench_schema(doc, result_keys, *, name="benchmark json"):
     """Assert a BENCH_*.json document keeps its published keys.
 

@@ -17,6 +17,7 @@ import pytest
 from benchmarks.conftest import (
     BENCH_ADAPTIVE_RESULT_KEYS,
     BENCH_CACHE_RESULT_KEYS,
+    BENCH_FANOUT_RESULT_KEYS,
     BENCH_RECOVERY_RESULT_KEYS,
     BENCH_SHM_RESULT_KEYS,
     BENCH_SWARM_RESULT_KEYS,
@@ -52,6 +53,11 @@ def test_bench_shm_schema():
 def test_bench_swarm_schema():
     check_bench_schema(_load("BENCH_swarm.json"), BENCH_SWARM_RESULT_KEYS,
                        name="BENCH_swarm.json")
+
+
+def test_bench_fanout_schema():
+    check_bench_schema(_load("BENCH_fanout.json"), BENCH_FANOUT_RESULT_KEYS,
+                       name="BENCH_fanout.json")
 
 
 def test_bench_adaptive_schema():

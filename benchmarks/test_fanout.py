@@ -1,0 +1,213 @@
+"""Fan-out benchmark: one origin write reaches N subscribed opens.
+
+Two legs over the same simulated WAN (500 µs one-way, 1 Gbps — every
+origin exchange costs real wall time):
+
+* ``independent_caches`` — N validating opens, no coherence domain.
+  Every round the origin moves, so every reader pays its own stat +
+  window refetch: origin traffic scales with N.
+* ``coherent_fanout`` — the same N opens lease-coherent and subscribed,
+  plus one writer.  Each round the writer pushes once and the domain
+  push-installs the bytes into all N caches: readers serve the fresh
+  window at memory speed with zero origin round trips, and origin
+  traffic per round is O(1) instead of O(N).
+
+Reported: aggregate read throughput per leg (the acceptance bar is a
+≥5x coherent speedup at 100 subscribers), per-read latency, and the
+invalidation-to-fresh-read distribution — the time from the writer's
+update landing to each subscriber holding the new bytes — against a
+declared SLO.
+
+Artifact: ``BENCH_fanout.json`` at the repo root, schema-guarded by
+``benchmarks/test_bench_schema.py``.
+
+Environment knobs (CI smoke runs reduced):
+
+* ``REPRO_BENCH_FANOUT_WIDTH``  — subscribed opens (default 100)
+* ``REPRO_BENCH_FANOUT_ROUNDS`` — write/fan-out rounds (default 5)
+* ``REPRO_BENCH_FANOUT_SLO_MS`` — invalidation-to-fresh-read p95 SLO
+  (default 250 ms: at full width the tail reader drains ~100 queued
+  cache reads after each write, with headroom for slow CI machines)
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.conftest import BENCH_FANOUT_RESULT_KEYS, check_bench_schema
+from repro.core import create_active, open_active
+from repro.net import Address, FileServer, LinkProfile, Network, WallClock
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+REMOTE = "repro.sentinels.remotefile:RemoteFileSentinel"
+
+WIDTH = int(os.environ.get("REPRO_BENCH_FANOUT_WIDTH", "100"))
+ROUNDS = int(os.environ.get("REPRO_BENCH_FANOUT_ROUNDS", "5"))
+SLO_MS = float(os.environ.get("REPRO_BENCH_FANOUT_SLO_MS", "250"))
+
+BLOCK = 4096
+WINDOW = 4 * BLOCK           # the hot extent every subscriber re-reads
+TOTAL = 64 * 1024            # origin blob size
+
+RESULTS_PATH = os.environ.get("BENCH_FANOUT_JSON",
+                              str(REPO_ROOT / "BENCH_fanout.json"))
+
+_results: dict[str, dict] = {}
+
+
+def _record(name: str, entry: dict) -> None:
+    _results[name] = entry
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump({"block_size": BLOCK, "total_bytes": TOTAL,
+                   "link": {"latency_us": 500.0, "bandwidth_mbps": 1000.0},
+                   "strategy": "process-control",
+                   "results": _results}, handle, indent=2)
+    print(f"\n{name}: {entry}")
+
+
+def _percentile(ordered, q: float) -> float:
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+
+def _wan():
+    network = Network(profile=LinkProfile(latency_us=500.0,
+                                          bandwidth_mbps=1000.0),
+                      clock=WallClock())
+    server = network.bind(Address("origin", 7000), FileServer())
+    server.put_file("data/blob", b"\x11" * TOTAL)
+    return network, server
+
+
+def _make_remote(tmp_path, name, **params):
+    path = tmp_path / f"{name}.af"
+    create_active(path, REMOTE,
+                  params={"address": "origin:7000", "path": "data/blob",
+                          "cache": "memory", "block_size": BLOCK, **params},
+                  meta={"data": "memory"})
+    return str(path)
+
+
+def _read_stats(per_read: list[float], elapsed: float,
+                origin_requests: int) -> dict:
+    ordered = sorted(per_read)
+    reads = len(per_read)
+    return {
+        "subscribers": WIDTH,
+        "rounds": ROUNDS,
+        "reads": reads,
+        "bytes_read": reads * WINDOW,
+        "elapsed_s": round(elapsed, 4),
+        "reads_per_s": round(reads / elapsed, 1) if elapsed else 0.0,
+        "read_mbps": round(reads * WINDOW / elapsed / 1e6, 2)
+        if elapsed else 0.0,
+        "origin_requests": origin_requests,
+        "p50_us": round(_percentile(ordered, 0.50) * 1e6, 1),
+        "p95_us": round(_percentile(ordered, 0.95) * 1e6, 1),
+    }
+
+
+def test_fanout_vs_independent_caches(tmp_path):
+    # -- leg 1: N independent validating caches ------------------------------
+    network, server = _wan()
+    path = _make_remote(tmp_path, "independent", validate=True)
+    readers = [open_active(path, "rb", strategy="process-control",
+                           network=network) for _ in range(WIDTH)]
+    try:
+        for stream in readers:
+            stream.read(WINDOW)  # warm every cache outside timing
+        per_read: list[float] = []
+        before = network.stats.requests
+        started = time.perf_counter()
+        for round_index in range(ROUNDS):
+            # the origin moves: every validating reader must notice
+            server.put_file("data/blob",
+                            bytes([round_index + 1]) * TOTAL)
+            for stream in readers:
+                stream.seek(0)
+                op = time.perf_counter()
+                assert len(stream.read(WINDOW)) == WINDOW
+                per_read.append(time.perf_counter() - op)
+        elapsed = time.perf_counter() - started
+        baseline = _read_stats(per_read, elapsed,
+                               network.stats.requests - before)
+        _record("independent_caches", baseline)
+    finally:
+        for stream in readers:
+            stream.close()
+
+    # -- leg 2: the same width on the coherence + fan-out plane --------------
+    network, server = _wan()
+    path = _make_remote(tmp_path, "coherent", coherent=True)
+    writer = open_active(path, "r+b", strategy="process-control",
+                         network=network)
+    readers = [open_active(path, "rb", strategy="process-control",
+                           network=network) for _ in range(WIDTH)]
+    try:
+        subs = []
+        for stream in readers:
+            stream.read(WINDOW)  # warm the cache; the open granted a lease
+            subs.append(stream.subscribe())
+        per_read = []
+        fresh_read_s: list[float] = []
+        records = 0
+        before = network.stats.requests
+        started = time.perf_counter()
+        for round_index in range(ROUNDS):
+            # ONE origin write; the domain fans the bytes out to all N
+            writer.seek(0)
+            writer.write(bytes([round_index + 1]) * WINDOW)
+            written_at = time.perf_counter()
+            for stream, sub in zip(readers, subs):
+                records += len(stream.poll(sub))
+                stream.seek(0)
+                op = time.perf_counter()
+                assert len(stream.read(WINDOW)) == WINDOW
+                per_read.append(time.perf_counter() - op)
+                fresh_read_s.append(time.perf_counter() - written_at)
+        elapsed = time.perf_counter() - started
+        coherent = _read_stats(per_read, elapsed,
+                               network.stats.requests - before)
+        assert records == WIDTH * ROUNDS, \
+            f"subscribers saw {records} records, want {WIDTH * ROUNDS}"
+        stats, _ = writer.control("coherence-stats")
+        ordered_fresh = sorted(fresh_read_s)
+        coherent.update({
+            "fresh_read_p50_ms": round(
+                _percentile(ordered_fresh, 0.50) * 1e3, 2),
+            "fresh_read_p95_ms": round(
+                _percentile(ordered_fresh, 0.95) * 1e3, 2),
+            "fresh_read_slo_ms": SLO_MS,
+            "published": int(stats["published"]),
+            "delivered": int(stats["delivered"]),
+            "lease_invalidated": int(stats["lease_invalidated"]),
+        })
+        _record("coherent_fanout", coherent)
+    finally:
+        writer.close()
+        for stream in readers:
+            stream.close()
+
+    # -- the acceptance bar --------------------------------------------------
+    speedup = coherent["read_mbps"] / max(baseline["read_mbps"], 1e-9)
+    origin_cut = baseline["origin_requests"] \
+        / max(coherent["origin_requests"], 1)
+    _record("speedup", {
+        "aggregate_read_throughput": round(speedup, 2),
+        "origin_request_reduction": round(origin_cut, 2),
+    })
+    with open(RESULTS_PATH) as handle:
+        check_bench_schema(json.load(handle), BENCH_FANOUT_RESULT_KEYS,
+                           name=RESULTS_PATH)
+    assert speedup >= 5.0, \
+        (f"coherent fan-out read throughput is only {speedup:.2f}x the "
+         f"independent-cache baseline (want >= 5x at width {WIDTH})")
+    assert coherent["fresh_read_p95_ms"] < SLO_MS, \
+        (f"invalidation-to-fresh-read p95 "
+         f"{coherent['fresh_read_p95_ms']:.2f}ms breaches the "
+         f"{SLO_MS}ms SLO")
+    assert coherent["lease_invalidated"] == 0, \
+        "push-install writes must not revoke reader leases"

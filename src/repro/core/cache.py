@@ -136,7 +136,8 @@ class BlockCache:
                  fetch_window: Callable[[int, int],
                                         Callable[[], bytes]] | None = None,
                  push_extents: Callable[[list[tuple[int, bytes]]],
-                                        Any] | None = None) -> None:
+                                        Any] | None = None,
+                 coherence: Any = None) -> None:
         if block_size <= 0:
             raise CacheError(f"block size must be positive, got {block_size}")
         if max_blocks is not None and max_blocks <= 0:
@@ -156,6 +157,11 @@ class BlockCache:
         self.writeback_bytes = writeback_bytes
         self._fetch_window = fetch_window
         self._push_extents = push_extents
+        #: Optional :class:`~repro.core.fanout.CoherenceDomain`: origin
+        #: fills route through its single-flight table, so concurrent
+        #: misses for one window from different opens of the same
+        #: container collapse onto one origin fetch.
+        self._coherence = coherence
         #: LRU of valid block indices (most recently used last).
         self._valid: OrderedDict[int, None] = OrderedDict()
         #: Origin size discovered from a short block fetch, if any.
@@ -346,10 +352,19 @@ class BlockCache:
         offset = start_block * self.block_size
         size = nblocks * self.block_size
         if self._fetch_window is not None:
-            resolver = self._fetch_window(offset, size)
+            start = lambda: self._fetch_window(offset, size)  # noqa: E731
         else:
             fetch = self._fetch
-            resolver = lambda: fetch(offset, size)  # noqa: E731
+
+            def start(fetch=fetch, offset=offset, size=size):
+                return lambda: fetch(offset, size)
+        if self._coherence is not None:
+            # Single-flight across opens: only the first member to miss
+            # this window actually issues the origin request; peers get
+            # a joining resolver from the domain's fill table.
+            resolver = self._coherence.fill((offset, size), start)
+        else:
+            resolver = start()
         fetched = _WindowFetch(start_block, nblocks, self._generation,
                                self._write_epoch, resolver)
         for block in fetched.blocks:
@@ -634,6 +649,48 @@ class BlockCache:
                 self._valid.pop(block, None)
                 self._inflight.pop(block, None)
             self._known_end = None
+
+    def install_published(self, offset: int, data: bytes,
+                          total_size: int | None = None) -> None:
+        """Push-install bytes published by a peer open of this container.
+
+        The fan-out alternative to :meth:`invalidate`: instead of
+        dropping the covered blocks and re-fetching from origin, the
+        publisher's bytes land directly in the store, so this cache's
+        read lease can stay valid across the remote write.  Buffered
+        local write-behind data is newer than any publication and is
+        never overwritten; in-flight fetches overlapping the range are
+        disarmed (their bytes predate the publish).  *total_size*, when
+        given, is the authoritative post-publish file size.
+        """
+        with self._lock:
+            bs = self.block_size
+            end = offset + len(data)
+            if data:
+                self._write_epoch += 1
+                first = offset // bs
+                last = (end - 1) // bs
+                for block in range(first, last + 1):
+                    self._inflight.pop(block, None)
+                for start, stop in self._clean_subranges(offset, end):
+                    self._store.write_at(start, data[start - offset:
+                                                    stop - offset])
+                for block in range(first, last + 1):
+                    if offset <= block * bs and end >= (block + 1) * bs:
+                        self._admit(block)
+                if self._known_end is not None and end > self._known_end:
+                    self._known_end = end
+            if total_size is not None:
+                # Authoritative post-publish size (dirty write-behind
+                # extents still extend the effective end past it).
+                total_size = int(total_size)
+                self._known_end = total_size
+                for block in [b for b in self._valid
+                              if b * bs >= total_size]:
+                    self._valid.pop(block)
+                for block in [b for b in self._inflight
+                              if b * bs >= total_size]:
+                    self._inflight.pop(block, None)
 
     def stats(self) -> dict[str, Any]:
         """A plain-data snapshot of every cache counter."""

@@ -153,6 +153,26 @@ class SentinelDispatcher:
                 fields.get("args") or {}, payload
             )
             return {"ok": True, **(out_fields or {})}, out_payload
+        if cmd == "publish":
+            # Fan-out plane: apply the payload as a write and multicast
+            # it to every peer open and subscriber of this container's
+            # coherence domain.
+            out = self.sentinel.on_publish(
+                self.ctx, int(fields.get("offset", 0)), payload,
+                fields.get("meta") or {})
+            return {"ok": True, **(out or {})}, b""
+        if cmd == "subscribe":
+            out = self.sentinel.on_subscribe(self.ctx,
+                                             fields.get("args") or {})
+            return {"ok": True, **(out or {})}, b""
+        if cmd == "poll":
+            out_fields, out_payload = self.sentinel.on_poll(
+                self.ctx, fields.get("args") or {})
+            return {"ok": True, **(out_fields or {})}, out_payload
+        if cmd == "unsubscribe":
+            out = self.sentinel.on_unsubscribe(self.ctx,
+                                               fields.get("args") or {})
+            return {"ok": True, **(out or {})}, b""
         if cmd == "close":
             self.close()
             return {"ok": True}, b""
@@ -166,7 +186,12 @@ class SentinelDispatcher:
         try:
             self.sentinel.on_close(self.ctx)
         finally:
-            self.ctx.data.close()
+            try:
+                release = getattr(self.sentinel, "_fanout_release", None)
+                if release is not None:
+                    release(self.ctx)
+            finally:
+                self.ctx.data.close()
 
 
 class StreamDispatcher:
@@ -245,4 +270,9 @@ class StreamDispatcher:
             try:
                 self.sentinel.on_close(self.ctx)
             finally:
-                self.ctx.data.close()
+                try:
+                    release = getattr(self.sentinel, "_fanout_release", None)
+                    if release is not None:
+                        release(self.ctx)
+                finally:
+                    self.ctx.data.close()

@@ -321,6 +321,51 @@ class ActiveFile(io.RawIOBase):
         with self._span("control", op=op):
             return self._session.control(op, args, payload)
 
+    def publish(self, data: bytes, offset: int | None = None,
+                meta: dict[str, Any] | None = None) -> int:
+        """Write *data* at *offset* (default: the cursor) and fan it out
+        to every peer open and subscriber of this container's coherence
+        domain.  Returns the publish sequence number.
+
+        The pub/sub face of the paper's "multiple synchronizing
+        sentinels": one publish reaches every subscribed open without
+        each paying its own origin round trip.
+        """
+        self._ensure_open()
+        if not self._writable:
+            raise UnsupportedOperationError(f"{self.name}: not open for writing")
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            data = bytes(data)
+        position = self._pos if offset is None else int(offset)
+        with self._span("publish", offset=position, size=len(data)):
+            written, seq = self._session.publish(position, bytes(data), meta)
+        if offset is None:
+            self._pos += written
+        self.stats.writes += 1
+        self.stats.bytes_written += written
+        return seq
+
+    def subscribe(self, max_pending: int | None = None) -> int:
+        """Open a bounded update queue on the coherence domain."""
+        self._ensure_open()
+        with self._span("subscribe"):
+            return self._session.subscribe(max_pending)
+
+    def poll(self, sub: int, max_items: int = 64) -> list[dict[str, Any]]:
+        """Drain pending update records for subscription *sub*.
+
+        Raises :class:`~repro.errors.SubscriberEvictedError` (once) if
+        the queue overflowed and the subscription was evicted.
+        """
+        self._ensure_open()
+        with self._span("poll"):
+            return self._session.poll(sub, max_items)
+
+    def unsubscribe(self, sub: int) -> None:
+        self._ensure_open()
+        with self._span("unsubscribe"):
+            self._session.unsubscribe(sub)
+
     def cache_stats(self) -> dict[str, Any]:
         """The sentinel's cache counters, via the ``cache-stats`` control op.
 

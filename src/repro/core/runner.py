@@ -54,6 +54,7 @@ from repro.core.channel import (
 )
 from repro.core.container import Container
 from repro.core.dispatch import SentinelDispatcher, StreamDispatcher
+from repro.core.fanout import domain_for
 from repro.core.netproxy import NetworkBridgeServer, ProxyNetwork
 from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
@@ -180,7 +181,11 @@ class HostAgent:
         shm_ok = bool(shm_info) and self._attach_shm(shm_info)
         # Each open re-loads the container so concurrent sessions keep the
         # independent data-part state per-open children used to have;
-        # cross-open coordination stays on FileLock (shared=None).
+        # cross-open coordination stays on FileLock (shared=None).  This
+        # child serves every open of its container, so it IS the
+        # container's consistency domain: each open joins the shared
+        # CoherenceDomain (leases, write fences, single-flight fills,
+        # pub/sub fan-out).
         container = Container.load(self.container_path)
         sentinel = container.spec.instantiate()
         ctx = SentinelContext(
@@ -189,6 +194,7 @@ class HostAgent:
             data=make_data_part(container),
             network=ProxyNetwork(self.channel) if self.use_network else None,
             shared=None,
+            coherence=domain_for(self.container_path),
             meta=dict(container.meta),
             strategy=strategy,
         )

@@ -552,9 +552,78 @@ class LocalWriteWorkload(Workload):
         return False, "on-disk data part diverged from the writes"
 
 
+class FanoutReadWorkload(Workload):
+    """One coherent writer + N subscribed coherent readers of one remote
+    file, all on the pooled host's coherence domain.
+
+    Every write through the writer is push-installed into each reader's
+    cache and lands one record in each subscriber queue; after the
+    drive, every reader (and the origin) must be byte-identical to the
+    writer's view and every subscriber must have seen every update.
+    """
+
+    kind = "fanout-read"
+
+    def setup(self) -> None:
+        from repro.core import open_active
+        size = int(self.params.get("bytes", 16 * 1024))
+        self.content = _content(self.seed, size)
+        self.expected = bytearray(self.content)
+        self.server, path = self._remote_rig(
+            self.content, cache="memory", coherent=True,
+            block_size=int(self.params.get("block_size", 4096)),
+            retries=int(self.params.get("retries", 8)))
+        readers = int(self.params.get("readers", 3))
+        self.streams = [open_active(path, "r+b", strategy="process-control",
+                                    network=self.network)]
+        self.streams += [open_active(path, "rb", strategy="process-control",
+                                     network=self.network)
+                         for _ in range(readers)]
+        self.subs: list[int] = []
+        for stream in self.streams[1:]:
+            stream.read(1024)  # warm the cache; the open granted a lease
+            self.subs.append(stream.subscribe())
+
+    def drive(self) -> None:
+        writer = self.streams[0]
+        rng = random.Random(self.seed)
+        chunk = int(self.params.get("chunk", 512))
+        size = len(self.expected)
+        for _ in range(int(self.params.get("writes", 6))):
+            offset = rng.randrange(0, max(1, size - chunk))
+            data = bytes(rng.randrange(256) for _ in range(chunk))
+            writer.seek(offset)
+            writer.write(data)
+            self.expected[offset:offset + chunk] = data
+        self.records = 0
+        for stream, sub in zip(self.streams[1:], self.subs):
+            self.records += len(stream.poll(sub, max_items=256))
+
+    def verify(self) -> tuple[bool, str]:
+        expected = bytes(self.expected)
+        diverged = 0
+        for stream in self.streams[1:]:
+            stream.seek(0)
+            if self._read_all(stream, 4096) != expected:
+                diverged += 1
+        if diverged:
+            return False, (f"{diverged}/{len(self.subs)} subscribed "
+                           "reader(s) diverged after heal")
+        if self.server.get_file("data/blob.bin") != expected:
+            return False, "origin bytes diverged from the writer's updates"
+        want = int(self.params.get("writes", 6)) * len(self.subs)
+        if self.records != want:
+            return False, (f"subscribers saw {self.records} update "
+                           f"records, expected {want}")
+        return True, (f"{len(self.subs)} subscribed readers byte-identical "
+                      f"after {want // max(len(self.subs), 1)} fanned-out "
+                      f"writes ({self.records} update records)")
+
+
 WORKLOADS: dict[str, type[Workload]] = {
     w.kind: w for w in (SequentialReadWorkload, SeededWriteWorkload,
-                        SwarmReadWorkload, LocalWriteWorkload)
+                        SwarmReadWorkload, LocalWriteWorkload,
+                        FanoutReadWorkload)
 }
 
 

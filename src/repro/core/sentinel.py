@@ -54,6 +54,11 @@ class SentinelContext:
     network: Any = None
     #: Cross-open shared state (thread/inproc strategies of one process).
     shared: SharedState | None = None
+    #: The per-container :class:`~repro.core.fanout.CoherenceDomain`
+    #: joining every open served by this process (leases, write fences,
+    #: single-flight fills, pub/sub fan-out); ``None`` when the serving
+    #: strategy provides no cross-open coherence.
+    coherence: Any = None
     #: Container metadata (free-form).
     meta: dict[str, Any] = field(default_factory=dict)
     #: Strategy name serving this open ("process", "thread", ...).
@@ -146,6 +151,84 @@ class Sentinel:
         raise UnsupportedOperationError(
             f"{type(self).__name__} does not implement control op {op!r}"
         )
+
+    # -- fan-out plane (coherence domain) ------------------------------------------
+
+    def _fanout_domain(self, ctx: SentinelContext):
+        domain = ctx.coherence
+        if domain is None:
+            raise UnsupportedOperationError(
+                f"{type(self).__name__}: this open has no coherence domain "
+                "(the serving strategy provides no cross-open fan-out)")
+        return domain
+
+    def _fanout_member(self, ctx: SentinelContext) -> int:
+        """This open's domain member id, registered lazily.
+
+        Sentinels that join the domain with cache callbacks (e.g. the
+        remote-file sentinel) set ``_fanout_member_id`` themselves in
+        ``on_open``; the base class registers a callback-free member.
+        """
+        member = getattr(self, "_fanout_member_id", None)
+        if member is None:
+            member = self._fanout_domain(ctx).register()
+            self._fanout_member_id = member
+        return member
+
+    def _fanout_release(self, ctx: SentinelContext) -> None:
+        """Leave the domain at close (called by the dispatchers)."""
+        domain = ctx.coherence
+        if domain is None:
+            return
+        member = getattr(self, "_fanout_member_id", None)
+        if member is not None:
+            domain.unregister(member)
+            self._fanout_member_id = None
+
+    def on_publish(self, ctx: SentinelContext, offset: int, data: bytes,
+                   meta: dict[str, Any]) -> dict[str, Any]:
+        """Apply *data* as a write, then fan it out to the domain.
+
+        The default routes through :meth:`on_write` (so a publishing
+        open observes its own update) and multicasts to every peer and
+        subscriber.  *meta* fields ride along on the update records.
+        A domain-aware write path (one that publishes inside its own
+        write fence) is detected by its sequence number and not
+        published a second time.
+        """
+        domain = self._fanout_domain(ctx)
+        member = self._fanout_member(ctx)
+        before = domain.last_published(member)
+        written = self.on_write(ctx, offset, data)
+        seq = domain.last_published(member)
+        if seq == before:
+            seq = domain.publish(member, offset, data,
+                                 fields=dict(meta or {}))
+        return {"written": written, "seq": seq}
+
+    def on_subscribe(self, ctx: SentinelContext,
+                     args: dict[str, Any]) -> dict[str, Any]:
+        """Open a bounded update queue; returns ``{"sub": id}``."""
+        from repro.core.fanout import DEFAULT_MAX_PENDING
+
+        domain = self._fanout_domain(ctx)
+        sub = domain.subscribe(
+            self._fanout_member(ctx),
+            max_pending=int(args.get("max_pending", DEFAULT_MAX_PENDING)))
+        return {"sub": sub}
+
+    def on_poll(self, ctx: SentinelContext, args: dict[str, Any]
+                ) -> tuple[dict[str, Any], bytes]:
+        """Drain pending update records for one subscription."""
+        domain = self._fanout_domain(ctx)
+        updates = domain.poll(int(args["sub"]),
+                              max_items=int(args.get("max_items", 64)))
+        return {"updates": updates, "seq": domain.seq}, b""
+
+    def on_unsubscribe(self, ctx: SentinelContext,
+                       args: dict[str, Any]) -> dict[str, Any]:
+        self._fanout_domain(ctx).unsubscribe(int(args["sub"]))
+        return {}
 
     # -- stream-mode adaptation (simple process strategy) ---------------------------
 

@@ -93,6 +93,31 @@ class Session:
                 payload: bytes = b"") -> tuple[dict[str, Any], bytes]:
         raise UnsupportedOperationError(f"{self.strategy}: control unsupported")
 
+    # -- fan-out plane (coherence domain) ------------------------------------------
+
+    def publish(self, offset: int, data: bytes,
+                meta: "dict[str, Any] | None" = None) -> tuple[int, int]:
+        """Write *data* and fan it out to every peer open/subscriber of
+        this container's coherence domain; returns ``(written, seq)``."""
+        raise UnsupportedOperationError(
+            f"{self.strategy}: publish unsupported"
+        )
+
+    def subscribe(self, max_pending: int | None = None) -> int:
+        """Open a bounded pending-update queue; returns its id."""
+        raise UnsupportedOperationError(
+            f"{self.strategy}: subscribe unsupported"
+        )
+
+    def poll(self, sub: int, max_items: int = 64) -> "list[dict[str, Any]]":
+        """Drain pending update records (oldest first)."""
+        raise UnsupportedOperationError(f"{self.strategy}: poll unsupported")
+
+    def unsubscribe(self, sub: int) -> None:
+        raise UnsupportedOperationError(
+            f"{self.strategy}: unsubscribe unsupported"
+        )
+
     # -- sequential plane (simple process strategy) -------------------------------
 
     def read_stream(self, size: int) -> bytes:

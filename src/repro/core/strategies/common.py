@@ -15,6 +15,7 @@ from repro.core import shm as shmplane
 from repro.core.container import Container
 from repro.core.control import raise_for_response
 from repro.core.datapart import ContainerDataPart, DataPart, MemoryDataPart
+from repro.core.fanout import domain_for
 from repro.core.policy import Deadline
 from repro.core.sentinel import SentinelContext
 from repro.core.strategies.base import Session
@@ -521,6 +522,38 @@ class ChannelSession(Session):
         drain()
         return out
 
+    # -- fan-out plane -------------------------------------------------------------
+
+    def publish(self, offset: int, data: bytes,
+                meta: "dict[str, Any] | None" = None) -> tuple[int, int]:
+        """Write *data* and fan it out to every peer open/subscriber.
+
+        Returns ``(written, seq)``.  Not idempotent (a replayed publish
+        would double-deliver to subscriber queues), so it is deliberately
+        outside the supervised-retry command set.
+        """
+        fields, _ = self._op({"cmd": "publish", "offset": int(offset),
+                              "meta": meta or {}}, bytes(data))
+        return int(fields["written"]), int(fields["seq"])
+
+    def subscribe(self, max_pending: int | None = None) -> int:
+        """Open a bounded update queue on the coherence domain."""
+        args: dict[str, Any] = {}
+        if max_pending is not None:
+            args["max_pending"] = int(max_pending)
+        fields, _ = self._op({"cmd": "subscribe", "args": args})
+        return int(fields["sub"])
+
+    def poll(self, sub: int, max_items: int = 64) -> list[dict[str, Any]]:
+        """Drain pending update records (oldest first) for *sub*."""
+        fields, _ = self._op({"cmd": "poll",
+                              "args": {"sub": int(sub),
+                                       "max_items": int(max_items)}})
+        return list(fields.get("updates") or [])
+
+    def unsubscribe(self, sub: int) -> None:
+        self._op({"cmd": "unsubscribe", "args": {"sub": int(sub)}})
+
     def close(self) -> None:
         """Close the session without silently losing writes.
 
@@ -582,14 +615,22 @@ def make_data_part(container: Container) -> DataPart:
 
 def make_context(container: Container, network, strategy: str,
                  with_shared: bool = True) -> SentinelContext:
-    """Build a per-open sentinel context for an in-process strategy."""
+    """Build a per-open sentinel context for an in-process strategy.
+
+    In-process opens of one container share both the legacy
+    ``SharedState`` dict and the container's process-wide
+    :class:`~repro.core.fanout.CoherenceDomain` — the same fabric a
+    pooled host child gives its channel sessions.
+    """
     shared = shared_state_for(container.path) if with_shared else None
+    coherence = domain_for(container.path) if with_shared else None
     return SentinelContext(
         path=str(container.path),
         params=dict(container.spec.params),
         data=make_data_part(container),
         network=network,
         shared=shared,
+        coherence=coherence,
         meta=dict(container.meta),
         strategy=strategy,
     )

@@ -71,6 +71,30 @@ class InprocSession(Session):
         return self._sentinel.on_control(self._ctx, canonical_control_op(op),
                                          args or {}, payload)
 
+    # -- fan-out plane -------------------------------------------------------------
+
+    def publish(self, offset: int, data: bytes,
+                meta: "dict[str, Any] | None" = None) -> tuple[int, int]:
+        if not isinstance(data, bytes):
+            data = bytes(data)
+        out = self._sentinel.on_publish(self._ctx, int(offset), data,
+                                        meta or {})
+        return int(out["written"]), int(out["seq"])
+
+    def subscribe(self, max_pending: int | None = None) -> int:
+        args: dict[str, Any] = {}
+        if max_pending is not None:
+            args["max_pending"] = int(max_pending)
+        return int(self._sentinel.on_subscribe(self._ctx, args)["sub"])
+
+    def poll(self, sub: int, max_items: int = 64) -> list[dict[str, Any]]:
+        fields, _ = self._sentinel.on_poll(
+            self._ctx, {"sub": int(sub), "max_items": int(max_items)})
+        return list(fields.get("updates") or [])
+
+    def unsubscribe(self, sub: int) -> None:
+        self._sentinel.on_unsubscribe(self._ctx, {"sub": int(sub)})
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
@@ -81,7 +105,10 @@ class InprocSession(Session):
         try:
             self._sentinel.on_close(self._ctx)
         finally:
-            self._ctx.data.close()
+            try:
+                self._sentinel._fanout_release(self._ctx)
+            finally:
+                self._ctx.data.close()
 
 
 def open_session(container: Container, network=None) -> InprocSession:

@@ -133,6 +133,30 @@ class ThreadSession(Session):
         fields.pop("ok", None)
         return fields, out_payload
 
+    # -- fan-out plane -------------------------------------------------------------
+
+    def publish(self, offset: int, data: bytes,
+                meta: "dict[str, Any] | None" = None) -> tuple[int, int]:
+        fields, _ = self._roundtrip({"cmd": "publish", "offset": int(offset),
+                                     "meta": meta or {}}, bytes(data))
+        return int(fields["written"]), int(fields["seq"])
+
+    def subscribe(self, max_pending: int | None = None) -> int:
+        args: dict[str, Any] = {}
+        if max_pending is not None:
+            args["max_pending"] = int(max_pending)
+        fields, _ = self._roundtrip({"cmd": "subscribe", "args": args})
+        return int(fields["sub"])
+
+    def poll(self, sub: int, max_items: int = 64) -> list[dict[str, Any]]:
+        fields, _ = self._roundtrip(
+            {"cmd": "poll", "args": {"sub": int(sub),
+                                     "max_items": int(max_items)}})
+        return list(fields.get("updates") or [])
+
+    def unsubscribe(self, sub: int) -> None:
+        self._roundtrip({"cmd": "unsubscribe", "args": {"sub": int(sub)}})
+
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:

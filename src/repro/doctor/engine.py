@@ -85,6 +85,11 @@ KNOWN_METRICS = frozenset({
     "plane.adaptive", "plane.static_min_bytes",
     "plane.selected.inline", "plane.selected.binhdr", "plane.selected.shm",
     "shm.bytes", "shm.fallback_inline", "shm.slots_leased",
+    # coherence + fan-out plane
+    "fanout.published", "fanout.delivered", "fanout.dropped",
+    "fanout.evicted", "fanout.subscribers",
+    "lease.granted", "lease.invalidated", "lease.fill_coalesced",
+    "lease.write_waits",
     "transport.header.binary", "transport.header.json",
     # host.* latency-split histograms (flattened)
     "host.queue_wait_s.count", "host.queue_wait_s.sum",

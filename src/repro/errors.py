@@ -20,6 +20,10 @@ __all__ = [
     "SentinelCrashedError",
     "SessionCloseError",
     "FlushError",
+    "FanoutError",
+    "SubscriberEvictedError",
+    "DistributionError",
+    "AggregationError",
     "StrategyError",
     "UnsupportedOperationError",
     "HandleError",
@@ -96,6 +100,49 @@ class SessionCloseError(SentinelError):
 class FlushError(SentinelError):
     """Buffered writes could not be delivered; data did NOT silently
     vanish — this error reports exactly the unflushed state."""
+
+
+class FanoutError(SentinelError):
+    """A pub/sub fan-out operation on the coherence domain failed."""
+
+
+class SubscriberEvictedError(FanoutError):
+    """A slow subscriber's bounded queue overflowed and it was evicted.
+
+    The subscriber must resubscribe (and re-read for a fresh view);
+    updates between eviction and resubscription were dropped, not
+    silently reordered.
+    """
+
+
+class DistributionError(SentinelError):
+    """One or more downstream legs of a distribution fan-out failed.
+
+    Carries the per-target failures so the application can tell *which*
+    replicas missed the write instead of a generic sentinel failure.
+    """
+
+    def __init__(self, message: str = "",
+                 failures: "list[tuple[str, str]] | None" = None) -> None:
+        self.failures = list(failures or [])
+        if not message and self.failures:
+            legs = "; ".join(f"{target}: {cause}"
+                             for target, cause in self.failures)
+            message = f"{len(self.failures)} distribution leg(s) failed: {legs}"
+        super().__init__(message)
+
+
+class AggregationError(SentinelError):
+    """One or more upstream sources of an aggregation could not be read."""
+
+    def __init__(self, message: str = "",
+                 failures: "list[tuple[str, str]] | None" = None) -> None:
+        self.failures = list(failures or [])
+        if not message and self.failures:
+            legs = "; ".join(f"{source}: {cause}"
+                             for source, cause in self.failures)
+            message = f"{len(self.failures)} aggregation source(s) failed: {legs}"
+        super().__init__(message)
 
 
 class StrategyError(ActiveFileError):

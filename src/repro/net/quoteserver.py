@@ -5,27 +5,41 @@ stock quotes (downloaded by the sentinel from a server) every time the
 file is opened".  Prices move on an explicit deterministic random walk:
 callers advance the market with :meth:`tick`, so tests and examples see
 reproducible sequences (no hidden wall-clock or RNG state).
+
+Beyond snapshot downloads (``BATCH``), the feed keeps a bounded update
+log so subscribed sentinels can ``POLL`` incrementally: "give me every
+price change since generation N".  A poller that falls further behind
+than the log retains gets ``resync: True`` and a full snapshot instead
+of a silent gap.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 
 from repro.net.message import Request, Response
 from repro.net.service import Service
 
 __all__ = ["QuoteServer"]
 
+#: Update-log bound: pollers further behind than this must resync.
+DEFAULT_LOG_SIZE = 256
+
 
 class QuoteServer(Service):
     """An in-memory quote feed with a deterministic price walk."""
 
     def __init__(self, quotes: dict[str, float] | None = None,
-                 seed: int = 0x5EED) -> None:
+                 seed: int = 0x5EED, log_size: int = DEFAULT_LOG_SIZE) -> None:
         self._lock = threading.Lock()
         self._quotes: dict[str, float] = dict(quotes or {})
         self._state = seed & 0xFFFFFFFF
         self.generation = 0
+        self._log: deque[dict] = deque(maxlen=int(log_size))
+        #: Highest generation ever evicted from the log — a ``POLL``
+        #: from at or before this point has lost updates and must resync.
+        self._dropped_through = 0
 
     def _next_step(self) -> float:
         """xorshift32-based step in [-1, 1), deterministic per seed."""
@@ -36,21 +50,31 @@ class QuoteServer(Service):
         self._state = x
         return (x / 2**31) - 1.0
 
+    def _record(self, symbol: str, price: float) -> None:
+        """Append one change to the bounded log (lock held)."""
+        if self._log.maxlen and len(self._log) == self._log.maxlen:
+            self._dropped_through = self._log[0]["generation"]
+        self._log.append({"generation": self.generation,
+                          "symbol": symbol, "price": price})
+
     def set_quote(self, symbol: str, price: float) -> None:
         with self._lock:
             self._quotes[symbol] = price
             self.generation += 1
+            self._record(symbol, price)
 
     def tick(self, steps: int = 1) -> None:
         """Advance the market *steps* times (each symbol moves ±1%)."""
         with self._lock:
             for _ in range(steps):
+                self.generation += 1
                 for symbol in sorted(self._quotes):
                     price = self._quotes[symbol]
-                    self._quotes[symbol] = round(
+                    price = round(
                         max(0.01, price * (1.0 + 0.01 * self._next_step())), 4
                     )
-            self.generation += steps
+                    self._quotes[symbol] = price
+                    self._record(symbol, price)
 
     # -- protocol ------------------------------------------------------------
 
@@ -68,9 +92,38 @@ class QuoteServer(Service):
         with self._lock:
             known = {s: self._quotes[s] for s in symbols if s in self._quotes}
             missing = [s for s in symbols if s not in self._quotes]
-        return Response(fields={"quotes": known, "missing": missing,
-                                "generation": self.generation})
+            return Response(fields={"quotes": known, "missing": missing,
+                                    "generation": self.generation})
 
     def op_SYMBOLS(self, request: Request) -> Response:
         with self._lock:
             return Response(fields={"symbols": sorted(self._quotes)})
+
+    def op_TICK(self, request: Request) -> Response:
+        """Advance the market remotely (drives demos and benchmarks)."""
+        self.tick(int(request.fields.get("steps", 1)))
+        with self._lock:
+            return Response(fields={"generation": self.generation})
+
+    def op_POLL(self, request: Request) -> Response:
+        """Incremental feed: every change after generation *since*.
+
+        Returns ``{"updates": [...], "generation": G, "resync": bool}``.
+        When *since* predates the retained log, ``resync`` is ``True``
+        and ``quotes`` carries a full snapshot — the client replaces its
+        view instead of applying a gapped delta.
+        """
+        since = int(request.fields.get("since", 0))
+        symbols = set(request.fields.get("symbols") or ())
+        with self._lock:
+            if since < self._dropped_through:
+                quotes = {s: p for s, p in self._quotes.items()
+                          if not symbols or s in symbols}
+                return Response(fields={"resync": True, "quotes": quotes,
+                                        "updates": [],
+                                        "generation": self.generation})
+            updates = [dict(entry) for entry in self._log
+                       if entry["generation"] > since
+                       and (not symbols or entry["symbol"] in symbols)]
+            return Response(fields={"resync": False, "updates": updates,
+                                    "generation": self.generation})

@@ -10,6 +10,13 @@ Sources are fetched afresh at every open, which is what makes an
 aggregate active file *live*: unlike the paper's criticized
 intermediary approach, re-opening the file observes changes in the
 original sources.  A ``refresh`` control op re-aggregates mid-open.
+
+Failed sources are attempted to completion and reported together as one
+typed :class:`~repro.errors.AggregationError` naming each one — the
+caller learns exactly which inputs the merged view is missing.  On a
+coherence-domain strategy, concurrent opens collapse onto a single
+source sweep (the domain's single-flight fill), and a ``refresh``
+through one open publishes the rebuilt view to every peer.
 """
 
 from __future__ import annotations
@@ -17,7 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.sentinel import Sentinel, SentinelContext
-from repro.errors import SentinelError
+from repro.errors import AggregationError, SentinelError, UnsupportedOperationError
 from repro.util.bytesbuf import ByteBuffer
 
 __all__ = ["AggregateSentinel"]
@@ -47,6 +54,8 @@ class AggregateSentinel(Sentinel):
         self.separator = str(self.params.get("separator", "")).encode("utf-8")
         self.headers = bool(self.params.get("headers", False))
         self._view = ByteBuffer()
+        self._domain = None
+        self._member: int | None = None
 
     # -- fetching ---------------------------------------------------------------------
 
@@ -77,27 +86,62 @@ class AggregateSentinel(Sentinel):
             return "kv:" + ",".join(source.get("keys") or []), response.payload
         raise SentinelError(f"unknown aggregate source kind: {kind!r}")
 
-    def _aggregate(self, ctx: SentinelContext) -> None:
+    @staticmethod
+    def _describe(source: dict[str, Any]) -> str:
+        kind = source.get("kind", "?")
+        where = source.get("path") or source.get("keys") or ""
+        return f"{kind} {where}".strip()
+
+    def _build_view(self, ctx: SentinelContext) -> bytes:
+        """One full source sweep; every failed source is reported."""
         pieces: list[bytes] = []
+        failures: list[tuple[str, str]] = []
         for source in self.sources:
-            name, body = self._fetch_one(ctx, source)
+            try:
+                name, body = self._fetch_one(ctx, source)
+            except Exception as exc:
+                failures.append((self._describe(source),
+                                 f"{type(exc).__name__}: {exc}"))
+                continue
             if self.headers:
                 pieces.append(f"== {name} ==\n".encode("utf-8"))
             pieces.append(body)
-        self._view.setvalue(self.separator.join(pieces) if not self.headers
-                            else b"".join(pieces))
+        if failures:
+            raise AggregationError(failures=failures)
+        return (self.separator.join(pieces) if not self.headers
+                else b"".join(pieces))
+
+    def _aggregate(self, ctx: SentinelContext, single_flight: bool) -> None:
+        if single_flight and self._domain is not None:
+            # Concurrent opens of one aggregate collapse onto a single
+            # source sweep; a published refresh bumps the epoch, so a
+            # post-refresh open never joins a pre-refresh sweep.
+            resolver = self._domain.fill(
+                ("aggregate", "view"), lambda: lambda: self._build_view(ctx))
+            self._view.setvalue(resolver())
+        else:
+            self._view.setvalue(self._build_view(ctx))
+
+    # -- coherence-domain callbacks ----------------------------------------------------
+
+    def _install_view(self, offset: int, data: bytes,
+                      total: "int | None", version: Any) -> None:
+        """A peer re-aggregated: replace this open's merged view."""
+        self._view.setvalue(bytes(data))
 
     # -- sentinel interface ---------------------------------------------------------------
 
     def on_open(self, ctx: SentinelContext) -> None:
-        self._aggregate(ctx)
+        if ctx.coherence is not None:
+            self._domain = ctx.coherence
+            self._member = self._domain.register(install=self._install_view)
+            self._fanout_member_id = self._member
+        self._aggregate(ctx, single_flight=True)
 
     def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
         return self._view.read_at(offset, size)
 
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
-        from repro.errors import UnsupportedOperationError
-
         raise UnsupportedOperationError("aggregate files are read-only")
 
     def on_size(self, ctx: SentinelContext) -> int:
@@ -105,6 +149,9 @@ class AggregateSentinel(Sentinel):
 
     def on_control(self, ctx: SentinelContext, op, args, payload):
         if op == "refresh":
-            self._aggregate(ctx)
+            self._aggregate(ctx, single_flight=False)
+            if self._member is not None:
+                view = self._view.getvalue()
+                self._domain.publish(self._member, 0, view, total=len(view))
             return {"size": self._view.size}, b""
         return super().on_control(ctx, op, args, payload)

@@ -8,7 +8,15 @@ databases, network connections, and other processes."
 Every application write lands in the data part *and* is propagated to
 each configured target — a tee with remote sinks.  Propagation is
 synchronous ("side effects ... triggered by file operations"), so when
-``write()`` returns, every sink has the bytes.
+``write()`` returns, every sink has the bytes.  Failed legs are
+attempted to completion and reported together as one typed
+:class:`~repro.errors.DistributionError` naming every sink that missed
+the bytes — a partial fan-out is never silent.
+
+On a coherence-domain strategy every open of the distribution file is a
+domain member: a write through one open push-installs into every peer's
+data part and lands one record in every subscriber queue, so the local
+record of what was distributed is identical across opens.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.sentinel import Sentinel, SentinelContext
-from repro.errors import SentinelError
+from repro.errors import DistributionError, SentinelError
 
 __all__ = ["DistributionSentinel"]
 
@@ -45,31 +53,74 @@ class DistributionSentinel(Sentinel):
             if target.get("kind") not in ("fileserver", "local", "kv"):
                 raise SentinelError(f"unknown target kind: {target.get('kind')!r}")
         self.distributed_writes = 0
+        self.failed_legs = 0
+        self._ctx: SentinelContext | None = None
+        self._domain = None
+        self._member: int | None = None
+
+    @staticmethod
+    def _describe(target: dict[str, Any]) -> str:
+        kind = target["kind"]
+        if kind == "fileserver":
+            return f"fileserver {target['address']}:{target['path']}"
+        if kind == "kv":
+            return f"kv {target['address']}[{target['key']}]"
+        return f"local {target['path']}"
 
     def _propagate(self, ctx: SentinelContext, data: bytes) -> None:
+        """Push *data* to every sink; report all failed legs together."""
+        failures: list[tuple[str, str]] = []
         for target in self.targets:
             kind = target["kind"]
-            if kind == "fileserver":
-                connection = ctx.connect(str(target["address"]))
-                connection.expect("append", data, path=target["path"])
-            elif kind == "local":
-                with open(target["path"], "ab") as stream:
-                    stream.write(data)
-            elif kind == "kv":
-                connection = ctx.connect(str(target["address"]))
-                connection.expect("put", data, key=target["key"])
+            try:
+                if kind == "fileserver":
+                    connection = ctx.connect(str(target["address"]))
+                    connection.expect("append", data, path=target["path"])
+                elif kind == "local":
+                    with open(target["path"], "ab") as stream:
+                        stream.write(data)
+                elif kind == "kv":
+                    connection = ctx.connect(str(target["address"]))
+                    connection.expect("put", data, key=target["key"])
+            except Exception as exc:
+                failures.append((self._describe(target),
+                                 f"{type(exc).__name__}: {exc}"))
+        if failures:
+            self.failed_legs += len(failures)
+            raise DistributionError(failures=failures)
+
+    # -- coherence-domain callbacks ----------------------------------------------------
+
+    def _install_tee(self, offset: int, data: bytes,
+                     total: "int | None", version: Any) -> None:
+        """A peer distributed: mirror its bytes into this open's record."""
+        if self._ctx is not None:
+            self._ctx.data.write_at(offset, bytes(data))
 
     # -- sentinel interface ---------------------------------------------------------
+
+    def on_open(self, ctx: SentinelContext) -> None:
+        self._ctx = ctx
+        if ctx.coherence is not None:
+            self._domain = ctx.coherence
+            self._member = self._domain.register(install=self._install_tee)
+            self._fanout_member_id = self._member
 
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
         written = ctx.data.write_at(offset, data)
         self._propagate(ctx, data)
         self.distributed_writes += 1
+        if self._member is not None:
+            # Every sink has the bytes — now so does every peer open
+            # (and every subscriber's queue gets the record).
+            self._domain.publish(self._member, offset, data,
+                                 fields={"targets": len(self.targets)})
         return written
 
     def on_control(self, ctx: SentinelContext, op: str, args: dict[str, Any],
                    payload: bytes):
         if op == "stats":
             return {"distributed_writes": self.distributed_writes,
+                    "failed_legs": self.failed_legs,
                     "targets": len(self.targets)}, b""
         return super().on_control(ctx, op, args, payload)

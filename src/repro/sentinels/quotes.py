@@ -4,12 +4,23 @@
 quotes (downloaded by the sentinel from a server) every time the file
 is opened."  Opening the file snapshots the feed; the ``refresh``
 control op re-downloads without reopening.
+
+With ``live=True`` the sentinel becomes a real ticker on the container's
+coherence domain: every open of the quote file is one domain member, a
+``refresh`` polls the feed *incrementally* (generation-delta ``POLL``,
+falling back to a snapshot resync) and publishes the new view to every
+peer open — their files update in place, and their subscribers see one
+``poll()`` record per market movement — while concurrent opening
+downloads collapse onto a single feed exchange via the domain's
+single-flight fill.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.core.sentinel import Sentinel, SentinelContext
-from repro.errors import SentinelError
+from repro.errors import SentinelError, UnsupportedOperationError
 from repro.util.bytesbuf import ByteBuffer
 
 __all__ = ["StockQuoteSentinel"]
@@ -20,7 +31,9 @@ class StockQuoteSentinel(Sentinel):
 
     Params: ``address`` (quote-server address string), ``symbols``
     (list; empty/omitted = all symbols the server offers), ``format``
-    ("plain" -> ``SYM<TAB>price`` lines, or "csv").
+    ("plain" -> ``SYM<TAB>price`` lines, or "csv"), ``live`` (join the
+    container's coherence domain: refreshes fan out to peer opens and
+    subscribers, concurrent open downloads are single-flight).
     """
 
     def __init__(self, params=None) -> None:
@@ -31,41 +44,141 @@ class StockQuoteSentinel(Sentinel):
         self.format = str(self.params.get("format", "plain"))
         if self.format not in ("plain", "csv"):
             raise SentinelError(f"unknown quote format {self.format!r}")
+        self.live = bool(self.params.get("live", False))
         self._view = ByteBuffer()
+        self._quotes: dict[str, float] = {}
         self.generation = -1
+        self._domain = None
+        self._member: int | None = None
+        self._stale = False
 
-    def _download(self, ctx: SentinelContext) -> None:
-        connection = ctx.connect(str(self.params["address"]))
-        fields = {"symbols": self.symbols} if self.symbols else {}
-        response = connection.expect("BATCH", **fields)
-        quotes = response.fields["quotes"]
-        self.generation = int(response.fields["generation"])
+    # -- feed exchanges ---------------------------------------------------------------
+
+    def _render(self) -> bytes:
         lines = []
         if self.format == "csv":
             lines.append("symbol,price")
-            lines += [f"{symbol},{price}" for symbol, price in sorted(quotes.items())]
+            lines += [f"{symbol},{price}"
+                      for symbol, price in sorted(self._quotes.items())]
         else:
-            lines += [f"{symbol}\t{price}" for symbol, price in sorted(quotes.items())]
-        self._view.setvalue(("\n".join(lines) + "\n").encode("utf-8"))
+            lines += [f"{symbol}\t{price}"
+                      for symbol, price in sorted(self._quotes.items())]
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    def _batch_fields(self) -> dict[str, Any]:
+        return {"symbols": self.symbols} if self.symbols else {}
+
+    def _install_snapshot(self, quotes: dict[str, float],
+                          generation: int) -> None:
+        self._quotes = {str(s): float(p) for s, p in quotes.items()}
+        self.generation = int(generation)
+        self._view.setvalue(self._render())
+        self._stale = False
+
+    def _download(self, ctx: SentinelContext) -> None:
+        """Full snapshot download; single-flight across opening peers.
+
+        The domain collapses concurrent opens onto one ``BATCH``
+        exchange: the first member's request serves everyone opening in
+        the same epoch (a published refresh bumps the epoch, so nobody
+        joins a pre-refresh download after the fact).
+        """
+        def start():
+            connection = ctx.connect(str(self.params["address"]))
+            resolve = connection.call_async("BATCH", **self._batch_fields())
+
+            def result():
+                response = resolve()
+                if not response.ok:
+                    raise SentinelError(f"quote feed rejected BATCH: "
+                                        f"{response.error}")
+                return (dict(response.fields["quotes"]),
+                        int(response.fields["generation"]))
+            return result
+
+        if self._domain is not None:
+            resolver = self._domain.fill(("quotes", "batch"), start)
+        else:
+            resolver = start()
+        quotes, generation = resolver()
+        self._install_snapshot(quotes, generation)
+
+    def _poll_feed(self, ctx: SentinelContext) -> int:
+        """Incremental refresh: apply the generation-delta, or resync.
+
+        Returns the number of price changes applied (a resync counts as
+        one wholesale change).
+        """
+        connection = ctx.connect(str(self.params["address"]))
+        response = connection.expect("POLL", since=max(self.generation, 0),
+                                     **self._batch_fields())
+        generation = int(response.fields["generation"])
+        if response.fields.get("resync"):
+            self._install_snapshot(dict(response.fields["quotes"]),
+                                   generation)
+            return 1
+        updates = response.fields.get("updates") or []
+        for entry in updates:
+            self._quotes[str(entry["symbol"])] = float(entry["price"])
+        if updates:
+            self.generation = generation
+            self._view.setvalue(self._render())
+            self._stale = False
+        else:
+            self.generation = generation
+        return len(updates)
+
+    # -- coherence-domain callbacks ----------------------------------------------------
+
+    def _install_view(self, offset: int, data: bytes,
+                      total: "int | None", version: Any) -> None:
+        """A peer refreshed: replace this open's rendered view."""
+        self._view.setvalue(bytes(data))
+        if version is not None:
+            self.generation = int(version)
+        self._stale = False
+
+    def _peer_invalidated(self, offset, size) -> None:
+        self._stale = True
+
+    def _freshen(self, ctx: SentinelContext) -> None:
+        if self._stale:
+            self._poll_feed(ctx)
 
     # -- sentinel interface ---------------------------------------------------------
 
     def on_open(self, ctx: SentinelContext) -> None:
+        if self.live and ctx.coherence is not None:
+            self._domain = ctx.coherence
+            self._member = self._domain.register(
+                invalidate=self._peer_invalidated,
+                install=self._install_view)
+            self._fanout_member_id = self._member
         self._download(ctx)
 
     def on_read(self, ctx: SentinelContext, offset: int, size: int) -> bytes:
+        self._freshen(ctx)
         return self._view.read_at(offset, size)
 
     def on_write(self, ctx: SentinelContext, offset: int, data: bytes) -> int:
-        from repro.errors import UnsupportedOperationError
-
         raise UnsupportedOperationError("quote files are read-only")
 
     def on_size(self, ctx: SentinelContext) -> int:
+        self._freshen(ctx)
         return self._view.size
 
     def on_control(self, ctx: SentinelContext, op, args, payload):
         if op == "refresh":
-            self._download(ctx)
-            return {"generation": self.generation, "size": self._view.size}, b""
+            changed = self._poll_feed(ctx)
+            if changed and self._member is not None:
+                # Fan the fresh view out: peer opens install it in
+                # place, their subscribers get one update record.
+                view = self._view.getvalue()
+                self._domain.publish(
+                    self._member, 0, view, total=len(view),
+                    version=self.generation,
+                    fields={"generation": self.generation,
+                            "changes": changed})
+            return {"generation": self.generation, "size": self._view.size,
+                    "changes": changed}, b""
         return super().on_control(ctx, op, args, payload)

@@ -256,6 +256,11 @@ class RemoteFileSentinel(Sentinel):
                 "readahead/writeback require a cache path "
                 "(cache='disk' or cache='memory', not 'none')")
         self.validate = bool(self.params.get("validate", False))
+        self.coherent = bool(self.params.get("coherent", False))
+        if self.coherent and cache == "none":
+            raise SentinelError(
+                "coherent mode needs a cache to keep leased bytes in "
+                "(cache='disk' or cache='memory', not 'none')")
         self.op_timeout = float(self.params.get("op_timeout",
                                                 policy.REMOTE_OP_TIMEOUT))
         self.stale_reads = bool(self.params.get("stale_reads", False))
@@ -267,6 +272,10 @@ class RemoteFileSentinel(Sentinel):
         self._cache: BlockCache | None = None
         self._last_version: Any = None
         self._last_size: int | None = None
+        #: Coherence-domain wiring (``coherent=True`` on a domain-backed
+        #: strategy): the domain and this open's member id.
+        self._domain = None
+        self._member: int | None = None
         self._op_deadline: Deadline | None = None
         #: Next opportunistic re-flush time for queued writes (monotonic).
         self._queue_retry_at = 0.0
@@ -278,6 +287,11 @@ class RemoteFileSentinel(Sentinel):
         self._origin = _ORIGINS[self.protocol](ctx, self.params)
         if self.cache_path == "none":
             return
+        if self.coherent:
+            # Join the container's consistency domain.  Degrades
+            # gracefully: a strategy without a domain (the simple
+            # process strategy) serves this open like validate=True.
+            self._domain = ctx.coherence
         store = ctx.data if self.cache_path == "disk" else MemoryDataPart()
         self._cache = BlockCache(
             fetch=self._fetch, push=self._push,
@@ -289,8 +303,41 @@ class RemoteFileSentinel(Sentinel):
             if getattr(self._origin, "read_window", None) is not None
             else None,
             push_extents=self._push_extents,
+            coherence=self._domain,
         )
+        if self._domain is not None:
+            self._member = self._domain.register(
+                invalidate=self._peer_invalidated,
+                install=self._install_published)
+            # The base dispatcher releases this membership at close.
+            self._fanout_member_id = self._member
         self._refresh_version()
+        if self._member is not None and self._last_version is not None:
+            # The opening stat doubles as the first revalidation: reads
+            # are origin-free until a peer write revokes the lease.
+            self._domain.grant(self._member)
+
+    # -- coherence-domain callbacks (run on the publisher's thread) -------------------
+
+    def _install_published(self, offset: int, data: bytes,
+                           total: "int | None", version: Any) -> None:
+        """A peer published bytes: land them in this open's cache so the
+        read lease survives the remote write."""
+        if self._cache is not None:
+            self._cache.install_published(offset, data, total_size=total)
+        if version is not None:
+            self._last_version = version
+        if total is not None:
+            self._last_size = int(total)
+
+    def _peer_invalidated(self, offset: "int | None",
+                          size: "int | None") -> None:
+        """A peer invalidated without shipping bytes (e.g. truncate)."""
+        if self._cache is not None:
+            if offset is None:
+                self._cache.invalidate()
+            else:
+                self._cache.invalidate(offset, size)
 
     # -- retried origin exchanges -----------------------------------------------------
 
@@ -365,7 +412,31 @@ class RemoteFileSentinel(Sentinel):
         self._refresh_version()
 
     def _revalidate(self) -> None:
-        if not self.validate or self._cache is None:
+        if self._cache is None:
+            return
+        if self._member is not None:
+            # Leased read path: while this open's lease is valid, reads
+            # cost ZERO origin round trips — peer writes either
+            # push-install their bytes (lease survives) or revoke the
+            # lease, in which case the next read re-stats the origin.
+            if self._domain.lease_valid(self._member):
+                return
+            try:
+                size, version = self._remote(self._origin.stat)
+            except RemoteFileNotFound:
+                size, version = None, None
+            except NetworkError as exc:
+                if self.stale_reads and _transient(exc):
+                    return  # partition: serve the cached bytes, no lease
+                raise
+            if version != self._last_version:
+                self._cache.invalidate()
+                self._last_version = version
+            if size is not None:
+                self._last_size = size
+            self._domain.grant(self._member)
+            return
+        if not self.validate:
             return
         try:
             _, version = self._remote(self._origin.stat)
@@ -440,6 +511,16 @@ class RemoteFileSentinel(Sentinel):
         self._enter(ctx)
         if self._cache is None:
             return self._push(offset, data)
+        if self._member is not None:
+            # Serialize conflicting writes per extent across the domain,
+            # then push-install the bytes into every peer cache so their
+            # leases survive this write instead of being revoked.
+            with self._domain.write_fence(self._member, offset, len(data)):
+                written = self._cache.write(offset, data)
+                self._domain.publish(self._member, offset, bytes(data),
+                                     total=self._last_size,
+                                     version=self._last_version)
+                return written
         # Write-through pushes refresh the version via _push; buffered
         # write-behind writes leave the origin (and version) untouched
         # until the coalesced flush.
@@ -456,6 +537,14 @@ class RemoteFileSentinel(Sentinel):
 
     def on_size(self, ctx: SentinelContext) -> int:
         self._enter(ctx)
+        if self._member is not None and self._last_size is not None \
+                and self._domain.lease_valid(self._member):
+            # Leased size: peer writes keep _last_size current through
+            # the install callback, so no origin stat is needed.
+            size = self._last_size
+            if self._cache is not None:
+                size = max(size, self._cache.dirty_end)
+            return size
         try:
             size, _ = self._remote(self._origin.stat)
             self._last_size = size
@@ -480,6 +569,10 @@ class RemoteFileSentinel(Sentinel):
         if self._cache is not None:
             self._cache.invalidate()
             self._refresh_version()
+        if self._member is not None:
+            # No bytes to ship — peers must drop their windows and
+            # re-stat the origin on their next read.
+            self._domain.invalidate_peers(self._member)
 
     def on_flush(self, ctx: SentinelContext) -> None:
         self._enter(ctx)
@@ -522,4 +615,12 @@ class RemoteFileSentinel(Sentinel):
             if self._cache is None:
                 return {"cache": "none"}, b""
             return {"cache": self.cache_path, **self._cache.stats()}, b""
+        if op == "coherence-stats":
+            # Domain counters live wherever the sentinel runs (the host
+            # child for process strategies); this op hauls them back to
+            # the application for benchmarks and tests.
+            if self._domain is None:
+                return {"coherent": False}, b""
+            return {"coherent": True, "member": self._member,
+                    **self._domain.stats()}, b""
         return super().on_control(ctx, op, args, payload)

@@ -1,0 +1,239 @@
+"""Unit tests for the coherence-domain fabric (leases, fences,
+single-flight fills, bounded pub/sub fan-out)."""
+
+import threading
+
+import pytest
+
+from repro.core.fanout import DEFAULT_MAX_PENDING, CoherenceDomain, domain_for
+from repro.errors import FanoutError, SubscriberEvictedError
+
+
+@pytest.fixture
+def domain():
+    return CoherenceDomain(scope="test")
+
+
+class TestLeases:
+    def test_grant_and_revoke_on_invalidating_publish(self, domain):
+        a = domain.register()  # no install callback: publishes revoke
+        b = domain.register()
+        domain.grant(a)
+        domain.grant(b)
+        assert domain.lease_valid(a) and domain.lease_valid(b)
+        domain.publish(b, 0, b"xx")
+        assert not domain.lease_valid(a), "peer without install must lose lease"
+        assert domain.lease_valid(b), "publisher keeps its own lease"
+
+    def test_install_capable_peer_keeps_lease(self, domain):
+        installed = []
+        a = domain.register(install=lambda off, data, total, version:
+                            installed.append((off, bytes(data), total)))
+        b = domain.register()
+        domain.grant(a)
+        domain.publish(b, 4, b"abcd", total=100)
+        assert domain.lease_valid(a)
+        assert installed == [(4, b"abcd", 100)]
+
+    def test_invalidate_peers_revokes_everyone_else(self, domain):
+        dropped = []
+        a = domain.register(invalidate=lambda off, size:
+                            dropped.append((off, size)))
+        b = domain.register()
+        domain.grant(a)
+        domain.invalidate_peers(b)
+        assert not domain.lease_valid(a)
+        assert dropped == [(None, None)]
+
+    def test_unregister_forgets_lease(self, domain):
+        a = domain.register()
+        domain.grant(a)
+        domain.unregister(a)
+        assert not domain.lease_valid(a)
+        assert domain.members == 0
+
+
+class TestWriteFence:
+    def test_overlapping_fences_serialize(self, domain):
+        a, b = domain.register(), domain.register()
+        order = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with domain.write_fence(a, 0, 100):
+                entered.set()
+                release.wait(5.0)
+                order.append("a")
+
+        def waiter():
+            entered.wait(5.0)
+            with domain.write_fence(b, 50, 10):
+                order.append("b")
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=waiter)]
+        for t in threads:
+            t.start()
+        entered.wait(5.0)
+        release.set()
+        for t in threads:
+            t.join(10.0)
+        assert order == ["a", "b"]
+        assert domain.stats()["write_waits"] >= 1
+
+    def test_disjoint_fences_do_not_wait(self, domain):
+        a, b = domain.register(), domain.register()
+        with domain.write_fence(a, 0, 10):
+            with domain.write_fence(b, 100, 10):
+                pass
+        assert domain.stats()["write_waits"] == 0
+
+
+class TestSingleFlightFill:
+    def test_concurrent_misses_share_one_fetch(self, domain):
+        fetches = []
+        issued = threading.Event()
+        proceed = threading.Event()
+
+        def start():
+            issued.set()
+
+            def resolve():
+                proceed.wait(5.0)
+                fetches.append(1)
+                return b"bytes"
+            return resolve
+
+        results = []
+
+        def first():
+            resolver = domain.fill(("w", 0), start)
+            results.append(resolver())
+
+        def second():
+            issued.wait(5.0)
+            resolver = domain.fill(("w", 0), start)
+            proceed.set()
+            results.append(resolver())
+
+        threads = [threading.Thread(target=first),
+                   threading.Thread(target=second)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert results == [b"bytes", b"bytes"]
+        assert len(fetches) == 1, "joiner must not run its own fetch"
+        assert domain.stats()["fill_coalesced"] == 1
+
+    def test_completed_fill_is_not_rejoined(self, domain):
+        calls = []
+
+        def start():
+            calls.append(1)
+            return lambda: b"data"
+
+        assert domain.fill(("k",), start)() == b"data"
+        assert domain.fill(("k",), start)() == b"data"
+        assert len(calls) == 2, "a later miss re-fetches afresh"
+        assert domain.stats()["fill_coalesced"] == 0
+
+    def test_failed_fill_not_sticky(self, domain):
+        def bad_start():
+            def resolve():
+                raise OSError("origin down")
+            return resolve
+
+        with pytest.raises(OSError):
+            domain.fill(("k",), bad_start)()
+        assert domain.fill(("k",), lambda: lambda: b"healed")() == b"healed"
+
+    def test_publish_bumps_epoch_between_fills(self, domain):
+        member = domain.register()
+        calls = []
+
+        def start():
+            calls.append(1)
+            started = threading.Event()
+            started.set()
+            return lambda: b"v1"
+
+        resolver = domain.fill(("w",), start)
+        domain.publish(member, 0, b"update")  # bumps epoch, clears fills
+        second = domain.fill(("w",), lambda: (calls.append(2),
+                                              (lambda: b"v2"))[1])
+        assert resolver() == b"v1"
+        assert second() == b"v2"
+        assert len(calls) == 2
+
+
+class TestPubSub:
+    def test_records_carry_seq_offset_size_and_fields(self, domain):
+        a, b = domain.register(), domain.register()
+        sub = domain.subscribe(b)
+        domain.publish(a, 8, b"abcd", total=64, fields={"generation": 7})
+        records = domain.poll(sub)
+        assert records == [{"seq": 1, "offset": 8, "size": 4, "total": 64,
+                            "generation": 7}]
+        assert domain.poll(sub) == []
+
+    def test_publisher_does_not_hear_itself(self, domain):
+        a = domain.register()
+        sub = domain.subscribe(a)
+        domain.publish(a, 0, b"x")
+        assert domain.poll(sub) == []
+
+    def test_slow_consumer_evicted_once_then_forgotten(self, domain):
+        a, b = domain.register(), domain.register()
+        sub = domain.subscribe(b, max_pending=2)
+        for _ in range(3):
+            domain.publish(a, 0, b"x")
+        with pytest.raises(SubscriberEvictedError):
+            domain.poll(sub)
+        with pytest.raises(FanoutError):
+            domain.poll(sub)  # evicted subs are removed entirely
+        stats = domain.stats()
+        assert stats["evicted"] == 1
+        assert stats["dropped"] == 3  # 2 queued + the overflowing one
+
+    def test_fresh_subscription_after_eviction_works(self, domain):
+        a, b = domain.register(), domain.register()
+        sub = domain.subscribe(b, max_pending=1)
+        domain.publish(a, 0, b"x")
+        domain.publish(a, 0, b"y")
+        with pytest.raises(SubscriberEvictedError):
+            domain.poll(sub)
+        fresh = domain.subscribe(b, max_pending=DEFAULT_MAX_PENDING)
+        domain.publish(a, 0, b"z")
+        assert len(domain.poll(fresh)) == 1
+
+    def test_bad_max_pending_rejected(self, domain):
+        member = domain.register()
+        with pytest.raises(FanoutError):
+            domain.subscribe(member, max_pending=0)
+
+    def test_unknown_subscription_rejected(self, domain):
+        with pytest.raises(FanoutError):
+            domain.poll(999)
+
+    def test_last_published_tracks_member(self, domain):
+        a, b = domain.register(), domain.register()
+        assert domain.last_published(a) == 0
+        domain.publish(a, 0, b"x")
+        domain.publish(b, 0, b"y")
+        assert domain.last_published(a) == 1
+        assert domain.last_published(b) == 2
+
+
+class TestRegistry:
+    def test_same_path_same_domain(self, tmp_path):
+        path = tmp_path / "c.af"
+        path.write_bytes(b"")
+        assert domain_for(path) is domain_for(str(path))
+
+    def test_different_paths_different_domains(self, tmp_path):
+        a, b = tmp_path / "a.af", tmp_path / "b.af"
+        a.write_bytes(b"")
+        b.write_bytes(b"")
+        assert domain_for(a) is not domain_for(b)

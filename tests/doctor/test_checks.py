@@ -132,6 +132,33 @@ class TestShippedChecksFireAndStaySilent:
                       make_evidence({"host.backpressure.stalls": 2}))
         assert found and found[0].subsystem == "host"
 
+    def test_fanout_slow_consumer(self, shipped):
+        check = shipped["fanout-slow-consumer"]
+        found = fires(check, make_evidence({"fanout.evicted": 1,
+                                            "fanout.dropped": 65}))
+        assert found and found[0].subsystem == "fanout"
+        assert found[0].severity == "warning"
+        # heavy but fully-delivered fan-out traffic is healthy
+        busy = make_evidence({"fanout.published": 500,
+                              "fanout.delivered": 5000})
+        assert not fires(check, busy)
+
+    def test_lease_invalidation_storm_ratio(self, shipped):
+        check = shipped["lease-invalidation-storm"]
+        dirty = make_evidence({"lease.granted": 10,
+                               "lease.invalidated": 9})
+        found = fires(check, dirty)
+        assert found and found[0].subsystem == "fanout"
+        assert found[0].evidence["ratio"] == pytest.approx(0.9)
+        # push-installed writes keep leases alive: few revocations
+        healthy = make_evidence({"lease.granted": 10,
+                                 "lease.invalidated": 2})
+        assert not fires(check, healthy)
+        # below min_denominator the rule abstains even at a bad ratio
+        sparse = make_evidence({"lease.granted": 4,
+                                "lease.invalidated": 4})
+        assert not fires(check, sparse)
+
 
 class TestLinter:
     GOOD = {"name": "x", "type": "threshold", "metric": "shm.bytes",

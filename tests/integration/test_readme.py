@@ -1,6 +1,7 @@
 """The README's code blocks must actually run — docs are contracts."""
 
 import re
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -37,6 +38,18 @@ class TestReadmeCode:
 
         ctx = SentinelContext(data=MemoryDataPart(b"quiet"))
         assert sentinel_class().on_read(ctx, 0, 5) == b"QUIET"
+
+    def test_ticker_block_runs(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # the block writes ticker.af
+        blocks = [b for b in python_blocks() if "QuoteServer" in b]
+        assert blocks, "README lost its live-ticker block"
+        source = textwrap.dedent(blocks[0])  # the block sits in a bullet
+        exec(compile(source, "<README ticker>", "exec"), {})
+        out = capsys.readouterr().out
+        assert "ACME" in out and "GLOBEX" in out, \
+            "the peer open must see the refreshed quotes"
+        assert "movement -> generation" in out, \
+            "the subscriber must receive the fan-out record"
 
     def test_observability_block_runs(self, tmp_path, monkeypatch, capsys):
         monkeypatch.chdir(tmp_path)  # the block writes traced.af + jsonl

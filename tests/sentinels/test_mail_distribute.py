@@ -207,7 +207,8 @@ class TestDistribution:
             stream.write(b"a")
             stream.write(b"b")
             fields, _ = stream.control("stats")
-            assert fields == {"distributed_writes": 2, "targets": 1}
+            assert fields == {"distributed_writes": 2, "failed_legs": 0,
+                              "targets": 1}
 
     def test_unknown_target_kind_rejected(self, make_active):
         from repro.errors import SpecError
